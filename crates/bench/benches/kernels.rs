@@ -1,0 +1,257 @@
+//! Criterion benches for the computational kernels behind every
+//! experiment: orbit propagation, snapshot construction, routing,
+//! coverage estimation, MAC simulation, wire codec, and settlement.
+//!
+//! These exist to keep the simulation substrate fast enough that the
+//! experiment sweeps stay interactive, and to catch performance
+//! regressions; the *scientific* outputs come from the `exp_*` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use openspace_core::study::{latency_vs_satellites, StudyConfig};
+use openspace_economics::prelude::*;
+use openspace_mac::prelude::*;
+use openspace_net::prelude::*;
+use openspace_orbit::prelude::*;
+use openspace_protocol::prelude::*;
+
+fn iridium_props() -> Vec<Propagator> {
+    walker_star(&iridium_params())
+        .unwrap()
+        .into_iter()
+        .map(|e| Propagator::new(e, PerturbationModel::SecularJ2))
+        .collect()
+}
+
+fn iridium_nodes() -> Vec<SatNode> {
+    iridium_props()
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| SatNode {
+            propagator: p,
+            operator: (i % 4) as u32,
+            has_optical: false,
+        })
+        .collect()
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let sats = iridium_props();
+    c.bench_function("propagate_66_sats_one_epoch", |b| {
+        b.iter(|| {
+            for s in &sats {
+                black_box(s.position_eci(black_box(1234.5)));
+            }
+        })
+    });
+    c.bench_function("kepler_solve_e0p1", |b| {
+        b.iter(|| black_box(openspace_orbit::kepler::solve_kepler(black_box(2.7), 0.1)))
+    });
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let nodes = iridium_nodes();
+    let stations: Vec<GroundNode> = [(48.0, 11.0), (-33.9, 18.4), (1.35, 103.8)]
+        .iter()
+        .map(|&(lat, lon)| GroundNode {
+            position_ecef: geodetic_to_ecef(Geodetic::from_degrees(lat, lon, 0.0)),
+            operator: 9,
+        })
+        .collect();
+    let params = SnapshotParams::default();
+    c.bench_function("build_snapshot_iridium", |b| {
+        b.iter(|| black_box(build_snapshot(black_box(0.0), &nodes, &stations, &params)))
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let nodes = iridium_nodes();
+    let params = SnapshotParams::default();
+    let graph = build_snapshot(0.0, &nodes, &[], &params);
+    c.bench_function("dijkstra_iridium_crossing", |b| {
+        b.iter(|| black_box(shortest_path(&graph, black_box(0), black_box(35), latency_weight)))
+    });
+    c.bench_function("yen_k4_iridium", |b| {
+        b.iter(|| black_box(k_shortest_paths(&graph, 0, 35, 4, latency_weight)))
+    });
+    c.bench_function("qos_route_iridium", |b| {
+        let req = QosRequirement {
+            min_bandwidth_bps: 1e5,
+            max_latency_s: f64::INFINITY,
+        };
+        b.iter(|| black_box(qos_route(&graph, 0, 35, &req, 12_000.0)))
+    });
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    let sats = iridium_props();
+    let grid = SphereGrid::new(2000);
+    c.bench_function("grid_coverage_2000pts_66sats", |b| {
+        b.iter(|| black_box(grid_coverage_fraction(&grid, &sats, 0.0, 0.0)))
+    });
+    c.bench_function("worst_case_coverage_66sats", |b| {
+        b.iter(|| black_box(worst_case_coverage_fraction(&sats, 0.0, 0.0)))
+    });
+}
+
+fn bench_mac(c: &mut Criterion) {
+    let params = MacParams::s_band_isl();
+    let mut group = c.benchmark_group("csma_sim_1s");
+    for n in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(simulate_csma_ca(&params, n, 1.0, 42)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let frame = Frame {
+        sender: 42,
+        message: Message::Beacon(Beacon {
+            satellite: SatelliteId(42),
+            operator: OperatorId(7),
+            capabilities: Capabilities::rf_and_optical(),
+            timestamp_ms: 123,
+            semi_major_axis_m: 7.158e6,
+            eccentricity: 0.0,
+            inclination_rad: 1.5,
+            raan_rad: 0.5,
+            arg_perigee_rad: 0.0,
+            mean_anomaly_rad: 2.2,
+        }),
+    };
+    let bytes = frame.encode();
+    c.bench_function("beacon_encode", |b| b.iter(|| black_box(frame.encode())));
+    c.bench_function("beacon_decode", |b| {
+        b.iter(|| black_box(Frame::decode(black_box(&bytes)).unwrap()))
+    });
+}
+
+fn bench_economics(c: &mut Criterion) {
+    // A thousand billing items across 4 operators.
+    let mut ledgers = std::collections::BTreeMap::new();
+    for op in 1u32..=4 {
+        let mut l = TrafficLedger::new();
+        for k in 0..250u64 {
+            l.record_raw(
+                BillingKey {
+                    flow_id: k,
+                    origin: OperatorId(1 + ((op + 1) % 4)),
+                    carrier: OperatorId(op),
+                    interval_start_ms: k * 60_000,
+                },
+                1_000_000 + k,
+            );
+        }
+        ledgers.insert(OperatorId(op), l);
+    }
+    let prices = PriceBook::new(4.0);
+    c.bench_function("settlement_1000_items", |b| {
+        b.iter(|| black_box(SettlementMatrix::from_ledgers(&ledgers, &prices)))
+    });
+    let la = ledgers.get(&OperatorId(1)).unwrap();
+    let lb = ledgers.get(&OperatorId(2)).unwrap();
+    c.bench_function("reconcile_pair", |b| {
+        b.iter(|| black_box(reconcile(la, lb, OperatorId(1), OperatorId(2))))
+    });
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    // DAMA MAC simulation.
+    let dama = DamaParams::s_band_isl();
+    c.bench_function("dama_sim_1s_8nodes", |b| {
+        b.iter(|| black_box(simulate_dama(&dama, 8, 5e5, 1.0, 42)))
+    });
+
+    // TLE parse.
+    let el = OrbitalElements::circular(780_000.0, 86.4, 10.0, 20.0).unwrap();
+    let (l1, l2) = elements_to_tle(10_001, "26001A", 2026, 185.5, &el);
+    c.bench_function("tle_parse", |b| {
+        b.iter(|| black_box(parse_tle(black_box(&l1), black_box(&l2)).unwrap()))
+    });
+
+    // DTN earliest-arrival over a day-long single-sat plan.
+    let sat = SatNode {
+        propagator: Propagator::new(el, PerturbationModel::TwoBody),
+        operator: 0,
+        has_optical: false,
+    };
+    let st = GroundNode {
+        position_ecef: geodetic_to_ecef(Geodetic::from_degrees(10.0, 20.0, 0.0)),
+        operator: 0,
+    };
+    let contacts = openspace_net::dtn::sample_contacts(
+        &[sat],
+        &[st],
+        0.0,
+        86_400.0,
+        60.0,
+        &SnapshotParams::default(),
+    );
+    c.bench_function("dtn_earliest_arrival_day_plan", |b| {
+        b.iter(|| {
+            black_box(openspace_net::dtn::earliest_arrival(
+                &contacts, 2, 0, 1, 0.0, 1e6,
+            ))
+        })
+    });
+
+    // Shapley over an 8-member game.
+    let members: Vec<OperatorId> = (1..=8).map(OperatorId).collect();
+    c.bench_function("shapley_8_members", |b| {
+        b.iter(|| {
+            black_box(openspace_economics::incentives::shapley_shares(
+                &members,
+                |mask: u32| (mask.count_ones() as f64).sqrt(),
+            ))
+        })
+    });
+
+    // Packet simulation, one second of a loaded link.
+    use openspace_core::netsim::{run_netsim, FlowSpec, NetSimConfig, TrafficKind};
+    let mut g = Graph::new(2, 0);
+    g.add_bidirectional(0, 1, 0.001, 1e7, 0, 0, LinkTech::Rf);
+    let flows = [FlowSpec {
+        src: 0,
+        dst: 1,
+        rate_bps: 8e6,
+        packet_bytes: 1_500,
+        kind: TrafficKind::Poisson,
+    }];
+    let cfg = NetSimConfig {
+        duration_s: 1.0,
+        ..Default::default()
+    };
+    c.bench_function("netsim_1s_loaded_link", |b| {
+        b.iter(|| black_box(run_netsim(&g, &flows, &cfg)))
+    });
+}
+
+fn bench_study(c: &mut Criterion) {
+    // One small figure-2(b) point end to end — the unit of experiment work.
+    let cfg = StudyConfig {
+        trials: 2,
+        epochs_per_trial: 2,
+        ..Default::default()
+    };
+    c.bench_function("fig2b_point_n25", |b| {
+        b.iter(|| black_box(latency_vs_satellites(&cfg, &[25])))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_propagation,
+        bench_snapshot,
+        bench_routing,
+        bench_coverage,
+        bench_mac,
+        bench_wire,
+        bench_economics,
+        bench_extensions,
+        bench_study
+);
+criterion_main!(benches);

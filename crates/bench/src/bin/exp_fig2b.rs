@@ -1,0 +1,81 @@
+//! E2 / Figure 2(b): propagation latency vs constellation size.
+//!
+//! Paper: "increasing the number of satellites in the simulation
+//! dramatically reduces the inter-satellite latency up to about 25
+//! satellites, after which latency values average about 30ms", and the
+//! caption: "the constellation requires a minimum of about four
+//! satellites to guarantee that a satellite will orbit in range."
+//!
+//! We regenerate the curve under the paper's simplified model and, for
+//! honesty, under the physical model (elevation-masked pickup and
+//! line-of-sight ISLs), where the same sweep shows up as an availability
+//! curve.
+//!
+//! Run: `cargo run -p openspace-bench --release --bin exp_fig2b`
+
+use openspace_bench::{fmt_opt, print_header};
+use openspace_core::study::{latency_vs_satellites, StudyConfig, StudyModel};
+
+fn main() {
+    let sizes = [2, 4, 6, 8, 12, 16, 20, 25, 30, 40, 50, 65, 80, 100];
+    let cfg = StudyConfig {
+        trials: 20,
+        epochs_per_trial: 8,
+        ..Default::default()
+    };
+
+    println!("Figure 2(b): propagation latency vs constellation size");
+    println!(
+        "user {:.1}N {:.1}E -> station {:.1}N {:.1}E, {} trials x {} epochs",
+        cfg.user.lat_deg(),
+        cfg.user.lon_deg(),
+        cfg.station.lat_deg(),
+        cfg.station.lon_deg(),
+        cfg.trials,
+        cfg.epochs_per_trial
+    );
+
+    print_header(
+        "Paper's simplified model (nearest pickup, distance-graph ISLs)",
+        &format!(
+            "{:<6} {:>8} {:>14} {:>10}",
+            "n", "reach", "latency (ms)", "mean hops"
+        ),
+    );
+    for p in latency_vs_satellites(&cfg, &sizes) {
+        println!(
+            "{:<6} {:>8.2} {:>14} {:>10}",
+            p.n_satellites,
+            p.reachability,
+            fmt_opt(p.mean_latency_ms, 1),
+            fmt_opt(p.mean_hops, 2)
+        );
+    }
+
+    let phys = StudyConfig {
+        model: StudyModel::Physical,
+        ..cfg
+    };
+    print_header(
+        "Physical model (horizon-masked pickup, line-of-sight ISLs)",
+        &format!(
+            "{:<6} {:>8} {:>14} {:>10}",
+            "n", "avail", "latency (ms)", "mean hops"
+        ),
+    );
+    for p in latency_vs_satellites(&phys, &sizes) {
+        println!(
+            "{:<6} {:>8.2} {:>14} {:>10}",
+            p.n_satellites,
+            p.reachability,
+            fmt_opt(p.mean_latency_ms, 1),
+            fmt_opt(p.mean_hops, 2)
+        );
+    }
+
+    println!(
+        "\nshape check: latency falls steeply to ~25 satellites, then \
+         plateaus near 30 ms; availability under the physical model is \
+         what small constellations actually lack."
+    );
+}

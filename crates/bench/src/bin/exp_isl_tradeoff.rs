@@ -1,0 +1,110 @@
+//! E6: the RF-vs-laser ISL tradeoff of §2.1.
+//!
+//! Paper claims quantified:
+//! * "Laser technology offers a higher throughput than RF, with lower
+//!   energy cost. However, they are more expensive … about $500,000 per
+//!   terminal and occupying 0.0234 \[m³\] of volume and at least 15 kg."
+//! * "OpenSpace satellites must permit RF-based communication links at a
+//!   minimum and optionally also support standardized laser-based links."
+//!
+//! Run: `cargo run -p openspace-bench --release --bin exp_isl_tradeoff`
+
+use openspace_bench::print_header;
+use openspace_economics::pricing::HopEconomics;
+use openspace_phy::prelude::*;
+
+fn main() {
+    println!("E6: ISL technology tradeoff (S-band / UHF RF vs 1550 nm optical)");
+
+    let optical = OpticalTerminal::conlct80_class();
+    print_header(
+        "Throughput and energy per bit vs ISL distance",
+        &format!(
+            "{:<10} {:>14} {:>14} {:>14} {:>16} {:>16}",
+            "d (km)", "UHF (kb/s)", "S (Mb/s)", "opt (Gb/s)", "S J/bit", "opt J/bit"
+        ),
+    );
+    for d_km in [200.0, 500.0, 1000.0, 2000.0, 4000.0, 6000.0] {
+        let d = d_km * 1000.0;
+        let uhf = RfLink {
+            tx: RfTerminal::smallsat(),
+            rx: RfTerminal::smallsat(),
+            band: RfBand::Uhf,
+            distance_m: d,
+            extra_loss_db: 0.0,
+        };
+        let s = RfLink {
+            tx: RfTerminal::midsat(),
+            rx: RfTerminal::midsat(),
+            band: RfBand::S,
+            distance_m: d,
+            extra_loss_db: 0.0,
+        };
+        let opt_rate = openspace_phy::optical::achievable_rate_bps(&optical, &optical, d);
+        let opt_epb = openspace_phy::optical::energy_per_bit_j(&optical, &optical, d);
+        println!(
+            "{:<10.0} {:>14.1} {:>14.2} {:>14.2} {:>16.2e} {:>16.2e}",
+            d_km,
+            uhf.achievable_rate_bps() / 1e3,
+            s.achievable_rate_bps() / 1e6,
+            opt_rate / 1e9,
+            s.energy_per_bit_j(),
+            opt_epb
+        );
+    }
+
+    // Hardware cost/mass — the accessibility axis.
+    print_header(
+        "Terminal economics (the entry-barrier axis)",
+        &format!(
+            "{:<18} {:>12} {:>10} {:>12}",
+            "terminal", "cost (USD)", "mass (kg)", "volume (m3)"
+        ),
+    );
+    let rf = rf_terminal_spec();
+    let laser = laser_terminal_spec();
+    println!(
+        "{:<18} {:>12.0} {:>10.1} {:>12.4}",
+        "RF (S/UHF)", rf.cost_usd, rf.mass_kg, rf.volume_m3
+    );
+    println!(
+        "{:<18} {:>12.0} {:>10.1} {:>12.4}",
+        "laser (ConLCT80)", laser.cost_usd, laser.mass_kg, laser.volume_m3
+    );
+
+    // Price per byte moved: the §3 "adaptive to hardware" consequence.
+    print_header(
+        "Amortized transit economics (5-year life, 30% utilization)",
+        &format!(
+            "{:<18} {:>14} {:>18}",
+            "hop type", "capex (USD)", "break-even $/GiB"
+        ),
+    );
+    let rf_hop = HopEconomics::rf_isl(5.0e6);
+    let laser_hop = HopEconomics::laser_isl(10.0e9);
+    println!(
+        "{:<18} {:>14.0} {:>18.3}",
+        "RF ISL",
+        rf_hop.terminal_capex_usd,
+        rf_hop.base_price_usd_per_gib()
+    );
+    println!(
+        "{:<18} {:>14.0} {:>18.5}",
+        "laser ISL",
+        laser_hop.terminal_capex_usd,
+        laser_hop.base_price_usd_per_gib()
+    );
+
+    // PAT setup cost of optical links (the latency price of narrow beams).
+    println!(
+        "\noptical link setup: slew + {:.0} s acquisition before data flows \
+         (beam divergence {:.0} urad)",
+        optical.acquisition_time_s,
+        optical.beam_divergence_rad() * 1e6
+    );
+    println!(
+        "shape check: optical dominates throughput and energy/bit by orders \
+         of magnitude; RF dominates capex, mass, and setup latency — the \
+         paper's case for RF-minimum interoperability."
+    );
+}

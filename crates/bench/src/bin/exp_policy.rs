@@ -1,0 +1,123 @@
+//! E13: regulation-aware routing (§5 open problem (3)).
+//!
+//! "Different countries and regions have varying policies on satellite
+//! communications … The ability to use satellites located in some
+//! regions as relays for user traffic can also be impeded by diverse
+//! user data privacy regulations."
+//!
+//! We assign each default ground station a jurisdiction, give operators
+//! partial downlink license sets, and measure what privacy/licensing
+//! constraints cost in latency — and when they sever connectivity
+//! entirely.
+//!
+//! Run: `cargo run -p openspace-bench --release --bin exp_policy`
+
+use openspace_bench::print_header;
+use openspace_core::prelude::*;
+use openspace_net::policy::{
+    policy_route, DownlinkLicense, Jurisdiction, PolicyRoute, RoutePolicy, StationAttrs,
+};
+use openspace_net::routing::latency_weight;
+use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
+use openspace_phy::hardware::SatelliteClass;
+
+const EU: Jurisdiction = Jurisdiction(1);
+const US: Jurisdiction = Jurisdiction(2);
+const AF: Jurisdiction = Jurisdiction(3);
+const AP: Jurisdiction = Jurisdiction(4);
+
+fn main() {
+    let fed = iridium_federation(4, &[SatelliteClass::SmallSat], &default_station_sites());
+    let graph = fed.snapshot(0.0);
+    // default_station_sites(): Bavaria, Virginia, Cape Town, Singapore,
+    // Perth, Reykjavik.
+    let attrs = vec![
+        StationAttrs { jurisdiction: EU },
+        StationAttrs { jurisdiction: US },
+        StationAttrs { jurisdiction: AF },
+        StationAttrs { jurisdiction: AP },
+        StationAttrs { jurisdiction: AP },
+        StationAttrs { jurisdiction: EU },
+    ];
+    // Every operator is licensed in EU and US; only op-1/op-2 in AP; only
+    // op-3 in AF — the patchwork §5(3) describes.
+    let mut licenses = Vec::new();
+    for op in 1..=4u32 {
+        licenses.push(DownlinkLicense { operator: op, jurisdiction: EU });
+        licenses.push(DownlinkLicense { operator: op, jurisdiction: US });
+    }
+    licenses.push(DownlinkLicense { operator: 1, jurisdiction: AP });
+    licenses.push(DownlinkLicense { operator: 2, jurisdiction: AP });
+    licenses.push(DownlinkLicense { operator: 3, jurisdiction: AF });
+
+    // A user in Nairobi, uplinked via the nearest satellite.
+    let pos = geodetic_to_ecef(Geodetic::from_degrees(-1.3, 36.8, 1_700.0));
+    let (src_sat, _) = openspace_net::isl::best_access_satellite(
+        pos,
+        &fed.sat_nodes(),
+        0.0,
+        fed.snapshot_params.min_elevation_rad,
+    )
+    .expect("coverage");
+    let src = graph.sat_node(src_sat);
+
+    println!("E13: regulation-aware routing (Nairobi user)");
+    print_header(
+        "Policy sweep",
+        &format!("{:<44} {:>10} {:>14}", "policy", "exit", "latency (ms)"),
+    );
+    let cases: Vec<(&str, RoutePolicy)> = vec![
+        ("no constraints", RoutePolicy::permissive()),
+        (
+            "data must exit in EU",
+            RoutePolicy {
+                allowed_exit: vec![EU],
+                blocked_carriers: vec![],
+            },
+        ),
+        (
+            "data must exit in AF (home region)",
+            RoutePolicy {
+                allowed_exit: vec![AF],
+                blocked_carriers: vec![],
+            },
+        ),
+        (
+            "exit EU + distrust op-2 as carrier",
+            RoutePolicy {
+                allowed_exit: vec![EU],
+                blocked_carriers: vec![2],
+            },
+        ),
+        (
+            "exit AF + distrust op-3 (the only AF licensee)",
+            RoutePolicy {
+                allowed_exit: vec![AF],
+                blocked_carriers: vec![3],
+            },
+        ),
+    ];
+    for (label, policy) in cases {
+        let r = policy_route(&graph, &attrs, &licenses, src, &policy, latency_weight);
+        match r {
+            PolicyRoute::Compliant { path, exit_station } => println!(
+                "{:<44} {:>10} {:>14.1}",
+                label,
+                fed.stations()[exit_station].id.to_string(),
+                path.total_cost * 1e3
+            ),
+            PolicyRoute::OnlyNonCompliant => {
+                println!("{:<44} {:>10} {:>14}", label, "NONE", "policy-cut")
+            }
+            PolicyRoute::Unreachable => {
+                println!("{:<44} {:>10} {:>14}", label, "NONE", "no route")
+            }
+        }
+    }
+    println!(
+        "\nshape check: constraints monotonically raise latency by forcing \
+         farther exits, and an adversarial combination (home-region exit + \
+         distrusting its only licensee) severs connectivity — §5(3)'s \
+         regulatory tension made concrete."
+    );
+}

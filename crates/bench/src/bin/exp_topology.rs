@@ -1,0 +1,151 @@
+//! E17: routing in a rapidly changing topology (Figure 1, item 2).
+//!
+//! The paper's overview promises "routing in a rapidly changing network
+//! topology". Two measurements:
+//!
+//! 1. **ISL churn**: how many links appear/disappear per minute as the
+//!    Walker constellation rotates (cross-plane links churn; same-plane
+//!    links persist), and how long a precomputed route survives.
+//! 2. **Packets over a moving constellation**: the dynamic packet
+//!    simulator re-snapshots the topology as satellites move; delivery
+//!    continues across route handovers.
+//!
+//! Run: `cargo run -p openspace-bench --release --bin exp_topology`
+
+use openspace_bench::print_header;
+use openspace_core::netsim::{
+    run_netsim_dynamic, FlowSpec, NetSimConfig, RoutingMode, TrafficKind,
+};
+use openspace_core::prelude::*;
+use openspace_net::routing::{latency_weight, shortest_path};
+use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
+use openspace_phy::hardware::SatelliteClass;
+use std::collections::BTreeSet;
+
+fn main() {
+    let fed = iridium_federation(4, &[SatelliteClass::SmallSat], &default_station_sites());
+
+    // 1. ISL churn over one orbital period.
+    let period = fed.satellites()[0].propagator.elements().period_s();
+    let step = 60.0;
+    println!("E17: topology dynamics (Iridium federation, {:.0} min period)", period / 60.0);
+    print_header(
+        "ISL churn per minute",
+        &format!(
+            "{:<10} {:>8} {:>10} {:>10}",
+            "t (min)", "links", "appeared", "vanished"
+        ),
+    );
+    let edge_set = |t: f64| -> BTreeSet<(usize, usize)> {
+        let g = fed.snapshot(t);
+        let mut s = BTreeSet::new();
+        for u in 0..g.satellite_count() {
+            for e in g.edges(u) {
+                if e.to < g.satellite_count() && e.to > u {
+                    s.insert((u, e.to));
+                }
+            }
+        }
+        s
+    };
+    let mut prev = edge_set(0.0);
+    let mut total_churn = 0usize;
+    for k in 1..=10 {
+        let t = k as f64 * step;
+        let cur = edge_set(t);
+        let appeared = cur.difference(&prev).count();
+        let vanished = prev.difference(&cur).count();
+        total_churn += appeared + vanished;
+        println!(
+            "{:<10.0} {:>8} {:>10} {:>10}",
+            t / 60.0,
+            cur.len(),
+            appeared,
+            vanished
+        );
+        prev = cur;
+    }
+    println!("mean churn: {:.1} link events/min", total_churn as f64 / 10.0);
+
+    // Route survival: how long does the t=0 route stay valid?
+    let pos = geodetic_to_ecef(Geodetic::from_degrees(-1.3, 36.8, 1_700.0));
+    let (sat0, _) = openspace_net::isl::best_access_satellite(
+        pos,
+        &fed.sat_nodes(),
+        0.0,
+        fed.snapshot_params.min_elevation_rad,
+    )
+    .expect("coverage");
+    let g0 = fed.snapshot(0.0);
+    let route0 = shortest_path(&g0, g0.sat_node(sat0), g0.station_node(0), latency_weight)
+        .expect("route exists");
+    let mut survival = 0.0;
+    for k in 1..=60 {
+        let t = k as f64 * 30.0;
+        let g = fed.snapshot(t);
+        let alive = route0
+            .nodes
+            .windows(2)
+            .all(|w| g.find_edge(w[0], w[1]).is_some());
+        if alive {
+            survival = t;
+        } else {
+            break;
+        }
+    }
+    println!(
+        "the t=0 route ({} hops) survives {:.0} s of constellation motion",
+        route0.hops(),
+        survival
+    );
+
+    // 2. Packets over the moving constellation.
+    print_header(
+        "Dynamic packet simulation (240 s, re-snapshot every 30 s)",
+        &format!(
+            "{:<14} {:>12} {:>12} {:>14}",
+            "mode", "delivery", "drops", "mean lat (ms)"
+        ),
+    );
+    let provider = |t: f64| fed.snapshot(t);
+    let flows = [FlowSpec {
+        src: g0.sat_node(sat0),
+        dst: g0.station_node(0),
+        rate_bps: 2.0e6,
+        packet_bytes: 1_500,
+        kind: TrafficKind::Poisson,
+    }];
+    for (label, routing) in [
+        ("proactive", RoutingMode::Proactive),
+        (
+            "adaptive",
+            RoutingMode::Adaptive {
+                replan_interval_s: 5.0,
+            },
+        ),
+    ] {
+        let r = run_netsim_dynamic(
+            &provider,
+            30.0,
+            &flows,
+            &NetSimConfig {
+                duration_s: 240.0,
+                queue_capacity_bytes: 512 * 1024,
+                routing,
+                seed: 21,
+            },
+        );
+        println!(
+            "{:<14} {:>11.1}% {:>12} {:>14.1}",
+            label,
+            r.delivery_ratio * 100.0,
+            r.dropped,
+            r.mean_latency_s * 1e3
+        );
+    }
+    println!(
+        "\nshape check: same-plane ISLs persist while cross-plane links churn \
+         steadily; periodic route recomputation (possible because orbits are \
+         public) keeps packet delivery near 100% across the motion."
+    );
+}

@@ -1,0 +1,32 @@
+//! Shared utilities for the experiment binaries (`src/bin/exp_*`) and
+//! Criterion benches.
+//!
+//! Every table and figure in the paper's evaluation, plus its headline
+//! quantitative claims, has one regeneration binary; see DESIGN.md §3 for
+//! the experiment index and EXPERIMENTS.md for paper-vs-measured results.
+
+/// Print a table header row followed by a separator sized to it.
+pub fn print_header(title: &str, columns: &str) {
+    println!("\n== {title} ==");
+    println!("{columns}");
+    println!("{}", "-".repeat(columns.len().min(100)));
+}
+
+/// Format an `Option<f64>` with the given precision, or a dash.
+pub fn fmt_opt(v: Option<f64>, precision: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.precision$}"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_opt_formats_and_dashes() {
+        assert_eq!(fmt_opt(Some(1.23456), 2), "1.23");
+        assert_eq!(fmt_opt(None, 2), "-");
+    }
+}

@@ -1,0 +1,416 @@
+//! The federation: the set of collaborating operators and their combined
+//! infrastructure.
+//!
+//! This is the paper's core object — "networking satellites and ground
+//! platforms owned by a heterogeneous group of small, medium, and large
+//! firms … together results in global coverage". It owns the roster,
+//! derives topology snapshots, and answers coverage questions both for
+//! the whole federation and for each operator alone (the §2 claim that
+//! solo operators get patchwork coverage).
+
+use crate::operator::{make_satellite, GroundStation, Operator, Satellite};
+use openspace_net::contact::{contact_plan, ContactWindow};
+use openspace_net::isl::{build_snapshot, GroundNode, SatNode, SnapshotParams};
+use openspace_net::topology::Graph;
+use openspace_orbit::frames::{Geodetic, Vec3};
+use openspace_orbit::kepler::OrbitalElements;
+use openspace_phy::hardware::SatelliteClass;
+use openspace_protocol::crypto::SharedSecret;
+use openspace_protocol::types::{GroundStationId, OperatorId, SatelliteId, UserId};
+use std::collections::BTreeMap;
+
+/// A registered ground user.
+#[derive(Debug, Clone, Copy)]
+pub struct User {
+    /// User id.
+    pub id: UserId,
+    /// Home operator (the ISP the user subscribes to).
+    pub home: OperatorId,
+    /// The user's AAA shared secret.
+    pub secret: SharedSecret,
+}
+
+/// The assembled OpenSpace federation.
+#[derive(Debug, Default)]
+pub struct Federation {
+    operators: BTreeMap<OperatorId, Operator>,
+    satellites: Vec<Satellite>,
+    stations: Vec<GroundStation>,
+    next_operator: u32,
+    next_satellite: u64,
+    next_station: u32,
+    next_user: u64,
+    /// Topology parameters shared by all snapshot builds.
+    pub snapshot_params: SnapshotParams,
+}
+
+impl Federation {
+    /// An empty federation with default topology parameters.
+    pub fn new() -> Self {
+        Self {
+            snapshot_params: SnapshotParams::default(),
+            ..Default::default()
+        }
+    }
+
+    /// Admit an operator; returns its id.
+    pub fn add_operator(&mut self, name: impl Into<String>) -> OperatorId {
+        self.next_operator += 1;
+        let id = OperatorId(self.next_operator);
+        self.operators.insert(id, Operator::new(id, name));
+        id
+    }
+
+    /// Launch a satellite for `owner`.
+    ///
+    /// # Panics
+    /// Panics if `owner` is not a member.
+    pub fn add_satellite(
+        &mut self,
+        owner: OperatorId,
+        class: SatelliteClass,
+        elements: OrbitalElements,
+    ) -> SatelliteId {
+        assert!(self.operators.contains_key(&owner), "unknown operator {owner}");
+        self.next_satellite += 1;
+        let sat = make_satellite(self.next_satellite, owner, class, elements);
+        let id = sat.id;
+        self.satellites.push(sat);
+        id
+    }
+
+    /// Build a ground station for `owner` at `site`.
+    ///
+    /// # Panics
+    /// Panics if `owner` is not a member.
+    pub fn add_ground_station(&mut self, owner: OperatorId, site: Geodetic) -> GroundStationId {
+        assert!(self.operators.contains_key(&owner), "unknown operator {owner}");
+        self.next_station += 1;
+        let id = GroundStationId(self.next_station);
+        self.stations.push(GroundStation::new(id, owner, site));
+        id
+    }
+
+    /// Register a subscriber with their home operator's AAA.
+    ///
+    /// # Panics
+    /// Panics if `home` is not a member.
+    pub fn register_user(&mut self, home: OperatorId) -> User {
+        self.next_user += 1;
+        let id = UserId(self.next_user);
+        let secret = SharedSecret::derive(id.0, "openspace-subscriber");
+        let op = self
+            .operators
+            .get_mut(&home)
+            .unwrap_or_else(|| panic!("unknown operator {home}"));
+        op.auth.register_user(id, secret);
+        User { id, home, secret }
+    }
+
+    /// Member count.
+    pub fn operator_count(&self) -> usize {
+        self.operators.len()
+    }
+
+    /// All member ids, ascending.
+    pub fn operator_ids(&self) -> Vec<OperatorId> {
+        self.operators.keys().copied().collect()
+    }
+
+    /// Access an operator.
+    pub fn operator(&self, id: OperatorId) -> Option<&Operator> {
+        self.operators.get(&id)
+    }
+
+    /// Mutable access to an operator (e.g. to drive its AAA).
+    pub fn operator_mut(&mut self, id: OperatorId) -> Option<&mut Operator> {
+        self.operators.get_mut(&id)
+    }
+
+    /// The federation secret of `op` — what every member uses to verify
+    /// that operator's roaming certificates.
+    ///
+    /// # Panics
+    /// Panics if `op` is not a member.
+    pub fn federation_secret(&self, op: OperatorId) -> &SharedSecret {
+        &self
+            .operators
+            .get(&op)
+            .unwrap_or_else(|| panic!("unknown operator {op}"))
+            .federation_secret
+    }
+
+    /// All satellites.
+    pub fn satellites(&self) -> &[Satellite] {
+        &self.satellites
+    }
+
+    /// All ground stations.
+    pub fn stations(&self) -> &[GroundStation] {
+        &self.stations
+    }
+
+    /// Satellites of one operator.
+    pub fn satellites_of(&self, op: OperatorId) -> Vec<&Satellite> {
+        self.satellites.iter().filter(|s| s.owner == op).collect()
+    }
+
+    /// Topology-builder views of all satellites (federated operation).
+    pub fn sat_nodes(&self) -> Vec<SatNode> {
+        self.satellites.iter().map(Satellite::as_sat_node).collect()
+    }
+
+    /// Topology-builder views of one operator's satellites only (solo
+    /// operation — no collaboration).
+    pub fn sat_nodes_of(&self, op: OperatorId) -> Vec<SatNode> {
+        self.satellites
+            .iter()
+            .filter(|s| s.owner == op)
+            .map(Satellite::as_sat_node)
+            .collect()
+    }
+
+    /// Topology-builder views of all stations.
+    pub fn ground_nodes(&self) -> Vec<GroundNode> {
+        self.stations
+            .iter()
+            .map(GroundStation::as_ground_node)
+            .collect()
+    }
+
+    /// Topology-builder views of one operator's stations only.
+    pub fn ground_nodes_of(&self, op: OperatorId) -> Vec<GroundNode> {
+        self.stations
+            .iter()
+            .filter(|s| s.owner == op)
+            .map(GroundStation::as_ground_node)
+            .collect()
+    }
+
+    /// The federated topology snapshot at `t_s`.
+    pub fn snapshot(&self, t_s: f64) -> Graph {
+        build_snapshot(
+            t_s,
+            &self.sat_nodes(),
+            &self.ground_nodes(),
+            &self.snapshot_params,
+        )
+    }
+
+    /// A solo snapshot: only `op`'s own satellites and stations — the
+    /// no-collaboration counterfactual of §2.
+    pub fn solo_snapshot(&self, op: OperatorId, t_s: f64) -> Graph {
+        build_snapshot(
+            t_s,
+            &self.sat_nodes_of(op),
+            &self.ground_nodes_of(op),
+            &self.snapshot_params,
+        )
+    }
+
+    /// Contact plan of the whole federation over a ground point.
+    pub fn contact_plan(
+        &self,
+        ground_ecef: Vec3,
+        t_start_s: f64,
+        t_end_s: f64,
+        step_s: f64,
+    ) -> Vec<ContactWindow> {
+        contact_plan(
+            &self.sat_nodes(),
+            ground_ecef,
+            t_start_s,
+            t_end_s,
+            step_s,
+            self.snapshot_params.min_elevation_rad,
+        )
+    }
+
+    /// Contact plan restricted to one operator's satellites.
+    pub fn contact_plan_of(
+        &self,
+        op: OperatorId,
+        ground_ecef: Vec3,
+        t_start_s: f64,
+        t_end_s: f64,
+        step_s: f64,
+    ) -> Vec<ContactWindow> {
+        contact_plan(
+            &self.sat_nodes_of(op),
+            ground_ecef,
+            t_start_s,
+            t_end_s,
+            step_s,
+            self.snapshot_params.min_elevation_rad,
+        )
+    }
+
+    /// Satellite by id.
+    pub fn satellite(&self, id: SatelliteId) -> Option<&Satellite> {
+        self.satellites.iter().find(|s| s.id == id)
+    }
+
+    /// Satellite array index by id (the index used in topology graphs).
+    pub fn satellite_index(&self, id: SatelliteId) -> Option<usize> {
+        self.satellites.iter().position(|s| s.id == id)
+    }
+}
+
+/// Build a federation in which one Iridium-like Walker Star constellation
+/// is split round-robin among `n_operators` member firms, with each firm
+/// also owning one ground station from the provided list (cycled).
+///
+/// This is the paper's hypothetical OpenSpace deployment of §4 ("we use
+/// [Iridium's] specifications to demonstrate a hypothetical OpenSpace
+/// constellation of independently owned satellites and ground stations").
+pub fn iridium_federation(
+    n_operators: usize,
+    classes: &[SatelliteClass],
+    station_sites: &[Geodetic],
+) -> Federation {
+    assert!(n_operators > 0, "need at least one operator");
+    assert!(!classes.is_empty(), "need at least one satellite class");
+    let mut fed = Federation::new();
+    let ops: Vec<OperatorId> = (0..n_operators)
+        .map(|i| fed.add_operator(format!("operator-{}", i + 1)))
+        .collect();
+    let els = openspace_orbit::walker::walker_star(&openspace_orbit::walker::iridium_params())
+        .expect("iridium params are valid");
+    for (i, el) in els.into_iter().enumerate() {
+        let owner = ops[i % n_operators];
+        let class = classes[i % classes.len()];
+        fed.add_satellite(owner, class, el);
+    }
+    for (i, site) in station_sites.iter().enumerate() {
+        fed.add_ground_station(ops[i % n_operators], *site);
+    }
+    fed
+}
+
+/// A monolithic baseline: the same constellation and stations under a
+/// single owner — the vertically-integrated incumbent the paper contrasts
+/// against.
+pub fn monolithic_federation(
+    classes: &[SatelliteClass],
+    station_sites: &[Geodetic],
+) -> Federation {
+    iridium_federation(1, classes, station_sites)
+}
+
+/// A representative shared ground-segment: six sites spread over
+/// continents (rough locations of real teleport clusters).
+pub fn default_station_sites() -> Vec<Geodetic> {
+    vec![
+        Geodetic::from_degrees(48.0, 11.0, 500.0),   // Bavaria
+        Geodetic::from_degrees(39.0, -77.0, 100.0),  // Virginia
+        Geodetic::from_degrees(-33.9, 18.4, 50.0),   // Cape Town
+        Geodetic::from_degrees(1.35, 103.8, 20.0),   // Singapore
+        Geodetic::from_degrees(-31.9, 115.9, 30.0),  // Perth
+        Geodetic::from_degrees(64.1, -21.9, 40.0),   // Reykjavik
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_fed() -> Federation {
+        iridium_federation(
+            4,
+            &[SatelliteClass::CubeSat, SatelliteClass::SmallSat],
+            &default_station_sites(),
+        )
+    }
+
+    #[test]
+    fn iridium_federation_splits_fleet_evenly() {
+        let fed = small_fed();
+        assert_eq!(fed.operator_count(), 4);
+        assert_eq!(fed.satellites().len(), 66);
+        let counts: Vec<usize> = fed
+            .operator_ids()
+            .iter()
+            .map(|&op| fed.satellites_of(op).len())
+            .collect();
+        assert!(counts.iter().all(|&c| (16..=17).contains(&c)), "{counts:?}");
+    }
+
+    #[test]
+    fn stations_cycle_across_operators() {
+        let fed = small_fed();
+        assert_eq!(fed.stations().len(), 6);
+        let owners: std::collections::BTreeSet<u32> =
+            fed.stations().iter().map(|s| s.owner.0).collect();
+        assert!(owners.len() >= 2, "stations spread over operators");
+    }
+
+    #[test]
+    fn federated_snapshot_is_connected_solo_is_not() {
+        let fed = small_fed();
+        let g = fed.snapshot(0.0);
+        let reach = g.reachable_from(0);
+        assert!(
+            reach.iter().filter(|&&r| r).count() == g.node_count(),
+            "federated graph fully connected"
+        );
+
+        let op = fed.operator_ids()[0];
+        let solo = fed.solo_snapshot(op, 0.0);
+        // A 16-satellite slice of Iridium (every 4th slot) is too sparse
+        // for a complete ISL mesh at the default range limit.
+        let solo_reach = solo.reachable_from(0);
+        let reached = solo_reach.iter().filter(|&&r| r).count();
+        assert!(
+            reached < solo.node_count(),
+            "solo slice should fragment: reached {reached}/{}",
+            solo.node_count()
+        );
+    }
+
+    #[test]
+    fn users_register_with_their_home_aaa() {
+        let mut fed = small_fed();
+        let op = fed.operator_ids()[1];
+        let u = fed.register_user(op);
+        assert_eq!(u.home, op);
+        assert_eq!(fed.operator(op).unwrap().auth.user_count(), 1);
+    }
+
+    #[test]
+    fn federation_secrets_are_per_operator() {
+        let fed = small_fed();
+        let ids = fed.operator_ids();
+        assert_ne!(
+            fed.federation_secret(ids[0]),
+            fed.federation_secret(ids[1])
+        );
+    }
+
+    #[test]
+    fn monolithic_has_one_owner() {
+        let fed = monolithic_federation(&[SatelliteClass::BroadbandBus], &default_station_sites());
+        assert_eq!(fed.operator_count(), 1);
+        let op = fed.operator_ids()[0];
+        assert_eq!(fed.satellites_of(op).len(), 66);
+    }
+
+    #[test]
+    fn satellite_lookup_by_id() {
+        let fed = small_fed();
+        let sat = fed.satellites()[10];
+        assert_eq!(fed.satellite(sat.id).unwrap().id, sat.id);
+        assert_eq!(fed.satellite_index(sat.id), Some(10));
+        assert!(fed.satellite(SatelliteId(9_999)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown operator")]
+    fn satellite_for_unknown_operator_panics() {
+        let mut fed = Federation::new();
+        fed.add_satellite(
+            OperatorId(99),
+            SatelliteClass::CubeSat,
+            OrbitalElements::circular(780_000.0, 86.4, 0.0, 0.0).unwrap(),
+        );
+    }
+}

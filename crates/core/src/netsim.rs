@@ -1,0 +1,657 @@
+//! Packet-level network simulation over a constellation snapshot.
+//!
+//! §5(2): "Can we design new routing protocols that factor in the more
+//! unpredictable components of user traffic, which cannot be accounted
+//! for by proactive routing protocols computed based on known satellite
+//! trajectories?" Answering that requires more than the analytic
+//! queueing estimate in `openspace-net` — it needs packets in queues.
+//!
+//! This module runs a store-and-forward discrete-event simulation on a
+//! topology snapshot: every directed link has a finite drop-tail queue
+//! and a serialization rate; flows inject CBR or Poisson packets; the
+//! router is either **proactive** (routes fixed from the known topology,
+//! load-blind — §2.2's beginner system) or **adaptive** (periodically
+//! re-planned against measured link utilization — the end-to-end
+//! approach the paper calls for). Deterministic under a seed.
+
+use openspace_net::routing::{latency_weight, qos_route, shortest_path, QosRequirement};
+use openspace_net::topology::Graph;
+use openspace_sim::engine::EventQueue;
+use openspace_sim::rng::SimRng;
+use openspace_sim::stats::Summary;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Traffic model of one flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficKind {
+    /// Constant bit rate.
+    Cbr,
+    /// Poisson arrivals at the same mean rate.
+    Poisson,
+}
+
+/// One simulated flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSpec {
+    /// Injection node (graph index).
+    pub src: usize,
+    /// Destination node (graph index).
+    pub dst: usize,
+    /// Offered rate (bit/s).
+    pub rate_bps: f64,
+    /// Packet size (bytes).
+    pub packet_bytes: u32,
+    /// Arrival process.
+    pub kind: TrafficKind,
+}
+
+/// Routing discipline under test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoutingMode {
+    /// Routes computed once from propagation latency and never changed —
+    /// the proactive protocol of §2.2.
+    Proactive,
+    /// Routes re-planned every `replan_interval_s` against measured link
+    /// utilization (EWMA), using the congestion-aware cost.
+    Adaptive {
+        /// Re-planning period (s).
+        replan_interval_s: f64,
+    },
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NetSimConfig {
+    /// Simulated duration (s).
+    pub duration_s: f64,
+    /// Per-link queue capacity (bytes).
+    pub queue_capacity_bytes: u64,
+    /// Routing discipline.
+    pub routing: RoutingMode,
+    /// Seed for all arrival processes.
+    pub seed: u64,
+}
+
+impl Default for NetSimConfig {
+    fn default() -> Self {
+        Self {
+            duration_s: 30.0,
+            queue_capacity_bytes: 256 * 1024,
+            routing: RoutingMode::Proactive,
+            seed: 1,
+        }
+    }
+}
+
+/// Aggregate results.
+#[derive(Debug, Clone)]
+pub struct NetSimReport {
+    /// Packets injected.
+    pub generated: u64,
+    /// Packets that reached their destination.
+    pub delivered: u64,
+    /// Packets dropped at full queues.
+    pub dropped: u64,
+    /// Packets unroutable at injection time.
+    pub unroutable: u64,
+    /// delivered / generated.
+    pub delivery_ratio: f64,
+    /// Mean end-to-end latency of delivered packets (s).
+    pub mean_latency_s: f64,
+    /// 95th-percentile latency (s).
+    pub p95_latency_s: f64,
+    /// Highest measured utilization across links (fraction of capacity).
+    pub max_link_utilization: f64,
+}
+
+#[derive(Clone)]
+struct Pkt {
+    bytes: u32,
+    created_s: f64,
+    path: Rc<[usize]>,
+    hop: usize,
+}
+
+enum Ev {
+    Inject(usize),
+    /// Transmission of the head-of-queue packet on (u → v) completed.
+    Depart(usize, usize),
+    /// Packet finished propagating to `node`.
+    HopArrive(Pkt, usize),
+    Replan,
+    /// Topology refresh (dynamic mode): satellites have moved.
+    Resnapshot,
+}
+
+struct Link {
+    capacity_bps: f64,
+    latency_s: f64,
+    queue: std::collections::VecDeque<Pkt>,
+    occupancy_bytes: u64,
+    busy: bool,
+    bits_sent: f64, // since the last replan (for utilization EWMA)
+    util_ewma: f64,
+}
+
+/// Run the simulation on a static topology snapshot. The input graph
+/// supplies topology, capacities and latencies; queues and measured
+/// loads live inside the simulator.
+///
+/// # Panics
+/// Panics on empty flows, bad node indices, or non-positive duration.
+pub fn run_netsim(graph: &Graph, flows: &[FlowSpec], cfg: &NetSimConfig) -> NetSimReport {
+    run_netsim_inner(graph.clone(), None, flows, cfg)
+}
+
+/// Run the simulation over a *moving* constellation: `topology_at(t)`
+/// supplies fresh snapshots every `resnapshot_interval_s`, modeling the
+/// "rapidly changing network topology" of the paper's Figure 1. Links
+/// that persist across a refresh keep their queues; packets queued on a
+/// vanished link are dropped (the handover cost of ISL churn), and all
+/// routes are recomputed on the new snapshot.
+///
+/// # Panics
+/// Panics on empty flows, bad node indices, non-positive duration, or a
+/// non-positive refresh interval.
+pub fn run_netsim_dynamic(
+    topology_at: &dyn Fn(f64) -> Graph,
+    resnapshot_interval_s: f64,
+    flows: &[FlowSpec],
+    cfg: &NetSimConfig,
+) -> NetSimReport {
+    assert!(
+        resnapshot_interval_s > 0.0,
+        "resnapshot interval must be positive"
+    );
+    run_netsim_inner(
+        topology_at(0.0),
+        Some((topology_at, resnapshot_interval_s)),
+        flows,
+        cfg,
+    )
+}
+
+fn run_netsim_inner(
+    graph: Graph,
+    dynamics: Option<(&dyn Fn(f64) -> Graph, f64)>,
+    flows: &[FlowSpec],
+    cfg: &NetSimConfig,
+) -> NetSimReport {
+    let graph = &graph;
+    assert!(!flows.is_empty(), "need at least one flow");
+    assert!(cfg.duration_s > 0.0, "duration must be positive");
+    for f in flows {
+        assert!(f.src < graph.node_count() && f.dst < graph.node_count());
+        assert!(f.rate_bps > 0.0 && f.packet_bytes > 0);
+    }
+
+    // Link state keyed by (u, v).
+    let mut links: HashMap<(usize, usize), Link> = HashMap::new();
+    for u in 0..graph.node_count() {
+        for e in graph.edges(u) {
+            links.insert(
+                (u, e.to),
+                Link {
+                    capacity_bps: e.capacity_bps,
+                    latency_s: e.latency_s,
+                    queue: Default::default(),
+                    occupancy_bytes: 0,
+                    busy: false,
+                    bits_sent: 0.0,
+                    util_ewma: 0.0,
+                },
+            );
+        }
+    }
+
+    // Initial routes: proactive latency paths for every flow.
+    let route_for = |g: &Graph, f: &FlowSpec, adaptive: bool| -> Option<Rc<[usize]>> {
+        let p = if adaptive {
+            qos_route(g, f.src, f.dst, &QosRequirement::best_effort(), 12_000.0)?
+        } else {
+            shortest_path(g, f.src, f.dst, latency_weight)?
+        };
+        Some(Rc::from(p.nodes.into_boxed_slice()))
+    };
+    let mut work_graph = graph.clone();
+    let mut routes: Vec<Option<Rc<[usize]>>> = flows
+        .iter()
+        .map(|f| route_for(&work_graph, f, false))
+        .collect();
+
+    // Arrival processes.
+    let mut rngs: Vec<SimRng> = (0..flows.len())
+        .map(|i| SimRng::substream(cfg.seed, i as u64))
+        .collect();
+
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    for (i, f) in flows.iter().enumerate() {
+        // Desynchronize CBR flows with a random phase.
+        let phase = rngs[i].uniform() * f.packet_bytes as f64 * 8.0 / f.rate_bps;
+        q.schedule(phase, Ev::Inject(i));
+    }
+    let replan_interval = match cfg.routing {
+        RoutingMode::Adaptive { replan_interval_s } => {
+            assert!(replan_interval_s > 0.0, "replan interval must be positive");
+            q.schedule(replan_interval_s, Ev::Replan);
+            Some(replan_interval_s)
+        }
+        RoutingMode::Proactive => None,
+    };
+    if let Some((_, interval)) = dynamics {
+        q.schedule(interval, Ev::Resnapshot);
+    }
+
+    let mut generated = 0u64;
+    let mut delivered = 0u64;
+    let mut dropped = 0u64;
+    let mut unroutable = 0u64;
+    let mut latency = Summary::new();
+    let mut last_replan_t = 0.0f64;
+    let mut max_util: f64 = 0.0;
+
+    q.run_until(cfg.duration_s, |q, now, ev| match ev {
+        Ev::Inject(i) => {
+            let f = &flows[i];
+            generated += 1;
+            if let Some(path) = &routes[i] {
+                let pkt = Pkt {
+                    bytes: f.packet_bytes,
+                    created_s: now,
+                    path: Rc::clone(path),
+                    hop: 0,
+                };
+                forward(q, &mut links, pkt, now, cfg.queue_capacity_bytes, &mut dropped);
+            } else {
+                unroutable += 1;
+            }
+            // Next arrival.
+            let mean_gap = f.packet_bytes as f64 * 8.0 / f.rate_bps;
+            let gap = match f.kind {
+                TrafficKind::Cbr => mean_gap,
+                TrafficKind::Poisson => rngs[i].exponential(1.0 / mean_gap),
+            };
+            q.schedule(now + gap, Ev::Inject(i));
+        }
+        Ev::Depart(u, v) => {
+            let link = links.get_mut(&(u, v)).expect("link exists");
+            let pkt = link.queue.pop_front().expect("depart implies queued");
+            link.occupancy_bytes -= pkt.bytes as u64;
+            link.bits_sent += pkt.bytes as f64 * 8.0;
+            let arrive_at = now + link.latency_s;
+            // Start the next transmission if any.
+            if let Some(next) = link.queue.front() {
+                let tx = next.bytes as f64 * 8.0 / link.capacity_bps;
+                q.schedule(now + tx, Ev::Depart(u, v));
+            } else {
+                link.busy = false;
+            }
+            q.schedule(arrive_at, Ev::HopArrive(pkt, v));
+        }
+        Ev::HopArrive(mut pkt, node) => {
+            pkt.hop += 1;
+            if node == *pkt.path.last().expect("non-empty path") {
+                delivered += 1;
+                latency.add(now - pkt.created_s);
+            } else {
+                forward(q, &mut links, pkt, now, cfg.queue_capacity_bytes, &mut dropped);
+            }
+        }
+        Ev::Replan => {
+            let interval = replan_interval.expect("replan only in adaptive mode");
+            // Measure utilization, fold into EWMA, push into the graph.
+            for ((u, v), link) in links.iter_mut() {
+                let util = (link.bits_sent / interval / link.capacity_bps).min(0.98);
+                link.util_ewma = 0.5 * link.util_ewma + 0.5 * util;
+                max_util = max_util.max(util);
+                link.bits_sent = 0.0;
+                work_graph.set_load(*u, *v, link.util_ewma.min(0.98));
+            }
+            for (i, f) in flows.iter().enumerate() {
+                if let Some(r) = route_for(&work_graph, f, true) {
+                    routes[i] = Some(r);
+                }
+            }
+            last_replan_t = now;
+            let _ = last_replan_t;
+            q.schedule(now + interval, Ev::Replan);
+        }
+        Ev::Resnapshot => {
+            let (provider, interval) = dynamics.expect("resnapshot only in dynamic mode");
+            let fresh = provider(now);
+            work_graph = fresh;
+            // Rebuild link state: persistent links keep queues and EWMA;
+            // vanished links drop their queued packets; new links start
+            // empty.
+            let mut new_links: HashMap<(usize, usize), Link> = HashMap::new();
+            for u in 0..work_graph.node_count() {
+                for e in work_graph.edges(u) {
+                    let link = match links.remove(&(u, e.to)) {
+                        Some(mut old) => {
+                            old.capacity_bps = e.capacity_bps;
+                            old.latency_s = e.latency_s;
+                            old
+                        }
+                        None => Link {
+                            capacity_bps: e.capacity_bps,
+                            latency_s: e.latency_s,
+                            queue: Default::default(),
+                            occupancy_bytes: 0,
+                            busy: false,
+                            bits_sent: 0.0,
+                            util_ewma: 0.0,
+                        },
+                    };
+                    new_links.insert((u, e.to), link);
+                }
+            }
+            // Anything left in `links` vanished: its queue is lost.
+            for (_, link) in links.drain() {
+                dropped += link.queue.len() as u64;
+            }
+            links = new_links;
+            // Recompute every route on the new topology.
+            let adaptive = replan_interval.is_some();
+            for (i, f) in flows.iter().enumerate() {
+                routes[i] = route_for(&work_graph, f, adaptive);
+            }
+            q.schedule(now + interval, Ev::Resnapshot);
+        }
+    });
+
+    // Final utilization sample for proactive mode (no replan events).
+    for link in links.values() {
+        let util = link.bits_sent / cfg.duration_s / link.capacity_bps;
+        max_util = max_util.max(util);
+    }
+
+    let mean = latency.mean();
+    let p95 = if latency.is_empty() { 0.0 } else { latency.p95() };
+    NetSimReport {
+        generated,
+        delivered,
+        dropped,
+        unroutable,
+        delivery_ratio: if generated > 0 {
+            delivered as f64 / generated as f64
+        } else {
+            0.0
+        },
+        mean_latency_s: mean,
+        p95_latency_s: p95,
+        max_link_utilization: max_util,
+    }
+}
+
+/// Enqueue `pkt` on its next-hop link, starting transmission if idle.
+fn forward(
+    q: &mut EventQueue<Ev>,
+    links: &mut HashMap<(usize, usize), Link>,
+    pkt: Pkt,
+    now: f64,
+    queue_capacity_bytes: u64,
+    dropped: &mut u64,
+) {
+    let u = pkt.path[pkt.hop];
+    let v = pkt.path[pkt.hop + 1];
+    let Some(link) = links.get_mut(&(u, v)) else {
+        // Route references a vanished link (possible after replans on a
+        // changed snapshot); count as a drop.
+        *dropped += 1;
+        return;
+    };
+    if link.occupancy_bytes + pkt.bytes as u64 > queue_capacity_bytes {
+        *dropped += 1;
+        return;
+    }
+    link.occupancy_bytes += pkt.bytes as u64;
+    let tx = pkt.bytes as f64 * 8.0 / link.capacity_bps;
+    link.queue.push_back(pkt);
+    if !link.busy {
+        link.busy = true;
+        q.schedule(now + tx, Ev::Depart(u, v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openspace_net::topology::{Graph, LinkTech};
+
+    /// 0 —fast— 1 —fast— 3   plus a slow bypass 0 — 2 — 3.
+    fn diamond(fast_bps: f64) -> Graph {
+        let mut g = Graph::new(4, 0);
+        g.add_bidirectional(0, 1, 0.002, fast_bps, 0, 0, LinkTech::Rf);
+        g.add_bidirectional(1, 3, 0.002, fast_bps, 0, 0, LinkTech::Rf);
+        g.add_bidirectional(0, 2, 0.006, fast_bps, 0, 0, LinkTech::Rf);
+        g.add_bidirectional(2, 3, 0.006, fast_bps, 0, 0, LinkTech::Rf);
+        g
+    }
+
+    fn flow(src: usize, dst: usize, rate: f64) -> FlowSpec {
+        FlowSpec {
+            src,
+            dst,
+            rate_bps: rate,
+            packet_bytes: 1_500,
+            kind: TrafficKind::Cbr,
+        }
+    }
+
+    #[test]
+    fn light_load_delivers_everything_at_propagation_latency() {
+        let g = diamond(10e6);
+        let r = run_netsim(&g, &[flow(0, 3, 1e5)], &NetSimConfig::default());
+        assert!(r.delivery_ratio > 0.99, "ratio {}", r.delivery_ratio);
+        assert_eq!(r.dropped, 0);
+        // 2 hops x 2 ms + 2 serializations of 12 kbit at 10 Mbit/s.
+        let expect = 0.004 + 2.0 * 1_500.0 * 8.0 / 10e6;
+        assert!(
+            (r.mean_latency_s - expect).abs() < 5e-4,
+            "latency {} vs {}",
+            r.mean_latency_s,
+            expect
+        );
+    }
+
+    #[test]
+    fn overload_drops_packets() {
+        let g = diamond(1e6);
+        // 3 Mbit/s offered into a 1 Mbit/s path.
+        let r = run_netsim(&g, &[flow(0, 3, 3e6)], &NetSimConfig::default());
+        assert!(r.dropped > 0);
+        assert!(r.delivery_ratio < 0.5, "ratio {}", r.delivery_ratio);
+        assert!(r.max_link_utilization > 0.9);
+    }
+
+    #[test]
+    fn conservation_holds() {
+        let g = diamond(2e6);
+        let r = run_netsim(
+            &g,
+            &[flow(0, 3, 1.5e6), flow(3, 0, 0.5e6)],
+            &NetSimConfig {
+                duration_s: 10.0,
+                ..Default::default()
+            },
+        );
+        // Everything generated is delivered, dropped, unroutable, or
+        // still in flight (bounded by queue depth + links).
+        let in_flight = r.generated - r.delivered - r.dropped - r.unroutable;
+        assert!(in_flight < 500, "in flight {in_flight}");
+    }
+
+    #[test]
+    fn adaptive_routing_offloads_the_hot_path() {
+        // Two flows share the fast path under proactive routing and
+        // overload it; adaptive re-planning moves one to the bypass.
+        let g = diamond(2e6);
+        let flows = [flow(0, 3, 1.4e6), flow(0, 3, 1.4e6)];
+        let pro = run_netsim(
+            &g,
+            &flows,
+            &NetSimConfig {
+                duration_s: 20.0,
+                ..Default::default()
+            },
+        );
+        let ada = run_netsim(
+            &g,
+            &flows,
+            &NetSimConfig {
+                duration_s: 20.0,
+                routing: RoutingMode::Adaptive {
+                    replan_interval_s: 1.0,
+                },
+                ..Default::default()
+            },
+        );
+        assert!(
+            ada.delivery_ratio > pro.delivery_ratio + 0.1,
+            "adaptive {} vs proactive {}",
+            ada.delivery_ratio,
+            pro.delivery_ratio
+        );
+    }
+
+    #[test]
+    fn poisson_and_cbr_offer_the_same_mean_load() {
+        let g = diamond(10e6);
+        let mk = |kind| FlowSpec {
+            src: 0,
+            dst: 3,
+            rate_bps: 1e6,
+            packet_bytes: 1_500,
+            kind,
+        };
+        let cfg = NetSimConfig {
+            duration_s: 30.0,
+            ..Default::default()
+        };
+        let cbr = run_netsim(&g, &[mk(TrafficKind::Cbr)], &cfg);
+        let poi = run_netsim(&g, &[mk(TrafficKind::Poisson)], &cfg);
+        let ratio = poi.generated as f64 / cbr.generated as f64;
+        assert!((ratio - 1.0).abs() < 0.1, "ratio {ratio}");
+        // Poisson burstiness raises p95 latency.
+        assert!(poi.p95_latency_s >= cbr.p95_latency_s);
+    }
+
+    #[test]
+    fn unroutable_flow_is_counted_not_crashed() {
+        let mut g = Graph::new(3, 0);
+        g.add_bidirectional(0, 1, 0.001, 1e6, 0, 0, LinkTech::Rf);
+        let r = run_netsim(
+            &g,
+            &[flow(0, 2, 1e5)],
+            &NetSimConfig {
+                duration_s: 5.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.delivered, 0);
+        assert!(r.unroutable > 0);
+        assert_eq!(r.unroutable, r.generated);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = diamond(2e6);
+        let flows = [FlowSpec {
+            src: 0,
+            dst: 3,
+            rate_bps: 1e6,
+            packet_bytes: 1_200,
+            kind: TrafficKind::Poisson,
+        }];
+        let cfg = NetSimConfig {
+            duration_s: 10.0,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = run_netsim(&g, &flows, &cfg);
+        let b = run_netsim(&g, &flows, &cfg);
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.mean_latency_s, b.mean_latency_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flow")]
+    fn empty_flows_panics() {
+        run_netsim(&diamond(1e6), &[], &NetSimConfig::default());
+    }
+
+    #[test]
+    fn dynamic_static_topology_matches_static_run() {
+        // A provider that always returns the same snapshot must behave
+        // like the static simulator (modulo identical results).
+        let g = diamond(5e6);
+        let flows = [flow(0, 3, 1e6)];
+        let cfg = NetSimConfig {
+            duration_s: 10.0,
+            ..Default::default()
+        };
+        let stat = run_netsim(&g, &flows, &cfg);
+        let dynamic = run_netsim_dynamic(&|_t| g.clone(), 2.0, &flows, &cfg);
+        assert_eq!(stat.generated, dynamic.generated);
+        assert_eq!(stat.delivered, dynamic.delivered);
+        assert_eq!(stat.dropped, dynamic.dropped);
+    }
+
+    #[test]
+    fn vanishing_link_drops_queued_packets_and_reroutes() {
+        // Topology: fast path 0-1-3 exists before t=5, vanishes after.
+        let with_fast = diamond(5e6);
+        let without_fast = {
+            let mut g = Graph::new(4, 0);
+            g.add_bidirectional(0, 2, 0.006, 5e6, 0, 0, LinkTech::Rf);
+            g.add_bidirectional(2, 3, 0.006, 5e6, 0, 0, LinkTech::Rf);
+            g
+        };
+        let provider = |t: f64| {
+            if t < 5.0 {
+                with_fast.clone()
+            } else {
+                without_fast.clone()
+            }
+        };
+        let flows = [flow(0, 3, 1e6)];
+        let cfg = NetSimConfig {
+            duration_s: 20.0,
+            ..Default::default()
+        };
+        let r = run_netsim_dynamic(&provider, 1.0, &flows, &cfg);
+        // The flow keeps delivering after the handover to the slow path.
+        assert!(
+            r.delivery_ratio > 0.95,
+            "rerouted flow should keep flowing: {}",
+            r.delivery_ratio
+        );
+        assert!(r.delivered > 0);
+        // Mean latency sits between the fast-only and slow-only values.
+        assert!(r.mean_latency_s > 0.004 && r.mean_latency_s < 0.02);
+    }
+
+    #[test]
+    fn total_blackout_counts_unroutable() {
+        let g = diamond(5e6);
+        let empty = Graph::new(4, 0);
+        let provider = |t: f64| if t < 2.0 { g.clone() } else { empty.clone() };
+        let flows = [flow(0, 3, 1e6)];
+        let cfg = NetSimConfig {
+            duration_s: 10.0,
+            ..Default::default()
+        };
+        let r = run_netsim_dynamic(&provider, 1.0, &flows, &cfg);
+        assert!(r.unroutable > 0, "post-blackout packets are unroutable");
+        assert!(r.delivered > 0, "pre-blackout packets were delivered");
+    }
+
+    #[test]
+    #[should_panic(expected = "resnapshot interval")]
+    fn zero_resnapshot_interval_panics() {
+        let g = diamond(1e6);
+        run_netsim_dynamic(&|_| g.clone(), 0.0, &[flow(0, 3, 1e5)], &NetSimConfig::default());
+    }
+}

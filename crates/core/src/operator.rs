@@ -1,0 +1,186 @@
+//! Operators, satellites, and ground stations — the entities that make up
+//! an OpenSpace federation.
+
+use openspace_net::isl::{GroundNode, SatNode};
+use openspace_orbit::frames::{geodetic_to_ecef, Geodetic, Vec3};
+use openspace_orbit::kepler::OrbitalElements;
+use openspace_orbit::propagator::{PerturbationModel, Propagator};
+use openspace_phy::hardware::SatelliteClass;
+use openspace_protocol::auth::AuthService;
+use openspace_protocol::crypto::SharedSecret;
+use openspace_protocol::types::{Capabilities, GroundStationId, OperatorId, SatelliteId};
+
+/// A satellite in the federation.
+#[derive(Debug, Clone, Copy)]
+pub struct Satellite {
+    /// Network-wide id.
+    pub id: SatelliteId,
+    /// Owning operator.
+    pub owner: OperatorId,
+    /// Hardware class (determines terminals and power).
+    pub class: SatelliteClass,
+    /// Deterministic orbit.
+    pub propagator: Propagator,
+}
+
+impl Satellite {
+    /// Capability bitmap this satellite beacons.
+    pub fn capabilities(&self) -> Capabilities {
+        let base = if self.class.laser_terminal_count() > 0 {
+            Capabilities::rf_and_optical()
+        } else {
+            Capabilities::rf_only()
+        };
+        base.with_ground_relay()
+    }
+
+    /// Whether it carries laser terminals.
+    pub fn has_optical(&self) -> bool {
+        self.class.laser_terminal_count() > 0
+    }
+
+    /// View for the topology builder.
+    pub fn as_sat_node(&self) -> SatNode {
+        SatNode {
+            propagator: self.propagator,
+            operator: self.owner.0,
+            has_optical: self.has_optical(),
+        }
+    }
+}
+
+/// A ground station in the shared ground segment (§2.1: "ground stations
+/// could be owned by independent entities").
+#[derive(Debug, Clone, Copy)]
+pub struct GroundStation {
+    /// Station id.
+    pub id: GroundStationId,
+    /// Owning operator.
+    pub owner: OperatorId,
+    /// Geodetic site.
+    pub site: Geodetic,
+    /// Cached ECEF position (m).
+    pub position_ecef: Vec3,
+}
+
+impl GroundStation {
+    /// Build a station at a geodetic site.
+    pub fn new(id: GroundStationId, owner: OperatorId, site: Geodetic) -> Self {
+        Self {
+            id,
+            owner,
+            site,
+            position_ecef: geodetic_to_ecef(site),
+        }
+    }
+
+    /// View for the topology builder.
+    pub fn as_ground_node(&self) -> GroundNode {
+        GroundNode {
+            position_ecef: self.position_ecef,
+            operator: self.owner.0,
+        }
+    }
+}
+
+/// One member firm of the federation: identity, AAA service, and the
+/// federation secret under which its certificates are minted.
+#[derive(Debug)]
+pub struct Operator {
+    /// Operator id.
+    pub id: OperatorId,
+    /// Display name.
+    pub name: String,
+    /// Certificate-signing secret, distributed to all federation members
+    /// at join time so any of them can verify this operator's roaming
+    /// certificates offline.
+    pub federation_secret: SharedSecret,
+    /// This operator's AAA service.
+    pub auth: AuthService,
+}
+
+impl Operator {
+    /// Create an operator with a derived federation secret.
+    pub fn new(id: OperatorId, name: impl Into<String>) -> Self {
+        let federation_secret = SharedSecret::derive(id.0 as u64, "openspace-federation");
+        Self {
+            id,
+            name: name.into(),
+            federation_secret,
+            auth: AuthService::new(id, federation_secret),
+        }
+    }
+}
+
+/// Builder helper: a satellite from orbital elements.
+pub fn make_satellite(
+    id: u64,
+    owner: OperatorId,
+    class: SatelliteClass,
+    elements: OrbitalElements,
+) -> Satellite {
+    Satellite {
+        id: SatelliteId(id),
+        owner,
+        class,
+        propagator: Propagator::new(elements, PerturbationModel::SecularJ2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openspace_orbit::constants::km_to_m;
+
+    fn sat(class: SatelliteClass) -> Satellite {
+        make_satellite(
+            1,
+            OperatorId(1),
+            class,
+            OrbitalElements::circular(km_to_m(780.0), 86.4, 0.0, 0.0).unwrap(),
+        )
+    }
+
+    #[test]
+    fn cubesat_beacons_rf_only() {
+        let s = sat(SatelliteClass::CubeSat);
+        assert!(s.capabilities().has_rf());
+        assert!(!s.capabilities().has_optical());
+        assert!(!s.has_optical());
+    }
+
+    #[test]
+    fn smallsat_beacons_optical() {
+        let s = sat(SatelliteClass::SmallSat);
+        assert!(s.capabilities().has_optical());
+        assert!(s.as_sat_node().has_optical);
+    }
+
+    #[test]
+    fn all_satellites_offer_ground_relay() {
+        for class in SatelliteClass::all() {
+            assert!(sat(class).capabilities().has_ground_relay());
+        }
+    }
+
+    #[test]
+    fn station_caches_ecef() {
+        let st = GroundStation::new(
+            GroundStationId(1),
+            OperatorId(2),
+            Geodetic::from_degrees(50.0, 8.6, 100.0),
+        );
+        let expect = geodetic_to_ecef(st.site);
+        assert_eq!(st.position_ecef, expect);
+        assert_eq!(st.as_ground_node().operator, 2);
+    }
+
+    #[test]
+    fn operator_secret_is_deterministic_per_id() {
+        let a = Operator::new(OperatorId(5), "a");
+        let b = Operator::new(OperatorId(5), "b");
+        let c = Operator::new(OperatorId(6), "c");
+        assert_eq!(a.federation_secret, b.federation_secret);
+        assert_ne!(a.federation_secret, c.federation_secret);
+    }
+}

@@ -1,0 +1,272 @@
+//! Bad-actor detection and quarantine.
+//!
+//! §5(6): "What security protocols can be enforced to ensure that a
+//! malicious provider does not take down the whole system? … it is worth
+//! exploring a security protocol to quickly identify and cut off bad
+//! actors in the network."
+//!
+//! OpenSpace already gives every member the evidence: §3's
+//! cross-verifiable ledgers. A carrier that over-reports traffic (to
+//! inflate its invoices) or under-reports (to dodge liability) shows up
+//! as reconciliation disputes attributable to a specific operator. This
+//! module turns those disputes into a reputation state machine —
+//! `Trusted → Suspected → Quarantined` with rehabilitation — and exports
+//! the quarantine set in the form the routing layer consumes (the
+//! `blocked_carriers` of [`openspace_net::policy::RoutePolicy`]).
+
+use openspace_economics::ledger::Reconciliation;
+use openspace_protocol::types::OperatorId;
+use std::collections::BTreeMap;
+
+/// Reputation policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ReputationPolicy {
+    /// Dispute rate (disputed / total items) above which an operator is
+    /// suspected.
+    pub suspect_dispute_rate: f64,
+    /// Dispute rate above which it is quarantined outright.
+    pub quarantine_dispute_rate: f64,
+    /// Minimum items observed before any state change (no verdicts on
+    /// thin evidence).
+    pub min_items: u64,
+    /// Consecutive clean items required to rehabilitate a quarantined
+    /// operator.
+    pub rehabilitation_items: u64,
+}
+
+impl Default for ReputationPolicy {
+    fn default() -> Self {
+        Self {
+            suspect_dispute_rate: 0.02,
+            quarantine_dispute_rate: 0.10,
+            min_items: 20,
+            rehabilitation_items: 50,
+        }
+    }
+}
+
+/// An operator's trust state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrustState {
+    /// In good standing.
+    Trusted,
+    /// Elevated dispute rate; traffic still carried but flagged.
+    Suspected,
+    /// Cut off: routing must avoid it; its records are not honored.
+    Quarantined,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Record {
+    items: u64,
+    disputed: u64,
+    clean_streak: u64,
+    quarantined: bool,
+}
+
+fn dispute_rate_of(r: &Record) -> f64 {
+    if r.items == 0 {
+        0.0
+    } else {
+        r.disputed as f64 / r.items as f64
+    }
+}
+
+/// Tracks per-operator reconciliation outcomes and derives trust states.
+#[derive(Debug, Default)]
+pub struct ReputationTracker {
+    policy_suspect: f64,
+    policy_quarantine: f64,
+    min_items: u64,
+    rehabilitation_items: u64,
+    records: BTreeMap<OperatorId, Record>,
+}
+
+impl ReputationTracker {
+    /// A tracker under the given policy.
+    pub fn new(policy: ReputationPolicy) -> Self {
+        assert!(policy.suspect_dispute_rate <= policy.quarantine_dispute_rate);
+        Self {
+            policy_suspect: policy.suspect_dispute_rate,
+            policy_quarantine: policy.quarantine_dispute_rate,
+            min_items: policy.min_items,
+            rehabilitation_items: policy.rehabilitation_items,
+            records: BTreeMap::new(),
+        }
+    }
+
+    /// Record directly attributed outcomes for `op`: `ok` agreed items
+    /// and `disputed` items where `op`'s claim was the outlier.
+    pub fn record_outcome(&mut self, op: OperatorId, ok: u64, disputed: u64) {
+        let r = self.records.entry(op).or_default();
+        r.items += ok + disputed;
+        r.disputed += disputed;
+        if disputed == 0 {
+            r.clean_streak += ok;
+        } else {
+            r.clean_streak = 0;
+        }
+        // State transitions are evaluated lazily in `state()`, but
+        // quarantine latches here so rehabilitation has a fixed bar.
+        if r.items >= self.min_items && dispute_rate_of(r) >= self.policy_quarantine {
+            r.quarantined = true;
+        }
+        if r.quarantined && r.clean_streak >= self.rehabilitation_items {
+            // Rehabilitate: forgive history, keep the streak.
+            r.quarantined = false;
+            r.disputed = 0;
+            r.items = r.clean_streak;
+        }
+    }
+
+    /// Attribute a bilateral reconciliation to `carrier` (the party whose
+    /// over/under-claim a dispute reveals): agreed items count clean,
+    /// disputes count against it.
+    pub fn record_reconciliation(&mut self, carrier: OperatorId, recon: &Reconciliation) {
+        self.record_outcome(carrier, recon.agreed as u64, recon.disputes.len() as u64);
+    }
+
+    /// Current trust state of `op`.
+    pub fn state(&self, op: OperatorId) -> TrustState {
+        let Some(r) = self.records.get(&op) else {
+            return TrustState::Trusted;
+        };
+        if r.quarantined {
+            return TrustState::Quarantined;
+        }
+        if r.items < self.min_items {
+            return TrustState::Trusted;
+        }
+        let rate = dispute_rate_of(r);
+        if rate >= self.policy_quarantine {
+            TrustState::Quarantined
+        } else if rate >= self.policy_suspect {
+            TrustState::Suspected
+        } else {
+            TrustState::Trusted
+        }
+    }
+
+    /// The operators routing must avoid — ready to drop into
+    /// [`openspace_net::policy::RoutePolicy::blocked_carriers`].
+    pub fn quarantined_operators(&self) -> Vec<u32> {
+        self.records
+            .keys()
+            .filter(|&&op| self.state(op) == TrustState::Quarantined)
+            .map(|op| op.0)
+            .collect()
+    }
+
+    /// Observed dispute rate for `op` (0 when unknown).
+    pub fn dispute_rate(&self, op: OperatorId) -> f64 {
+        self.records.get(&op).map_or(0.0, dispute_rate_of)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> ReputationTracker {
+        ReputationTracker::new(ReputationPolicy::default())
+    }
+
+    #[test]
+    fn unknown_operator_is_trusted() {
+        assert_eq!(tracker().state(OperatorId(9)), TrustState::Trusted);
+    }
+
+    #[test]
+    fn clean_history_stays_trusted() {
+        let mut t = tracker();
+        t.record_outcome(OperatorId(1), 500, 0);
+        assert_eq!(t.state(OperatorId(1)), TrustState::Trusted);
+        assert_eq!(t.dispute_rate(OperatorId(1)), 0.0);
+    }
+
+    #[test]
+    fn no_verdict_on_thin_evidence() {
+        let mut t = tracker();
+        // 100% dispute rate but only 3 items: below min_items.
+        t.record_outcome(OperatorId(1), 0, 3);
+        assert_eq!(t.state(OperatorId(1)), TrustState::Trusted);
+    }
+
+    #[test]
+    fn moderate_rate_suspects() {
+        let mut t = tracker();
+        t.record_outcome(OperatorId(1), 95, 5); // 5%
+        assert_eq!(t.state(OperatorId(1)), TrustState::Suspected);
+    }
+
+    #[test]
+    fn heavy_rate_quarantines_and_blocks_routing() {
+        let mut t = tracker();
+        t.record_outcome(OperatorId(1), 80, 20); // 20%
+        t.record_outcome(OperatorId(2), 100, 0);
+        assert_eq!(t.state(OperatorId(1)), TrustState::Quarantined);
+        assert_eq!(t.quarantined_operators(), vec![1]);
+    }
+
+    #[test]
+    fn quarantine_latches_until_rehabilitation() {
+        let mut t = tracker();
+        t.record_outcome(OperatorId(1), 80, 20);
+        assert_eq!(t.state(OperatorId(1)), TrustState::Quarantined);
+        // 30 clean items: not yet enough (bar is 50).
+        t.record_outcome(OperatorId(1), 30, 0);
+        assert_eq!(t.state(OperatorId(1)), TrustState::Quarantined);
+        // 20 more clean items: rehabilitated.
+        t.record_outcome(OperatorId(1), 20, 0);
+        assert_eq!(t.state(OperatorId(1)), TrustState::Trusted);
+        assert!(t.quarantined_operators().is_empty());
+    }
+
+    #[test]
+    fn dispute_resets_rehabilitation_streak() {
+        let mut t = tracker();
+        t.record_outcome(OperatorId(1), 80, 20);
+        t.record_outcome(OperatorId(1), 49, 0);
+        t.record_outcome(OperatorId(1), 10, 1); // streak broken
+        t.record_outcome(OperatorId(1), 49, 0); // still short of 50
+        assert_eq!(t.state(OperatorId(1)), TrustState::Quarantined);
+    }
+
+    #[test]
+    fn reconciliation_feeds_the_tracker() {
+        use openspace_economics::ledger::{reconcile, BillingKey, TrafficLedger};
+        // The carrier claims more bytes than the origin observed — an
+        // over-billing attempt that reconciliation exposes.
+        let key = |flow| BillingKey {
+            flow_id: flow,
+            origin: OperatorId(1),
+            carrier: OperatorId(2),
+            interval_start_ms: 0,
+        };
+        let mut origin_ledger = TrafficLedger::new();
+        let mut carrier_ledger = TrafficLedger::new();
+        for flow in 0..30 {
+            origin_ledger.record_raw(key(flow), 1_000);
+            let claim = if flow < 6 { 5_000 } else { 1_000 }; // 6 inflated
+            carrier_ledger.record_raw(key(flow), claim);
+        }
+        let recon = reconcile(&origin_ledger, &carrier_ledger, OperatorId(1), OperatorId(2));
+        assert_eq!(recon.disputes.len(), 6);
+        let mut t = tracker();
+        t.record_reconciliation(OperatorId(2), &recon);
+        assert_eq!(t.state(OperatorId(2)), TrustState::Quarantined);
+    }
+
+    #[test]
+    fn quarantine_set_integrates_with_route_policy() {
+        use openspace_net::policy::RoutePolicy;
+        let mut t = tracker();
+        t.record_outcome(OperatorId(3), 50, 50);
+        let policy = RoutePolicy {
+            allowed_exit: vec![],
+            blocked_carriers: t.quarantined_operators(),
+        };
+        assert!(!policy.carrier_allowed(3));
+        assert!(policy.carrier_allowed(1));
+    }
+}

@@ -1,0 +1,247 @@
+//! Collaboration incentives: who gains what from federating.
+//!
+//! §5(4): "relatively larger providers may find that collaborating with
+//! smaller providers is not a net benefit for them, and it is worth
+//! expanding the cost model presented in Section 3 to include an
+//! incentive for this collaboration."
+//!
+//! This module implements the canonical answer from cooperative game
+//! theory: treat the federation as a coalitional game whose value
+//! function is whatever the members monetize (covered service time,
+//! deliverable capacity, revenue), and split the coalition's value by
+//! **Shapley value** — the unique efficient, symmetric, dummy-free,
+//! additive division. A member then joins iff its Shapley share exceeds
+//! its standalone value, which is exactly the incentive test the paper
+//! asks for.
+//!
+//! Exact computation enumerates all `2^n` coalitions; federations here
+//! are tens of members at most, and the implementation guards `n ≤ 20`.
+
+use openspace_protocol::types::OperatorId;
+
+/// One member's computed share.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Share {
+    /// The member.
+    pub member: OperatorId,
+    /// Its Shapley value (same unit as the value function).
+    pub shapley_value: f64,
+    /// Its standalone (solo) value `v({i})`.
+    pub standalone_value: f64,
+}
+
+impl Share {
+    /// The §5(4) incentive test: joining beats going alone.
+    pub fn joining_is_rational(&self) -> bool {
+        self.shapley_value >= self.standalone_value - 1e-12
+    }
+
+    /// Gain from joining (may be negative if joining is irrational).
+    pub fn collaboration_gain(&self) -> f64 {
+        self.shapley_value - self.standalone_value
+    }
+}
+
+/// Exact Shapley values of the game `(members, value)`.
+///
+/// `value` maps a coalition (given as a bitmask over `members` indices)
+/// to its worth; it is called for every one of the `2^n` masks, so memoize
+/// upstream if evaluation is expensive. `value(0)` is taken as 0 by
+/// convention regardless of the closure.
+///
+/// # Panics
+/// Panics if `members.len() > 20` (2^20 coalition evaluations is the
+/// sanity ceiling) or if `members` is empty.
+pub fn shapley_shares(
+    members: &[OperatorId],
+    mut value: impl FnMut(u32) -> f64,
+) -> Vec<Share> {
+    let n = members.len();
+    assert!(n >= 1, "need at least one member");
+    assert!(n <= 20, "exact Shapley capped at 20 members, got {n}");
+
+    // Precompute all coalition values.
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let mut v = vec![0.0f64; (full as usize) + 1];
+    for mask in 1..=full {
+        v[mask as usize] = value(mask);
+    }
+
+    // Factorials up to n.
+    let mut fact = vec![1.0f64; n + 1];
+    for k in 1..=n {
+        fact[k] = fact[k - 1] * k as f64;
+    }
+
+    let mut shares = Vec::with_capacity(n);
+    for (i, &member) in members.iter().enumerate() {
+        let bit = 1u32 << i;
+        let mut phi = 0.0;
+        // Sum over coalitions S not containing i.
+        let mut s: u32 = 0;
+        loop {
+            if s & bit == 0 {
+                let size = s.count_ones() as usize;
+                let weight = fact[size] * fact[n - size - 1] / fact[n];
+                phi += weight * (v[(s | bit) as usize] - v[s as usize]);
+            }
+            if s == full {
+                break;
+            }
+            s += 1;
+        }
+        shares.push(Share {
+            member,
+            shapley_value: phi,
+            standalone_value: v[bit as usize],
+        });
+    }
+    shares
+}
+
+/// The collaboration surplus: coalition value minus the sum of solo
+/// values — what federation *creates*, to be divided.
+pub fn collaboration_surplus(shares: &[Share], grand_value: f64) -> f64 {
+    grand_value - shares.iter().map(|s| s.standalone_value).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops(n: usize) -> Vec<OperatorId> {
+        (1..=n as u32).map(OperatorId).collect()
+    }
+
+    #[test]
+    fn shares_are_efficient() {
+        // Shapley values must sum to the grand-coalition value.
+        let members = ops(4);
+        let value = |mask: u32| (mask.count_ones() as f64).powf(1.5); // superadditive
+        let shares = shapley_shares(&members, value);
+        let total: f64 = shares.iter().map(|s| s.shapley_value).sum();
+        assert!((total - 8.0).abs() < 1e-9, "sum {total}, v(N) = 4^1.5 = 8");
+    }
+
+    #[test]
+    fn symmetric_members_get_equal_shares() {
+        let members = ops(5);
+        let shares = shapley_shares(&members, |mask| mask.count_ones() as f64 * 2.0);
+        for s in &shares {
+            assert!((s.shapley_value - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dummy_member_gets_nothing() {
+        // Member 3 (bit 2) contributes nothing to any coalition.
+        let members = ops(3);
+        let value = |mask: u32| (mask & 0b011).count_ones() as f64;
+        let shares = shapley_shares(&members, value);
+        assert!((shares[2].shapley_value).abs() < 1e-12);
+        assert!(shares[2].joining_is_rational(), "0 >= 0 is still rational");
+    }
+
+    #[test]
+    fn glove_game_known_solution() {
+        // Classic: member 1 owns a left glove, members 2 and 3 right
+        // gloves; a pair is worth 1. Shapley: (2/3, 1/6, 1/6).
+        let members = ops(3);
+        let value = |mask: u32| {
+            let left = (mask & 1 != 0) as u32;
+            let right = (mask >> 1).count_ones();
+            left.min(right) as f64
+        };
+        let shares = shapley_shares(&members, value);
+        assert!((shares[0].shapley_value - 2.0 / 3.0).abs() < 1e-12);
+        assert!((shares[1].shapley_value - 1.0 / 6.0).abs() < 1e-12);
+        assert!((shares[2].shapley_value - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superadditive_game_makes_joining_rational_for_all() {
+        // Continuous-coverage revenue: patchwork (solo) coverage sells
+        // poorly, continuous coverage superlinearly well — v(S) ∝ |S|².
+        let members = ops(4);
+        let value = |mask: u32| 0.1 * (mask.count_ones() as f64).powi(2);
+        let shares = shapley_shares(&members, value);
+        for s in &shares {
+            assert!(
+                s.joining_is_rational(),
+                "{}: shapley {} < solo {}",
+                s.member,
+                s.shapley_value,
+                s.standalone_value
+            );
+            assert!(s.collaboration_gain() > 0.0);
+        }
+    }
+
+    #[test]
+    fn subadditive_coverage_game_shows_the_papers_worry() {
+        // Pure coverage-fraction value (overlapping footprints): the
+        // union is worth less than the sum of solos, so joining is
+        // *irrational* without a side payment — precisely §5(4)'s point
+        // that the cost model needs an explicit collaboration incentive.
+        let members = ops(4);
+        let value = |mask: u32| 1.0 - 0.5f64.powi(mask.count_ones() as i32);
+        let shares = shapley_shares(&members, value);
+        for s in &shares {
+            assert!(
+                !s.joining_is_rational() || s.collaboration_gain().abs() < 1e-9,
+                "{}: coverage-only value cannot reward joining",
+                s.member
+            );
+        }
+        assert!(collaboration_surplus(&shares, 0.9375) < 0.0);
+    }
+
+    #[test]
+    fn big_provider_incentive_question() {
+        // §5(4)'s worry made concrete: one big provider already has 90%
+        // of the value; three small ones add little. Joining is still
+        // weakly rational under Shapley (it never pays less than the
+        // marginal-contribution average), but the gain is small — the
+        // quantitative version of "may find collaborating is not a net
+        // benefit".
+        let members = ops(4);
+        let value = |mask: u32| {
+            let big = mask & 1 != 0;
+            let smalls = (mask >> 1).count_ones() as f64;
+            if big {
+                0.9 + 0.03 * smalls
+            } else {
+                0.02 * smalls
+            }
+        };
+        let shares = shapley_shares(&members, value);
+        assert!(shares[0].joining_is_rational());
+        // Relative gains: the big provider improves ~2% on its solo value
+        // while each small provider improves ~25% — joining is worth far
+        // less to the incumbent, which is the paper's concern.
+        let big_rel = shares[0].collaboration_gain() / shares[0].standalone_value;
+        let small_rel = shares[1].collaboration_gain() / shares[1].standalone_value;
+        assert!(big_rel < 0.05, "big relative gain {big_rel}");
+        assert!(small_rel > 0.1, "small relative gain {small_rel}");
+    }
+
+    #[test]
+    fn surplus_is_grand_minus_solos() {
+        let members = ops(3);
+        let value = |mask: u32| match mask.count_ones() {
+            1 => 1.0,
+            2 => 3.0,
+            3 => 6.0,
+            _ => 0.0,
+        };
+        let shares = shapley_shares(&members, value);
+        assert!((collaboration_surplus(&shares, 6.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capped at 20")]
+    fn too_many_members_panics() {
+        let members = ops(21);
+        shapley_shares(&members, |_| 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Peering detection.
+//!
+//! §3: "if two providers realize they are routing similar amounts of
+//! traffic through each other's systems, and that their routing paths are
+//! heavily interdependent, they may decide to peer." This module encodes
+//! that rule: symmetric-enough bilateral volume above a materiality floor
+//! ⇒ recommend settlement-free peering.
+
+use crate::ledger::TrafficLedger;
+use openspace_protocol::types::OperatorId;
+
+/// Parameters of the peering policy.
+#[derive(Debug, Clone, Copy)]
+pub struct PeeringPolicy {
+    /// Maximum asymmetry ratio `|a−b| / max(a,b)` to still count as
+    /// "similar amounts" (e.g. 0.25 = within 25%).
+    pub max_asymmetry: f64,
+    /// Minimum bilateral volume (bytes in each direction) for peering to
+    /// be worth the paperwork.
+    pub min_bytes_each_way: u64,
+}
+
+impl Default for PeeringPolicy {
+    fn default() -> Self {
+        Self {
+            max_asymmetry: 0.25,
+            min_bytes_each_way: 1024 * 1024 * 1024, // 1 GiB
+        }
+    }
+}
+
+/// Outcome of evaluating one operator pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PeeringVerdict {
+    /// Flows are symmetric and material: peer (drop bilateral billing).
+    RecommendPeering {
+        /// Bytes `a` carried for `b`.
+        a_carries_for_b: u64,
+        /// Bytes `b` carried for `a`.
+        b_carries_for_a: u64,
+    },
+    /// Flows are too asymmetric: keep the customer/provider billing.
+    KeepTransit {
+        /// The measured asymmetry ratio.
+        asymmetry: f64,
+    },
+    /// Volume is below the materiality floor.
+    TooSmall,
+}
+
+/// Evaluate the §3 peering rule for operators `a` and `b`, using `a`'s
+/// ledger as the (already cross-verified) source of bilateral volumes.
+pub fn evaluate_peering(
+    ledger: &TrafficLedger,
+    a: OperatorId,
+    b: OperatorId,
+    policy: &PeeringPolicy,
+) -> PeeringVerdict {
+    let a_for_b = ledger.bytes_carried(b, a); // origin b, carrier a
+    let b_for_a = ledger.bytes_carried(a, b); // origin a, carrier b
+    if a_for_b < policy.min_bytes_each_way || b_for_a < policy.min_bytes_each_way {
+        return PeeringVerdict::TooSmall;
+    }
+    let hi = a_for_b.max(b_for_a) as f64;
+    let lo = a_for_b.min(b_for_a) as f64;
+    let asymmetry = (hi - lo) / hi;
+    if asymmetry <= policy.max_asymmetry {
+        PeeringVerdict::RecommendPeering {
+            a_carries_for_b: a_for_b,
+            b_carries_for_a: b_for_a,
+        }
+    } else {
+        PeeringVerdict::KeepTransit { asymmetry }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::BillingKey;
+
+    const GIB: u64 = 1024 * 1024 * 1024;
+
+    fn ledger(a_for_b: u64, b_for_a: u64) -> TrafficLedger {
+        let mut l = TrafficLedger::new();
+        l.record_raw(
+            BillingKey {
+                flow_id: 1,
+                origin: OperatorId(2),
+                carrier: OperatorId(1),
+                interval_start_ms: 0,
+            },
+            a_for_b,
+        );
+        l.record_raw(
+            BillingKey {
+                flow_id: 2,
+                origin: OperatorId(1),
+                carrier: OperatorId(2),
+                interval_start_ms: 0,
+            },
+            b_for_a,
+        );
+        l
+    }
+
+    #[test]
+    fn symmetric_material_flows_peer() {
+        let l = ledger(10 * GIB, 9 * GIB);
+        let v = evaluate_peering(&l, OperatorId(1), OperatorId(2), &PeeringPolicy::default());
+        assert!(matches!(v, PeeringVerdict::RecommendPeering { .. }));
+    }
+
+    #[test]
+    fn asymmetric_flows_stay_transit() {
+        let l = ledger(10 * GIB, 2 * GIB);
+        let v = evaluate_peering(&l, OperatorId(1), OperatorId(2), &PeeringPolicy::default());
+        match v {
+            PeeringVerdict::KeepTransit { asymmetry } => assert!((asymmetry - 0.8).abs() < 1e-9),
+            other => panic!("expected KeepTransit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_flows_too_small() {
+        let l = ledger(GIB / 2, GIB / 2);
+        let v = evaluate_peering(&l, OperatorId(1), OperatorId(2), &PeeringPolicy::default());
+        assert_eq!(v, PeeringVerdict::TooSmall);
+    }
+
+    #[test]
+    fn one_sided_flow_too_small() {
+        let l = ledger(10 * GIB, 0);
+        let v = evaluate_peering(&l, OperatorId(1), OperatorId(2), &PeeringPolicy::default());
+        assert_eq!(v, PeeringVerdict::TooSmall);
+    }
+
+    #[test]
+    fn boundary_asymmetry_accepted() {
+        // Exactly 25% asymmetry with default policy.
+        let l = ledger(4 * GIB, 3 * GIB);
+        let v = evaluate_peering(&l, OperatorId(1), OperatorId(2), &PeeringPolicy::default());
+        assert!(matches!(v, PeeringVerdict::RecommendPeering { .. }));
+    }
+
+    #[test]
+    fn stricter_policy_rejects_same_flows() {
+        let l = ledger(4 * GIB, 3 * GIB);
+        let policy = PeeringPolicy {
+            max_asymmetry: 0.1,
+            ..Default::default()
+        };
+        let v = evaluate_peering(&l, OperatorId(1), OperatorId(2), &policy);
+        assert!(matches!(v, PeeringVerdict::KeepTransit { .. }));
+    }
+}

@@ -1,0 +1,173 @@
+//! Analytic saturation model for CSMA/CA (Bianchi 2000).
+//!
+//! Bianchi's Markov-chain model of the 802.11 DCF predicts, for `n`
+//! saturated stations, the per-slot transmission probability `τ`, the
+//! conditional collision probability `p`, and the normalized saturation
+//! throughput. It is the standard closed-form reference for contention
+//! MACs; here it serves as an independent check on the discrete
+//! simulation in [`crate::csma`] — theory and simulation agreeing is
+//! what makes the E5 overhead numbers trustworthy.
+
+use crate::params::MacParams;
+
+/// Output of the Bianchi fixed point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BianchiPoint {
+    /// Per-slot transmission probability of one station.
+    pub tau: f64,
+    /// Conditional collision probability seen by a transmitting station.
+    pub collision_probability: f64,
+    /// Normalized saturation throughput (payload time / channel time).
+    pub throughput: f64,
+}
+
+/// Solve Bianchi's fixed point for `n` saturated stations under `params`.
+///
+/// The backoff ladder is derived from `cw_min`/`cw_max` (`W = cw_min+1`,
+/// `m = log2((cw_max+1)/(cw_min+1))`). Success/collision slot durations
+/// mirror the simulator's accounting (DIFS + frame + propagation
+/// [+ SIFS + ACK + propagation on success]).
+///
+/// # Panics
+/// Panics if `n == 0` or on invalid `params`.
+pub fn bianchi_saturation(params: &MacParams, n: usize) -> BianchiPoint {
+    params.validate();
+    assert!(n > 0, "need at least one station");
+
+    let w = (params.cw_min + 1) as f64;
+    let m = (((params.cw_max + 1) as f64 / w).log2()).round().max(0.0);
+
+    // Fixed point on p via bisection (tau(p) is monotone decreasing,
+    // p(tau) is monotone increasing, so the composition has one root).
+    let tau_of = |p: f64| -> f64 {
+        if n == 1 {
+            // No collisions possible: mean backoff (W-1)/2 slots.
+            return 2.0 / (w + 1.0);
+        }
+        // Series form of Bianchi's τ (no 0/0 at p = 1/2):
+        // τ = 2 / (1 + W + p·W·Σ_{i=0}^{m-1} (2p)^i)
+        let mut series = 0.0;
+        let mut term = 1.0;
+        for _ in 0..(m as u32) {
+            series += term;
+            term *= 2.0 * p;
+        }
+        2.0 / (1.0 + w + p * w * series)
+    };
+    let p_of = |tau: f64| 1.0 - (1.0 - tau).powi(n as i32 - 1);
+
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        let residual = p_of(tau_of(mid)) - mid;
+        if residual > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let p = 0.5 * (lo + hi);
+    let tau = tau_of(p);
+
+    // Slot-type probabilities.
+    let p_tr = 1.0 - (1.0 - tau).powi(n as i32); // some transmission
+    let p_s = if p_tr > 0.0 {
+        n as f64 * tau * (1.0 - tau).powi(n as i32 - 1) / p_tr
+    } else {
+        0.0
+    };
+
+    // Durations, matching the simulator.
+    let sigma = params.slot_time_s;
+    let t_s = params.difs_s
+        + params.frame_tx_time_s()
+        + params.propagation_delay_s
+        + params.sifs_s
+        + params.ack_tx_time_s()
+        + params.propagation_delay_s;
+    let t_c = params.difs_s + params.frame_tx_time_s() + params.propagation_delay_s;
+
+    let payload_time = params.payload_bits as f64 / params.bit_rate_bps;
+    let denom = (1.0 - p_tr) * sigma + p_tr * p_s * t_s + p_tr * (1.0 - p_s) * t_c;
+    let throughput = p_tr * p_s * payload_time / denom;
+
+    BianchiPoint {
+        tau,
+        collision_probability: p,
+        throughput,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csma::simulate_csma_ca;
+
+    #[test]
+    fn single_station_has_no_collisions() {
+        let b = bianchi_saturation(&MacParams::s_band_isl(), 1);
+        assert!(b.collision_probability < 1e-12);
+        assert!(b.tau > 0.0 && b.tau <= 1.0);
+    }
+
+    #[test]
+    fn collision_probability_rises_with_n() {
+        let p = MacParams::s_band_isl();
+        let mut last = 0.0;
+        for n in [2, 4, 8, 16, 32] {
+            let b = bianchi_saturation(&p, n);
+            assert!(
+                b.collision_probability > last,
+                "n={n}: p {} should exceed {last}",
+                b.collision_probability
+            );
+            last = b.collision_probability;
+        }
+    }
+
+    #[test]
+    fn throughput_degrades_gracefully_with_n() {
+        let p = MacParams::s_band_isl();
+        let t2 = bianchi_saturation(&p, 2).throughput;
+        let t64 = bianchi_saturation(&p, 64).throughput;
+        assert!(t64 < t2);
+        assert!(t64 > 0.05, "throughput should not collapse to zero: {t64}");
+    }
+
+    #[test]
+    fn simulation_matches_bianchi_theory() {
+        // The headline validation: the slotted DES and the closed-form
+        // model agree on saturation throughput across contention levels.
+        let p = MacParams::s_band_isl();
+        for n in [2usize, 4, 8, 16] {
+            let theory = bianchi_saturation(&p, n).throughput;
+            let sim = simulate_csma_ca(&p, n, 60.0, 42).channel_efficiency;
+            let rel = (sim - theory).abs() / theory;
+            assert!(
+                rel < 0.25,
+                "n={n}: simulated {sim:.4} vs Bianchi {theory:.4} ({:.0}% off)",
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn collision_rates_agree_too() {
+        let p = MacParams::s_band_isl();
+        for n in [4usize, 16] {
+            let theory = bianchi_saturation(&p, n).collision_probability;
+            let sim = simulate_csma_ca(&p, n, 60.0, 7).collision_rate;
+            assert!(
+                (sim - theory).abs() < 0.12,
+                "n={n}: simulated p {sim:.3} vs Bianchi {theory:.3}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one station")]
+    fn zero_stations_panics() {
+        bianchi_saturation(&MacParams::s_band_isl(), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # openspace-mac
+//!
+//! Media-access-control models for OpenSpace.
+//!
+//! §2.1 of the paper makes two MAC claims this crate quantifies:
+//!
+//! 1. **CSMA/CA is flexible but overhead-heavy** for inter-satellite
+//!    links — Inter-Frame Spacing and backoff windows cost goodput and
+//!    latency, and LEO propagation delays magnify the cost.
+//!    ([`csma`], compared against [`tdma`] in experiment E5.)
+//! 2. **OFDM(A) works well for satellite-to-ground** spectrum sharing.
+//!    ([`ofdma`] models the downlink resource grid and two allocation
+//!    policies.)
+//!
+//! [`dama`] implements the reservation-based MAC the paper defers to
+//! future work ("MAC methods more suitable for real-time
+//! communications"): contention confined to minislot requests, data
+//! slots collision-free. [`beacon`] covers the standardized presence
+//! beacons of §2.2, and [`params`] holds the shared channel/timing
+//! parameter set.
+//!
+//! [`analytic`] carries Bianchi's closed-form saturation model as an
+//! independent check on the CSMA/CA simulation.
+//!
+//! All simulation here is deterministic given a seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use openspace_mac::prelude::*;
+//!
+//! let params = MacParams::s_band_isl();
+//! let csma = simulate_csma_ca(&params, 16, 5.0, 42);
+//! let tdma = evaluate_tdma(&params, &TdmaConfig::for_leo(&params, 16));
+//! // The paper's §2.1 claim: contention costs efficiency at scale.
+//! assert!(tdma.channel_efficiency > csma.channel_efficiency);
+//! ```
+
+pub mod analytic;
+pub mod beacon;
+pub mod csma;
+pub mod dama;
+pub mod ofdma;
+pub mod params;
+pub mod tdma;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::analytic::{bianchi_saturation, BianchiPoint};
+    pub use crate::beacon::BeaconSchedule;
+    pub use crate::csma::{simulate_csma_ca, MacReport};
+    pub use crate::dama::{simulate_dama, DamaParams};
+    pub use crate::ofdma::{Allocation, OfdmaGrid, Policy, UserDemand};
+    pub use crate::params::MacParams;
+    pub use crate::tdma::{evaluate_tdma, TdmaConfig};
+}

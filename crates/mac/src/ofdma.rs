@@ -1,0 +1,329 @@
+//! OFDMA downlink scheduler for satellite-to-user links.
+//!
+//! §2.1: "existing satellite providers have employed OFDM in
+//! satellite-to-ground links, and this choice has shown to work well in
+//! efficiently utilizing the spectrum while minimizing interference". We
+//! model the resource grid of an OFDM downlink (Starlink-like: a fixed
+//! number of subchannels per frame) and three allocation policies:
+//! round-robin, demand-proportional, and water-filling.
+
+/// A user's instantaneous downlink demand and channel quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserDemand {
+    /// Stable user identifier.
+    pub user_id: u64,
+    /// Requested rate (bit/s).
+    pub demand_bps: f64,
+    /// Spectral efficiency this user's SNR supports (bit/s/Hz).
+    pub spectral_efficiency: f64,
+}
+
+/// One user's share of the grid after scheduling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Allocation {
+    /// Stable user identifier.
+    pub user_id: u64,
+    /// Subchannels granted.
+    pub subchannels: u32,
+    /// Rate achieved (bit/s), `subchannels × subchannel_bw × SE`,
+    /// capped at the user's demand.
+    pub rate_bps: f64,
+}
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Equal subchannels to every active user (spectrum fairness).
+    RoundRobin,
+    /// Weight shares by demand (demand-proportional fairness).
+    ProportionalDemand,
+    /// Water-filling: satisfy demands smallest-first, redistributing the
+    /// spectrum a satisfied user no longer needs — maximizes the number
+    /// of fully served users.
+    WaterFilling,
+}
+
+/// An OFDMA resource grid for one beam.
+#[derive(Debug, Clone, Copy)]
+pub struct OfdmaGrid {
+    /// Total subchannels in the beam.
+    pub subchannels: u32,
+    /// Bandwidth of one subchannel (Hz).
+    pub subchannel_bandwidth_hz: f64,
+}
+
+impl OfdmaGrid {
+    /// A Ku-band user beam: 240 MHz split into 60 subchannels of 4 MHz —
+    /// the Starlink-like grid from Humphreys et al. 2023.
+    pub fn ku_beam() -> Self {
+        Self {
+            subchannels: 60,
+            subchannel_bandwidth_hz: 4.0e6,
+        }
+    }
+
+    /// Schedule the grid across `users` under `policy`.
+    ///
+    /// Under round-robin and proportional policies, spectrum granted past
+    /// a user's demand is not redistributed (their contrast with
+    /// water-filling is the point). Returns one allocation per user, in
+    /// the input order; users beyond the subchannel count under
+    /// round-robin receive zero this frame.
+    pub fn schedule(&self, users: &[UserDemand], policy: Policy) -> Vec<Allocation> {
+        assert!(self.subchannels > 0, "grid has no subchannels");
+        if users.is_empty() {
+            return Vec::new();
+        }
+        for u in users {
+            assert!(u.demand_bps >= 0.0, "negative demand");
+            assert!(u.spectral_efficiency > 0.0, "non-positive SE");
+        }
+        let shares: Vec<u32> = match policy {
+            Policy::WaterFilling => {
+                // Grant users in ascending order of the subchannels they
+                // need; leftovers go to the largest unsatisfied demand.
+                let need: Vec<u32> = users
+                    .iter()
+                    .map(|u| {
+                        (u.demand_bps / (self.subchannel_bandwidth_hz * u.spectral_efficiency))
+                            .ceil() as u32
+                    })
+                    .collect();
+                let mut order: Vec<usize> = (0..users.len()).collect();
+                order.sort_by_key(|&i| (need[i], i));
+                let mut remaining = self.subchannels;
+                let mut shares = vec![0u32; users.len()];
+                for &i in &order {
+                    let grant = need[i].min(remaining);
+                    shares[i] = grant;
+                    remaining -= grant;
+                }
+                // Spread leftovers round-robin over users with demand.
+                let demanders: Vec<usize> = (0..users.len())
+                    .filter(|&i| users[i].demand_bps > 0.0)
+                    .collect();
+                if !demanders.is_empty() {
+                    let mut k = 0;
+                    while remaining > 0 {
+                        shares[demanders[k % demanders.len()]] += 1;
+                        remaining -= 1;
+                        k += 1;
+                    }
+                }
+                shares
+            }
+            Policy::RoundRobin => {
+                let n = users.len() as u32;
+                let base = self.subchannels / n.max(1);
+                let mut rem = self.subchannels % n.max(1);
+                users
+                    .iter()
+                    .map(|_| {
+                        let extra = if rem > 0 {
+                            rem -= 1;
+                            1
+                        } else {
+                            0
+                        };
+                        base + extra
+                    })
+                    .collect()
+            }
+            Policy::ProportionalDemand => {
+                let total: f64 = users.iter().map(|u| u.demand_bps).sum();
+                if total <= 0.0 {
+                    // No demand: nothing allocated.
+                    return users
+                        .iter()
+                        .map(|u| Allocation {
+                            user_id: u.user_id,
+                            subchannels: 0,
+                            rate_bps: 0.0,
+                        })
+                        .collect();
+                }
+                // Largest-remainder apportionment of subchannels by demand.
+                let quotas: Vec<f64> = users
+                    .iter()
+                    .map(|u| self.subchannels as f64 * u.demand_bps / total)
+                    .collect();
+                let mut shares: Vec<u32> = quotas.iter().map(|q| q.floor() as u32).collect();
+                let mut leftover = self.subchannels - shares.iter().sum::<u32>();
+                let mut order: Vec<usize> = (0..users.len()).collect();
+                order.sort_by(|&a, &b| {
+                    let fa = quotas[a] - quotas[a].floor();
+                    let fb = quotas[b] - quotas[b].floor();
+                    fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+                });
+                for &i in &order {
+                    if leftover == 0 {
+                        break;
+                    }
+                    shares[i] += 1;
+                    leftover -= 1;
+                }
+                shares
+            }
+        };
+        users
+            .iter()
+            .zip(shares)
+            .map(|(u, s)| {
+                let raw = s as f64 * self.subchannel_bandwidth_hz * u.spectral_efficiency;
+                Allocation {
+                    user_id: u.user_id,
+                    subchannels: s,
+                    rate_bps: raw.min(u.demand_bps),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user(id: u64, demand: f64) -> UserDemand {
+        UserDemand {
+            user_id: id,
+            demand_bps: demand,
+            spectral_efficiency: 3.0,
+        }
+    }
+
+    #[test]
+    fn round_robin_splits_evenly() {
+        let grid = OfdmaGrid::ku_beam();
+        let users: Vec<_> = (0..6).map(|i| user(i, 1e9)).collect();
+        let alloc = grid.schedule(&users, Policy::RoundRobin);
+        for a in &alloc {
+            assert_eq!(a.subchannels, 10);
+        }
+    }
+
+    #[test]
+    fn round_robin_remainder_goes_to_first_users() {
+        let grid = OfdmaGrid::ku_beam(); // 60 subchannels
+        let users: Vec<_> = (0..7).map(|i| user(i, 1e9)).collect();
+        let alloc = grid.schedule(&users, Policy::RoundRobin);
+        let total: u32 = alloc.iter().map(|a| a.subchannels).sum();
+        assert_eq!(total, 60);
+        assert_eq!(alloc[0].subchannels, 9);
+        assert_eq!(alloc[4].subchannels, 8);
+    }
+
+    #[test]
+    fn proportional_tracks_demand() {
+        let grid = OfdmaGrid::ku_beam();
+        let users = vec![user(1, 100e6), user(2, 300e6)];
+        let alloc = grid.schedule(&users, Policy::ProportionalDemand);
+        assert_eq!(alloc[0].subchannels, 15);
+        assert_eq!(alloc[1].subchannels, 45);
+    }
+
+    #[test]
+    fn all_subchannels_used_when_demand_exists() {
+        let grid = OfdmaGrid::ku_beam();
+        let users = vec![user(1, 7e6), user(2, 11e6), user(3, 13e6)];
+        let alloc = grid.schedule(&users, Policy::ProportionalDemand);
+        assert_eq!(alloc.iter().map(|a| a.subchannels).sum::<u32>(), 60);
+    }
+
+    #[test]
+    fn rate_capped_at_demand() {
+        let grid = OfdmaGrid::ku_beam();
+        let users = vec![user(1, 1e6)]; // tiny demand, whole grid available
+        let alloc = grid.schedule(&users, Policy::RoundRobin);
+        assert_eq!(alloc[0].rate_bps, 1e6);
+    }
+
+    #[test]
+    fn zero_total_demand_allocates_nothing() {
+        let grid = OfdmaGrid::ku_beam();
+        let users = vec![user(1, 0.0), user(2, 0.0)];
+        for a in grid.schedule(&users, Policy::ProportionalDemand) {
+            assert_eq!(a.subchannels, 0);
+            assert_eq!(a.rate_bps, 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_user_set_is_fine() {
+        assert!(OfdmaGrid::ku_beam()
+            .schedule(&[], Policy::RoundRobin)
+            .is_empty());
+    }
+
+    #[test]
+    fn water_filling_satisfies_small_demands_first() {
+        let grid = OfdmaGrid::ku_beam(); // 60 x 4 MHz, SE 3 -> 12 Mb/s per channel
+        let users = vec![
+            user(1, 24e6), // needs 2
+            user(2, 2e9),  // needs 167 — cannot be fully served
+            user(3, 36e6), // needs 3
+        ];
+        let alloc = grid.schedule(&users, Policy::WaterFilling);
+        assert_eq!(alloc[0].rate_bps, 24e6, "small demand fully served");
+        assert_eq!(alloc[2].rate_bps, 36e6, "second-smallest fully served");
+        // The big user gets everything left (55 channels).
+        assert_eq!(alloc[1].subchannels, 55);
+    }
+
+    #[test]
+    fn water_filling_redistributes_leftovers() {
+        let grid = OfdmaGrid::ku_beam();
+        // Total need = 5 channels; 55 left over get spread anyway.
+        let users = vec![user(1, 24e6), user(2, 36e6)];
+        let alloc = grid.schedule(&users, Policy::WaterFilling);
+        assert_eq!(
+            alloc.iter().map(|a| a.subchannels).sum::<u32>(),
+            60,
+            "all spectrum assigned"
+        );
+        // Rates stay capped at demand.
+        assert_eq!(alloc[0].rate_bps, 24e6);
+        assert_eq!(alloc[1].rate_bps, 36e6);
+    }
+
+    #[test]
+    fn water_filling_beats_round_robin_on_satisfied_users() {
+        let grid = OfdmaGrid::ku_beam();
+        // 6 small users and 2 elephants: round-robin gives everyone 7-8
+        // channels (~90 Mb/s), starving nobody but satisfying the small
+        // users with spectrum to spare; water-filling satisfies all six
+        // small users exactly and splits the rest between the elephants.
+        let mut users: Vec<UserDemand> = (0..6).map(|i| user(i, 12e6)).collect();
+        users.push(user(10, 2e9));
+        users.push(user(11, 2e9));
+        let wf = grid.schedule(&users, Policy::WaterFilling);
+        let satisfied = wf
+            .iter()
+            .zip(&users)
+            .filter(|(a, u)| a.rate_bps >= u.demand_bps)
+            .count();
+        assert_eq!(satisfied, 6, "all small users fully served");
+        let elephant_channels: u32 = wf[6].subchannels + wf[7].subchannels;
+        assert_eq!(elephant_channels, 60 - 6);
+    }
+
+    #[test]
+    fn better_channel_gets_more_rate_for_same_spectrum() {
+        let grid = OfdmaGrid::ku_beam();
+        let users = vec![
+            UserDemand {
+                user_id: 1,
+                demand_bps: 1e9,
+                spectral_efficiency: 2.0,
+            },
+            UserDemand {
+                user_id: 2,
+                demand_bps: 1e9,
+                spectral_efficiency: 5.0,
+            },
+        ];
+        let alloc = grid.schedule(&users, Policy::RoundRobin);
+        assert_eq!(alloc[0].subchannels, alloc[1].subchannels);
+        assert!(alloc[1].rate_bps > alloc[0].rate_bps * 2.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Contact plans: when each satellite is visible from a ground point.
+//!
+//! Because orbits are public and deterministic (§2.2), contact windows
+//! are computable arbitrarily far ahead. The handover predictor and the
+//! federation study both consume these plans.
+
+use crate::isl::SatNode;
+use openspace_orbit::frames::{eci_to_ecef, Vec3};
+use openspace_orbit::visibility::is_visible;
+
+/// One visibility window of one satellite over a ground point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContactWindow {
+    /// Index into the satellite array.
+    pub sat_index: usize,
+    /// Window start (s); clamped to the scan start when already visible.
+    pub start_s: f64,
+    /// Window end (s); clamped to the scan end when still visible.
+    pub end_s: f64,
+}
+
+impl ContactWindow {
+    /// Window duration (s).
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t_s: f64) -> bool {
+        (self.start_s..self.end_s).contains(&t_s)
+    }
+}
+
+/// Compute all contact windows of `sats` over `ground_ecef` in
+/// `[t_start_s, t_end_s)`, sampling visibility at `step_s`.
+///
+/// Windows are sorted by `(start, sat_index)`. Sampling granularity means
+/// windows are accurate to ±`step_s`; the experiments use 1–10 s steps,
+/// well below LEO pass durations (minutes).
+///
+/// # Panics
+/// Panics if `step_s <= 0` or the interval is inverted.
+pub fn contact_plan(
+    sats: &[SatNode],
+    ground_ecef: Vec3,
+    t_start_s: f64,
+    t_end_s: f64,
+    step_s: f64,
+    min_elevation_rad: f64,
+) -> Vec<ContactWindow> {
+    assert!(step_s > 0.0, "step must be positive");
+    assert!(t_end_s >= t_start_s, "interval inverted");
+    let steps = ((t_end_s - t_start_s) / step_s).ceil() as usize;
+    let mut windows = Vec::new();
+    for (si, sat) in sats.iter().enumerate() {
+        let mut open: Option<f64> = None;
+        for k in 0..=steps {
+            let t = (t_start_s + k as f64 * step_s).min(t_end_s);
+            let sat_ecef = eci_to_ecef(sat.propagator.position_eci(t), t);
+            let vis = is_visible(ground_ecef, sat_ecef, min_elevation_rad);
+            match (open, vis) {
+                (None, true) => open = Some(t),
+                (Some(start), false) => {
+                    windows.push(ContactWindow {
+                        sat_index: si,
+                        start_s: start,
+                        end_s: t,
+                    });
+                    open = None;
+                }
+                _ => {}
+            }
+            if t >= t_end_s {
+                break;
+            }
+        }
+        if let Some(start) = open {
+            windows.push(ContactWindow {
+                sat_index: si,
+                start_s: start,
+                end_s: t_end_s,
+            });
+        }
+    }
+    windows.sort_by(|a, b| {
+        a.start_s
+            .partial_cmp(&b.start_s)
+            .expect("finite times")
+            .then(a.sat_index.cmp(&b.sat_index))
+    });
+    windows
+}
+
+/// Fraction of `[t_start, t_end)` during which at least one satellite is
+/// visible (union of windows).
+pub fn coverage_time_fraction(windows: &[ContactWindow], t_start_s: f64, t_end_s: f64) -> f64 {
+    assert!(t_end_s > t_start_s, "empty interval");
+    // Sweep over sorted window boundaries.
+    let mut events: Vec<(f64, i32)> = Vec::with_capacity(windows.len() * 2);
+    for w in windows {
+        events.push((w.start_s.max(t_start_s), 1));
+        events.push((w.end_s.min(t_end_s), -1));
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(b.1.cmp(&a.1)));
+    let mut covered = 0.0;
+    let mut depth = 0;
+    let mut last = t_start_s;
+    for (t, d) in events {
+        if depth > 0 {
+            covered += (t - last).max(0.0);
+        }
+        last = t.max(last);
+        depth += d;
+    }
+    covered / (t_end_s - t_start_s)
+}
+
+/// The longest gap (s) with no satellite visible in `[t_start, t_end)`.
+pub fn longest_outage_s(windows: &[ContactWindow], t_start_s: f64, t_end_s: f64) -> f64 {
+    assert!(t_end_s > t_start_s, "empty interval");
+    let mut intervals: Vec<(f64, f64)> = windows
+        .iter()
+        .map(|w| (w.start_s.max(t_start_s), w.end_s.min(t_end_s)))
+        .filter(|(s, e)| e > s)
+        .collect();
+    intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    let mut gap: f64 = 0.0;
+    let mut horizon = t_start_s;
+    for (s, e) in intervals {
+        if s > horizon {
+            gap = gap.max(s - horizon);
+        }
+        horizon = horizon.max(e);
+    }
+    gap.max(t_end_s - horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openspace_orbit::constants::km_to_m;
+    use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
+    use openspace_orbit::kepler::OrbitalElements;
+    use openspace_orbit::propagator::{PerturbationModel, Propagator};
+    use openspace_orbit::walker::{iridium_params, walker_star};
+
+    fn one_sat() -> Vec<SatNode> {
+        vec![SatNode {
+            propagator: Propagator::new(
+                OrbitalElements::circular(km_to_m(780.0), 86.4, 0.0, 0.0).unwrap(),
+                PerturbationModel::TwoBody,
+            ),
+            operator: 0,
+            has_optical: false,
+        }]
+    }
+
+    fn iridium() -> Vec<SatNode> {
+        walker_star(&iridium_params())
+            .unwrap()
+            .into_iter()
+            .map(|el| SatNode {
+                propagator: Propagator::new(el, PerturbationModel::TwoBody),
+                operator: 0,
+                has_optical: false,
+            })
+            .collect()
+    }
+
+    fn equator_ground() -> Vec3 {
+        geodetic_to_ecef(Geodetic::from_degrees(0.0, 0.0, 0.0))
+    }
+
+    #[test]
+    fn single_sat_has_periodic_windows() {
+        let sats = one_sat();
+        let day = 86_400.0;
+        let windows = contact_plan(&sats, equator_ground(), 0.0, day, 5.0, 10f64.to_radians());
+        assert!(
+            (2..=10).contains(&windows.len()),
+            "one LEO sat over a day: got {} windows",
+            windows.len()
+        );
+        for w in &windows {
+            assert!(w.duration_s() > 60.0, "pass too short: {}", w.duration_s());
+            assert!(w.duration_s() < 1_000.0, "pass too long: {}", w.duration_s());
+        }
+    }
+
+    #[test]
+    fn windows_are_sorted_and_disjoint_per_sat() {
+        let sats = one_sat();
+        let windows = contact_plan(&sats, equator_ground(), 0.0, 86_400.0, 5.0, 0.1);
+        for w in windows.windows(2) {
+            assert!(w[0].start_s <= w[1].start_s);
+            assert!(w[0].end_s <= w[1].start_s, "overlap for one satellite");
+        }
+    }
+
+    #[test]
+    fn iridium_has_continuous_coverage() {
+        let sats = iridium();
+        let windows = contact_plan(
+            &sats,
+            equator_ground(),
+            0.0,
+            7_200.0,
+            10.0,
+            10f64.to_radians(),
+        );
+        let frac = coverage_time_fraction(&windows, 0.0, 7_200.0);
+        assert!(frac > 0.99, "Iridium equatorial coverage fraction {frac}");
+        assert!(longest_outage_s(&windows, 0.0, 7_200.0) < 60.0);
+    }
+
+    #[test]
+    fn single_sat_coverage_is_sparse() {
+        let sats = one_sat();
+        let windows = contact_plan(&sats, equator_ground(), 0.0, 86_400.0, 10.0, 0.1);
+        let frac = coverage_time_fraction(&windows, 0.0, 86_400.0);
+        assert!(frac < 0.2, "one sat cannot cover much of a day: {frac}");
+        assert!(longest_outage_s(&windows, 0.0, 86_400.0) > 3_600.0);
+    }
+
+    #[test]
+    fn empty_plan_means_full_outage() {
+        assert_eq!(coverage_time_fraction(&[], 0.0, 100.0), 0.0);
+        assert_eq!(longest_outage_s(&[], 0.0, 100.0), 100.0);
+    }
+
+    #[test]
+    fn contains_and_duration() {
+        let w = ContactWindow {
+            sat_index: 0,
+            start_s: 10.0,
+            end_s: 20.0,
+        };
+        assert_eq!(w.duration_s(), 10.0);
+        assert!(w.contains(10.0));
+        assert!(w.contains(19.999));
+        assert!(!w.contains(20.0));
+        assert!(!w.contains(9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_panics() {
+        contact_plan(&one_sat(), equator_ground(), 0.0, 10.0, 0.0, 0.0);
+    }
+}

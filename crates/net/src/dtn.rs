@@ -1,0 +1,358 @@
+//! Delay-tolerant networking: contact graphs and earliest-arrival
+//! routing.
+//!
+//! §2 warns that a non-collaborating operator's satellites "may be
+//! completely disconnected from the rest of their infrastructure for
+//! significant periods of time". Because orbits are public, those
+//! disconnections are *scheduled*: the operator can compute every future
+//! contact and route bundles store-and-forward along them — the
+//! contact-graph routing used by DTN stacks. This module provides the
+//! machinery, and experiment `exp_dtn` uses it to quantify the price of
+//! flying solo (minutes of bundle latency) against federated relay
+//! (milliseconds).
+
+use crate::isl::{build_snapshot, GroundNode, SatNode, SnapshotParams};
+
+/// One scheduled communication opportunity between two nodes.
+///
+/// Node indexing matches the snapshot convention: satellites first, then
+/// ground stations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Contact {
+    /// Transmitting node.
+    pub from: usize,
+    /// Receiving node.
+    pub to: usize,
+    /// Window start (s).
+    pub start_s: f64,
+    /// Window end (s).
+    pub end_s: f64,
+    /// One-way propagation latency during the window (s, mean).
+    pub latency_s: f64,
+    /// Link rate during the window (bit/s, minimum over samples).
+    pub rate_bps: f64,
+}
+
+impl Contact {
+    /// Window duration (s).
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+
+    /// Volume (bits) the contact can move.
+    pub fn volume_bits(&self) -> f64 {
+        self.duration_s() * self.rate_bps
+    }
+}
+
+/// Sample the time-varying topology into a contact plan over
+/// `[t_start_s, t_end_s)` at `step_s` resolution. Directed contacts; a
+/// bidirectional link yields two.
+///
+/// # Panics
+/// Panics if `step_s <= 0` or the interval is inverted.
+pub fn sample_contacts(
+    sats: &[SatNode],
+    stations: &[GroundNode],
+    t_start_s: f64,
+    t_end_s: f64,
+    step_s: f64,
+    params: &SnapshotParams,
+) -> Vec<Contact> {
+    assert!(step_s > 0.0, "step must be positive");
+    assert!(t_end_s >= t_start_s, "interval inverted");
+    let n_nodes = sats.len() + stations.len();
+    // open[(from, to)] = (start, latency_sum, samples, min_rate)
+    let mut open: std::collections::HashMap<(usize, usize), (f64, f64, u32, f64)> =
+        std::collections::HashMap::new();
+    let mut out = Vec::new();
+    let steps = ((t_end_s - t_start_s) / step_s).ceil() as usize;
+
+    for k in 0..=steps {
+        let t = (t_start_s + k as f64 * step_s).min(t_end_s);
+        let mut present = vec![false; n_nodes * n_nodes];
+        if t < t_end_s {
+            let g = build_snapshot(t, sats, stations, params);
+            for from in 0..n_nodes {
+                for e in g.edges(from) {
+                    present[from * n_nodes + e.to] = true;
+                    let entry = open
+                        .entry((from, e.to))
+                        .or_insert((t, 0.0, 0, f64::INFINITY));
+                    entry.1 += e.latency_s;
+                    entry.2 += 1;
+                    entry.3 = entry.3.min(e.capacity_bps);
+                }
+            }
+        }
+        // Close contacts that vanished (or everything at the horizon).
+        let to_close: Vec<(usize, usize)> = open
+            .keys()
+            .filter(|&&(f, to)| t >= t_end_s || !present[f * n_nodes + to])
+            .copied()
+            .collect();
+        for key in to_close {
+            let (start, lat_sum, n, min_rate) = open.remove(&key).expect("key exists");
+            out.push(Contact {
+                from: key.0,
+                to: key.1,
+                start_s: start,
+                end_s: t,
+                latency_s: lat_sum / n as f64,
+                rate_bps: min_rate,
+            });
+        }
+        if t >= t_end_s {
+            break;
+        }
+    }
+    out.sort_by(|a, b| {
+        a.start_s
+            .partial_cmp(&b.start_s)
+            .expect("finite")
+            .then(a.from.cmp(&b.from))
+            .then(a.to.cmp(&b.to))
+    });
+    out
+}
+
+/// A computed DTN route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DtnRoute {
+    /// When the bundle arrives at the destination (s).
+    pub arrival_s: f64,
+    /// Node sequence, source first.
+    pub nodes: Vec<usize>,
+}
+
+impl DtnRoute {
+    /// Store-and-forward hops taken.
+    pub fn hops(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+}
+
+/// Earliest-arrival routing over a contact plan (contact-graph routing's
+/// core): starting at `src` at `t_start_s` with a bundle of
+/// `bundle_bits`, find the earliest time the bundle can reach `dst`,
+/// waiting in storage for future contacts as needed.
+///
+/// A contact is usable if the bundle is present at `contact.from` before
+/// `contact.end`, and transmission (`bundle_bits / rate`) completes
+/// within the window.
+pub fn earliest_arrival(
+    contacts: &[Contact],
+    n_nodes: usize,
+    src: usize,
+    dst: usize,
+    t_start_s: f64,
+    bundle_bits: f64,
+) -> Option<DtnRoute> {
+    assert!(src < n_nodes && dst < n_nodes, "node out of range");
+    assert!(bundle_bits >= 0.0);
+    // Label-correcting over contacts sorted by start time. Because a
+    // later contact can never improve an earlier arrival, one forward
+    // pass over start-sorted contacts with re-scans on improvement is
+    // exact; we use a simple fixed-point loop (contact plans here are
+    // tens of thousands of entries at most).
+    let mut best = vec![f64::INFINITY; n_nodes];
+    let mut prev: Vec<Option<usize>> = vec![None; n_nodes];
+    best[src] = t_start_s;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for c in contacts {
+            let ready = best[c.from];
+            if ready.is_infinite() {
+                continue;
+            }
+            let departure = ready.max(c.start_s);
+            let tx_time = if c.rate_bps > 0.0 {
+                bundle_bits / c.rate_bps
+            } else {
+                f64::INFINITY
+            };
+            if departure + tx_time > c.end_s {
+                continue; // missed the window or doesn't fit
+            }
+            let arrival = departure + tx_time + c.latency_s;
+            if arrival < best[c.to] {
+                best[c.to] = arrival;
+                prev[c.to] = Some(c.from);
+                changed = true;
+            }
+        }
+    }
+    if best[dst].is_infinite() {
+        return None;
+    }
+    let mut nodes = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = prev[cur] {
+        nodes.push(p);
+        cur = p;
+        if cur == src {
+            break;
+        }
+    }
+    if *nodes.last().expect("non-empty") != src {
+        nodes.push(src);
+    }
+    nodes.reverse();
+    Some(DtnRoute {
+        arrival_s: best[dst],
+        nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openspace_orbit::constants::km_to_m;
+    use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
+    use openspace_orbit::kepler::OrbitalElements;
+    use openspace_orbit::propagator::{PerturbationModel, Propagator};
+
+    fn contact(from: usize, to: usize, start: f64, end: f64) -> Contact {
+        Contact {
+            from,
+            to,
+            start_s: start,
+            end_s: end,
+            latency_s: 0.01,
+            rate_bps: 1e6,
+        }
+    }
+
+    #[test]
+    fn direct_contact_routes_immediately() {
+        let plan = [contact(0, 1, 0.0, 100.0)];
+        let r = earliest_arrival(&plan, 2, 0, 1, 5.0, 1e6).unwrap();
+        // Departure at 5, 1 s transmission, 10 ms propagation.
+        assert!((r.arrival_s - 6.01).abs() < 1e-9);
+        assert_eq!(r.nodes, vec![0, 1]);
+    }
+
+    #[test]
+    fn waits_for_future_contact() {
+        let plan = [contact(0, 1, 50.0, 100.0)];
+        let r = earliest_arrival(&plan, 2, 0, 1, 0.0, 1e6).unwrap();
+        assert!((r.arrival_s - 51.01).abs() < 1e-9, "{}", r.arrival_s);
+    }
+
+    #[test]
+    fn store_and_forward_across_disjoint_windows() {
+        // 0→1 early, 1→2 much later: the bundle waits at node 1.
+        let plan = [contact(0, 1, 0.0, 10.0), contact(1, 2, 500.0, 600.0)];
+        let r = earliest_arrival(&plan, 3, 0, 2, 0.0, 1e6).unwrap();
+        assert_eq!(r.nodes, vec![0, 1, 2]);
+        assert!((r.arrival_s - 501.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contacts_out_of_order_still_route() {
+        // The later contact listed first: the fixed-point loop handles it.
+        let plan = [contact(1, 2, 500.0, 600.0), contact(0, 1, 0.0, 10.0)];
+        let r = earliest_arrival(&plan, 3, 0, 2, 0.0, 1e6).unwrap();
+        assert_eq!(r.hops(), 2);
+    }
+
+    #[test]
+    fn oversized_bundle_misses_window() {
+        // 1 Mbit/s for 10 s = 10 Mbit capacity; a 20 Mbit bundle fails.
+        let plan = [contact(0, 1, 0.0, 10.0)];
+        assert!(earliest_arrival(&plan, 2, 0, 1, 0.0, 2e7).is_none());
+        // But fits through a longer window.
+        let plan2 = [contact(0, 1, 0.0, 30.0)];
+        assert!(earliest_arrival(&plan2, 2, 0, 1, 0.0, 2e7).is_some());
+    }
+
+    #[test]
+    fn expired_contact_is_useless() {
+        let plan = [contact(0, 1, 0.0, 10.0)];
+        assert!(earliest_arrival(&plan, 2, 0, 1, 50.0, 1e3).is_none());
+    }
+
+    #[test]
+    fn chooses_earlier_of_two_paths() {
+        let plan = [
+            contact(0, 1, 0.0, 10.0),
+            contact(1, 3, 20.0, 30.0),
+            contact(0, 2, 0.0, 10.0),
+            contact(2, 3, 100.0, 110.0),
+        ];
+        let r = earliest_arrival(&plan, 4, 0, 3, 0.0, 1e6).unwrap();
+        assert_eq!(r.nodes, vec![0, 1, 3]);
+        assert!(r.arrival_s < 25.0);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let plan = [contact(0, 1, 0.0, 10.0)];
+        assert!(earliest_arrival(&plan, 3, 0, 2, 0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn sampled_contacts_from_single_orbit() {
+        // One satellite over one station: contacts must match the pass
+        // structure (a few per day, minutes long).
+        let sat = SatNode {
+            propagator: Propagator::new(
+                OrbitalElements::circular(km_to_m(780.0), 86.4, 0.0, 0.0).unwrap(),
+                PerturbationModel::TwoBody,
+            ),
+            operator: 0,
+            has_optical: false,
+        };
+        let st = GroundNode {
+            position_ecef: geodetic_to_ecef(Geodetic::from_degrees(0.0, 0.0, 0.0)),
+            operator: 0,
+        };
+        let contacts = sample_contacts(
+            &[sat],
+            &[st],
+            0.0,
+            86_400.0,
+            30.0,
+            &SnapshotParams::default(),
+        );
+        // Directed: up and down per pass.
+        assert!(!contacts.is_empty());
+        assert_eq!(contacts.len() % 2, 0);
+        for c in &contacts {
+            assert!(c.duration_s() >= 30.0);
+            assert!(c.duration_s() < 1_200.0);
+            assert!(c.rate_bps > 0.0);
+            assert!(c.latency_s > 0.0 && c.latency_s < 0.02);
+        }
+    }
+
+    #[test]
+    fn bundle_flows_sat_to_station_via_plan() {
+        // End-to-end: compute the plan, then route a bundle from the
+        // satellite (node 0) to the station (node 1).
+        let sat = SatNode {
+            propagator: Propagator::new(
+                OrbitalElements::circular(km_to_m(780.0), 86.4, 40.0, 180.0).unwrap(),
+                PerturbationModel::TwoBody,
+            ),
+            operator: 0,
+            has_optical: false,
+        };
+        let st = GroundNode {
+            position_ecef: geodetic_to_ecef(Geodetic::from_degrees(10.0, 20.0, 0.0)),
+            operator: 0,
+        };
+        let contacts = sample_contacts(
+            &[sat],
+            &[st],
+            0.0,
+            86_400.0,
+            30.0,
+            &SnapshotParams::default(),
+        );
+        let r = earliest_arrival(&contacts, 2, 0, 1, 0.0, 8.0 * 1e6).unwrap();
+        assert!(r.arrival_s > 0.0 && r.arrival_s < 86_400.0);
+        assert_eq!(r.nodes, vec![0, 1]);
+    }
+}

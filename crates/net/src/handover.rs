@@ -1,0 +1,240 @@
+//! Handover successor prediction.
+//!
+//! §2.2: "the satellite uses advance knowledge of orbital trajectories to
+//! pick a successor, i.e., the satellite that it will hand over its
+//! connection to the ground user to, once the satellite is out of the
+//! ground user's line-of-sight."
+//!
+//! [`service_schedule`] turns a contact plan into the sequence of serving
+//! satellites a user experiences; experiment E4 measures its handover
+//! cadence against constellation density (the Starlink-every-15-s claim).
+
+use crate::contact::ContactWindow;
+
+/// One serving interval in a user's schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceInterval {
+    /// Serving satellite index.
+    pub sat_index: usize,
+    /// Service start (s).
+    pub start_s: f64,
+    /// Service end (s) — a handover or an outage boundary.
+    pub end_s: f64,
+}
+
+/// A user's serving schedule plus outage accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSchedule {
+    /// Serving intervals in time order (gaps between them are outages).
+    pub intervals: Vec<ServiceInterval>,
+    /// Number of satellite-to-satellite handovers (transitions without an
+    /// intervening outage).
+    pub handovers: usize,
+    /// Total time with no serving satellite (s).
+    pub outage_s: f64,
+}
+
+impl ServiceSchedule {
+    /// Mean time between handovers (s); `None` with fewer than one
+    /// handover.
+    pub fn mean_time_between_handovers_s(&self) -> Option<f64> {
+        if self.handovers == 0 {
+            return None;
+        }
+        let served: f64 = self.intervals.iter().map(|i| i.end_s - i.start_s).sum();
+        Some(served / self.handovers as f64)
+    }
+}
+
+/// Build the serving schedule over `[t_start, t_end)` from a contact
+/// plan, using the paper's policy: stay on the current satellite until it
+/// sets, then switch to the predicted successor — the visible satellite
+/// whose window extends furthest (maximizing time to the next handover,
+/// which the serving satellite can compute from public orbits).
+///
+/// # Panics
+/// Panics on an inverted interval.
+pub fn service_schedule(
+    windows: &[ContactWindow],
+    t_start_s: f64,
+    t_end_s: f64,
+) -> ServiceSchedule {
+    assert!(t_end_s >= t_start_s, "interval inverted");
+    let mut intervals: Vec<ServiceInterval> = Vec::new();
+    let mut handovers = 0usize;
+    let mut outage = 0.0f64;
+    let mut t = t_start_s;
+
+    while t < t_end_s {
+        // Visible windows at t, pick the one lasting longest.
+        let best = windows
+            .iter()
+            .filter(|w| w.contains(t))
+            .max_by(|a, b| {
+                a.end_s
+                    .partial_cmp(&b.end_s)
+                    .expect("finite")
+                    .then(b.sat_index.cmp(&a.sat_index))
+            });
+        match best {
+            Some(w) => {
+                let end = w.end_s.min(t_end_s);
+                let came_from_service = intervals
+                    .last()
+                    .is_some_and(|last: &ServiceInterval| last.end_s == t);
+                if came_from_service {
+                    handovers += 1;
+                }
+                intervals.push(ServiceInterval {
+                    sat_index: w.sat_index,
+                    start_s: t,
+                    end_s: end,
+                });
+                t = end;
+            }
+            None => {
+                // Outage until the next window opens.
+                let next_start = windows
+                    .iter()
+                    .map(|w| w.start_s)
+                    .filter(|&s| s > t)
+                    .fold(f64::INFINITY, f64::min);
+                let until = next_start.min(t_end_s);
+                outage += until - t;
+                t = until;
+            }
+        }
+    }
+
+    ServiceSchedule {
+        intervals,
+        handovers,
+        outage_s: outage,
+    }
+}
+
+/// Interruption time per handover under two protocols:
+///
+/// * **OpenSpace successor prediction**: the user receives the successor
+///   in advance and commits with a session token — one round trip to the
+///   successor, no re-authentication.
+/// * **Re-authentication baseline**: association + RADIUS round trip to
+///   the home AAA over ISLs.
+///
+/// Both are expressed in terms of the constituent delays so experiments
+/// can parameterize them.
+#[derive(Debug, Clone, Copy)]
+pub struct HandoverCost {
+    /// One-way user↔satellite propagation + processing (s).
+    pub access_rtt_s: f64,
+    /// Round-trip to the home AAA over ISLs (s) — only paid on re-auth.
+    pub home_auth_rtt_s: f64,
+}
+
+impl HandoverCost {
+    /// Interruption with successor prediction: one access round trip.
+    pub fn predicted_interruption_s(&self) -> f64 {
+        self.access_rtt_s
+    }
+
+    /// Interruption with full re-authentication: association plus the
+    /// home-AAA round trip.
+    pub fn reauth_interruption_s(&self) -> f64 {
+        2.0 * self.access_rtt_s + self.home_auth_rtt_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(sat: usize, start: f64, end: f64) -> ContactWindow {
+        ContactWindow {
+            sat_index: sat,
+            start_s: start,
+            end_s: end,
+        }
+    }
+
+    #[test]
+    fn seamless_two_sat_schedule() {
+        // Sat 0 visible [0,100), sat 1 visible [80,200): one handover at 100.
+        let windows = [w(0, 0.0, 100.0), w(1, 80.0, 200.0)];
+        let s = service_schedule(&windows, 0.0, 200.0);
+        assert_eq!(s.intervals.len(), 2);
+        assert_eq!(s.intervals[0].sat_index, 0);
+        assert_eq!(s.intervals[1].sat_index, 1);
+        assert_eq!(s.intervals[1].start_s, 100.0);
+        assert_eq!(s.handovers, 1);
+        assert_eq!(s.outage_s, 0.0);
+    }
+
+    #[test]
+    fn gap_counts_as_outage_not_handover() {
+        let windows = [w(0, 0.0, 50.0), w(1, 80.0, 150.0)];
+        let s = service_schedule(&windows, 0.0, 150.0);
+        assert_eq!(s.handovers, 0, "outage breaks the handover chain");
+        assert_eq!(s.outage_s, 30.0);
+        assert_eq!(s.intervals.len(), 2);
+    }
+
+    #[test]
+    fn picks_longest_lasting_visible_sat() {
+        // At t=0 both are visible; sat 1 lasts longer and must be chosen.
+        let windows = [w(0, 0.0, 50.0), w(1, 0.0, 300.0)];
+        let s = service_schedule(&windows, 0.0, 300.0);
+        assert_eq!(s.intervals.len(), 1);
+        assert_eq!(s.intervals[0].sat_index, 1);
+        assert_eq!(s.handovers, 0);
+    }
+
+    #[test]
+    fn dense_windows_mean_frequent_handovers() {
+        // Staggered 30-s windows with 15-s overlap. The longest-lasting
+        // successor policy rides each chosen satellite for its full 30 s
+        // window (skipping every other candidate), so the cadence is the
+        // window length — still Starlink-order tens of seconds.
+        let mut windows = Vec::new();
+        for k in 0..20 {
+            let start = 15.0 * k as f64;
+            windows.push(w(k, start, start + 30.0));
+        }
+        let s = service_schedule(&windows, 0.0, 250.0);
+        assert!(s.handovers >= 7, "handovers {}", s.handovers);
+        assert_eq!(s.outage_s, 0.0);
+        let mtbh = s.mean_time_between_handovers_s().unwrap();
+        assert!((mtbh - 30.0).abs() < 5.0, "mean time between handovers {mtbh}");
+    }
+
+    #[test]
+    fn no_windows_is_all_outage() {
+        let s = service_schedule(&[], 0.0, 100.0);
+        assert!(s.intervals.is_empty());
+        assert_eq!(s.outage_s, 100.0);
+        assert_eq!(s.mean_time_between_handovers_s(), None);
+    }
+
+    #[test]
+    fn horizon_clamps_final_interval() {
+        let windows = [w(0, 0.0, 1_000.0)];
+        let s = service_schedule(&windows, 0.0, 100.0);
+        assert_eq!(s.intervals[0].end_s, 100.0);
+    }
+
+    #[test]
+    fn predicted_handover_is_cheaper() {
+        let c = HandoverCost {
+            access_rtt_s: 0.01,
+            home_auth_rtt_s: 0.08,
+        };
+        assert!(c.predicted_interruption_s() < c.reauth_interruption_s() / 5.0);
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let windows = [w(0, 0.0, 60.0), w(1, 30.0, 90.0), w(2, 60.0, 120.0)];
+        let a = service_schedule(&windows, 0.0, 120.0);
+        let b = service_schedule(&windows, 0.0, 120.0);
+        assert_eq!(a, b);
+    }
+}

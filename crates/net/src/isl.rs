@@ -1,0 +1,370 @@
+//! ISL feasibility and snapshot construction.
+//!
+//! Turns orbital state + hardware classes into the [`Graph`] the routers
+//! run on: which satellite pairs can link (range, line of sight, terminal
+//! count), at what capacity (RF vs optical link budgets from
+//! `openspace-phy`), and which satellites see which ground stations.
+
+use crate::topology::{Graph, LinkTech};
+use openspace_orbit::constants::SPEED_OF_LIGHT_M_PER_S;
+use openspace_orbit::frames::{ecef_to_eci, eci_to_ecef, Vec3};
+use openspace_orbit::propagator::Propagator;
+use openspace_orbit::visibility::{is_visible, line_of_sight_with_clearance};
+use openspace_phy::bands::RfBand;
+use openspace_phy::linkbudget::{RfLink, RfTerminal};
+use openspace_phy::optical::{achievable_rate_bps as optical_rate_bps, OpticalTerminal};
+
+/// A satellite as the topology builder sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct SatNode {
+    /// Its orbit.
+    pub propagator: Propagator,
+    /// Owning operator (plain id; the core crate maps identities).
+    pub operator: u32,
+    /// Whether it carries laser terminals.
+    pub has_optical: bool,
+}
+
+/// A ground station as the topology builder sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct GroundNode {
+    /// ECEF position (m).
+    pub position_ecef: Vec3,
+    /// Owning operator.
+    pub operator: u32,
+}
+
+/// Parameters governing snapshot construction.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotParams {
+    /// Hard ISL range limit (m) — beyond this no pairing is attempted
+    /// even with line of sight (beam budgets close the link first).
+    pub max_isl_range_m: f64,
+    /// Required ray clearance above the surface (m) for ISLs.
+    pub los_clearance_m: f64,
+    /// Whether ISLs require line of sight at all. `true` for physical
+    /// operation; `false` reproduces "simplified simulation" setups that
+    /// treat the ISL graph as purely distance-based (the paper's §4).
+    pub require_los: bool,
+    /// Maximum ISL neighbours per satellite (terminal count). Nearest
+    /// neighbours win.
+    pub max_isl_per_sat: usize,
+    /// Minimum elevation (rad) for ground links.
+    pub min_elevation_rad: f64,
+    /// RF terminal class used for RF ISL budgets.
+    pub rf_terminal: RfTerminal,
+    /// RF band for ISLs.
+    pub isl_band: RfBand,
+    /// Optical terminal class used when both ends have lasers.
+    pub optical_terminal: OpticalTerminal,
+    /// Ground-link capacity (bit/s) — gateway-class, modeled as constant
+    /// (the gateway dish dominates the budget).
+    pub ground_link_bps: f64,
+}
+
+impl Default for SnapshotParams {
+    fn default() -> Self {
+        Self {
+            max_isl_range_m: 5_000_000.0,
+            los_clearance_m: 80_000.0,
+            require_los: true,
+            max_isl_per_sat: 4,
+            min_elevation_rad: 10f64.to_radians(),
+            rf_terminal: RfTerminal::midsat(),
+            isl_band: RfBand::S,
+            optical_terminal: OpticalTerminal::conlct80_class(),
+            ground_link_bps: 500.0e6,
+        }
+    }
+}
+
+/// Capacity (bit/s) of an ISL between two satellites `distance_m` apart,
+/// choosing optical when both ends have terminals, RF otherwise.
+pub fn isl_capacity_bps(
+    a_optical: bool,
+    b_optical: bool,
+    distance_m: f64,
+    params: &SnapshotParams,
+) -> (f64, LinkTech) {
+    if a_optical && b_optical {
+        let rate = optical_rate_bps(
+            &params.optical_terminal,
+            &params.optical_terminal,
+            distance_m,
+        );
+        (rate, LinkTech::Optical)
+    } else {
+        let link = RfLink {
+            tx: params.rf_terminal,
+            rx: params.rf_terminal,
+            band: params.isl_band,
+            distance_m,
+            extra_loss_db: 0.0,
+        };
+        (link.achievable_rate_bps(), LinkTech::Rf)
+    }
+}
+
+/// Build the topology snapshot at time `t_s`.
+///
+/// Satellite nodes come first (`0..sats.len()`), then stations. ISLs are
+/// chosen greedily: each satellite ranks in-range, in-sight peers by
+/// distance and keeps at most `max_isl_per_sat`; a link exists when
+/// *both* ends keep each other (mutual selection, matching how terminal
+/// budgets bind on both spacecraft).
+pub fn build_snapshot(
+    t_s: f64,
+    sats: &[SatNode],
+    stations: &[GroundNode],
+    params: &SnapshotParams,
+) -> Graph {
+    let mut g = Graph::new(sats.len(), stations.len());
+    let pos_eci: Vec<Vec3> = sats.iter().map(|s| s.propagator.position_eci(t_s)).collect();
+
+    // Candidate neighbour lists per satellite.
+    let mut candidates: Vec<Vec<(usize, f64)>> = vec![Vec::new(); sats.len()];
+    for i in 0..sats.len() {
+        for j in (i + 1)..sats.len() {
+            let d = pos_eci[i].distance(pos_eci[j]);
+            if d <= params.max_isl_range_m
+                && (!params.require_los
+                    || line_of_sight_with_clearance(
+                        pos_eci[i],
+                        pos_eci[j],
+                        params.los_clearance_m,
+                    ))
+            {
+                candidates[i].push((j, d));
+                candidates[j].push((i, d));
+            }
+        }
+    }
+    for c in candidates.iter_mut() {
+        c.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        c.truncate(params.max_isl_per_sat);
+    }
+    // Mutual selection.
+    for i in 0..sats.len() {
+        for &(j, d) in &candidates[i] {
+            if j > i && candidates[j].iter().any(|&(k, _)| k == i) {
+                let (cap, tech) =
+                    isl_capacity_bps(sats[i].has_optical, sats[j].has_optical, d, params);
+                if cap > 0.0 {
+                    g.add_bidirectional(
+                        i,
+                        j,
+                        d / SPEED_OF_LIGHT_M_PER_S,
+                        cap,
+                        sats[i].operator,
+                        sats[j].operator,
+                        tech,
+                    );
+                }
+            }
+        }
+    }
+
+    // Ground links: every station links to every visible satellite.
+    for (gi, st) in stations.iter().enumerate() {
+        let gs_node = g.station_node(gi);
+        for (si, _s) in sats.iter().enumerate() {
+            let sat_ecef = eci_to_ecef(pos_eci[si], t_s);
+            if is_visible(st.position_ecef, sat_ecef, params.min_elevation_rad) {
+                let d = st.position_ecef.distance(sat_ecef);
+                g.add_bidirectional(
+                    si,
+                    gs_node,
+                    d / SPEED_OF_LIGHT_M_PER_S,
+                    params.ground_link_bps,
+                    sats[si].operator,
+                    st.operator,
+                    LinkTech::Rf,
+                );
+            }
+        }
+    }
+    g
+}
+
+/// The satellite (index into `sats`) nearest to a ground ECEF point that
+/// is visible above `min_elevation_rad` at `t_s`, with its slant range.
+pub fn best_access_satellite(
+    ground_ecef: Vec3,
+    sats: &[SatNode],
+    t_s: f64,
+    min_elevation_rad: f64,
+) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, s) in sats.iter().enumerate() {
+        let sat_ecef = eci_to_ecef(s.propagator.position_eci(t_s), t_s);
+        if is_visible(ground_ecef, sat_ecef, min_elevation_rad) {
+            let d = ground_ecef.distance(sat_ecef);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+    }
+    best
+}
+
+/// Convenience: the ECI position of a ground ECEF point at time `t_s`
+/// (for mixing ground points into ECI-frame computations).
+pub fn ground_eci(ground_ecef: Vec3, t_s: f64) -> Vec3 {
+    ecef_to_eci(ground_ecef, t_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
+    use openspace_orbit::propagator::PerturbationModel;
+    use openspace_orbit::walker::{iridium_params, walker_star};
+
+    fn iridium_nodes(optical: bool) -> Vec<SatNode> {
+        walker_star(&iridium_params())
+            .unwrap()
+            .into_iter()
+            .enumerate()
+            .map(|(i, el)| SatNode {
+                propagator: Propagator::new(el, PerturbationModel::TwoBody),
+                operator: (i % 4) as u32,
+                has_optical: optical,
+            })
+            .collect()
+    }
+
+    fn station(lat: f64, lon: f64) -> GroundNode {
+        GroundNode {
+            position_ecef: geodetic_to_ecef(Geodetic::from_degrees(lat, lon, 0.0)),
+            operator: 99,
+        }
+    }
+
+    #[test]
+    fn iridium_snapshot_is_connected() {
+        let sats = iridium_nodes(false);
+        let g = build_snapshot(0.0, &sats, &[], &SnapshotParams::default());
+        let reach = g.reachable_from(0);
+        let count = reach.iter().filter(|&&r| r).count();
+        assert_eq!(count, 66, "Iridium ISL mesh must be connected");
+    }
+
+    #[test]
+    fn degree_bounded_by_terminal_count() {
+        let sats = iridium_nodes(false);
+        let p = SnapshotParams::default();
+        let g = build_snapshot(0.0, &sats, &[], &p);
+        for i in 0..66 {
+            assert!(g.degree(i) <= p.max_isl_per_sat, "sat {i} degree {}", g.degree(i));
+        }
+    }
+
+    #[test]
+    fn isl_links_are_mutual() {
+        let sats = iridium_nodes(false);
+        let g = build_snapshot(0.0, &sats, &[], &SnapshotParams::default());
+        for i in 0..66 {
+            for e in g.edges(i) {
+                assert!(
+                    g.find_edge(e.to, i).is_some(),
+                    "edge {i}->{} not mirrored",
+                    e.to
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optical_fleet_gets_optical_links() {
+        let sats = iridium_nodes(true);
+        let g = build_snapshot(0.0, &sats, &[], &SnapshotParams::default());
+        let mut saw_optical = false;
+        for i in 0..g.satellite_count() {
+            for e in g.edges(i) {
+                if e.to < g.satellite_count() {
+                    assert_eq!(e.technology, LinkTech::Optical);
+                    saw_optical = true;
+                }
+            }
+        }
+        assert!(saw_optical);
+    }
+
+    #[test]
+    fn optical_capacity_beats_rf() {
+        let p = SnapshotParams::default();
+        let d = 2_000_000.0;
+        let (rf, t1) = isl_capacity_bps(false, false, d, &p);
+        let (opt, t2) = isl_capacity_bps(true, true, d, &p);
+        assert_eq!(t1, LinkTech::Rf);
+        assert_eq!(t2, LinkTech::Optical);
+        assert!(opt > rf * 10.0, "optical {opt} vs rf {rf}");
+    }
+
+    #[test]
+    fn mixed_pair_falls_back_to_rf() {
+        let p = SnapshotParams::default();
+        let (_, tech) = isl_capacity_bps(true, false, 1e6, &p);
+        assert_eq!(tech, LinkTech::Rf);
+    }
+
+    #[test]
+    fn stations_link_to_overhead_satellites() {
+        let sats = iridium_nodes(false);
+        let st = [station(0.0, 0.0), station(45.0, 90.0)];
+        let g = build_snapshot(0.0, &sats, &st, &SnapshotParams::default());
+        for gi in 0..2 {
+            let node = g.station_node(gi);
+            assert!(
+                g.degree(node) >= 1,
+                "station {gi} sees no satellite (degree 0)"
+            );
+        }
+    }
+
+    #[test]
+    fn ground_links_respect_elevation_mask() {
+        let sats = iridium_nodes(false);
+        let st = [station(0.0, 0.0)];
+        let strict = SnapshotParams {
+            min_elevation_rad: 85f64.to_radians(),
+            ..SnapshotParams::default()
+        };
+        let g_strict = build_snapshot(0.0, &sats, &st, &strict);
+        let g_loose = build_snapshot(0.0, &sats, &st, &SnapshotParams::default());
+        assert!(g_strict.degree(g_strict.station_node(0)) <= g_loose.degree(g_loose.station_node(0)));
+    }
+
+    #[test]
+    fn best_access_satellite_finds_nearest() {
+        let sats = iridium_nodes(false);
+        let ground = geodetic_to_ecef(Geodetic::from_degrees(10.0, 20.0, 0.0));
+        let got = best_access_satellite(ground, &sats, 0.0, 10f64.to_radians());
+        if let Some((idx, dist)) = got {
+            assert!(idx < sats.len());
+            // Nearest visible: verify no other visible sat is closer.
+            for (i, s) in sats.iter().enumerate() {
+                let se = eci_to_ecef(s.propagator.position_eci(0.0), 0.0);
+                if is_visible(ground, se, 10f64.to_radians()) {
+                    assert!(ground.distance(se) >= dist - 1e-6, "sat {i} closer");
+                }
+            }
+        } else {
+            panic!("Iridium leaves no coverage gap at 10 deg mask");
+        }
+    }
+
+    #[test]
+    fn empty_constellation_gives_empty_graph() {
+        let g = build_snapshot(0.0, &[], &[station(0.0, 0.0)], &SnapshotParams::default());
+        assert_eq!(g.edge_count(), 0);
+        assert!(best_access_satellite(
+            station(0.0, 0.0).position_ecef,
+            &[],
+            0.0,
+            0.0
+        )
+        .is_none());
+    }
+}

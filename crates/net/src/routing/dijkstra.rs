@@ -1,0 +1,249 @@
+//! Dijkstra shortest paths with pluggable edge weights.
+//!
+//! The proactive routing of §2.2 is exactly this: the topology is known,
+//! so routes are precomputed shortest paths. The weight function is a
+//! parameter so the same machinery serves latency-optimal, hop-count, and
+//! the QoS-aware costs in [`crate::routing::qos`].
+
+use crate::topology::{Edge, Graph};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A computed path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Node sequence, source first, destination last.
+    pub nodes: Vec<usize>,
+    /// Total weight under the cost function used.
+    pub total_cost: f64,
+}
+
+impl Path {
+    /// Hop count (edges traversed).
+    pub fn hops(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+
+    /// Sum a per-edge metric along the path (e.g. latency when the route
+    /// was computed under a different cost).
+    pub fn sum_metric(&self, graph: &Graph, metric: impl Fn(&Edge) -> f64) -> f64 {
+        self.nodes
+            .windows(2)
+            .map(|w| {
+                let e = graph
+                    .find_edge(w[0], w[1])
+                    .expect("path edge exists in graph");
+                metric(e)
+            })
+            .sum()
+    }
+
+    /// Minimum capacity along the path (the bottleneck, bit/s).
+    pub fn bottleneck_bps(&self, graph: &Graph) -> f64 {
+        self.nodes
+            .windows(2)
+            .map(|w| {
+                graph
+                    .find_edge(w[0], w[1])
+                    .expect("path edge exists in graph")
+                    .capacity_bps
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: usize,
+}
+impl Eq for HeapEntry {}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by cost; tie-break on node index for determinism.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("finite costs")
+            .then(other.node.cmp(&self.node))
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Shortest path from `src` to `dst` under `weight`.
+///
+/// Edges for which `weight` returns `f64::INFINITY` are skipped (that is
+/// how QoS filters express "this link does not qualify"). Returns `None`
+/// when `dst` is unreachable.
+///
+/// # Panics
+/// Panics if `weight` returns a negative or NaN value for a usable edge,
+/// or on out-of-range endpoints.
+pub fn shortest_path(
+    graph: &Graph,
+    src: usize,
+    dst: usize,
+    weight: impl Fn(&Edge) -> f64,
+) -> Option<Path> {
+    assert!(src < graph.node_count(), "src out of range");
+    assert!(dst < graph.node_count(), "dst out of range");
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<usize>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src] = 0.0;
+    heap.push(HeapEntry { cost: 0.0, node: src });
+
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if cost > dist[node] {
+            continue; // stale entry
+        }
+        if node == dst {
+            break;
+        }
+        for e in graph.edges(node) {
+            let w = weight(e);
+            if w == f64::INFINITY {
+                continue;
+            }
+            assert!(w >= 0.0 && !w.is_nan(), "edge weight must be non-negative");
+            let next = cost + w;
+            if next < dist[e.to] {
+                dist[e.to] = next;
+                prev[e.to] = Some(node);
+                heap.push(HeapEntry {
+                    cost: next,
+                    node: e.to,
+                });
+            }
+        }
+    }
+
+    if dist[dst].is_infinite() {
+        return None;
+    }
+    let mut nodes = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = prev[cur] {
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    debug_assert_eq!(nodes[0], src);
+    Some(Path {
+        nodes,
+        total_cost: dist[dst],
+    })
+}
+
+/// Latency edge weight: pure propagation delay.
+pub fn latency_weight(e: &Edge) -> f64 {
+    e.latency_s
+}
+
+/// Hop-count edge weight.
+pub fn hop_weight(_e: &Edge) -> f64 {
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkTech;
+
+    /// Build:  0 --1ms-- 1 --1ms-- 2
+    ///          \________5ms_______/
+    fn diamond() -> Graph {
+        let mut g = Graph::new(3, 0);
+        g.add_bidirectional(0, 1, 0.001, 1e6, 0, 0, LinkTech::Rf);
+        g.add_bidirectional(1, 2, 0.001, 1e6, 0, 0, LinkTech::Rf);
+        g.add_bidirectional(0, 2, 0.005, 1e9, 0, 0, LinkTech::Rf);
+        g
+    }
+
+    #[test]
+    fn picks_lower_latency_two_hop() {
+        let g = diamond();
+        let p = shortest_path(&g, 0, 2, latency_weight).unwrap();
+        assert_eq!(p.nodes, vec![0, 1, 2]);
+        assert!((p.total_cost - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hop_weight_prefers_direct() {
+        let g = diamond();
+        let p = shortest_path(&g, 0, 2, hop_weight).unwrap();
+        assert_eq!(p.nodes, vec![0, 2]);
+        assert_eq!(p.hops(), 1);
+    }
+
+    #[test]
+    fn source_equals_destination() {
+        let g = diamond();
+        let p = shortest_path(&g, 1, 1, latency_weight).unwrap();
+        assert_eq!(p.nodes, vec![1]);
+        assert_eq!(p.total_cost, 0.0);
+        assert_eq!(p.hops(), 0);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut g = Graph::new(3, 0);
+        g.add_bidirectional(0, 1, 0.001, 1e6, 0, 0, LinkTech::Rf);
+        assert!(shortest_path(&g, 0, 2, latency_weight).is_none());
+    }
+
+    #[test]
+    fn infinite_weight_excludes_edge() {
+        let g = diamond();
+        // Exclude the 0-1 edge: forced onto the direct path.
+        let p = shortest_path(&g, 0, 2, |e| {
+            if e.latency_s < 0.002 && e.to != 2 {
+                f64::INFINITY
+            } else {
+                e.latency_s
+            }
+        });
+        // With 0->1 excluded, path is the direct 0->2.
+        assert_eq!(p.unwrap().nodes, vec![0, 2]);
+    }
+
+    #[test]
+    fn bottleneck_and_metric_sum() {
+        let g = diamond();
+        let p = shortest_path(&g, 0, 2, latency_weight).unwrap();
+        assert_eq!(p.bottleneck_bps(&g), 1e6);
+        let lat = p.sum_metric(&g, |e| e.latency_s);
+        assert!((lat - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two equal-cost paths: 0-1-3 and 0-2-3. Lower node index wins the
+        // heap tie, so the result must be stable across runs.
+        let mut g = Graph::new(4, 0);
+        g.add_bidirectional(0, 1, 0.001, 1e6, 0, 0, LinkTech::Rf);
+        g.add_bidirectional(0, 2, 0.001, 1e6, 0, 0, LinkTech::Rf);
+        g.add_bidirectional(1, 3, 0.001, 1e6, 0, 0, LinkTech::Rf);
+        g.add_bidirectional(2, 3, 0.001, 1e6, 0, 0, LinkTech::Rf);
+        let a = shortest_path(&g, 0, 3, latency_weight).unwrap();
+        let b = shortest_path(&g, 0, 3, latency_weight).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn large_line_graph_traversal() {
+        let n = 500;
+        let mut g = Graph::new(n, 0);
+        for i in 0..n - 1 {
+            g.add_bidirectional(i, i + 1, 0.001, 1e6, 0, 0, LinkTech::Rf);
+        }
+        let p = shortest_path(&g, 0, n - 1, latency_weight).unwrap();
+        assert_eq!(p.hops(), n - 1);
+        assert!((p.total_cost - 0.001 * (n - 1) as f64).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,18 @@
+//! Routing over topology snapshots.
+//!
+//! Three layers, matching §2.2's progression:
+//!
+//! * [`dijkstra`] — shortest paths with pluggable weights: the proactive
+//!   precomputed routing a "beginner system" uses.
+//! * [`yen`] — k-shortest alternatives for fallback.
+//! * [`qos`] — congestion-aware weights, bandwidth floors, and widest
+//!   paths: the end-to-end reactive routing the paper says a scaled
+//!   system needs.
+
+pub mod dijkstra;
+pub mod qos;
+pub mod yen;
+
+pub use dijkstra::{hop_weight, latency_weight, shortest_path, Path};
+pub use qos::{congestion_weight, qos_route, residual_bps, widest_path, QosRequirement};
+pub use yen::k_shortest_paths;

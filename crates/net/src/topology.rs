@@ -1,0 +1,304 @@
+//! The time-varying network graph.
+//!
+//! §2.2's central observation: "the topology of the satellite network is
+//! both known and public, allowing for pre-computation of static routes".
+//! A [`Graph`] is one snapshot of that topology at an instant; the
+//! [`SnapshotBuilder`](crate::isl::build_snapshot) derives it from orbital
+//! state, and the routing modules consume it.
+//!
+//! Node indexing convention: satellites occupy indices `0..n_sats`,
+//! ground stations `n_sats..n_sats+n_stations`. [`Graph::node_kind`]
+//! recovers the kind.
+
+/// Link technology of an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkTech {
+    /// RF inter-satellite or ground link.
+    Rf,
+    /// Optical inter-satellite link.
+    Optical,
+}
+
+/// What a node index refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Satellite with the given satellite-array index.
+    Satellite(usize),
+    /// Ground station with the given station-array index.
+    GroundStation(usize),
+}
+
+/// A directed edge of the snapshot graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Destination node index.
+    pub to: usize,
+    /// One-way propagation latency (s).
+    pub latency_s: f64,
+    /// Achievable capacity (bit/s).
+    pub capacity_bps: f64,
+    /// Operator owning the *transmitting* node (the carrier that bills
+    /// for this hop in the §3 cost model).
+    pub operator: u32,
+    /// Link technology.
+    pub technology: LinkTech,
+    /// Current utilization in `[0, 1)`; 0 in a fresh snapshot, set by the
+    /// traffic simulation for QoS-aware routing.
+    pub load_fraction: f64,
+}
+
+/// A snapshot of the network at one instant.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    n_sats: usize,
+    n_stations: usize,
+    adj: Vec<Vec<Edge>>,
+}
+
+impl Graph {
+    /// An edgeless graph with the given node counts.
+    pub fn new(n_sats: usize, n_stations: usize) -> Self {
+        Self {
+            n_sats,
+            n_stations,
+            adj: vec![Vec::new(); n_sats + n_stations],
+        }
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Satellite count.
+    pub fn satellite_count(&self) -> usize {
+        self.n_sats
+    }
+
+    /// Ground-station count.
+    pub fn station_count(&self) -> usize {
+        self.n_stations
+    }
+
+    /// What `node` refers to.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn node_kind(&self, node: usize) -> NodeKind {
+        assert!(node < self.node_count(), "node {node} out of range");
+        if node < self.n_sats {
+            NodeKind::Satellite(node)
+        } else {
+            NodeKind::GroundStation(node - self.n_sats)
+        }
+    }
+
+    /// Node index of satellite `i`.
+    pub fn sat_node(&self, i: usize) -> usize {
+        assert!(i < self.n_sats, "satellite {i} out of range");
+        i
+    }
+
+    /// Node index of ground station `i`.
+    pub fn station_node(&self, i: usize) -> usize {
+        assert!(i < self.n_stations, "station {i} out of range");
+        self.n_sats + i
+    }
+
+    /// Add a directed edge.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints, self-loops, or non-positive
+    /// capacity/latency.
+    pub fn add_edge(&mut self, from: usize, edge: Edge) {
+        assert!(from < self.node_count(), "from {from} out of range");
+        assert!(edge.to < self.node_count(), "to {} out of range", edge.to);
+        assert!(from != edge.to, "self-loop at {from}");
+        assert!(edge.latency_s > 0.0, "latency must be positive");
+        assert!(edge.capacity_bps > 0.0, "capacity must be positive");
+        assert!(
+            (0.0..1.0).contains(&edge.load_fraction),
+            "load fraction must be in [0,1)"
+        );
+        self.adj[from].push(edge);
+    }
+
+    /// Add the same link in both directions (symmetric ISLs/ground links),
+    /// with per-direction operators taken from the transmitting side.
+    #[allow(clippy::too_many_arguments)] // a link is genuinely 7 facts
+    pub fn add_bidirectional(
+        &mut self,
+        a: usize,
+        b: usize,
+        latency_s: f64,
+        capacity_bps: f64,
+        operator_a: u32,
+        operator_b: u32,
+        technology: LinkTech,
+    ) {
+        self.add_edge(
+            a,
+            Edge {
+                to: b,
+                latency_s,
+                capacity_bps,
+                operator: operator_a,
+                technology,
+                load_fraction: 0.0,
+            },
+        );
+        self.add_edge(
+            b,
+            Edge {
+                to: a,
+                latency_s,
+                capacity_bps,
+                operator: operator_b,
+                technology,
+                load_fraction: 0.0,
+            },
+        );
+    }
+
+    /// Out-edges of `node`.
+    pub fn edges(&self, node: usize) -> &[Edge] {
+        &self.adj[node]
+    }
+
+    /// Mutable out-edges (the traffic simulation updates loads in place).
+    pub fn edges_mut(&mut self, node: usize) -> &mut [Edge] {
+        &mut self.adj[node]
+    }
+
+    /// Total directed edge count.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Out-degree of `node`.
+    pub fn degree(&self, node: usize) -> usize {
+        self.adj[node].len()
+    }
+
+    /// Find the edge `from → to`, if present.
+    pub fn find_edge(&self, from: usize, to: usize) -> Option<&Edge> {
+        self.adj[from].iter().find(|e| e.to == to)
+    }
+
+    /// Set the utilization of the edge `from → to`.
+    ///
+    /// # Panics
+    /// Panics if the edge does not exist or the load is out of range.
+    pub fn set_load(&mut self, from: usize, to: usize, load_fraction: f64) {
+        assert!(
+            (0.0..1.0).contains(&load_fraction),
+            "load fraction must be in [0,1)"
+        );
+        let e = self.adj[from]
+            .iter_mut()
+            .find(|e| e.to == to)
+            .unwrap_or_else(|| panic!("no edge {from} -> {to}"));
+        e.load_fraction = load_fraction;
+    }
+
+    /// Nodes reachable from `start` (BFS over directed edges).
+    pub fn reachable_from(&self, start: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(u) = stack.pop() {
+            for e in &self.adj[u] {
+                if !seen[e.to] {
+                    seen[e.to] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_graph() -> Graph {
+        // sat0 - sat1 - gs0
+        let mut g = Graph::new(2, 1);
+        g.add_bidirectional(0, 1, 0.005, 1e6, 1, 2, LinkTech::Rf);
+        g.add_bidirectional(1, 2, 0.003, 1e7, 2, 9, LinkTech::Rf);
+        g
+    }
+
+    #[test]
+    fn indexing_convention() {
+        let g = line_graph();
+        assert_eq!(g.node_kind(0), NodeKind::Satellite(0));
+        assert_eq!(g.node_kind(2), NodeKind::GroundStation(0));
+        assert_eq!(g.station_node(0), 2);
+        assert_eq!(g.sat_node(1), 1);
+    }
+
+    #[test]
+    fn bidirectional_adds_two_edges() {
+        let g = line_graph();
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(1), 2);
+        assert!(g.find_edge(0, 1).is_some());
+        assert!(g.find_edge(1, 0).is_some());
+        assert!(g.find_edge(0, 2).is_none());
+    }
+
+    #[test]
+    fn per_direction_operators() {
+        let g = line_graph();
+        assert_eq!(g.find_edge(0, 1).unwrap().operator, 1);
+        assert_eq!(g.find_edge(1, 0).unwrap().operator, 2);
+    }
+
+    #[test]
+    fn reachability() {
+        let mut g = Graph::new(3, 0);
+        g.add_bidirectional(0, 1, 0.001, 1e6, 0, 0, LinkTech::Rf);
+        let r = g.reachable_from(0);
+        assert_eq!(r, vec![true, true, false]);
+    }
+
+    #[test]
+    fn set_load_updates_edge() {
+        let mut g = line_graph();
+        g.set_load(0, 1, 0.75);
+        assert_eq!(g.find_edge(0, 1).unwrap().load_fraction, 0.75);
+        assert_eq!(g.find_edge(1, 0).unwrap().load_fraction, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut g = Graph::new(2, 0);
+        g.add_edge(
+            0,
+            Edge {
+                to: 0,
+                latency_s: 1.0,
+                capacity_bps: 1.0,
+                operator: 0,
+                technology: LinkTech::Rf,
+                load_fraction: 0.0,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no edge")]
+    fn set_load_missing_edge_panics() {
+        let mut g = line_graph();
+        g.set_load(0, 2, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_node_kind_panics() {
+        line_graph().node_kind(99);
+    }
+}

@@ -1,0 +1,190 @@
+//! Orbit propagation: two-body Keplerian motion with optional secular J2
+//! perturbations.
+//!
+//! The OpenSpace study needs orbital *predictability* over hours to days,
+//! which secular J2 captures (nodal regression and apsidal rotation are the
+//! dominant LEO perturbations). Short-period J2 oscillations, drag, and
+//! higher harmonics are below the fidelity needed to evaluate coverage and
+//! routing and are deliberately out of scope (documented substitution in
+//! DESIGN.md).
+
+use crate::constants::{EARTH_J2, EARTH_RADIUS_M};
+use crate::frames::Vec3;
+use crate::kepler::{elements_to_state, OrbitalElements};
+
+/// Propagation model selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PerturbationModel {
+    /// Pure two-body motion: only the mean anomaly advances.
+    TwoBody,
+    /// Two-body plus secular J2 drift of RAAN, argument of perigee, and
+    /// mean anomaly. The default: this is what makes polar constellations
+    /// precess realistically.
+    #[default]
+    SecularJ2,
+}
+
+/// A deterministic orbit propagator for one satellite.
+///
+/// Cheap to copy; the per-step cost is one Kepler solve plus a rotation.
+#[derive(Debug, Clone, Copy)]
+pub struct Propagator {
+    elements: OrbitalElements,
+    model: PerturbationModel,
+    /// Secular rates (rad/s), precomputed at construction.
+    raan_rate: f64,
+    argp_rate: f64,
+    mean_anomaly_rate: f64,
+}
+
+impl Propagator {
+    /// Build a propagator from epoch elements with the given model.
+    pub fn new(elements: OrbitalElements, model: PerturbationModel) -> Self {
+        let n = elements.mean_motion_rad_per_s();
+        let a = elements.semi_major_axis_m;
+        let e = elements.eccentricity;
+        let i = elements.inclination_rad;
+        let (raan_rate, argp_rate, mn_corr) = match model {
+            PerturbationModel::TwoBody => (0.0, 0.0, 0.0),
+            PerturbationModel::SecularJ2 => {
+                let p = a * (1.0 - e * e);
+                let factor = 1.5 * EARTH_J2 * (EARTH_RADIUS_M / p).powi(2) * n;
+                let ci = i.cos();
+                let si2 = i.sin().powi(2);
+                let raan_dot = -factor * ci;
+                let argp_dot = factor * (2.0 - 2.5 * si2);
+                let mn_dot = factor * (1.0 - 1.5 * si2) * (1.0 - e * e).sqrt();
+                (raan_dot, argp_dot, mn_dot)
+            }
+        };
+        Self {
+            elements,
+            model,
+            raan_rate,
+            argp_rate,
+            mean_anomaly_rate: n + mn_corr,
+        }
+    }
+
+    /// Epoch elements this propagator was built from.
+    pub fn elements(&self) -> &OrbitalElements {
+        &self.elements
+    }
+
+    /// The perturbation model in use.
+    pub fn model(&self) -> PerturbationModel {
+        self.model
+    }
+
+    /// Secular RAAN drift rate (rad/s); zero for the two-body model.
+    pub fn raan_rate_rad_per_s(&self) -> f64 {
+        self.raan_rate
+    }
+
+    /// Osculating elements at time `t_s` after epoch.
+    pub fn elements_at(&self, t_s: f64) -> OrbitalElements {
+        let mut el = self.elements;
+        el.raan_rad = (el.raan_rad + self.raan_rate * t_s).rem_euclid(std::f64::consts::TAU);
+        el.arg_perigee_rad =
+            (el.arg_perigee_rad + self.argp_rate * t_s).rem_euclid(std::f64::consts::TAU);
+        el.mean_anomaly_rad =
+            (el.mean_anomaly_rad + self.mean_anomaly_rate * t_s).rem_euclid(std::f64::consts::TAU);
+        el
+    }
+
+    /// ECI position (m) at time `t_s` after epoch.
+    pub fn position_eci(&self, t_s: f64) -> Vec3 {
+        elements_to_state(&self.elements_at(t_s)).0
+    }
+
+    /// ECI position and velocity at time `t_s` after epoch.
+    pub fn state_eci(&self, t_s: f64) -> (Vec3, Vec3) {
+        elements_to_state(&self.elements_at(t_s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::km_to_m;
+
+    fn leo(inc_deg: f64) -> OrbitalElements {
+        OrbitalElements::circular(km_to_m(780.0), inc_deg, 0.0, 0.0).unwrap()
+    }
+
+    #[test]
+    fn two_body_returns_to_start_after_one_period() {
+        let prop = Propagator::new(leo(86.4), PerturbationModel::TwoBody);
+        let p0 = prop.position_eci(0.0);
+        let p1 = prop.position_eci(prop.elements().period_s());
+        assert!(p0.distance(p1) < 1.0, "drift {} m", p0.distance(p1));
+    }
+
+    #[test]
+    fn radius_stays_constant_for_circular_orbit() {
+        let prop = Propagator::new(leo(53.0), PerturbationModel::SecularJ2);
+        let r0 = prop.position_eci(0.0).norm();
+        for k in 1..100 {
+            let r = prop.position_eci(k as f64 * 60.0).norm();
+            assert!((r - r0).abs() < 1.0, "t={}min r drift {}", k, r - r0);
+        }
+    }
+
+    #[test]
+    fn j2_regresses_node_westward_for_prograde_orbit() {
+        let prop = Propagator::new(leo(53.0), PerturbationModel::SecularJ2);
+        assert!(
+            prop.raan_rate_rad_per_s() < 0.0,
+            "prograde orbits regress westward"
+        );
+        // Published magnitude for 780 km / 53 deg is ~ -4.1e-7 rad/s
+        // (≈ -2 deg/day). Check the ballpark.
+        let deg_per_day = prop.raan_rate_rad_per_s().to_degrees() * 86_400.0;
+        assert!(
+            (-6.0..-2.0).contains(&deg_per_day),
+            "RAAN rate {deg_per_day} deg/day out of LEO ballpark"
+        );
+    }
+
+    #[test]
+    fn j2_advances_node_eastward_for_retrograde_orbit() {
+        let el = OrbitalElements::circular(km_to_m(780.0), 98.0, 0.0, 0.0).unwrap();
+        let prop = Propagator::new(el, PerturbationModel::SecularJ2);
+        assert!(prop.raan_rate_rad_per_s() > 0.0);
+    }
+
+    #[test]
+    fn near_polar_orbit_has_small_nodal_regression() {
+        let prop_polar = Propagator::new(leo(89.9), PerturbationModel::SecularJ2);
+        let prop_mid = Propagator::new(leo(45.0), PerturbationModel::SecularJ2);
+        assert!(
+            prop_polar.raan_rate_rad_per_s().abs() < prop_mid.raan_rate_rad_per_s().abs() / 10.0
+        );
+    }
+
+    #[test]
+    fn two_body_and_j2_agree_at_epoch() {
+        let el = leo(86.4);
+        let a = Propagator::new(el, PerturbationModel::TwoBody).position_eci(0.0);
+        let b = Propagator::new(el, PerturbationModel::SecularJ2).position_eci(0.0);
+        assert!(a.distance(b) < 1e-6);
+    }
+
+    #[test]
+    fn propagation_is_deterministic() {
+        let prop = Propagator::new(leo(86.4), PerturbationModel::SecularJ2);
+        let a = prop.position_eci(12_345.6);
+        let b = prop.position_eci(12_345.6);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn elements_at_preserves_shape_parameters() {
+        let el = OrbitalElements::new(7.2e6, 0.01, 1.2, 0.5, 0.3, 0.1).unwrap();
+        let prop = Propagator::new(el, PerturbationModel::SecularJ2);
+        let later = prop.elements_at(10_000.0);
+        assert_eq!(later.semi_major_axis_m, el.semi_major_axis_m);
+        assert_eq!(later.eccentricity, el.eccentricity);
+        assert_eq!(later.inclination_rad, el.inclination_rad);
+    }
+}

@@ -1,0 +1,237 @@
+//! Civil-time utilities: calendar dates, day-of-year, and TLE epochs.
+//!
+//! The rest of the crate runs on simulation seconds from an arbitrary
+//! epoch. When ingesting public catalog data ([`crate::tle`]), each TLE
+//! carries its own epoch (year + fractional day of year); to propagate a
+//! mixed catalog consistently, those epochs must be placed on one common
+//! timeline. This module provides the minimal, leap-second-free UTC
+//! arithmetic needed for that: proleptic-Gregorian day counts and
+//! epoch-difference computation. (Leap seconds are ignored — a documented
+//! simplification worth ~37 s against real UTC, far below the minutes-
+//! scale fidelity of contact planning.)
+
+/// A civil date (proleptic Gregorian).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CivilDate {
+    /// Year (e.g. 2026).
+    pub year: i32,
+    /// Month, 1–12.
+    pub month: u8,
+    /// Day of month, 1–31.
+    pub day: u8,
+}
+
+/// Whether `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Days in the given month of the given year.
+///
+/// # Panics
+/// Panics if `month` is not in `1..=12`.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("month {month} out of range"),
+    }
+}
+
+impl CivilDate {
+    /// Validate and construct.
+    ///
+    /// # Panics
+    /// Panics on an impossible date.
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        assert!((1..=12).contains(&month), "month {month} out of range");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "day {day} out of range for {year}-{month}"
+        );
+        Self { year, month, day }
+    }
+
+    /// Day of year, 1-based (Jan 1 = 1).
+    pub fn day_of_year(&self) -> u16 {
+        let mut doy = self.day as u16;
+        for m in 1..self.month {
+            doy += days_in_month(self.year, m) as u16;
+        }
+        doy
+    }
+
+    /// Build from a 1-based day of year.
+    ///
+    /// # Panics
+    /// Panics if `doy` exceeds the year's length.
+    pub fn from_day_of_year(year: i32, doy: u16) -> Self {
+        assert!(doy >= 1, "day of year is 1-based");
+        let mut remaining = doy;
+        for month in 1..=12u8 {
+            let len = days_in_month(year, month) as u16;
+            if remaining <= len {
+                return Self::new(year, month, remaining as u8);
+            }
+            remaining -= len;
+        }
+        panic!("day of year {doy} exceeds year {year}");
+    }
+
+    /// Days since 1970-01-01 (can be negative).
+    pub fn days_since_unix_epoch(&self) -> i64 {
+        // Howard Hinnant's days_from_civil algorithm.
+        let y = self.year as i64 - (self.month <= 2) as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let mp = (self.month as i64 + 9) % 12;
+        let doy = (153 * mp + 2) / 5 + self.day as i64 - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468
+    }
+}
+
+/// A UTC instant (leap-second-free).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct UtcInstant {
+    /// Seconds since 1970-01-01T00:00:00 (fractional).
+    pub unix_s: f64,
+}
+
+impl UtcInstant {
+    /// From a date and a time of day in seconds.
+    ///
+    /// # Panics
+    /// Panics if `seconds_of_day` is outside `[0, 86400)`.
+    pub fn from_date(date: CivilDate, seconds_of_day: f64) -> Self {
+        assert!(
+            (0.0..86_400.0).contains(&seconds_of_day),
+            "seconds of day {seconds_of_day} out of range"
+        );
+        Self {
+            unix_s: date.days_since_unix_epoch() as f64 * 86_400.0 + seconds_of_day,
+        }
+    }
+
+    /// From a TLE-style epoch: full year plus fractional day of year
+    /// (1.0 = Jan 1 00:00).
+    ///
+    /// # Panics
+    /// Panics if the fractional day is out of the year's range.
+    pub fn from_tle_epoch(year: i32, epoch_day: f64) -> Self {
+        assert!(epoch_day >= 1.0, "TLE epoch day is 1-based");
+        let doy = epoch_day.floor() as u16;
+        let frac = epoch_day - doy as f64;
+        let date = CivilDate::from_day_of_year(year, doy);
+        Self::from_date(date, frac * 86_400.0)
+    }
+
+    /// Seconds elapsed from `earlier` to `self` (negative if `self` is
+    /// before `earlier`).
+    pub fn seconds_since(&self, earlier: UtcInstant) -> f64 {
+        self.unix_s - earlier.unix_s
+    }
+}
+
+/// Convert a parsed TLE's epoch to simulation seconds relative to a chosen
+/// simulation epoch: positive when the TLE epoch is after it. Use the
+/// negative of this as the time offset when propagating that TLE on the
+/// common timeline (its elements are "fresh" at this instant).
+pub fn tle_epoch_to_sim_s(tle: &crate::tle::Tle, sim_epoch: UtcInstant) -> f64 {
+    UtcInstant::from_tle_epoch(tle.epoch_year as i32, tle.epoch_day).seconds_since(sim_epoch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2024));
+        assert!(!is_leap_year(2026));
+        assert!(!is_leap_year(1900)); // century rule
+        assert!(is_leap_year(2000)); // 400 rule
+    }
+
+    #[test]
+    fn day_of_year_round_trip() {
+        for (y, m, d) in [(2026, 1, 1), (2026, 3, 1), (2024, 2, 29), (2026, 12, 31)] {
+            let date = CivilDate::new(y, m, d);
+            let back = CivilDate::from_day_of_year(y, date.day_of_year());
+            assert_eq!(back, date);
+        }
+    }
+
+    #[test]
+    fn known_day_numbers() {
+        assert_eq!(CivilDate::new(1970, 1, 1).days_since_unix_epoch(), 0);
+        assert_eq!(CivilDate::new(1970, 1, 2).days_since_unix_epoch(), 1);
+        assert_eq!(CivilDate::new(1969, 12, 31).days_since_unix_epoch(), -1);
+        // A classic reference: 2000-03-01 is day 11017.
+        assert_eq!(CivilDate::new(2000, 3, 1).days_since_unix_epoch(), 11_017);
+    }
+
+    #[test]
+    fn leap_day_counts() {
+        assert_eq!(CivilDate::new(2024, 2, 29).day_of_year(), 60);
+        assert_eq!(CivilDate::new(2024, 3, 1).day_of_year(), 61);
+        assert_eq!(CivilDate::new(2026, 3, 1).day_of_year(), 60);
+    }
+
+    #[test]
+    fn tle_epoch_conversion() {
+        // Day 1.5 of 2026 = Jan 1, 12:00 UTC.
+        let t = UtcInstant::from_tle_epoch(2026, 1.5);
+        let midnight = UtcInstant::from_date(CivilDate::new(2026, 1, 1), 0.0);
+        assert!((t.seconds_since(midnight) - 43_200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iss_epoch_lands_in_september_2008() {
+        // The canonical ISS TLE epoch: 08264.51782528.
+        let t = UtcInstant::from_tle_epoch(2008, 264.517_825_28);
+        let sep20 = UtcInstant::from_date(CivilDate::new(2008, 9, 20), 0.0);
+        let delta = t.seconds_since(sep20);
+        assert!(
+            (0.0..86_400.0).contains(&delta),
+            "epoch {delta} s after Sep 20 00:00"
+        );
+    }
+
+    #[test]
+    fn mixed_catalog_offsets() {
+        use crate::kepler::OrbitalElements;
+        use crate::tle::{elements_to_tle, parse_tle};
+        // Two TLEs published 6 hours apart sit 21 600 s apart on the
+        // common timeline.
+        let el = OrbitalElements::circular(780_000.0, 86.4, 0.0, 0.0).unwrap();
+        let (a1, a2) = elements_to_tle(1, "26001A", 2026, 100.0, &el);
+        let (b1, b2) = elements_to_tle(2, "26001B", 2026, 100.25, &el);
+        let ta = parse_tle(&a1, &a2).unwrap();
+        let tb = parse_tle(&b1, &b2).unwrap();
+        let sim_epoch = UtcInstant::from_tle_epoch(2026, 100.0);
+        let oa = tle_epoch_to_sim_s(&ta, sim_epoch);
+        let ob = tle_epoch_to_sim_s(&tb, sim_epoch);
+        assert!((oa - 0.0).abs() < 1e-6);
+        assert!((ob - 21_600.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "day 29 out of range")]
+    fn impossible_date_panics() {
+        CivilDate::new(2026, 2, 29);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds year")]
+    fn overlong_doy_panics() {
+        CivilDate::from_day_of_year(2026, 366);
+    }
+}

@@ -1,0 +1,274 @@
+//! Constellation generators.
+//!
+//! Two deterministic patterns plus a seeded random generator:
+//!
+//! * **Walker Star** (`i:t/p/f` with RAAN spread over 180°) — the Iridium
+//!   pattern the paper's Figure 2(a) uses. Ascending nodes span a half
+//!   circle so ascending and descending passes interleave, giving polar
+//!   convergence and a seam between counter-rotating planes.
+//! * **Walker Delta** (RAAN spread over 360°) — the Starlink-shell pattern,
+//!   included as the monolithic-baseline geometry.
+//! * **Random constellation** — the paper's §4 methodology: "randomly
+//!   distributing satellites' orbital paths". Used by the Figure 2(b)/(c)
+//!   sweeps.
+
+use crate::constants::km_to_m;
+use crate::kepler::{ElementsError, OrbitalElements};
+
+/// Parameters of a Walker constellation (`i:t/p/f` notation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkerParams {
+    /// Total number of satellites `t`.
+    pub total_satellites: usize,
+    /// Number of orbital planes `p`; must divide `t`.
+    pub planes: usize,
+    /// Relative phasing factor `f` in `0..p`.
+    pub phasing: usize,
+    /// Common altitude of all satellites (m).
+    pub altitude_m: f64,
+    /// Common inclination (degrees).
+    pub inclination_deg: f64,
+}
+
+/// Error from constellation generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalkerError {
+    /// `planes` must be nonzero and divide `total_satellites`.
+    BadPlaneCount { total: usize, planes: usize },
+    /// Phasing factor must be `< planes`.
+    BadPhasing { phasing: usize, planes: usize },
+    /// The per-satellite elements were invalid (e.g. altitude below ground).
+    Elements(ElementsError),
+}
+
+impl std::fmt::Display for WalkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadPlaneCount { total, planes } => write!(
+                f,
+                "plane count {planes} must be nonzero and divide total satellites {total}"
+            ),
+            Self::BadPhasing { phasing, planes } => {
+                write!(f, "phasing factor {phasing} must be < planes {planes}")
+            }
+            Self::Elements(e) => write!(f, "invalid satellite elements: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalkerError {}
+
+impl From<ElementsError> for WalkerError {
+    fn from(e: ElementsError) -> Self {
+        Self::Elements(e)
+    }
+}
+
+/// The classic Iridium configuration used by Figure 2(a): 66 satellites in
+/// 6 planes at 780 km. The paper quotes "8.4 degree inclinations", a typo
+/// for Iridium's published 86.4° near-polar inclination (an 8.4° orbit
+/// cannot provide the global coverage the paper attributes to Iridium);
+/// we implement 86.4°.
+pub fn iridium_params() -> WalkerParams {
+    WalkerParams {
+        total_satellites: 66,
+        planes: 6,
+        phasing: 2,
+        altitude_m: km_to_m(780.0),
+        inclination_deg: 86.4,
+    }
+}
+
+/// The CBO primer configuration (§4: 72 satellites, 12 per plane in 6
+/// planes at 80° inclination gives ≈95% global coverage).
+pub fn cbo_params() -> WalkerParams {
+    WalkerParams {
+        total_satellites: 72,
+        planes: 6,
+        phasing: 1,
+        altitude_m: km_to_m(780.0),
+        inclination_deg: 80.0,
+    }
+}
+
+/// Generate a Walker **Star** constellation: ascending nodes uniformly
+/// spread over 180°.
+pub fn walker_star(p: &WalkerParams) -> Result<Vec<OrbitalElements>, WalkerError> {
+    walker(p, 180.0)
+}
+
+/// Generate a Walker **Delta** constellation: ascending nodes uniformly
+/// spread over 360°.
+pub fn walker_delta(p: &WalkerParams) -> Result<Vec<OrbitalElements>, WalkerError> {
+    walker(p, 360.0)
+}
+
+fn walker(p: &WalkerParams, raan_span_deg: f64) -> Result<Vec<OrbitalElements>, WalkerError> {
+    if p.planes == 0 || !p.total_satellites.is_multiple_of(p.planes) {
+        return Err(WalkerError::BadPlaneCount {
+            total: p.total_satellites,
+            planes: p.planes,
+        });
+    }
+    if p.phasing >= p.planes {
+        return Err(WalkerError::BadPhasing {
+            phasing: p.phasing,
+            planes: p.planes,
+        });
+    }
+    let per_plane = p.total_satellites / p.planes;
+    let mut out = Vec::with_capacity(p.total_satellites);
+    for plane in 0..p.planes {
+        let raan_deg = raan_span_deg * plane as f64 / p.planes as f64;
+        for slot in 0..per_plane {
+            // In-plane spacing plus the inter-plane phase offset f·360/t.
+            let anomaly_deg = 360.0 * slot as f64 / per_plane as f64
+                + 360.0 * p.phasing as f64 * plane as f64 / p.total_satellites as f64;
+            out.push(OrbitalElements::circular(
+                p.altitude_m,
+                p.inclination_deg,
+                raan_deg,
+                anomaly_deg,
+            )?);
+        }
+    }
+    Ok(out)
+}
+
+/// Generate `n` satellites on circular orbits with seeded-random RAAN and
+/// mean anomaly — the paper's §4 methodology for the Figure 2(b)/(c)
+/// sweeps. Inclination is fixed (near-polar by default in the experiments)
+/// so every satellite overflies all latitudes.
+///
+/// Uses a splitmix64 sequence internally so the result depends only on
+/// `(n, seed)` and not on any global RNG state.
+pub fn random_constellation(
+    n: usize,
+    altitude_m: f64,
+    inclination_deg: f64,
+    seed: u64,
+) -> Result<Vec<OrbitalElements>, ElementsError> {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        // splitmix64
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64 // uniform in [0,1)
+    };
+    (0..n)
+        .map(|_| {
+            let raan_deg = 360.0 * next();
+            let anomaly_deg = 360.0 * next();
+            OrbitalElements::circular(altitude_m, inclination_deg, raan_deg, anomaly_deg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn iridium_has_66_sats_in_6_planes() {
+        let els = walker_star(&iridium_params()).unwrap();
+        assert_eq!(els.len(), 66);
+        // 6 distinct RAAN values.
+        let mut raans: Vec<i64> = els.iter().map(|e| (e.raan_rad * 1e9) as i64).collect();
+        raans.sort_unstable();
+        raans.dedup();
+        assert_eq!(raans.len(), 6);
+    }
+
+    #[test]
+    fn star_raans_span_half_circle() {
+        let els = walker_star(&iridium_params()).unwrap();
+        let max_raan = els.iter().map(|e| e.raan_rad).fold(0.0, f64::max);
+        assert!(max_raan < TAU / 2.0, "star RAANs must stay under 180 deg");
+    }
+
+    #[test]
+    fn delta_raans_span_full_circle() {
+        let els = walker_delta(&iridium_params()).unwrap();
+        let max_raan = els.iter().map(|e| e.raan_rad).fold(0.0, f64::max);
+        assert!(max_raan > TAU * 0.7, "delta RAANs should reach past 250 deg");
+    }
+
+    #[test]
+    fn in_plane_spacing_is_uniform() {
+        let els = walker_star(&iridium_params()).unwrap();
+        // First plane: slots 0..11, anomaly step 360/11 deg.
+        let step = TAU / 11.0;
+        for k in 0..10 {
+            let d = (els[k + 1].mean_anomaly_rad - els[k].mean_anomaly_rad).rem_euclid(TAU);
+            assert!((d - step).abs() < 1e-12, "slot {k} spacing {d}");
+        }
+    }
+
+    #[test]
+    fn all_sats_share_altitude_and_inclination() {
+        let p = iridium_params();
+        for el in walker_star(&p).unwrap() {
+            assert!((el.altitude_m() - p.altitude_m).abs() < 1e-6);
+            assert!((el.inclination_rad - p.inclination_deg.to_radians()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_non_dividing_plane_count() {
+        let mut p = iridium_params();
+        p.planes = 7;
+        assert!(matches!(
+            walker_star(&p),
+            Err(WalkerError::BadPlaneCount { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_planes() {
+        let mut p = iridium_params();
+        p.planes = 0;
+        assert!(matches!(
+            walker_star(&p),
+            Err(WalkerError::BadPlaneCount { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_phasing() {
+        let mut p = iridium_params();
+        p.phasing = 6;
+        assert!(matches!(walker_star(&p), Err(WalkerError::BadPhasing { .. })));
+    }
+
+    #[test]
+    fn random_constellation_is_seed_deterministic() {
+        let a = random_constellation(40, km_to_m(780.0), 86.4, 7).unwrap();
+        let b = random_constellation(40, km_to_m(780.0), 86.4, 7).unwrap();
+        assert_eq!(a, b);
+        let c = random_constellation(40, km_to_m(780.0), 86.4, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_constellation_spreads_raan() {
+        let els = random_constellation(200, km_to_m(780.0), 86.4, 42).unwrap();
+        let mean_raan: f64 = els.iter().map(|e| e.raan_rad).sum::<f64>() / els.len() as f64;
+        // Uniform over [0, 2pi): mean near pi.
+        assert!(
+            (mean_raan - std::f64::consts::PI).abs() < 0.5,
+            "mean RAAN {mean_raan}"
+        );
+    }
+
+    #[test]
+    fn cbo_configuration_matches_primer() {
+        let p = cbo_params();
+        assert_eq!(p.total_satellites, 72);
+        assert_eq!(p.planes, 6);
+        assert_eq!(walker_star(&p).unwrap().len(), 72);
+    }
+}

@@ -1,0 +1,88 @@
+//! Antenna gain and beamwidth models.
+//!
+//! Used to derive terminal gains from physical aperture sizes, and to
+//! compute the beam divergences that drive the optical
+//! pointing-acquisition-tracking model.
+
+/// Gain (dBi) of a circular aperture of `diameter_m` at `wavelength_m`
+/// with aperture efficiency `efficiency` (typically 0.55–0.7).
+///
+/// `G = η (π D / λ)²`.
+///
+/// # Panics
+/// Panics unless diameter and wavelength are positive and efficiency is in
+/// `(0, 1]`.
+pub fn aperture_gain_dbi(diameter_m: f64, wavelength_m: f64, efficiency: f64) -> f64 {
+    assert!(diameter_m > 0.0, "diameter must be positive");
+    assert!(wavelength_m > 0.0, "wavelength must be positive");
+    assert!(
+        efficiency > 0.0 && efficiency <= 1.0,
+        "efficiency must be in (0,1], got {efficiency}"
+    );
+    let g = efficiency * (std::f64::consts::PI * diameter_m / wavelength_m).powi(2);
+    10.0 * g.log10()
+}
+
+/// Half-power beamwidth (rad) of a circular aperture:
+/// `θ ≈ 1.22 λ / D` (diffraction limit, full width ≈ 70° λ/D in degrees).
+pub fn beamwidth_rad(diameter_m: f64, wavelength_m: f64) -> f64 {
+    assert!(diameter_m > 0.0 && wavelength_m > 0.0);
+    1.22 * wavelength_m / diameter_m
+}
+
+/// Pointing loss (dB) for a Gaussian beam: offset `offset_rad` from
+/// boresight with half-power beamwidth `beamwidth_rad`.
+///
+/// `L = 12 (θ/θ₃dB)²` dB — the standard parabolic approximation, valid to
+/// about one beamwidth.
+pub fn pointing_loss_db(offset_rad: f64, beamwidth_rad: f64) -> f64 {
+    assert!(beamwidth_rad > 0.0, "beamwidth must be positive");
+    12.0 * (offset_rad / beamwidth_rad).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_meter_dish_at_ku_is_about_40_dbi() {
+        // 1 m at 12 GHz (λ=2.5 cm), η=0.6: G ≈ 10 log10(0.6·(π·40)²) ≈ 39.7 dBi.
+        let g = aperture_gain_dbi(1.0, 0.025, 0.6);
+        assert!((g - 39.75).abs() < 0.5, "{g}");
+    }
+
+    #[test]
+    fn gain_grows_12db_per_diameter_doubling_squared() {
+        let g1 = aperture_gain_dbi(0.5, 0.025, 0.6);
+        let g2 = aperture_gain_dbi(1.0, 0.025, 0.6);
+        assert!((g2 - g1 - 6.02).abs() < 0.01, "{}", g2 - g1);
+    }
+
+    #[test]
+    fn beamwidth_shrinks_with_aperture() {
+        assert!(beamwidth_rad(1.0, 0.025) < beamwidth_rad(0.5, 0.025));
+    }
+
+    #[test]
+    fn optical_beam_is_microradians() {
+        // 8 cm telescope at 1550 nm: θ ≈ 1.22·1.55e-6/0.08 ≈ 24 µrad.
+        let bw = beamwidth_rad(0.08, 1.55e-6);
+        assert!((bw * 1e6 - 23.6).abs() < 1.0, "{} urad", bw * 1e6);
+    }
+
+    #[test]
+    fn boresight_has_no_pointing_loss() {
+        assert_eq!(pointing_loss_db(0.0, 1e-3), 0.0);
+    }
+
+    #[test]
+    fn half_beamwidth_offset_costs_3_db() {
+        assert!((pointing_loss_db(0.5e-3, 1e-3) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn bad_efficiency_panics() {
+        aperture_gain_dbi(1.0, 0.025, 1.5);
+    }
+}

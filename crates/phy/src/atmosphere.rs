@@ -1,0 +1,143 @@
+//! Atmospheric and rain attenuation for ground↔satellite links.
+//!
+//! §2.1: ground links differ from ISLs "due to factors such as atmospheric
+//! attenuation". We model two effects with simple, well-behaved fits:
+//!
+//! * **Gaseous absorption** — a per-band zenith loss scaled by the
+//!   cosecant of the elevation angle (the standard flat-slab air-mass
+//!   approximation, clamped at low elevation).
+//! * **Rain attenuation** — the ITU-R P.838 power-law `γ = k·R^α` applied
+//!   over an effective slant path through rain. Coefficients are tabulated
+//!   per band near the band centers.
+//!
+//! ISLs (space-to-space) see none of this; callers apply these losses only
+//! to links with a ground endpoint.
+
+use crate::bands::RfBand;
+
+/// Zenith one-way gaseous absorption (dB) for a dry-ish mid-latitude
+/// atmosphere, per band. Values are representative of ITU-R P.676 outputs.
+fn zenith_gas_loss_db(band: RfBand) -> f64 {
+    match band {
+        RfBand::Uhf => 0.03,
+        RfBand::S => 0.05,
+        RfBand::X => 0.08,
+        RfBand::Ku => 0.12,
+        RfBand::Ka => 0.35,
+    }
+}
+
+/// ITU-R P.838 power-law coefficients `(k, alpha)` near each band center
+/// (circular polarization, representative values).
+fn rain_coefficients(band: RfBand) -> (f64, f64) {
+    match band {
+        RfBand::Uhf => (1.0e-5, 0.9),   // negligible at 435 MHz
+        RfBand::S => (2.0e-4, 1.0),     // still tiny at 2.2 GHz
+        RfBand::X => (1.2e-2, 1.18),
+        RfBand::Ku => (2.7e-2, 1.15),
+        RfBand::Ka => (1.9e-1, 1.04),
+    }
+}
+
+/// Air-mass factor for a given elevation: `1/sin(elev)`, clamped to the
+/// horizon value at 5° to avoid the singularity (links below a 5° mask are
+/// not operated in OpenSpace anyway).
+pub fn air_mass_factor(elevation_rad: f64) -> f64 {
+    let min_elev = 5f64.to_radians();
+    1.0 / elevation_rad.max(min_elev).sin()
+}
+
+/// Total gaseous absorption (dB) on a ground-satellite path at the given
+/// elevation.
+pub fn gas_loss_db(band: RfBand, elevation_rad: f64) -> f64 {
+    zenith_gas_loss_db(band) * air_mass_factor(elevation_rad)
+}
+
+/// Specific rain attenuation (dB/km) at rain rate `rain_mm_per_h`.
+pub fn rain_specific_attenuation_db_per_km(band: RfBand, rain_mm_per_h: f64) -> f64 {
+    assert!(rain_mm_per_h >= 0.0, "rain rate must be non-negative");
+    if rain_mm_per_h == 0.0 {
+        return 0.0;
+    }
+    let (k, alpha) = rain_coefficients(band);
+    k * rain_mm_per_h.powf(alpha)
+}
+
+/// Effective rain-path attenuation (dB): specific attenuation times an
+/// effective slant path through the rain layer (rain height 4 km, slab
+/// model with the same low-elevation clamp as [`air_mass_factor`]).
+pub fn rain_loss_db(band: RfBand, rain_mm_per_h: f64, elevation_rad: f64) -> f64 {
+    const RAIN_HEIGHT_KM: f64 = 4.0;
+    let slant_km = RAIN_HEIGHT_KM * air_mass_factor(elevation_rad);
+    rain_specific_attenuation_db_per_km(band, rain_mm_per_h) * slant_km
+}
+
+/// Combined atmospheric loss (dB) for a ground link.
+pub fn total_atmospheric_loss_db(band: RfBand, rain_mm_per_h: f64, elevation_rad: f64) -> f64 {
+    gas_loss_db(band, elevation_rad) + rain_loss_db(band, rain_mm_per_h, elevation_rad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn zenith_air_mass_is_one() {
+        assert!((air_mass_factor(FRAC_PI_2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn air_mass_grows_toward_horizon_but_clamps() {
+        let at30 = air_mass_factor(30f64.to_radians());
+        let at10 = air_mass_factor(10f64.to_radians());
+        let at1 = air_mass_factor(1f64.to_radians());
+        let at0 = air_mass_factor(0.0);
+        assert!(at10 > at30);
+        assert_eq!(at1, at0, "below 5 deg the factor is clamped");
+        assert!((at30 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_rain_no_rain_loss() {
+        for b in RfBand::all() {
+            assert_eq!(rain_loss_db(b, 0.0, FRAC_PI_2), 0.0);
+        }
+    }
+
+    #[test]
+    fn ka_suffers_far_more_rain_loss_than_s() {
+        let heavy = 25.0; // mm/h
+        let ka = rain_loss_db(RfBand::Ka, heavy, FRAC_PI_2);
+        let s = rain_loss_db(RfBand::S, heavy, FRAC_PI_2);
+        assert!(ka > 50.0 * s, "Ka {ka} dB vs S {s} dB");
+        assert!(ka > 3.0, "heavy rain on Ka should cost several dB, got {ka}");
+    }
+
+    #[test]
+    fn rain_loss_monotone_in_rate() {
+        let a = rain_loss_db(RfBand::Ku, 5.0, FRAC_PI_2);
+        let b = rain_loss_db(RfBand::Ku, 50.0, FRAC_PI_2);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn low_elevation_costs_more() {
+        let zen = total_atmospheric_loss_db(RfBand::Ku, 10.0, FRAC_PI_2);
+        let low = total_atmospheric_loss_db(RfBand::Ku, 10.0, 10f64.to_radians());
+        assert!(low > zen * 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rain_panics() {
+        rain_specific_attenuation_db_per_km(RfBand::Ku, -1.0);
+    }
+
+    #[test]
+    fn gas_loss_ordering_follows_frequency() {
+        let e = FRAC_PI_2;
+        assert!(gas_loss_db(RfBand::Ka, e) > gas_loss_db(RfBand::Ku, e));
+        assert!(gas_loss_db(RfBand::Ku, e) > gas_loss_db(RfBand::S, e));
+    }
+}

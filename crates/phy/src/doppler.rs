@@ -1,0 +1,107 @@
+//! Doppler shift on satellite links.
+//!
+//! LEO satellites move at ~7.5 km/s; at Ku band that is ±300 kHz of
+//! carrier offset, which the flexible transceivers §2.1 calls for must
+//! track. The routing stack itself only needs the radial-velocity helper,
+//! but the modem model exposes the full shift so the examples can show
+//! realistic numbers.
+
+use openspace_orbit::constants::SPEED_OF_LIGHT_M_PER_S;
+use openspace_orbit::frames::Vec3;
+
+/// Radial velocity (m/s) of `b` relative to `a`: positive when the range
+/// is increasing (receding ⇒ negative Doppler shift).
+///
+/// # Panics
+/// Panics if the two positions coincide.
+pub fn radial_velocity_m_per_s(pos_a: Vec3, vel_a: Vec3, pos_b: Vec3, vel_b: Vec3) -> f64 {
+    let range = pos_b - pos_a;
+    let n = range.norm();
+    assert!(n > 0.0, "coincident endpoints have no radial direction");
+    (vel_b - vel_a).dot(range) * (1.0 / n)
+}
+
+/// First-order Doppler shift (Hz) observed at `a` for a carrier
+/// `carrier_hz` transmitted by `b`.
+pub fn doppler_shift_hz(
+    carrier_hz: f64,
+    pos_a: Vec3,
+    vel_a: Vec3,
+    pos_b: Vec3,
+    vel_b: Vec3,
+) -> f64 {
+    assert!(carrier_hz > 0.0, "carrier must be positive");
+    -radial_velocity_m_per_s(pos_a, vel_a, pos_b, vel_b) / SPEED_OF_LIGHT_M_PER_S * carrier_hz
+}
+
+/// Worst-case Doppler magnitude (Hz) for a LEO pass: carrier scaled by
+/// `v/c` with `v` the satellite speed (the zenith-pass bound).
+pub fn max_doppler_hz(carrier_hz: f64, speed_m_per_s: f64) -> f64 {
+    assert!(carrier_hz > 0.0 && speed_m_per_s >= 0.0);
+    carrier_hz * speed_m_per_s / SPEED_OF_LIGHT_M_PER_S
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openspace_orbit::constants::{circular_velocity_m_per_s, km_to_m, EARTH_RADIUS_M};
+    use openspace_orbit::kepler::OrbitalElements;
+    use openspace_orbit::propagator::{PerturbationModel, Propagator};
+
+    #[test]
+    fn receding_target_has_negative_shift() {
+        let pa = Vec3::new(0.0, 0.0, 0.0);
+        let pb = Vec3::new(1000.0, 0.0, 0.0);
+        let vb = Vec3::new(100.0, 0.0, 0.0); // moving away
+        let shift = doppler_shift_hz(1e9, pa, Vec3::zero(), pb, vb);
+        assert!(shift < 0.0);
+    }
+
+    #[test]
+    fn approaching_target_has_positive_shift() {
+        let pa = Vec3::new(0.0, 0.0, 0.0);
+        let pb = Vec3::new(1000.0, 0.0, 0.0);
+        let vb = Vec3::new(-100.0, 0.0, 0.0);
+        assert!(doppler_shift_hz(1e9, pa, Vec3::zero(), pb, vb) > 0.0);
+    }
+
+    #[test]
+    fn transverse_motion_has_no_first_order_shift() {
+        let pa = Vec3::zero();
+        let pb = Vec3::new(1000.0, 0.0, 0.0);
+        let vb = Vec3::new(0.0, 100.0, 0.0);
+        assert!(doppler_shift_hz(1e9, pa, Vec3::zero(), pb, vb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leo_ku_band_doppler_is_hundreds_of_khz() {
+        let v = circular_velocity_m_per_s(EARTH_RADIUS_M + km_to_m(780.0));
+        let d = max_doppler_hz(12.0e9, v);
+        assert!((2.0e5..4.0e5).contains(&d), "max Doppler {d} Hz");
+    }
+
+    #[test]
+    fn overhead_pass_shift_changes_sign() {
+        // Ground point on +X; satellite passes overhead in the XZ plane.
+        let sat = Propagator::new(
+            OrbitalElements::circular(km_to_m(780.0), 90.0, 0.0, 0.0).unwrap(),
+            PerturbationModel::TwoBody,
+        );
+        let ground_pos = Vec3::new(EARTH_RADIUS_M, 0.0, 0.0);
+        let ground_vel = Vec3::zero(); // ECI ground motion negligible for the sign test
+        let (p_before, v_before) = sat.state_eci(-120.0);
+        let (p_after, v_after) = sat.state_eci(120.0);
+        let s_before = doppler_shift_hz(2.2e9, ground_pos, ground_vel, p_before, v_before);
+        let s_after = doppler_shift_hz(2.2e9, ground_pos, ground_vel, p_after, v_after);
+        assert!(
+            s_before > 0.0 && s_after < 0.0,
+            "approach {s_before}, recede {s_after}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "coincident")]
+    fn coincident_endpoints_panic() {
+        radial_velocity_m_per_s(Vec3::zero(), Vec3::zero(), Vec3::zero(), Vec3::zero());
+    }
+}

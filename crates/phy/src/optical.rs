@@ -1,0 +1,313 @@
+//! Optical (laser) inter-satellite links.
+//!
+//! §2.1: laser ISLs offer higher throughput at lower energy cost than RF,
+//! but the terminals are expensive (~$500k, ≥15 kg, 0.0234 m³ — the
+//! ConLCT80-class numbers the paper cites) and the narrow beams demand a
+//! pointing-acquisition-tracking (PAT) phase before data flows.
+//!
+//! The model: a Gaussian-beam link budget (free-space spreading of a
+//! diffraction-limited beam between telescope apertures) plus a PAT state
+//! machine with configurable acquisition time. Receiver sensitivity is
+//! expressed in photons/bit, the standard figure for coherent/APD optical
+//! receivers.
+
+use crate::antenna::{beamwidth_rad, pointing_loss_db};
+use crate::bands::OPTICAL_WAVELENGTH_M;
+
+/// Planck constant (J·s).
+const PLANCK_J_S: f64 = 6.626_070_15e-34;
+
+/// An optical ISL terminal (one end).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpticalTerminal {
+    /// Optical transmit power (W).
+    pub tx_power_w: f64,
+    /// Telescope aperture diameter (m).
+    pub aperture_m: f64,
+    /// Receiver sensitivity (photons per bit at the target BER).
+    pub photons_per_bit: f64,
+    /// Residual RMS pointing error (rad) once in tracking.
+    pub pointing_error_rad: f64,
+    /// Time to acquire the peer after pairing (s): the PAT spiral-scan +
+    /// lock phase.
+    pub acquisition_time_s: f64,
+    /// Modem ceiling (bit/s): at short range the photon budget exceeds
+    /// what the electronics can modulate; the link rate clamps here.
+    pub max_data_rate_bps: f64,
+}
+
+impl OpticalTerminal {
+    /// A ConLCT80-class commercial terminal — the unit the paper costs at
+    /// $500k / 15 kg / 0.0234 m³.
+    pub fn conlct80_class() -> Self {
+        Self {
+            tx_power_w: 2.0,
+            aperture_m: 0.08,
+            photons_per_bit: 300.0, // DPSK + APD class sensitivity
+            pointing_error_rad: 2.0e-6,
+            acquisition_time_s: 30.0,
+            max_data_rate_bps: 100.0e9,
+        }
+    }
+
+    /// Transmit beam divergence (half-power full width, rad).
+    pub fn beam_divergence_rad(&self) -> f64 {
+        beamwidth_rad(self.aperture_m, OPTICAL_WAVELENGTH_M)
+    }
+}
+
+/// Geometric + pointing link efficiency (linear) between two terminals at
+/// `distance_m`: the fraction of transmitted photons collected by the
+/// receive aperture.
+pub fn optical_link_efficiency(
+    tx: &OpticalTerminal,
+    rx: &OpticalTerminal,
+    distance_m: f64,
+) -> f64 {
+    assert!(distance_m > 0.0, "distance must be positive");
+    // Beam radius at the receiver (half-power cone).
+    let spot_radius_m = tx.beam_divergence_rad() / 2.0 * distance_m;
+    let rx_radius_m = rx.aperture_m / 2.0;
+    // Fraction of the (uniform-approximated) spot captured.
+    let geometric = (rx_radius_m / spot_radius_m).powi(2).min(1.0);
+    // Residual pointing jitter of both ends.
+    let jitter = tx.pointing_error_rad.hypot(rx.pointing_error_rad);
+    let pointing = 10f64.powf(-pointing_loss_db(jitter, tx.beam_divergence_rad()) / 10.0);
+    geometric * pointing
+}
+
+/// Received optical power (W).
+pub fn received_power_w(tx: &OpticalTerminal, rx: &OpticalTerminal, distance_m: f64) -> f64 {
+    tx.tx_power_w * optical_link_efficiency(tx, rx, distance_m)
+}
+
+/// Achievable data rate (bit/s): received photon flux divided by the
+/// receiver's photons-per-bit sensitivity.
+pub fn achievable_rate_bps(tx: &OpticalTerminal, rx: &OpticalTerminal, distance_m: f64) -> f64 {
+    let photon_energy_j =
+        PLANCK_J_S * openspace_orbit::constants::SPEED_OF_LIGHT_M_PER_S / OPTICAL_WAVELENGTH_M;
+    let photon_rate = received_power_w(tx, rx, distance_m) / photon_energy_j;
+    (photon_rate / rx.photons_per_bit).min(rx.max_data_rate_bps)
+}
+
+/// Transmit energy per delivered bit (J/bit).
+pub fn energy_per_bit_j(tx: &OpticalTerminal, rx: &OpticalTerminal, distance_m: f64) -> f64 {
+    let rate = achievable_rate_bps(tx, rx, distance_m);
+    if rate > 0.0 {
+        tx.tx_power_w / rate
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// PAT (pointing, acquisition, tracking) session state.
+///
+/// §2.1: once two satellites pair over RF and exchange laser-diode
+/// positions, they re-orient and run acquisition before the optical link
+/// carries data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PatState {
+    /// Terminals are slewing toward the predicted peer direction.
+    Pointing {
+        /// Remaining slew time (s).
+        remaining_s: f64,
+    },
+    /// Spiral-scan acquisition in progress.
+    Acquiring {
+        /// Remaining scan time (s).
+        remaining_s: f64,
+    },
+    /// Closed-loop tracking: the link carries data.
+    Tracking,
+    /// Link lost (peer out of range or occluded); must restart.
+    Lost,
+}
+
+/// A PAT session driving one optical link from slew to track.
+#[derive(Debug, Clone, Copy)]
+pub struct PatSession {
+    state: PatState,
+}
+
+impl PatSession {
+    /// Start a session: `slew_time_s` of pointing followed by the
+    /// terminal's acquisition scan.
+    pub fn start(slew_time_s: f64, terminal: &OpticalTerminal) -> Self {
+        assert!(slew_time_s >= 0.0);
+        let state = if slew_time_s > 0.0 {
+            PatState::Pointing {
+                remaining_s: slew_time_s,
+            }
+        } else {
+            PatState::Acquiring {
+                remaining_s: terminal.acquisition_time_s,
+            }
+        };
+        let mut s = Self { state };
+        // Normalize zero-duration acquisition immediately.
+        s.advance(0.0, terminal);
+        s
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PatState {
+        self.state
+    }
+
+    /// True when the link is carrying data.
+    pub fn is_tracking(&self) -> bool {
+        matches!(self.state, PatState::Tracking)
+    }
+
+    /// Advance the session by `dt_s`. Leftover time rolls from pointing
+    /// into acquisition into tracking.
+    pub fn advance(&mut self, dt_s: f64, terminal: &OpticalTerminal) {
+        assert!(dt_s >= 0.0);
+        let mut dt = dt_s;
+        loop {
+            match self.state {
+                PatState::Pointing { remaining_s } => {
+                    if dt >= remaining_s {
+                        dt -= remaining_s;
+                        self.state = PatState::Acquiring {
+                            remaining_s: terminal.acquisition_time_s,
+                        };
+                    } else {
+                        self.state = PatState::Pointing {
+                            remaining_s: remaining_s - dt,
+                        };
+                        return;
+                    }
+                }
+                PatState::Acquiring { remaining_s } => {
+                    if dt >= remaining_s {
+                        self.state = PatState::Tracking;
+                        return;
+                    }
+                    self.state = PatState::Acquiring {
+                        remaining_s: remaining_s - dt,
+                    };
+                    return;
+                }
+                PatState::Tracking | PatState::Lost => return,
+            }
+        }
+    }
+
+    /// Drop the link (occlusion, range limit, peer handover).
+    pub fn lose(&mut self) {
+        self.state = PatState::Lost;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn term() -> OpticalTerminal {
+        OpticalTerminal::conlct80_class()
+    }
+
+    #[test]
+    fn efficiency_below_one_and_decreasing() {
+        let t = term();
+        let e1 = optical_link_efficiency(&t, &t, 500_000.0);
+        let e2 = optical_link_efficiency(&t, &t, 3_000_000.0);
+        assert!(e1 <= 1.0 && e1 > 0.0);
+        assert!(e2 < e1);
+    }
+
+    #[test]
+    fn gbps_class_at_leo_ranges() {
+        // The paper's premise: laser ISLs deliver far more than RF. A
+        // ConLCT80-class pair at 2000 km should be in the Gbps regime.
+        let t = term();
+        let rate = achievable_rate_bps(&t, &t, 2_000_000.0);
+        assert!(
+            (1.0e8..1.0e12).contains(&rate),
+            "optical rate at 2000 km: {rate} b/s"
+        );
+    }
+
+    #[test]
+    fn optical_beats_rf_on_energy_per_bit() {
+        use crate::bands::RfBand;
+        use crate::linkbudget::{RfLink, RfTerminal};
+        let d = 1_500_000.0;
+        let rf = RfLink {
+            tx: RfTerminal::midsat(),
+            rx: RfTerminal::midsat(),
+            band: RfBand::S,
+            distance_m: d,
+            extra_loss_db: 0.0,
+        };
+        let t = term();
+        assert!(
+            energy_per_bit_j(&t, &t, d) < rf.energy_per_bit_j() / 10.0,
+            "optical {} vs RF {}",
+            energy_per_bit_j(&t, &t, d),
+            rf.energy_per_bit_j()
+        );
+    }
+
+    #[test]
+    fn rate_inverse_square_in_distance_below_modem_cap() {
+        let t = term();
+        let r1 = achievable_rate_bps(&t, &t, 3_000_000.0);
+        let r2 = achievable_rate_bps(&t, &t, 6_000_000.0);
+        assert!(r1 < t.max_data_rate_bps, "test distances must be photon-limited");
+        assert!((r1 / r2 - 4.0).abs() < 0.01, "ratio {}", r1 / r2);
+    }
+
+    #[test]
+    fn short_range_rate_clamps_at_modem_ceiling() {
+        let t = term();
+        assert_eq!(achievable_rate_bps(&t, &t, 200_000.0), t.max_data_rate_bps);
+    }
+
+    #[test]
+    fn pat_progresses_point_acquire_track() {
+        let t = term();
+        let mut s = PatSession::start(10.0, &t);
+        assert!(matches!(s.state(), PatState::Pointing { .. }));
+        s.advance(10.0, &t);
+        assert!(matches!(s.state(), PatState::Acquiring { .. }));
+        s.advance(t.acquisition_time_s, &t);
+        assert!(s.is_tracking());
+    }
+
+    #[test]
+    fn pat_rolls_leftover_time_across_phases() {
+        let t = term();
+        let mut s = PatSession::start(5.0, &t);
+        s.advance(5.0 + t.acquisition_time_s + 1.0, &t);
+        assert!(s.is_tracking());
+    }
+
+    #[test]
+    fn pat_partial_advance_stays_in_phase() {
+        let t = term();
+        let mut s = PatSession::start(10.0, &t);
+        s.advance(4.0, &t);
+        match s.state() {
+            PatState::Pointing { remaining_s } => assert!((remaining_s - 6.0).abs() < 1e-12),
+            other => panic!("unexpected state {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pat_zero_slew_starts_acquiring() {
+        let t = term();
+        let s = PatSession::start(0.0, &t);
+        assert!(matches!(s.state(), PatState::Acquiring { .. }));
+    }
+
+    #[test]
+    fn lost_link_stays_lost() {
+        let t = term();
+        let mut s = PatSession::start(0.0, &t);
+        s.lose();
+        s.advance(1e6, &t);
+        assert_eq!(s.state(), PatState::Lost);
+    }
+}

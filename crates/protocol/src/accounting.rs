@@ -1,0 +1,208 @@
+//! Traffic accounting records.
+//!
+//! §3: "The volume of traffic along this path is tracked by all parties
+//! involved to create an easily cross-verifiable account of the extent to
+//! which any given ISP's traffic was carried by the rest of the network."
+//!
+//! Every hop that carries a flow segment emits one record; the economics
+//! crate reconciles records across operators. The record is signed by the
+//! reporting operator so disputes are attributable.
+
+use crate::crypto::{compute_tag, verify_tag, SharedSecret, Tag};
+use crate::types::{OperatorId, SatelliteId};
+use crate::wire::{Reader, WireError, Writer};
+
+/// One hop's account of traffic it carried for some flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccountingRecord {
+    /// Flow identifier (stable along the path).
+    pub flow_id: u64,
+    /// The operator whose user originated the flow (the payer).
+    pub origin_operator: OperatorId,
+    /// The operator reporting this record (the carrier of the hop).
+    pub carrier_operator: OperatorId,
+    /// The satellite or station that carried the hop.
+    pub carrier_node: SatelliteId,
+    /// Bytes carried in this reporting interval.
+    pub bytes_carried: u64,
+    /// Interval start (ms since epoch).
+    pub interval_start_ms: u64,
+    /// Interval end (ms since epoch).
+    pub interval_end_ms: u64,
+    /// Carrier's signature over the fields above.
+    pub tag: Tag,
+}
+
+impl AccountingRecord {
+    fn signed_bytes(&self) -> [u8; 44] {
+        let mut b = [0u8; 44];
+        b[..8].copy_from_slice(&self.flow_id.to_be_bytes());
+        b[8..12].copy_from_slice(&self.origin_operator.0.to_be_bytes());
+        b[12..16].copy_from_slice(&self.carrier_operator.0.to_be_bytes());
+        b[16..24].copy_from_slice(&self.carrier_node.0.to_be_bytes());
+        b[24..32].copy_from_slice(&self.bytes_carried.to_be_bytes());
+        b[32..40].copy_from_slice(&self.interval_start_ms.to_be_bytes());
+        b[40..44].copy_from_slice(&((self.interval_end_ms - self.interval_start_ms) as u32).to_be_bytes());
+        b
+    }
+
+    /// Create and sign a record under the carrier's secret.
+    ///
+    /// # Panics
+    /// Panics if the interval is inverted or longer than `u32::MAX` ms.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        flow_id: u64,
+        origin_operator: OperatorId,
+        carrier_operator: OperatorId,
+        carrier_node: SatelliteId,
+        bytes_carried: u64,
+        interval_start_ms: u64,
+        interval_end_ms: u64,
+        carrier_secret: &SharedSecret,
+    ) -> Self {
+        assert!(interval_end_ms >= interval_start_ms, "inverted interval");
+        assert!(
+            interval_end_ms - interval_start_ms <= u32::MAX as u64,
+            "interval too long"
+        );
+        let mut rec = Self {
+            flow_id,
+            origin_operator,
+            carrier_operator,
+            carrier_node,
+            bytes_carried,
+            interval_start_ms,
+            interval_end_ms,
+            tag: Tag([0; 16]),
+        };
+        rec.tag = compute_tag(carrier_secret, &rec.signed_bytes());
+        rec
+    }
+
+    /// Verify the carrier's signature.
+    pub fn verify(&self, carrier_secret: &SharedSecret) -> bool {
+        verify_tag(carrier_secret, &self.signed_bytes(), &self.tag)
+    }
+
+    /// Serialize the payload fields.
+    pub fn encode_payload(&self, w: &mut Writer) {
+        w.u64(self.flow_id);
+        w.u32(self.origin_operator.0);
+        w.u32(self.carrier_operator.0);
+        w.u64(self.carrier_node.0);
+        w.u64(self.bytes_carried);
+        w.u64(self.interval_start_ms);
+        w.u64(self.interval_end_ms);
+        w.bytes(&self.tag.0);
+    }
+
+    /// Parse and validate the payload fields.
+    pub fn decode_payload(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let flow_id = r.u64()?;
+        let origin_operator = OperatorId(r.u32()?);
+        let carrier_operator = OperatorId(r.u32()?);
+        let carrier_node = SatelliteId(r.u64()?);
+        let bytes_carried = r.u64()?;
+        let interval_start_ms = r.u64()?;
+        let interval_end_ms = r.u64()?;
+        if interval_end_ms < interval_start_ms {
+            return Err(WireError::IllegalField {
+                field: "interval_end_ms",
+            });
+        }
+        Ok(Self {
+            flow_id,
+            origin_operator,
+            carrier_operator,
+            carrier_node,
+            bytes_carried,
+            interval_start_ms,
+            interval_end_ms,
+            tag: Tag(r.bytes::<16>()?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secret() -> SharedSecret {
+        SharedSecret::derive(2, "carrier")
+    }
+
+    fn rec() -> AccountingRecord {
+        AccountingRecord::create(
+            555,
+            OperatorId(1),
+            OperatorId(2),
+            SatelliteId(42),
+            1_000_000,
+            0,
+            60_000,
+            &secret(),
+        )
+    }
+
+    #[test]
+    fn created_record_verifies() {
+        assert!(rec().verify(&secret()));
+    }
+
+    #[test]
+    fn tampered_bytes_fail() {
+        let mut r = rec();
+        r.bytes_carried += 1;
+        assert!(!r.verify(&secret()));
+    }
+
+    #[test]
+    fn tampered_origin_fails() {
+        let mut r = rec();
+        r.origin_operator = OperatorId(9);
+        assert!(!r.verify(&secret()));
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_signature() {
+        let r = rec();
+        let mut w = Writer::default();
+        r.encode_payload(&mut w);
+        let b = w.into_bytes();
+        let back = AccountingRecord::decode_payload(&mut Reader::new(&b)).unwrap();
+        assert_eq!(back, r);
+        assert!(back.verify(&secret()));
+    }
+
+    #[test]
+    fn decode_rejects_inverted_interval() {
+        let r = rec();
+        let mut w = Writer::default();
+        w.u64(r.flow_id);
+        w.u32(r.origin_operator.0);
+        w.u32(r.carrier_operator.0);
+        w.u64(r.carrier_node.0);
+        w.u64(r.bytes_carried);
+        w.u64(100);
+        w.u64(50);
+        w.bytes(&r.tag.0);
+        let b = w.into_bytes();
+        assert!(AccountingRecord::decode_payload(&mut Reader::new(&b)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted interval")]
+    fn create_rejects_inverted_interval() {
+        AccountingRecord::create(
+            1,
+            OperatorId(1),
+            OperatorId(2),
+            SatelliteId(1),
+            0,
+            100,
+            50,
+            &secret(),
+        );
+    }
+}

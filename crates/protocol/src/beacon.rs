@@ -1,0 +1,187 @@
+//! Presence beacons.
+//!
+//! §2.2: "all OpenSpace satellites advertise their presence via
+//! standardized periodic beacons that include orbital information. The
+//! user can evaluate received beacons to identify which satellite is in
+//! closest range, and request to associate with it."
+//!
+//! A beacon therefore carries the satellite's identity, its operator, a
+//! capability bitmap, and its full orbital element set — enough for any
+//! listener to propagate the sender's position forward in time.
+
+use crate::types::{Capabilities, OperatorId, SatelliteId};
+use crate::wire::{Reader, WireError, Writer};
+
+/// A periodic presence beacon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Beacon {
+    /// Broadcasting satellite.
+    pub satellite: SatelliteId,
+    /// Its owning operator.
+    pub operator: OperatorId,
+    /// Link technologies and services offered.
+    pub capabilities: Capabilities,
+    /// Transmission time (ms since constellation epoch).
+    pub timestamp_ms: u64,
+    /// Orbital elements at epoch: semi-major axis (m).
+    pub semi_major_axis_m: f64,
+    /// Eccentricity.
+    pub eccentricity: f64,
+    /// Inclination (rad).
+    pub inclination_rad: f64,
+    /// RAAN (rad).
+    pub raan_rad: f64,
+    /// Argument of perigee (rad).
+    pub arg_perigee_rad: f64,
+    /// Mean anomaly at the beacon timestamp (rad).
+    pub mean_anomaly_rad: f64,
+}
+
+impl Beacon {
+    /// Serialize the payload fields.
+    pub fn encode_payload(&self, w: &mut Writer) {
+        w.u64(self.satellite.0);
+        w.u32(self.operator.0);
+        w.u16(self.capabilities.to_bits());
+        w.u64(self.timestamp_ms);
+        w.f64(self.semi_major_axis_m);
+        w.f64(self.eccentricity);
+        w.f64(self.inclination_rad);
+        w.f64(self.raan_rad);
+        w.f64(self.arg_perigee_rad);
+        w.f64(self.mean_anomaly_rad);
+    }
+
+    /// Parse the payload fields, validating physical ranges.
+    pub fn decode_payload(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let satellite = SatelliteId(r.u64()?);
+        let operator = OperatorId(r.u32()?);
+        let capabilities = Capabilities::from_bits(r.u16()?);
+        let timestamp_ms = r.u64()?;
+        let semi_major_axis_m = r.f64()?;
+        let eccentricity = r.f64()?;
+        let inclination_rad = r.f64()?;
+        let raan_rad = r.f64()?;
+        let arg_perigee_rad = r.f64()?;
+        let mean_anomaly_rad = r.f64()?;
+        if !capabilities.has_rf() {
+            // §2.1: RF support is the mandatory minimum; a beacon without
+            // it is not a valid OpenSpace member.
+            return Err(WireError::IllegalField {
+                field: "capabilities.rf",
+            });
+        }
+        if !(semi_major_axis_m.is_finite() && semi_major_axis_m > 0.0) {
+            return Err(WireError::IllegalField {
+                field: "semi_major_axis_m",
+            });
+        }
+        if !(0.0..1.0).contains(&eccentricity) {
+            return Err(WireError::IllegalField {
+                field: "eccentricity",
+            });
+        }
+        if !(0.0..=std::f64::consts::PI).contains(&inclination_rad) {
+            return Err(WireError::IllegalField {
+                field: "inclination_rad",
+            });
+        }
+        Ok(Self {
+            satellite,
+            operator,
+            capabilities,
+            timestamp_ms,
+            semi_major_axis_m,
+            eccentricity,
+            inclination_rad,
+            raan_rad,
+            arg_perigee_rad,
+            mean_anomaly_rad,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Beacon {
+        Beacon {
+            satellite: SatelliteId(1),
+            operator: OperatorId(2),
+            capabilities: Capabilities::rf_only(),
+            timestamp_ms: 1_000,
+            semi_major_axis_m: 7.158e6,
+            eccentricity: 0.001,
+            inclination_rad: 1.5,
+            raan_rad: 0.2,
+            arg_perigee_rad: 0.1,
+            mean_anomaly_rad: 3.0,
+        }
+    }
+
+    fn round_trip(b: &Beacon) -> Result<Beacon, WireError> {
+        let mut w = Writer::default();
+        b.encode_payload(&mut w);
+        let bytes = w.into_bytes();
+        Beacon::decode_payload(&mut Reader::new(&bytes))
+    }
+
+    #[test]
+    fn payload_round_trip() {
+        let b = sample();
+        assert_eq!(round_trip(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn rejects_beacon_without_rf() {
+        let mut b = sample();
+        b.capabilities = Capabilities::from_bits(0b10); // optical only
+        assert!(matches!(
+            round_trip(&b),
+            Err(WireError::IllegalField {
+                field: "capabilities.rf"
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_hyperbolic_orbit() {
+        let mut b = sample();
+        b.eccentricity = 1.5;
+        assert!(matches!(round_trip(&b), Err(WireError::IllegalField { .. })));
+    }
+
+    #[test]
+    fn rejects_negative_sma() {
+        let mut b = sample();
+        b.semi_major_axis_m = -1.0;
+        assert!(round_trip(&b).is_err());
+    }
+
+    #[test]
+    fn rejects_nan_sma() {
+        let mut b = sample();
+        b.semi_major_axis_m = f64::NAN;
+        assert!(round_trip(&b).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_inclination() {
+        let mut b = sample();
+        b.inclination_rad = 4.0;
+        assert!(round_trip(&b).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_is_error() {
+        let mut w = Writer::default();
+        sample().encode_payload(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..bytes.len() - 3]);
+        assert!(matches!(
+            Beacon::decode_payload(&mut r),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+}

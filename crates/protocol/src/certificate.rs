@@ -1,0 +1,185 @@
+//! Roaming certificates.
+//!
+//! §2.2: "The user's home provider should assign the user a digital
+//! certificate to inform other satellite providers that the user has been
+//! authenticated by their home network."
+//!
+//! A certificate binds (user, home operator, validity window) under a tag
+//! keyed by the home operator's federation secret. Any operator holding
+//! that operator's federation secret (distributed at federation join) can
+//! verify it without a round trip to the home AAA — which is exactly what
+//! makes OpenSpace handovers cheap.
+
+use crate::crypto::{compute_tag, verify_tag, SharedSecret, Tag};
+use crate::types::{OperatorId, UserId};
+use crate::wire::{Reader, WireError, Writer};
+
+/// A roaming certificate issued by a user's home operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Certificate {
+    /// The authenticated user.
+    pub user: UserId,
+    /// Issuing (home) operator.
+    pub home_operator: OperatorId,
+    /// Issue time (ms since epoch).
+    pub issued_at_ms: u64,
+    /// Expiry time (ms since epoch).
+    pub expires_at_ms: u64,
+    /// Keyed tag over the fields above.
+    pub tag: Tag,
+}
+
+impl Certificate {
+    /// Issue a certificate under the home operator's federation secret.
+    ///
+    /// # Panics
+    /// Panics if the validity window is empty.
+    pub fn issue(
+        user: UserId,
+        home_operator: OperatorId,
+        issued_at_ms: u64,
+        expires_at_ms: u64,
+        issuer_secret: &SharedSecret,
+    ) -> Self {
+        assert!(expires_at_ms > issued_at_ms, "empty validity window");
+        let tag = compute_tag(issuer_secret, &Self::signed_bytes(user, home_operator, issued_at_ms, expires_at_ms));
+        Self {
+            user,
+            home_operator,
+            issued_at_ms,
+            expires_at_ms,
+            tag,
+        }
+    }
+
+    fn signed_bytes(
+        user: UserId,
+        home_operator: OperatorId,
+        issued_at_ms: u64,
+        expires_at_ms: u64,
+    ) -> [u8; 28] {
+        let mut out = [0u8; 28];
+        out[..8].copy_from_slice(&user.0.to_be_bytes());
+        out[8..12].copy_from_slice(&home_operator.0.to_be_bytes());
+        out[12..20].copy_from_slice(&issued_at_ms.to_be_bytes());
+        out[20..28].copy_from_slice(&expires_at_ms.to_be_bytes());
+        out
+    }
+
+    /// Verify integrity (tag) and temporal validity at `now_ms`.
+    pub fn verify(&self, issuer_secret: &SharedSecret, now_ms: u64) -> bool {
+        let bytes =
+            Self::signed_bytes(self.user, self.home_operator, self.issued_at_ms, self.expires_at_ms);
+        verify_tag(issuer_secret, &bytes, &self.tag)
+            && now_ms >= self.issued_at_ms
+            && now_ms < self.expires_at_ms
+    }
+
+    /// Serialize (used inside AccessAccept payloads).
+    pub fn encode(&self, w: &mut Writer) {
+        w.u64(self.user.0);
+        w.u32(self.home_operator.0);
+        w.u64(self.issued_at_ms);
+        w.u64(self.expires_at_ms);
+        w.bytes(&self.tag.0);
+    }
+
+    /// Deserialize.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let user = UserId(r.u64()?);
+        let home_operator = OperatorId(r.u32()?);
+        let issued_at_ms = r.u64()?;
+        let expires_at_ms = r.u64()?;
+        if expires_at_ms <= issued_at_ms {
+            return Err(WireError::IllegalField {
+                field: "expires_at_ms",
+            });
+        }
+        let tag = Tag(r.bytes::<16>()?);
+        Ok(Self {
+            user,
+            home_operator,
+            issued_at_ms,
+            expires_at_ms,
+            tag,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secret() -> SharedSecret {
+        SharedSecret::derive(77, "federation")
+    }
+
+    fn cert() -> Certificate {
+        Certificate::issue(UserId(5), OperatorId(3), 1_000, 61_000, &secret())
+    }
+
+    #[test]
+    fn issued_certificate_verifies() {
+        assert!(cert().verify(&secret(), 30_000));
+    }
+
+    #[test]
+    fn expired_certificate_fails() {
+        assert!(!cert().verify(&secret(), 61_000));
+    }
+
+    #[test]
+    fn not_yet_valid_certificate_fails() {
+        assert!(!cert().verify(&secret(), 999));
+    }
+
+    #[test]
+    fn wrong_secret_fails() {
+        let wrong = SharedSecret::derive(78, "federation");
+        assert!(!cert().verify(&wrong, 30_000));
+    }
+
+    #[test]
+    fn tampered_user_fails() {
+        let mut c = cert();
+        c.user = UserId(6);
+        assert!(!c.verify(&secret(), 30_000));
+    }
+
+    #[test]
+    fn tampered_expiry_fails() {
+        let mut c = cert();
+        c.expires_at_ms = u64::MAX;
+        assert!(!c.verify(&secret(), 30_000));
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let c = cert();
+        let mut w = Writer::default();
+        c.encode(&mut w);
+        let b = w.into_bytes();
+        let back = Certificate::decode(&mut Reader::new(&b)).unwrap();
+        assert_eq!(back, c);
+        assert!(back.verify(&secret(), 30_000));
+    }
+
+    #[test]
+    fn decode_rejects_inverted_window() {
+        let c = cert();
+        let mut w = Writer::default();
+        w.u64(c.user.0);
+        w.u32(c.home_operator.0);
+        w.u64(100);
+        w.u64(50); // expires before issue
+        w.bytes(&c.tag.0);
+        let b = w.into_bytes();
+        assert!(Certificate::decode(&mut Reader::new(&b)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty validity window")]
+    fn empty_window_panics() {
+        Certificate::issue(UserId(1), OperatorId(1), 10, 10, &secret());
+    }
+}

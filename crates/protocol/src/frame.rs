@@ -1,0 +1,276 @@
+//! The OpenSpace frame envelope and message dispatch.
+//!
+//! Every protocol message travels in one envelope:
+//!
+//! ```text
+//! 0      2      3      4        6              14        14+len    +4
+//! +------+------+------+--------+--------------+---------+---------+
+//! | magic| ver  | type | length | sender (u64) | payload | fletcher|
+//! +------+------+------+--------+--------------+---------+---------+
+//! ```
+//!
+//! `length` covers the payload only; the checksum covers everything
+//! before it. Parsing is strict: bad magic, version, length, or checksum
+//! all yield typed errors, and trailing garbage is rejected.
+
+use crate::accounting::AccountingRecord;
+use crate::auth::{AccessAccept, AccessReject, AccessRequest};
+use crate::beacon::Beacon;
+use crate::handover::{HandoverCommit, HandoverPrepare};
+use crate::pairing::{PairRequest, PairResponse};
+use crate::wire::{fletcher32, Reader, WireError, Writer};
+
+/// Frame magic: ASCII "OS".
+pub const MAGIC: u16 = 0x4F53;
+
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+
+/// Fixed header size in bytes (magic + version + type + length + sender).
+pub const HEADER_LEN: usize = 14;
+
+/// Checksum trailer size in bytes.
+pub const TRAILER_LEN: usize = 4;
+
+/// All OpenSpace protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Periodic presence beacon (§2.2).
+    Beacon(Beacon),
+    /// ISL pair request (§2.1).
+    PairRequest(PairRequest),
+    /// ISL pair response.
+    PairResponse(PairResponse),
+    /// RADIUS-like Access-Request toward the user's home ISP.
+    AccessRequest(AccessRequest),
+    /// Access accepted; carries the roaming certificate.
+    AccessAccept(AccessAccept),
+    /// Access rejected.
+    AccessReject(AccessReject),
+    /// Handover preparation from serving satellite to user.
+    HandoverPrepare(HandoverPrepare),
+    /// Handover commit from user to successor satellite.
+    HandoverCommit(HandoverCommit),
+    /// Cross-verifiable traffic accounting record (§3).
+    Accounting(AccountingRecord),
+}
+
+impl Message {
+    /// Wire type code.
+    pub fn type_code(&self) -> u8 {
+        match self {
+            Self::Beacon(_) => 0x01,
+            Self::PairRequest(_) => 0x02,
+            Self::PairResponse(_) => 0x03,
+            Self::AccessRequest(_) => 0x10,
+            Self::AccessAccept(_) => 0x11,
+            Self::AccessReject(_) => 0x12,
+            Self::HandoverPrepare(_) => 0x20,
+            Self::HandoverCommit(_) => 0x21,
+            Self::Accounting(_) => 0x30,
+        }
+    }
+
+    fn encode_payload(&self, w: &mut Writer) {
+        match self {
+            Self::Beacon(m) => m.encode_payload(w),
+            Self::PairRequest(m) => m.encode_payload(w),
+            Self::PairResponse(m) => m.encode_payload(w),
+            Self::AccessRequest(m) => m.encode_payload(w),
+            Self::AccessAccept(m) => m.encode_payload(w),
+            Self::AccessReject(m) => m.encode_payload(w),
+            Self::HandoverPrepare(m) => m.encode_payload(w),
+            Self::HandoverCommit(m) => m.encode_payload(w),
+            Self::Accounting(m) => m.encode_payload(w),
+        }
+    }
+
+    fn decode_payload(code: u8, r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match code {
+            0x01 => Self::Beacon(Beacon::decode_payload(r)?),
+            0x02 => Self::PairRequest(PairRequest::decode_payload(r)?),
+            0x03 => Self::PairResponse(PairResponse::decode_payload(r)?),
+            0x10 => Self::AccessRequest(AccessRequest::decode_payload(r)?),
+            0x11 => Self::AccessAccept(AccessAccept::decode_payload(r)?),
+            0x12 => Self::AccessReject(AccessReject::decode_payload(r)?),
+            0x20 => Self::HandoverPrepare(HandoverPrepare::decode_payload(r)?),
+            0x21 => Self::HandoverCommit(HandoverCommit::decode_payload(r)?),
+            0x30 => Self::Accounting(AccountingRecord::decode_payload(r)?),
+            other => return Err(WireError::UnknownMessageType(other)),
+        })
+    }
+}
+
+/// A decoded frame: sender plus message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// The node that emitted the frame (satellite, user, or station id,
+    /// per the message semantics).
+    pub sender: u64,
+    /// The message body.
+    pub message: Message,
+}
+
+impl Frame {
+    /// Encode to wire bytes: header, payload, Fletcher-32 trailer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Writer::with_capacity(96);
+        self.message.encode_payload(&mut payload);
+        let payload = payload.into_bytes();
+        assert!(
+            payload.len() <= u16::MAX as usize,
+            "payload exceeds length field"
+        );
+
+        let mut w = Writer::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+        w.u16(MAGIC);
+        w.u8(VERSION);
+        w.u8(self.message.type_code());
+        w.u16(payload.len() as u16);
+        w.u64(self.sender);
+        w.bytes(&payload);
+        let mut out = w.into_bytes();
+        let ck = fletcher32(&out);
+        out.extend_from_slice(&ck.to_be_bytes());
+        out
+    }
+
+    /// Decode from wire bytes. Strict: rejects bad magic/version/length/
+    /// checksum, unknown types, and trailing garbage.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(buf);
+        let magic = r.u16()?;
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let type_code = r.u8()?;
+        let stated_len = r.u16()? as usize;
+        let sender = r.u64()?;
+
+        let actual_payload = buf.len().saturating_sub(HEADER_LEN + TRAILER_LEN);
+        if actual_payload != stated_len {
+            return Err(WireError::BadLength {
+                stated: stated_len,
+                actual: actual_payload,
+            });
+        }
+        // Verify checksum over header+payload.
+        let body_end = HEADER_LEN + stated_len;
+        let computed = fletcher32(&buf[..body_end]);
+        let mut trailer = Reader::new(&buf[body_end..]);
+        let stated = trailer.u32()?;
+        if stated != computed {
+            return Err(WireError::BadChecksum { stated, computed });
+        }
+
+        let message = Message::decode_payload(type_code, &mut r)?;
+        // The payload parser must consume exactly the stated payload.
+        if r.position() != body_end {
+            return Err(WireError::BadLength {
+                stated: stated_len,
+                actual: r.position() - HEADER_LEN,
+            });
+        }
+        Ok(Self { sender, message })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Capabilities, OperatorId, SatelliteId};
+
+    fn sample_frame() -> Frame {
+        Frame {
+            sender: 42,
+            message: Message::Beacon(Beacon {
+                satellite: SatelliteId(42),
+                operator: OperatorId(7),
+                capabilities: Capabilities::rf_and_optical(),
+                timestamp_ms: 123_456,
+                semi_major_axis_m: 7.158e6,
+                eccentricity: 0.0,
+                inclination_rad: 1.508,
+                raan_rad: 0.5,
+                arg_perigee_rad: 0.0,
+                mean_anomaly_rad: 2.2,
+            }),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let f = sample_frame();
+        let bytes = f.encode();
+        let back = Frame::decode(&bytes).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_frame().encode();
+        bytes[0] = 0x00;
+        assert!(matches!(Frame::decode(&bytes), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = sample_frame().encode();
+        bytes[2] = 99;
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(WireError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let mut bytes = sample_frame().encode();
+        let mid = HEADER_LEN + 4;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(WireError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let bytes = sample_frame().encode();
+        for cut in [0, 1, 5, HEADER_LEN, bytes.len() - 1] {
+            assert!(
+                Frame::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample_frame().encode();
+        bytes.push(0);
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(WireError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut bytes = sample_frame().encode();
+        bytes[3] = 0x7F;
+        // Fix up the checksum so the type check is what fires.
+        let body_end = bytes.len() - TRAILER_LEN;
+        let ck = fletcher32(&bytes[..body_end]);
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&ck.to_be_bytes());
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(WireError::UnknownMessageType(0x7F))
+        ));
+    }
+}

@@ -1,0 +1,284 @@
+//! Satellite handover signaling.
+//!
+//! §2.2: "the satellite uses advance knowledge of orbital trajectories to
+//! pick a successor … The satellite communicates specifics of its
+//! successor to the user, who establishes a new session with the
+//! successor. This eliminates the need to run authentication and
+//! association protocols again, ensuring a smooth handoff."
+//!
+//! The serving satellite sends [`HandoverPrepare`] (successor identity,
+//! time, and a session token derived from the user's certificate); the
+//! user presents [`HandoverCommit`] with the token to the successor. The
+//! successor validates the token against the user's certificate tag — no
+//! home-AAA round trip.
+
+use crate::certificate::Certificate;
+use crate::crypto::{compute_tag, SharedSecret, Tag};
+use crate::types::{SatelliteId, UserId};
+use crate::wire::{Reader, WireError, Writer};
+
+/// Handover preparation: serving satellite → user.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HandoverPrepare {
+    /// The user being handed over.
+    pub user: UserId,
+    /// Current serving satellite.
+    pub serving: SatelliteId,
+    /// Chosen successor satellite.
+    pub successor: SatelliteId,
+    /// When the handover takes effect (ms since epoch).
+    pub effective_at_ms: u64,
+    /// Session continuation token the successor will honor.
+    pub session_token: Tag,
+}
+
+impl HandoverPrepare {
+    /// Serialize the payload fields.
+    pub fn encode_payload(&self, w: &mut Writer) {
+        w.u64(self.user.0);
+        w.u64(self.serving.0);
+        w.u64(self.successor.0);
+        w.u64(self.effective_at_ms);
+        w.bytes(&self.session_token.0);
+    }
+
+    /// Parse and validate the payload fields.
+    pub fn decode_payload(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let user = UserId(r.u64()?);
+        let serving = SatelliteId(r.u64()?);
+        let successor = SatelliteId(r.u64()?);
+        if serving == successor {
+            return Err(WireError::IllegalField { field: "successor" });
+        }
+        Ok(Self {
+            user,
+            serving,
+            successor,
+            effective_at_ms: r.u64()?,
+            session_token: Tag(r.bytes::<16>()?),
+        })
+    }
+}
+
+/// Handover commit: user → successor satellite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HandoverCommit {
+    /// The arriving user.
+    pub user: UserId,
+    /// The satellite it is arriving from.
+    pub from: SatelliteId,
+    /// The token from [`HandoverPrepare`].
+    pub session_token: Tag,
+}
+
+impl HandoverCommit {
+    /// Serialize the payload fields.
+    pub fn encode_payload(&self, w: &mut Writer) {
+        w.u64(self.user.0);
+        w.u64(self.from.0);
+        w.bytes(&self.session_token.0);
+    }
+
+    /// Parse the payload fields.
+    pub fn decode_payload(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            user: UserId(r.u64()?),
+            from: SatelliteId(r.u64()?),
+            session_token: Tag(r.bytes::<16>()?),
+        })
+    }
+}
+
+/// Derive the session token binding (user certificate, successor, time).
+///
+/// Both the serving satellite (to mint) and the successor (to check)
+/// compute this from the federation secret of the user's home operator —
+/// which every federation member holds — so no extra key distribution is
+/// needed at handover time.
+pub fn derive_session_token(
+    certificate: &Certificate,
+    successor: SatelliteId,
+    effective_at_ms: u64,
+    federation_secret: &SharedSecret,
+) -> Tag {
+    let mut data = [0u8; 40];
+    data[..16].copy_from_slice(&certificate.tag.0);
+    data[16..24].copy_from_slice(&certificate.user.0.to_be_bytes());
+    data[24..32].copy_from_slice(&successor.0.to_be_bytes());
+    data[32..40].copy_from_slice(&effective_at_ms.to_be_bytes());
+    compute_tag(federation_secret, &data)
+}
+
+/// Successor-side validation of an arriving commit.
+pub fn validate_commit(
+    commit: &HandoverCommit,
+    certificate: &Certificate,
+    successor: SatelliteId,
+    effective_at_ms: u64,
+    federation_secret: &SharedSecret,
+    now_ms: u64,
+) -> bool {
+    certificate.user == commit.user
+        && certificate.verify(federation_secret, now_ms)
+        && derive_session_token(certificate, successor, effective_at_ms, federation_secret)
+            == commit.session_token
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::OperatorId;
+
+    fn fed() -> SharedSecret {
+        SharedSecret::derive(1, "federation")
+    }
+
+    fn cert() -> Certificate {
+        Certificate::issue(UserId(9), OperatorId(1), 0, 100_000, &fed())
+    }
+
+    #[test]
+    fn prepare_round_trip() {
+        let p = HandoverPrepare {
+            user: UserId(9),
+            serving: SatelliteId(1),
+            successor: SatelliteId(2),
+            effective_at_ms: 15_000,
+            session_token: derive_session_token(&cert(), SatelliteId(2), 15_000, &fed()),
+        };
+        let mut w = Writer::default();
+        p.encode_payload(&mut w);
+        let b = w.into_bytes();
+        assert_eq!(
+            HandoverPrepare::decode_payload(&mut Reader::new(&b)).unwrap(),
+            p
+        );
+    }
+
+    #[test]
+    fn self_handover_rejected() {
+        let p = HandoverPrepare {
+            user: UserId(9),
+            serving: SatelliteId(1),
+            successor: SatelliteId(1),
+            effective_at_ms: 0,
+            session_token: Tag([0; 16]),
+        };
+        let mut w = Writer::default();
+        p.encode_payload(&mut w);
+        let b = w.into_bytes();
+        assert!(HandoverPrepare::decode_payload(&mut Reader::new(&b)).is_err());
+    }
+
+    #[test]
+    fn commit_round_trip() {
+        let c = HandoverCommit {
+            user: UserId(9),
+            from: SatelliteId(1),
+            session_token: Tag([7; 16]),
+        };
+        let mut w = Writer::default();
+        c.encode_payload(&mut w);
+        let b = w.into_bytes();
+        assert_eq!(
+            HandoverCommit::decode_payload(&mut Reader::new(&b)).unwrap(),
+            c
+        );
+    }
+
+    #[test]
+    fn valid_commit_accepted_by_successor() {
+        let certificate = cert();
+        let token = derive_session_token(&certificate, SatelliteId(2), 15_000, &fed());
+        let commit = HandoverCommit {
+            user: UserId(9),
+            from: SatelliteId(1),
+            session_token: token,
+        };
+        assert!(validate_commit(
+            &commit,
+            &certificate,
+            SatelliteId(2),
+            15_000,
+            &fed(),
+            15_001
+        ));
+    }
+
+    #[test]
+    fn token_bound_to_successor() {
+        let certificate = cert();
+        let token = derive_session_token(&certificate, SatelliteId(2), 15_000, &fed());
+        let commit = HandoverCommit {
+            user: UserId(9),
+            from: SatelliteId(1),
+            session_token: token,
+        };
+        // Presented to the wrong satellite: fails.
+        assert!(!validate_commit(
+            &commit,
+            &certificate,
+            SatelliteId(3),
+            15_000,
+            &fed(),
+            15_001
+        ));
+    }
+
+    #[test]
+    fn token_bound_to_time() {
+        let certificate = cert();
+        let token = derive_session_token(&certificate, SatelliteId(2), 15_000, &fed());
+        let commit = HandoverCommit {
+            user: UserId(9),
+            from: SatelliteId(1),
+            session_token: token,
+        };
+        assert!(!validate_commit(
+            &commit,
+            &certificate,
+            SatelliteId(2),
+            16_000,
+            &fed(),
+            15_001
+        ));
+    }
+
+    #[test]
+    fn expired_certificate_blocks_handover() {
+        let certificate = cert();
+        let token = derive_session_token(&certificate, SatelliteId(2), 15_000, &fed());
+        let commit = HandoverCommit {
+            user: UserId(9),
+            from: SatelliteId(1),
+            session_token: token,
+        };
+        assert!(!validate_commit(
+            &commit,
+            &certificate,
+            SatelliteId(2),
+            15_000,
+            &fed(),
+            200_000 // after expiry
+        ));
+    }
+
+    #[test]
+    fn wrong_user_blocks_handover() {
+        let certificate = cert();
+        let token = derive_session_token(&certificate, SatelliteId(2), 15_000, &fed());
+        let commit = HandoverCommit {
+            user: UserId(10),
+            from: SatelliteId(1),
+            session_token: token,
+        };
+        assert!(!validate_commit(
+            &commit,
+            &certificate,
+            SatelliteId(2),
+            15_000,
+            &fed(),
+            15_001
+        ));
+    }
+}

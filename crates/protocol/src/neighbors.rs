@@ -1,0 +1,228 @@
+//! Beacon-driven neighbour discovery.
+//!
+//! §2.1–2.2: satellites "broadcast their presence, and share their ISL
+//! specifications" via periodic beacons; receivers evaluate beacons to
+//! pick association and pairing candidates. This module is the
+//! receiver-side state: a table of recently heard neighbours with
+//! capability data, staleness expiry, and a pairing-candidate query.
+//!
+//! The table is protocol-level: it stores what the wire said, not what
+//! orbital mechanics predicts. (The routing layer cross-references the
+//! carried orbital elements for geometry.)
+
+use crate::beacon::Beacon;
+use crate::types::{Capabilities, OperatorId, SatelliteId};
+use std::collections::BTreeMap;
+
+/// One tracked neighbour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Neighbor {
+    /// The neighbour's last beacon, as received.
+    pub beacon: Beacon,
+    /// Local receive time of the last beacon (ms).
+    pub last_heard_ms: u64,
+    /// Number of beacons heard from this neighbour.
+    pub beacons_heard: u64,
+}
+
+impl Neighbor {
+    /// Capabilities from the latest beacon.
+    pub fn capabilities(&self) -> Capabilities {
+        self.beacon.capabilities
+    }
+
+    /// Owning operator from the latest beacon.
+    pub fn operator(&self) -> OperatorId {
+        self.beacon.operator
+    }
+}
+
+/// A receiver's neighbour table.
+#[derive(Debug, Default)]
+pub struct NeighborTable {
+    entries: BTreeMap<SatelliteId, Neighbor>,
+    /// Entries not refreshed within this window are dropped (ms).
+    ttl_ms: u64,
+}
+
+impl NeighborTable {
+    /// A table whose entries expire `ttl_ms` after their last beacon.
+    /// The OpenSpace default beacon period is 1 s; a TTL of a few
+    /// periods tolerates loss without keeping ghosts.
+    ///
+    /// # Panics
+    /// Panics if `ttl_ms == 0`.
+    pub fn new(ttl_ms: u64) -> Self {
+        assert!(ttl_ms > 0, "TTL must be positive");
+        Self {
+            entries: BTreeMap::new(),
+            ttl_ms,
+        }
+    }
+
+    /// Ingest a received beacon at local time `now_ms`. Re-hearing a
+    /// neighbour refreshes its entry (capabilities may change — e.g. a
+    /// laser terminal taken offline).
+    pub fn observe(&mut self, beacon: Beacon, now_ms: u64) {
+        self.entries
+            .entry(beacon.satellite)
+            .and_modify(|n| {
+                n.beacon = beacon.clone();
+                n.last_heard_ms = now_ms;
+                n.beacons_heard += 1;
+            })
+            .or_insert(Neighbor {
+                beacon,
+                last_heard_ms: now_ms,
+                beacons_heard: 1,
+            });
+    }
+
+    /// Drop entries older than the TTL, returning how many expired.
+    pub fn expire(&mut self, now_ms: u64) -> usize {
+        let ttl = self.ttl_ms;
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, n| now_ms.saturating_sub(n.last_heard_ms) <= ttl);
+        before - self.entries.len()
+    }
+
+    /// Look up a neighbour.
+    pub fn get(&self, id: SatelliteId) -> Option<&Neighbor> {
+        self.entries.get(&id)
+    }
+
+    /// All live neighbours at `now_ms` (expired entries are filtered even
+    /// before an [`expire`](Self::expire) sweep), in id order.
+    pub fn active(&self, now_ms: u64) -> Vec<&Neighbor> {
+        self.entries
+            .values()
+            .filter(|n| now_ms.saturating_sub(n.last_heard_ms) <= self.ttl_ms)
+            .collect()
+    }
+
+    /// Live neighbours that could sustain an optical ISL with a local
+    /// node of `local_caps` — the §2.1 pairing-candidate shortlist.
+    pub fn optical_candidates(&self, local_caps: Capabilities, now_ms: u64) -> Vec<SatelliteId> {
+        self.active(now_ms)
+            .into_iter()
+            .filter(|n| {
+                matches!(
+                    local_caps.common_link(n.capabilities()),
+                    Some(crate::types::LinkTechnology::Optical)
+                )
+            })
+            .map(|n| n.beacon.satellite)
+            .collect()
+    }
+
+    /// Number of entries (including any not yet expired-swept).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beacon(id: u64, caps: Capabilities) -> Beacon {
+        Beacon {
+            satellite: SatelliteId(id),
+            operator: OperatorId((id % 4) as u32 + 1),
+            capabilities: caps,
+            timestamp_ms: 0,
+            semi_major_axis_m: 7.158e6,
+            eccentricity: 0.0,
+            inclination_rad: 1.5,
+            raan_rad: 0.0,
+            arg_perigee_rad: 0.0,
+            mean_anomaly_rad: 0.0,
+        }
+    }
+
+    #[test]
+    fn observe_and_get() {
+        let mut t = NeighborTable::new(3_000);
+        t.observe(beacon(1, Capabilities::rf_only()), 100);
+        let n = t.get(SatelliteId(1)).unwrap();
+        assert_eq!(n.beacons_heard, 1);
+        assert_eq!(n.last_heard_ms, 100);
+        assert!(t.get(SatelliteId(2)).is_none());
+    }
+
+    #[test]
+    fn rehearing_refreshes_and_counts() {
+        let mut t = NeighborTable::new(3_000);
+        t.observe(beacon(1, Capabilities::rf_only()), 100);
+        t.observe(beacon(1, Capabilities::rf_and_optical()), 1_100);
+        let n = t.get(SatelliteId(1)).unwrap();
+        assert_eq!(n.beacons_heard, 2);
+        assert_eq!(n.last_heard_ms, 1_100);
+        // The capability upgrade is visible.
+        assert!(n.capabilities().has_optical());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn expiry_sweep_drops_stale_entries() {
+        let mut t = NeighborTable::new(3_000);
+        t.observe(beacon(1, Capabilities::rf_only()), 0);
+        t.observe(beacon(2, Capabilities::rf_only()), 2_500);
+        let dropped = t.expire(5_000);
+        assert_eq!(dropped, 1);
+        assert!(t.get(SatelliteId(1)).is_none());
+        assert!(t.get(SatelliteId(2)).is_some());
+    }
+
+    #[test]
+    fn active_filters_without_sweeping() {
+        let mut t = NeighborTable::new(1_000);
+        t.observe(beacon(1, Capabilities::rf_only()), 0);
+        t.observe(beacon(2, Capabilities::rf_only()), 900);
+        assert_eq!(t.active(1_500).len(), 1);
+        assert_eq!(t.len(), 2, "active() must not mutate");
+    }
+
+    #[test]
+    fn boundary_ttl_is_inclusive() {
+        let mut t = NeighborTable::new(1_000);
+        t.observe(beacon(1, Capabilities::rf_only()), 0);
+        assert_eq!(t.active(1_000).len(), 1);
+        assert_eq!(t.active(1_001).len(), 0);
+    }
+
+    #[test]
+    fn optical_candidates_require_both_sides() {
+        let mut t = NeighborTable::new(10_000);
+        t.observe(beacon(1, Capabilities::rf_only()), 0);
+        t.observe(beacon(2, Capabilities::rf_and_optical()), 0);
+        t.observe(beacon(3, Capabilities::rf_and_optical()), 0);
+        // Local node has lasers: candidates are 2 and 3.
+        let c = t.optical_candidates(Capabilities::rf_and_optical(), 10);
+        assert_eq!(c, vec![SatelliteId(2), SatelliteId(3)]);
+        // Local node RF-only: no optical candidates at all.
+        assert!(t.optical_candidates(Capabilities::rf_only(), 10).is_empty());
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let mut t = NeighborTable::new(10_000);
+        for id in [5u64, 1, 9, 3] {
+            t.observe(beacon(id, Capabilities::rf_only()), 0);
+        }
+        let ids: Vec<u64> = t.active(1).iter().map(|n| n.beacon.satellite.0).collect();
+        assert_eq!(ids, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "TTL must be positive")]
+    fn zero_ttl_panics() {
+        NeighborTable::new(0);
+    }
+}

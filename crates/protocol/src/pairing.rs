@@ -1,0 +1,560 @@
+//! ISL pairing: the RF-bootstrap handshake of §2.1.
+//!
+//! "When a satellite receives a beacon from another satellite, it can
+//! initiate pairing by broadcasting a pair request which contains its
+//! technical specifications (for example whether optical links are
+//! supported, and the exact position of its laser diodes) enabling laser
+//! beamforming if the two satellites have the capability and available
+//! bandwidth for optical links."
+//!
+//! This module carries the two wire messages plus the initiator-side
+//! state machine: `Idle → AwaitingResponse → (Orienting →) Established`.
+
+use crate::types::{Capabilities, LinkTechnology, SatelliteId};
+use crate::wire::{Reader, WireError, Writer};
+
+/// Pair request broadcast over the RF common channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairRequest {
+    /// Requesting satellite.
+    pub requester: SatelliteId,
+    /// Target satellite (from its beacon).
+    pub target: SatelliteId,
+    /// Requester's capabilities.
+    pub capabilities: Capabilities,
+    /// Azimuth of the requester's laser terminal in its body frame (rad);
+    /// meaningful only when optical capability is present.
+    pub laser_azimuth_rad: f64,
+    /// Elevation of the requester's laser terminal in its body frame (rad).
+    pub laser_elevation_rad: f64,
+    /// Fraction of the requester's ISL bandwidth currently uncommitted,
+    /// in `[0, 1]` — the "current load of the spacecraft" from §2.1.
+    pub available_bandwidth_fraction: f64,
+}
+
+impl PairRequest {
+    /// Serialize the payload fields.
+    pub fn encode_payload(&self, w: &mut Writer) {
+        w.u64(self.requester.0);
+        w.u64(self.target.0);
+        w.u16(self.capabilities.to_bits());
+        w.f64(self.laser_azimuth_rad);
+        w.f64(self.laser_elevation_rad);
+        w.f64(self.available_bandwidth_fraction);
+    }
+
+    /// Parse and validate the payload fields.
+    pub fn decode_payload(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let requester = SatelliteId(r.u64()?);
+        let target = SatelliteId(r.u64()?);
+        let capabilities = Capabilities::from_bits(r.u16()?);
+        let laser_azimuth_rad = r.f64()?;
+        let laser_elevation_rad = r.f64()?;
+        let available_bandwidth_fraction = r.f64()?;
+        if !(0.0..=1.0).contains(&available_bandwidth_fraction) {
+            return Err(WireError::IllegalField {
+                field: "available_bandwidth_fraction",
+            });
+        }
+        if requester == target {
+            return Err(WireError::IllegalField { field: "target" });
+        }
+        Ok(Self {
+            requester,
+            target,
+            capabilities,
+            laser_azimuth_rad,
+            laser_elevation_rad,
+            available_bandwidth_fraction,
+        })
+    }
+}
+
+/// Why a pair request was declined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// No common link technology.
+    Incompatible,
+    /// Responder has no uncommitted ISL bandwidth.
+    NoBandwidth,
+    /// Responder cannot afford the power for another ISL (§2.2).
+    PowerConstrained,
+    /// Target is about to leave line of sight.
+    GeometryExpiring,
+}
+
+impl RejectReason {
+    fn to_code(self) -> u8 {
+        match self {
+            Self::Incompatible => 1,
+            Self::NoBandwidth => 2,
+            Self::PowerConstrained => 3,
+            Self::GeometryExpiring => 4,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<Self, WireError> {
+        Ok(match c {
+            1 => Self::Incompatible,
+            2 => Self::NoBandwidth,
+            3 => Self::PowerConstrained,
+            4 => Self::GeometryExpiring,
+            _ => return Err(WireError::IllegalField { field: "reject_reason" }),
+        })
+    }
+}
+
+/// Outcome of a pair request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PairVerdict {
+    /// Accepted; the link will use the given technology. For optical
+    /// links, `orient_time_s` is the responder's estimate of its slew +
+    /// acquisition time before data can flow.
+    Accept {
+        /// Agreed link technology.
+        technology: LinkTechnology,
+        /// Responder's slew+acquire estimate (s); 0 for RF.
+        orient_time_s: f64,
+    },
+    /// Declined with a reason.
+    Reject(RejectReason),
+}
+
+/// Pair response unicast back to the requester.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairResponse {
+    /// Responding satellite.
+    pub responder: SatelliteId,
+    /// The requester this answers.
+    pub requester: SatelliteId,
+    /// Accept or reject.
+    pub verdict: PairVerdict,
+}
+
+impl PairResponse {
+    /// Serialize the payload fields.
+    pub fn encode_payload(&self, w: &mut Writer) {
+        w.u64(self.responder.0);
+        w.u64(self.requester.0);
+        match self.verdict {
+            PairVerdict::Accept {
+                technology,
+                orient_time_s,
+            } => {
+                w.u8(0);
+                w.u8(match technology {
+                    LinkTechnology::Rf => 0,
+                    LinkTechnology::Optical => 1,
+                });
+                w.f64(orient_time_s);
+            }
+            PairVerdict::Reject(reason) => {
+                w.u8(1);
+                w.u8(reason.to_code());
+                w.f64(0.0);
+            }
+        }
+    }
+
+    /// Parse and validate the payload fields.
+    pub fn decode_payload(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let responder = SatelliteId(r.u64()?);
+        let requester = SatelliteId(r.u64()?);
+        let kind = r.u8()?;
+        let code = r.u8()?;
+        let orient_time_s = r.f64()?;
+        let verdict = match kind {
+            0 => {
+                let technology = match code {
+                    0 => LinkTechnology::Rf,
+                    1 => LinkTechnology::Optical,
+                    _ => return Err(WireError::IllegalField { field: "technology" }),
+                };
+                if !(orient_time_s.is_finite() && orient_time_s >= 0.0) {
+                    return Err(WireError::IllegalField { field: "orient_time_s" });
+                }
+                PairVerdict::Accept {
+                    technology,
+                    orient_time_s,
+                }
+            }
+            1 => PairVerdict::Reject(RejectReason::from_code(code)?),
+            _ => return Err(WireError::IllegalField { field: "verdict" }),
+        };
+        Ok(Self {
+            responder,
+            requester,
+            verdict,
+        })
+    }
+}
+
+/// Initiator-side pairing state machine.
+///
+/// Drives one pairing attempt from beacon receipt to an established link,
+/// including the optical orientation phase when the peers agree on a
+/// laser link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PairingState {
+    /// No attempt in progress.
+    Idle,
+    /// Pair request sent; waiting for the response (with a deadline).
+    AwaitingResponse {
+        /// When the request was sent (s).
+        sent_at_s: f64,
+        /// Give-up deadline (s).
+        deadline_s: f64,
+    },
+    /// Optical link agreed; both ends are slewing/acquiring.
+    Orienting {
+        /// When orientation completes and the link is usable (s).
+        ready_at_s: f64,
+    },
+    /// Link is live.
+    Established {
+        /// Technology in use.
+        technology: LinkTechnology,
+    },
+    /// Attempt failed (rejected or timed out).
+    Failed(PairFailure),
+}
+
+/// Why a pairing attempt ended without a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairFailure {
+    /// No response before the deadline.
+    Timeout,
+    /// Peer said no.
+    Rejected(RejectReason),
+}
+
+/// The initiator's pairing driver.
+#[derive(Debug, Clone, Copy)]
+pub struct PairingMachine {
+    state: PairingState,
+}
+
+impl Default for PairingMachine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PairingMachine {
+    /// Start in `Idle`.
+    pub fn new() -> Self {
+        Self {
+            state: PairingState::Idle,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PairingState {
+        self.state
+    }
+
+    /// Record that a pair request was transmitted at `now_s`, with
+    /// `timeout_s` to wait for the answer.
+    ///
+    /// # Panics
+    /// Panics unless the machine is `Idle` or `Failed` (restart allowed).
+    pub fn request_sent(&mut self, now_s: f64, timeout_s: f64) {
+        assert!(
+            matches!(self.state, PairingState::Idle | PairingState::Failed(_)),
+            "request_sent from state {:?}",
+            self.state
+        );
+        assert!(timeout_s > 0.0, "timeout must be positive");
+        self.state = PairingState::AwaitingResponse {
+            sent_at_s: now_s,
+            deadline_s: now_s + timeout_s,
+        };
+    }
+
+    /// Feed the peer's response, received at `now_s`.
+    ///
+    /// Late responses (after the deadline) are ignored — the machine will
+    /// already have timed out via [`Self::tick`].
+    pub fn response_received(&mut self, response: &PairResponse, now_s: f64) {
+        let PairingState::AwaitingResponse { deadline_s, .. } = self.state else {
+            return; // stale or duplicate response
+        };
+        if now_s > deadline_s {
+            return;
+        }
+        self.state = match response.verdict {
+            PairVerdict::Accept {
+                technology: LinkTechnology::Rf,
+                ..
+            } => PairingState::Established {
+                technology: LinkTechnology::Rf,
+            },
+            PairVerdict::Accept {
+                technology: LinkTechnology::Optical,
+                orient_time_s,
+            } => PairingState::Orienting {
+                ready_at_s: now_s + orient_time_s,
+            },
+            PairVerdict::Reject(reason) => PairingState::Failed(PairFailure::Rejected(reason)),
+        };
+    }
+
+    /// Advance wall-clock: fires timeouts and completes orientation.
+    pub fn tick(&mut self, now_s: f64) {
+        match self.state {
+            PairingState::AwaitingResponse { deadline_s, .. } if now_s > deadline_s => {
+                self.state = PairingState::Failed(PairFailure::Timeout);
+            }
+            PairingState::Orienting { ready_at_s } if now_s >= ready_at_s => {
+                self.state = PairingState::Established {
+                    technology: LinkTechnology::Optical,
+                };
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Responder-side admission decision: the policy §2.1 sketches.
+///
+/// Accepts with the best common technology, subject to bandwidth and
+/// power; optical requires both sides' capability plus responder headroom.
+pub fn decide_pair(
+    request: &PairRequest,
+    responder_caps: Capabilities,
+    responder_bandwidth_fraction: f64,
+    responder_power_ok: bool,
+    optical_orient_time_s: f64,
+) -> PairVerdict {
+    let Some(common) = request.capabilities.common_link(responder_caps) else {
+        return PairVerdict::Reject(RejectReason::Incompatible);
+    };
+    if responder_bandwidth_fraction <= 0.0 || request.available_bandwidth_fraction <= 0.0 {
+        return PairVerdict::Reject(RejectReason::NoBandwidth);
+    }
+    if !responder_power_ok {
+        return PairVerdict::Reject(RejectReason::PowerConstrained);
+    }
+    match common {
+        // Optical needs spare capacity on both ends to be worth the slew;
+        // otherwise fall back to RF (§2.1: "depending on the
+        // specifications and current load of the spacecraft involved").
+        LinkTechnology::Optical
+            if responder_bandwidth_fraction >= 0.25
+                && request.available_bandwidth_fraction >= 0.25 =>
+        {
+            PairVerdict::Accept {
+                technology: LinkTechnology::Optical,
+                orient_time_s: optical_orient_time_s,
+            }
+        }
+        _ => PairVerdict::Accept {
+            technology: LinkTechnology::Rf,
+            orient_time_s: 0.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> PairRequest {
+        PairRequest {
+            requester: SatelliteId(1),
+            target: SatelliteId(2),
+            capabilities: Capabilities::rf_and_optical(),
+            laser_azimuth_rad: 0.3,
+            laser_elevation_rad: -0.1,
+            available_bandwidth_fraction: 0.8,
+        }
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let m = sample_request();
+        let mut w = Writer::default();
+        m.encode_payload(&mut w);
+        let b = w.into_bytes();
+        assert_eq!(PairRequest::decode_payload(&mut Reader::new(&b)).unwrap(), m);
+    }
+
+    #[test]
+    fn self_pair_rejected() {
+        let mut m = sample_request();
+        m.target = m.requester;
+        let mut w = Writer::default();
+        m.encode_payload(&mut w);
+        let b = w.into_bytes();
+        assert!(PairRequest::decode_payload(&mut Reader::new(&b)).is_err());
+    }
+
+    #[test]
+    fn bandwidth_fraction_validated() {
+        let mut m = sample_request();
+        m.available_bandwidth_fraction = 1.5;
+        let mut w = Writer::default();
+        m.encode_payload(&mut w);
+        let b = w.into_bytes();
+        assert!(PairRequest::decode_payload(&mut Reader::new(&b)).is_err());
+    }
+
+    #[test]
+    fn response_round_trip_accept_and_reject() {
+        for verdict in [
+            PairVerdict::Accept {
+                technology: LinkTechnology::Optical,
+                orient_time_s: 42.0,
+            },
+            PairVerdict::Accept {
+                technology: LinkTechnology::Rf,
+                orient_time_s: 0.0,
+            },
+            PairVerdict::Reject(RejectReason::PowerConstrained),
+        ] {
+            let m = PairResponse {
+                responder: SatelliteId(2),
+                requester: SatelliteId(1),
+                verdict,
+            };
+            let mut w = Writer::default();
+            m.encode_payload(&mut w);
+            let b = w.into_bytes();
+            assert_eq!(
+                PairResponse::decode_payload(&mut Reader::new(&b)).unwrap(),
+                m
+            );
+        }
+    }
+
+    #[test]
+    fn decide_prefers_optical_with_headroom() {
+        let v = decide_pair(&sample_request(), Capabilities::rf_and_optical(), 0.7, true, 30.0);
+        assert!(matches!(
+            v,
+            PairVerdict::Accept {
+                technology: LinkTechnology::Optical,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn decide_falls_back_to_rf_when_loaded() {
+        let v = decide_pair(&sample_request(), Capabilities::rf_and_optical(), 0.1, true, 30.0);
+        assert_eq!(
+            v,
+            PairVerdict::Accept {
+                technology: LinkTechnology::Rf,
+                orient_time_s: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn decide_rejects_on_power() {
+        let v = decide_pair(&sample_request(), Capabilities::rf_only(), 0.9, false, 0.0);
+        assert_eq!(v, PairVerdict::Reject(RejectReason::PowerConstrained));
+    }
+
+    #[test]
+    fn decide_rejects_incompatible() {
+        let v = decide_pair(
+            &sample_request(),
+            Capabilities::from_bits(0), // nothing — not even RF
+            0.9,
+            true,
+            0.0,
+        );
+        assert_eq!(v, PairVerdict::Reject(RejectReason::Incompatible));
+    }
+
+    #[test]
+    fn machine_happy_path_rf() {
+        let mut m = PairingMachine::new();
+        m.request_sent(0.0, 5.0);
+        let resp = PairResponse {
+            responder: SatelliteId(2),
+            requester: SatelliteId(1),
+            verdict: PairVerdict::Accept {
+                technology: LinkTechnology::Rf,
+                orient_time_s: 0.0,
+            },
+        };
+        m.response_received(&resp, 1.0);
+        assert_eq!(
+            m.state(),
+            PairingState::Established {
+                technology: LinkTechnology::Rf
+            }
+        );
+    }
+
+    #[test]
+    fn machine_optical_orients_then_establishes() {
+        let mut m = PairingMachine::new();
+        m.request_sent(0.0, 5.0);
+        let resp = PairResponse {
+            responder: SatelliteId(2),
+            requester: SatelliteId(1),
+            verdict: PairVerdict::Accept {
+                technology: LinkTechnology::Optical,
+                orient_time_s: 30.0,
+            },
+        };
+        m.response_received(&resp, 1.0);
+        assert!(matches!(m.state(), PairingState::Orienting { .. }));
+        m.tick(20.0);
+        assert!(matches!(m.state(), PairingState::Orienting { .. }));
+        m.tick(31.0);
+        assert_eq!(
+            m.state(),
+            PairingState::Established {
+                technology: LinkTechnology::Optical
+            }
+        );
+    }
+
+    #[test]
+    fn machine_times_out() {
+        let mut m = PairingMachine::new();
+        m.request_sent(0.0, 5.0);
+        m.tick(5.1);
+        assert_eq!(m.state(), PairingState::Failed(PairFailure::Timeout));
+    }
+
+    #[test]
+    fn late_response_ignored_after_timeout() {
+        let mut m = PairingMachine::new();
+        m.request_sent(0.0, 5.0);
+        m.tick(6.0);
+        let resp = PairResponse {
+            responder: SatelliteId(2),
+            requester: SatelliteId(1),
+            verdict: PairVerdict::Accept {
+                technology: LinkTechnology::Rf,
+                orient_time_s: 0.0,
+            },
+        };
+        m.response_received(&resp, 6.5);
+        assert_eq!(m.state(), PairingState::Failed(PairFailure::Timeout));
+    }
+
+    #[test]
+    fn machine_can_retry_after_failure() {
+        let mut m = PairingMachine::new();
+        m.request_sent(0.0, 1.0);
+        m.tick(2.0);
+        assert!(matches!(m.state(), PairingState::Failed(_)));
+        m.request_sent(3.0, 1.0);
+        assert!(matches!(m.state(), PairingState::AwaitingResponse { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "request_sent from state")]
+    fn double_request_panics() {
+        let mut m = PairingMachine::new();
+        m.request_sent(0.0, 5.0);
+        m.request_sent(0.1, 5.0);
+    }
+}

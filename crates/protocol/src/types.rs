@@ -1,0 +1,191 @@
+//! Identifier and capability types shared across the protocol.
+
+/// A satellite's network-wide identifier (unique across all operators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SatelliteId(pub u64);
+
+/// An operator ("ISP" in the paper's roaming analogy) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OperatorId(pub u32);
+
+/// A ground user's identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u64);
+
+/// A ground station's identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroundStationId(pub u32);
+
+impl std::fmt::Display for SatelliteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sat-{}", self.0)
+    }
+}
+
+impl std::fmt::Display for OperatorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op-{}", self.0)
+    }
+}
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "user-{}", self.0)
+    }
+}
+
+impl std::fmt::Display for GroundStationId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gs-{}", self.0)
+    }
+}
+
+/// Link technologies a spacecraft can offer (§2.1: RF at a minimum,
+/// optionally standardized laser links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkTechnology {
+    /// RF on the common S/UHF ISL bands — mandatory in OpenSpace.
+    Rf,
+    /// Optical (laser) ISL — optional, higher throughput.
+    Optical,
+}
+
+/// Capability bitmap carried in beacons and pair requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Capabilities {
+    bits: u16,
+}
+
+impl Capabilities {
+    const RF: u16 = 1 << 0;
+    const OPTICAL: u16 = 1 << 1;
+    const GROUND_RELAY: u16 = 1 << 2;
+    const STORE_AND_FORWARD: u16 = 1 << 3;
+
+    /// The OpenSpace minimum: RF ISLs only.
+    pub fn rf_only() -> Self {
+        Self { bits: Self::RF }
+    }
+
+    /// RF plus optical terminals.
+    pub fn rf_and_optical() -> Self {
+        Self {
+            bits: Self::RF | Self::OPTICAL,
+        }
+    }
+
+    /// Whether RF ISLs are supported (must be true for any valid member).
+    pub fn has_rf(self) -> bool {
+        self.bits & Self::RF != 0
+    }
+
+    /// Whether optical ISLs are supported.
+    pub fn has_optical(self) -> bool {
+        self.bits & Self::OPTICAL != 0
+    }
+
+    /// Whether this satellite can relay to ground stations.
+    pub fn has_ground_relay(self) -> bool {
+        self.bits & Self::GROUND_RELAY != 0
+    }
+
+    /// Whether delay-tolerant store-and-forward is offered.
+    pub fn has_store_and_forward(self) -> bool {
+        self.bits & Self::STORE_AND_FORWARD != 0
+    }
+
+    /// Set the ground-relay flag.
+    pub fn with_ground_relay(mut self) -> Self {
+        self.bits |= Self::GROUND_RELAY;
+        self
+    }
+
+    /// Set the store-and-forward flag.
+    pub fn with_store_and_forward(mut self) -> Self {
+        self.bits |= Self::STORE_AND_FORWARD;
+        self
+    }
+
+    /// Raw bits for the wire.
+    pub fn to_bits(self) -> u16 {
+        self.bits
+    }
+
+    /// Rebuild from wire bits. Unknown bits are preserved (forward
+    /// compatibility), so this cannot fail.
+    pub fn from_bits(bits: u16) -> Self {
+        Self { bits }
+    }
+
+    /// The best common ISL technology between two capability sets:
+    /// optical when both support it, else RF when both do.
+    pub fn common_link(self, other: Self) -> Option<LinkTechnology> {
+        if self.has_optical() && other.has_optical() {
+            Some(LinkTechnology::Optical)
+        } else if self.has_rf() && other.has_rf() {
+            Some(LinkTechnology::Rf)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rf_only_has_rf_not_optical() {
+        let c = Capabilities::rf_only();
+        assert!(c.has_rf());
+        assert!(!c.has_optical());
+    }
+
+    #[test]
+    fn bit_round_trip() {
+        let c = Capabilities::rf_and_optical()
+            .with_ground_relay()
+            .with_store_and_forward();
+        let back = Capabilities::from_bits(c.to_bits());
+        assert_eq!(c, back);
+        assert!(back.has_ground_relay());
+        assert!(back.has_store_and_forward());
+    }
+
+    #[test]
+    fn unknown_bits_preserved() {
+        let c = Capabilities::from_bits(0x8001);
+        assert_eq!(c.to_bits(), 0x8001);
+        assert!(c.has_rf());
+    }
+
+    #[test]
+    fn common_link_prefers_optical() {
+        let a = Capabilities::rf_and_optical();
+        let b = Capabilities::rf_and_optical();
+        assert_eq!(a.common_link(b), Some(LinkTechnology::Optical));
+    }
+
+    #[test]
+    fn common_link_falls_back_to_rf() {
+        let a = Capabilities::rf_and_optical();
+        let b = Capabilities::rf_only();
+        assert_eq!(a.common_link(b), Some(LinkTechnology::Rf));
+        assert_eq!(b.common_link(a), Some(LinkTechnology::Rf));
+    }
+
+    #[test]
+    fn no_common_link_without_rf() {
+        let a = Capabilities::from_bits(0);
+        let b = Capabilities::rf_only();
+        assert_eq!(a.common_link(b), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SatelliteId(7).to_string(), "sat-7");
+        assert_eq!(OperatorId(2).to_string(), "op-2");
+        assert_eq!(UserId(9).to_string(), "user-9");
+        assert_eq!(GroundStationId(1).to_string(), "gs-1");
+    }
+}

@@ -1,0 +1,49 @@
+//! # openspace-sim
+//!
+//! A deterministic discrete-event simulation engine for the OpenSpace
+//! stack.
+//!
+//! * [`engine`] — the time-ordered event queue with stable tie-breaking
+//!   (same inputs + same seed ⇒ bit-identical runs).
+//! * [`rng`] — seeded RNG with substreams and the distributions traffic
+//!   models need.
+//! * [`queue`] — drop-tail and two-class priority packet queues (the
+//!   ground-station "prioritize native traffic" policy of §2.2).
+//! * [`traffic`] — CBR / Poisson / on-off sources (§5's call for user
+//!   traffic modelling).
+//! * [`stats`] — summary statistics and time-weighted integrals for the
+//!   experiment reports.
+//!
+//! Intentionally not async: this is CPU-bound simulation, where an async
+//! runtime adds overhead and nondeterminism for zero benefit. Parallelism
+//! happens at the level of independent runs (one thread per seed).
+
+//! ## Example
+//!
+//! ```
+//! use openspace_sim::prelude::*;
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(1.0, "ping");
+//! q.schedule(0.5, "pong");
+//! let mut order = Vec::new();
+//! q.run_until(2.0, |_, _, e| order.push(e));
+//! assert_eq!(order, vec!["pong", "ping"]);
+//! ```
+
+pub mod engine;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod traffic;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::engine::{EventQueue, SimTime};
+    pub use crate::queue::{DropTailQueue, Packet, PriorityQueue, QueueStats};
+    pub use crate::rng::SimRng;
+    pub use crate::stats::{Summary, TimeWeighted};
+    pub use crate::traffic::{
+        arrivals_until, Arrival, CbrSource, OnOffSource, PoissonSource, TrafficSource,
+    };
+}

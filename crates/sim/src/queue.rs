@@ -1,0 +1,275 @@
+//! Packet queues with drop-tail and two-class priority behaviour.
+//!
+//! §2.2's reactive-routing discussion is all about queueing: "the cost of
+//! a path cannot be fully predicted since ISL congestion cannot be
+//! anticipated", and ground stations "may prioritize traffic coming from
+//! \[their\] users". These queues are the mechanism behind both effects in
+//! the end-to-end simulation.
+
+/// A packet in flight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Packet {
+    /// Flow identifier.
+    pub flow_id: u64,
+    /// Size (bytes).
+    pub size_bytes: u32,
+    /// Creation time (s) — for end-to-end latency accounting.
+    pub created_at_s: f64,
+    /// Priority class: `true` = the queue owner's own traffic.
+    pub is_native: bool,
+}
+
+/// Cumulative queue statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueueStats {
+    /// Packets accepted.
+    pub enqueued: u64,
+    /// Packets dropped at the tail.
+    pub dropped: u64,
+    /// Packets dequeued for transmission.
+    pub dequeued: u64,
+    /// Bytes accepted.
+    pub bytes_enqueued: u64,
+    /// Bytes dropped.
+    pub bytes_dropped: u64,
+}
+
+/// A byte-bounded drop-tail FIFO.
+#[derive(Debug, Clone)]
+pub struct DropTailQueue {
+    packets: std::collections::VecDeque<Packet>,
+    capacity_bytes: u64,
+    occupancy_bytes: u64,
+    stats: QueueStats,
+}
+
+impl DropTailQueue {
+    /// A queue holding at most `capacity_bytes` of packets.
+    ///
+    /// # Panics
+    /// Panics if `capacity_bytes == 0`.
+    pub fn new(capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "queue capacity must be positive");
+        Self {
+            packets: Default::default(),
+            capacity_bytes,
+            occupancy_bytes: 0,
+            stats: Default::default(),
+        }
+    }
+
+    /// Offer a packet; `true` if accepted, `false` if dropped.
+    pub fn enqueue(&mut self, packet: Packet) -> bool {
+        if self.occupancy_bytes + packet.size_bytes as u64 > self.capacity_bytes {
+            self.stats.dropped += 1;
+            self.stats.bytes_dropped += packet.size_bytes as u64;
+            return false;
+        }
+        self.occupancy_bytes += packet.size_bytes as u64;
+        self.stats.enqueued += 1;
+        self.stats.bytes_enqueued += packet.size_bytes as u64;
+        self.packets.push_back(packet);
+        true
+    }
+
+    /// Take the head-of-line packet.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        let p = self.packets.pop_front()?;
+        self.occupancy_bytes -= p.size_bytes as u64;
+        self.stats.dequeued += 1;
+        Some(p)
+    }
+
+    /// Bytes currently queued.
+    pub fn occupancy_bytes(&self) -> u64 {
+        self.occupancy_bytes
+    }
+
+    /// Packets currently queued.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Fill fraction in `[0, 1]`.
+    pub fn fill_fraction(&self) -> f64 {
+        self.occupancy_bytes as f64 / self.capacity_bytes as f64
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Queueing delay (s) a new arrival would see at drain rate
+    /// `rate_bps` (bits/s).
+    pub fn drain_time_s(&self, rate_bps: f64) -> f64 {
+        assert!(rate_bps > 0.0, "rate must be positive");
+        self.occupancy_bytes as f64 * 8.0 / rate_bps
+    }
+}
+
+/// A two-class priority queue: native traffic is always served before
+/// visitor traffic — the ground-station policy from §2.2.
+#[derive(Debug, Clone)]
+pub struct PriorityQueue {
+    native: DropTailQueue,
+    visitor: DropTailQueue,
+}
+
+impl PriorityQueue {
+    /// Split `capacity_bytes` between classes: natives get
+    /// `native_share` of the buffer, visitors the rest.
+    ///
+    /// # Panics
+    /// Panics unless `native_share` is in `(0, 1)`.
+    pub fn new(capacity_bytes: u64, native_share: f64) -> Self {
+        assert!(
+            native_share > 0.0 && native_share < 1.0,
+            "native share must be in (0,1), got {native_share}"
+        );
+        let native_cap = ((capacity_bytes as f64 * native_share) as u64).max(1);
+        let visitor_cap = (capacity_bytes - native_cap).max(1);
+        Self {
+            native: DropTailQueue::new(native_cap),
+            visitor: DropTailQueue::new(visitor_cap),
+        }
+    }
+
+    /// Offer a packet; it is classified by `Packet::is_native`.
+    pub fn enqueue(&mut self, packet: Packet) -> bool {
+        if packet.is_native {
+            self.native.enqueue(packet)
+        } else {
+            self.visitor.enqueue(packet)
+        }
+    }
+
+    /// Strict-priority dequeue: native first.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        self.native.dequeue().or_else(|| self.visitor.dequeue())
+    }
+
+    /// Native-class stats.
+    pub fn native_stats(&self) -> QueueStats {
+        self.native.stats()
+    }
+
+    /// Visitor-class stats.
+    pub fn visitor_stats(&self) -> QueueStats {
+        self.visitor.stats()
+    }
+
+    /// Total packets queued across both classes.
+    pub fn len(&self) -> usize {
+        self.native.len() + self.visitor.len()
+    }
+
+    /// Whether both classes are empty.
+    pub fn is_empty(&self) -> bool {
+        self.native.is_empty() && self.visitor.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(size: u32, native: bool) -> Packet {
+        Packet {
+            flow_id: 1,
+            size_bytes: size,
+            created_at_s: 0.0,
+            is_native: native,
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = DropTailQueue::new(10_000);
+        for i in 0..5 {
+            q.enqueue(Packet {
+                flow_id: i,
+                ..pkt(100, true)
+            });
+        }
+        for i in 0..5 {
+            assert_eq!(q.dequeue().unwrap().flow_id, i);
+        }
+        assert!(q.dequeue().is_none());
+    }
+
+    #[test]
+    fn overflows_drop_at_tail() {
+        let mut q = DropTailQueue::new(250);
+        assert!(q.enqueue(pkt(100, true)));
+        assert!(q.enqueue(pkt(100, true)));
+        assert!(!q.enqueue(pkt(100, true))); // would exceed 250
+        let s = q.stats();
+        assert_eq!(s.enqueued, 2);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.bytes_dropped, 100);
+    }
+
+    #[test]
+    fn occupancy_tracks_bytes() {
+        let mut q = DropTailQueue::new(1_000);
+        q.enqueue(pkt(300, true));
+        q.enqueue(pkt(200, true));
+        assert_eq!(q.occupancy_bytes(), 500);
+        assert_eq!(q.fill_fraction(), 0.5);
+        q.dequeue();
+        assert_eq!(q.occupancy_bytes(), 200);
+    }
+
+    #[test]
+    fn drain_time_matches_rate() {
+        let mut q = DropTailQueue::new(100_000);
+        q.enqueue(pkt(1_250, true)); // 10_000 bits
+        assert!((q.drain_time_s(10_000.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn priority_serves_native_first() {
+        let mut q = PriorityQueue::new(100_000, 0.5);
+        q.enqueue(Packet {
+            flow_id: 1,
+            ..pkt(100, false)
+        });
+        q.enqueue(Packet {
+            flow_id: 2,
+            ..pkt(100, true)
+        });
+        assert_eq!(q.dequeue().unwrap().flow_id, 2, "native first");
+        assert_eq!(q.dequeue().unwrap().flow_id, 1);
+    }
+
+    #[test]
+    fn visitor_buffer_is_separate() {
+        let mut q = PriorityQueue::new(1_000, 0.8);
+        // Visitor capacity is 200 bytes; a 300-byte visitor packet drops
+        // even though the native side is empty.
+        assert!(!q.enqueue(pkt(300, false)));
+        assert_eq!(q.visitor_stats().dropped, 1);
+        assert!(q.enqueue(pkt(300, true)));
+    }
+
+    #[test]
+    fn empty_checks() {
+        let mut q = PriorityQueue::new(1_000, 0.5);
+        assert!(q.is_empty());
+        q.enqueue(pkt(10, false));
+        assert!(!q.is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        DropTailQueue::new(0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Traffic generators.
+//!
+//! §5(1) of the paper calls for "modelling a potential user base along
+//! with potential user traffic patterns". Three classic source models,
+//! all deterministic under a seed, all yielding `(arrival_time, bytes)`
+//! streams:
+//!
+//! * [`CbrSource`] — constant bit rate (voice, telemetry).
+//! * [`PoissonSource`] — memoryless arrivals (aggregate web traffic).
+//! * [`OnOffSource`] — exponential on/off bursts (video, bulk sync), the
+//!   heavy-tailed-ish load that stresses reactive routing.
+
+use crate::rng::SimRng;
+
+/// One generated packet arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Arrival time (s).
+    pub at_s: f64,
+    /// Packet size (bytes).
+    pub size_bytes: u32,
+}
+
+/// Common interface: pull the next arrival.
+pub trait TrafficSource {
+    /// The next packet, or `None` if the source has ended.
+    fn next_arrival(&mut self) -> Option<Arrival>;
+
+    /// Long-run offered load (bit/s).
+    fn offered_load_bps(&self) -> f64;
+}
+
+/// Constant-bit-rate source: fixed-size packets at fixed spacing.
+#[derive(Debug, Clone)]
+pub struct CbrSource {
+    packet_bytes: u32,
+    interval_s: f64,
+    next_at_s: f64,
+}
+
+impl CbrSource {
+    /// A CBR source offering `rate_bps` with `packet_bytes` packets,
+    /// starting at `start_s`.
+    ///
+    /// # Panics
+    /// Panics unless rate and size are positive.
+    pub fn new(rate_bps: f64, packet_bytes: u32, start_s: f64) -> Self {
+        assert!(rate_bps > 0.0, "rate must be positive");
+        assert!(packet_bytes > 0, "packets must be non-empty");
+        Self {
+            packet_bytes,
+            interval_s: packet_bytes as f64 * 8.0 / rate_bps,
+            next_at_s: start_s,
+        }
+    }
+}
+
+impl TrafficSource for CbrSource {
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        let a = Arrival {
+            at_s: self.next_at_s,
+            size_bytes: self.packet_bytes,
+        };
+        self.next_at_s += self.interval_s;
+        Some(a)
+    }
+
+    fn offered_load_bps(&self) -> f64 {
+        self.packet_bytes as f64 * 8.0 / self.interval_s
+    }
+}
+
+/// Poisson source: exponential inter-arrivals, fixed packet size.
+#[derive(Debug, Clone)]
+pub struct PoissonSource {
+    packet_bytes: u32,
+    rate_pkts_per_s: f64,
+    clock_s: f64,
+    rng: SimRng,
+}
+
+impl PoissonSource {
+    /// A Poisson source offering `rate_bps` with `packet_bytes` packets.
+    pub fn new(rate_bps: f64, packet_bytes: u32, start_s: f64, seed: u64) -> Self {
+        assert!(rate_bps > 0.0 && packet_bytes > 0);
+        Self {
+            packet_bytes,
+            rate_pkts_per_s: rate_bps / (packet_bytes as f64 * 8.0),
+            clock_s: start_s,
+            rng: SimRng::new(seed),
+        }
+    }
+}
+
+impl TrafficSource for PoissonSource {
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        self.clock_s += self.rng.exponential(self.rate_pkts_per_s);
+        Some(Arrival {
+            at_s: self.clock_s,
+            size_bytes: self.packet_bytes,
+        })
+    }
+
+    fn offered_load_bps(&self) -> f64 {
+        self.rate_pkts_per_s * self.packet_bytes as f64 * 8.0
+    }
+}
+
+/// Exponential on/off source: CBR at `peak_bps` during ON periods,
+/// silent during OFF, with exponentially distributed period lengths.
+#[derive(Debug, Clone)]
+pub struct OnOffSource {
+    packet_bytes: u32,
+    packet_interval_s: f64,
+    mean_on_s: f64,
+    mean_off_s: f64,
+    peak_bps: f64,
+    clock_s: f64,
+    on_until_s: f64,
+    rng: SimRng,
+}
+
+impl OnOffSource {
+    /// An on/off source bursting at `peak_bps`, with the given mean ON
+    /// and OFF durations.
+    pub fn new(
+        peak_bps: f64,
+        packet_bytes: u32,
+        mean_on_s: f64,
+        mean_off_s: f64,
+        start_s: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(peak_bps > 0.0 && packet_bytes > 0);
+        assert!(mean_on_s > 0.0 && mean_off_s > 0.0);
+        let mut rng = SimRng::new(seed);
+        let first_on = rng.exponential(1.0 / mean_on_s);
+        Self {
+            packet_bytes,
+            packet_interval_s: packet_bytes as f64 * 8.0 / peak_bps,
+            mean_on_s,
+            mean_off_s,
+            peak_bps,
+            clock_s: start_s,
+            on_until_s: start_s + first_on,
+            rng,
+        }
+    }
+}
+
+impl TrafficSource for OnOffSource {
+    fn next_arrival(&mut self) -> Option<Arrival> {
+        self.clock_s += self.packet_interval_s;
+        while self.clock_s > self.on_until_s {
+            // Jump across the OFF gap into the next ON period.
+            let off = self.rng.exponential(1.0 / self.mean_off_s);
+            let on = self.rng.exponential(1.0 / self.mean_on_s);
+            self.clock_s = self.on_until_s + off;
+            self.on_until_s = self.clock_s + on;
+        }
+        Some(Arrival {
+            at_s: self.clock_s,
+            size_bytes: self.packet_bytes,
+        })
+    }
+
+    fn offered_load_bps(&self) -> f64 {
+        self.peak_bps * self.mean_on_s / (self.mean_on_s + self.mean_off_s)
+    }
+}
+
+/// Collect arrivals from any source up to a time horizon.
+pub fn arrivals_until(source: &mut dyn TrafficSource, horizon_s: f64) -> Vec<Arrival> {
+    let mut out = Vec::new();
+    while let Some(a) = source.next_arrival() {
+        if a.at_s > horizon_s {
+            break;
+        }
+        out.push(a);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_is_evenly_spaced() {
+        let mut s = CbrSource::new(8_000.0, 100, 0.0); // 10 pkts/s
+        let arr = arrivals_until(&mut s, 1.0);
+        assert_eq!(arr.len(), 11); // t=0.0 .. 1.0 inclusive
+        for w in arr.windows(2) {
+            assert!((w[1].at_s - w[0].at_s - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cbr_offered_load_exact() {
+        let s = CbrSource::new(1_000_000.0, 1250, 0.0);
+        assert!((s.offered_load_bps() - 1_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn poisson_mean_rate_converges() {
+        let mut s = PoissonSource::new(80_000.0, 1000, 0.0, 9); // 10 pkts/s
+        let arr = arrivals_until(&mut s, 1_000.0);
+        let rate = arr.len() as f64 / 1_000.0;
+        assert!((rate - 10.0).abs() < 0.5, "rate {rate}");
+    }
+
+    #[test]
+    fn poisson_is_seed_deterministic() {
+        let a = arrivals_until(&mut PoissonSource::new(1e5, 500, 0.0, 3), 10.0);
+        let b = arrivals_until(&mut PoissonSource::new(1e5, 500, 0.0, 3), 10.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn onoff_long_run_load_matches_duty_cycle() {
+        let mut s = OnOffSource::new(1e6, 1250, 1.0, 3.0, 0.0, 5);
+        let horizon = 2_000.0;
+        let arr = arrivals_until(&mut s, horizon);
+        let bits: f64 = arr.iter().map(|a| a.size_bytes as f64 * 8.0).sum();
+        let measured = bits / horizon;
+        let expected = s.offered_load_bps(); // 250 kbit/s
+        assert!(
+            (measured - expected).abs() / expected < 0.15,
+            "measured {measured}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn onoff_has_silent_gaps() {
+        let mut s = OnOffSource::new(1e6, 1250, 0.5, 2.0, 0.0, 8);
+        let arr = arrivals_until(&mut s, 200.0);
+        let max_gap = arr
+            .windows(2)
+            .map(|w| w[1].at_s - w[0].at_s)
+            .fold(0.0, f64::max);
+        // With mean OFF of 2 s, gaps far beyond the 10 ms packet spacing
+        // must appear.
+        assert!(max_gap > 1.0, "max gap {max_gap}");
+    }
+
+    #[test]
+    fn arrivals_are_time_monotone() {
+        let mut s = OnOffSource::new(1e6, 1250, 1.0, 1.0, 0.0, 2);
+        let arr = arrivals_until(&mut s, 100.0);
+        for w in arr.windows(2) {
+            assert!(w[1].at_s >= w[0].at_s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn cbr_zero_rate_panics() {
+        CbrSource::new(0.0, 100, 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Cost settlement: §3's economics running over real simulated traffic.
+//!
+//! Four operators carry each other's flows for a simulated hour; every
+//! hop emits a signed accounting record into both the carrier's and the
+//! origin's ledgers. We then cross-verify the ledgers pairwise, compute
+//! net settlement positions, and apply the peering rule.
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p openspace-examples --example cost_settlement
+//! ```
+
+use openspace_core::prelude::*;
+use openspace_economics::prelude::*;
+use openspace_net::routing::QosRequirement;
+use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
+use openspace_phy::hardware::SatelliteClass;
+use openspace_protocol::types::OperatorId;
+use openspace_sim::rng::SimRng;
+use std::collections::BTreeMap;
+
+fn main() {
+    let mut fed = iridium_federation(4, &[SatelliteClass::SmallSat], &default_station_sites());
+    let ops = fed.operator_ids();
+
+    // A user base spread over the globe, subscribed round-robin.
+    let sites = [
+        (-1.3, 36.8),
+        (52.5, 13.4),
+        (35.7, 139.7),
+        (-33.9, 151.2),
+        (40.7, -74.0),
+        (-23.5, -46.6),
+        (19.1, 72.9),
+        (64.1, -21.9),
+    ];
+    let users: Vec<(User, _)> = sites
+        .iter()
+        .enumerate()
+        .map(|(i, &(lat, lon))| {
+            let user = fed.register_user(ops[i % ops.len()]);
+            (user, geodetic_to_ecef(Geodetic::from_degrees(lat, lon, 0.0)))
+        })
+        .collect();
+
+    // One hour of activity: each user sends a burst every 6 minutes.
+    let mut ledgers: BTreeMap<OperatorId, TrafficLedger> = BTreeMap::new();
+    let mut rng = SimRng::new(11);
+    let mut delivered = 0u64;
+    let mut failed = 0u64;
+    for slot in 0..10u64 {
+        let t = slot as f64 * 360.0;
+        let graph = fed.snapshot(t);
+        for (i, (user, pos)) in users.iter().enumerate() {
+            let bytes = 50_000_000 + rng.below(200_000_000); // 50-250 MB
+            match deliver(
+                &fed,
+                &graph,
+                user,
+                *pos,
+                t,
+                (slot * 100 + i as u64) + 1,
+                bytes,
+                &QosRequirement::best_effort(),
+                &mut ledgers,
+            ) {
+                Ok(_) => delivered += 1,
+                Err(_) => failed += 1,
+            }
+        }
+    }
+    println!("== One hour of federation traffic ==");
+    println!("deliveries: {delivered} ok, {failed} failed");
+
+    // Cross-verification: every pair of ledgers must agree (§3's
+    // "easily cross-verifiable account").
+    println!("\n-- ledger reconciliation --");
+    let mut all_clean = true;
+    for (ai, &a) in ops.iter().enumerate() {
+        for &b in &ops[ai + 1..] {
+            let (Some(la), Some(lb)) = (ledgers.get(&a), ledgers.get(&b)) else {
+                continue;
+            };
+            let r = reconcile(la, lb, a, b);
+            all_clean &= r.is_clean();
+            println!(
+                "{a} <-> {b}: {} items agreed ({:.1} GiB), {} disputes",
+                r.agreed,
+                r.agreed_bytes as f64 / (1u64 << 30) as f64,
+                r.disputes.len()
+            );
+        }
+    }
+    println!("cross-verification {}", if all_clean { "CLEAN" } else { "DISPUTED" });
+
+    // Settlement at $4/GiB default transit with one bilateral discount.
+    let mut prices = PriceBook::new(4.0);
+    prices.set_rate(ops[1], ops[0], 2.5); // op2 gives op1 a deal
+    let matrix = SettlementMatrix::from_ledgers(&ledgers, &prices);
+    println!("\n-- net settlement positions --");
+    for &op in &ops {
+        println!("{op}: net {:+.2} USD", matrix.net_position(op));
+    }
+    println!(
+        "(sum {:.6} — money is conserved)",
+        matrix.total_imbalance()
+    );
+
+    // Peering evaluation on the home operator's cross-verified ledger.
+    println!("\n-- peering recommendations (policy: within 25%, ≥0.5 GiB) --");
+    let policy = PeeringPolicy {
+        max_asymmetry: 0.25,
+        min_bytes_each_way: 1 << 29,
+    };
+    for (ai, &a) in ops.iter().enumerate() {
+        for &b in &ops[ai + 1..] {
+            if let Some(ledger) = ledgers.get(&a) {
+                match evaluate_peering(ledger, a, b, &policy) {
+                    PeeringVerdict::RecommendPeering {
+                        a_carries_for_b,
+                        b_carries_for_a,
+                    } => println!(
+                        "{a} <-> {b}: PEER ({:.1} / {:.1} GiB symmetric)",
+                        a_carries_for_b as f64 / (1u64 << 30) as f64,
+                        b_carries_for_a as f64 / (1u64 << 30) as f64
+                    ),
+                    PeeringVerdict::KeepTransit { asymmetry } => {
+                        println!("{a} <-> {b}: transit (asymmetry {:.0}%)", asymmetry * 100.0)
+                    }
+                    PeeringVerdict::TooSmall => {
+                        println!("{a} <-> {b}: too little traffic to peer")
+                    }
+                }
+            }
+        }
+    }
+
+    // The entry-barrier comparison behind it all (§3 + §1).
+    println!("\n-- entry barrier: monolithic vs federated --");
+    let barrier = entry_barrier(
+        SatelliteClass::SmallSat,
+        66,
+        ops.len(),
+        &LaunchPricing::rideshare(),
+    );
+    println!(
+        "monolithic entrant: ${:.1} M up front; federation member: ${:.1} M \
+         ({}x lower barrier)",
+        barrier.monolithic_usd / 1e6,
+        barrier.federated_usd / 1e6,
+        (barrier.monolithic_usd / barrier.federated_usd).round()
+    );
+}

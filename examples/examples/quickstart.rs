@@ -1,0 +1,114 @@
+//! Quickstart: stand up an OpenSpace federation, associate a user, and
+//! deliver a packet across operator boundaries.
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p openspace-examples --example quickstart
+//! ```
+
+use openspace_core::prelude::*;
+use openspace_net::routing::QosRequirement;
+use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
+use openspace_phy::hardware::SatelliteClass;
+use std::collections::BTreeMap;
+
+fn main() {
+    // §4's hypothetical deployment: an Iridium-like constellation split
+    // among four independent firms with a shared ground segment.
+    let mut fed = iridium_federation(
+        4,
+        &[SatelliteClass::CubeSat, SatelliteClass::SmallSat],
+        &default_station_sites(),
+    );
+    println!("== OpenSpace quickstart ==");
+    println!(
+        "federation: {} operators, {} satellites, {} ground stations",
+        fed.operator_count(),
+        fed.satellites().len(),
+        fed.stations().len()
+    );
+
+    // A user in Nairobi subscribes to operator 1.
+    let home = fed.operator_ids()[0];
+    let user = fed.register_user(home);
+    let pos = geodetic_to_ecef(Geodetic::from_degrees(-1.286, 36.817, 1_700.0));
+    println!("\nuser {} (home {}) at Nairobi", user.id, home);
+
+    // Association: beacon scan → nearest satellite → home AAA over ISLs.
+    let assoc = associate(&mut fed, &user, pos, 0.0, 1).expect("association should succeed");
+    let owner = fed.satellite(assoc.serving).unwrap().owner;
+    println!(
+        "associated with {} (owner {}{}) — access delay {:.2} ms, \
+         auth over {} ISL hops, total association {:.2} ms",
+        assoc.serving,
+        owner,
+        if assoc.roaming { ", ROAMING" } else { "" },
+        assoc.access_delay_s * 1e3,
+        assoc.auth_path_hops,
+        assoc.association_latency_s * 1e3,
+    );
+
+    // Deliver 1 MiB toward the Internet.
+    let graph = fed.snapshot(0.0);
+    let mut ledgers = BTreeMap::new();
+    let delivery = deliver(
+        &fed,
+        &graph,
+        &user,
+        pos,
+        0.0,
+        1,
+        1 << 20,
+        &QosRequirement::best_effort(),
+        &mut ledgers,
+    )
+    .expect("delivery should succeed");
+    println!(
+        "\ndelivered 1 MiB via {} hops, one-way latency {:.2} ms",
+        delivery.path.hops(),
+        delivery.latency_s * 1e3
+    );
+    println!(
+        "carriers on path: {}",
+        delivery
+            .carriers
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "bottleneck capacity: {:.1} Mbit/s",
+        delivery.path.bottleneck_bps(&graph) / 1e6
+    );
+    println!(
+        "accounting: {} signed records feeding {} operator ledgers",
+        delivery.records.len(),
+        ledgers.len()
+    );
+
+    // Predicted handover to another satellite: no re-authentication.
+    let successor = fed
+        .satellites()
+        .iter()
+        .find(|s| s.id != assoc.serving)
+        .unwrap()
+        .id;
+    let h = execute_handover(
+        &fed,
+        &user,
+        &assoc.certificate,
+        assoc.serving,
+        successor,
+        pos,
+        30.0,
+    );
+    println!(
+        "\nhandover to {}: token {}, interruption {:.2} ms \
+         (vs {:.2} ms association from scratch)",
+        h.successor,
+        if h.accepted { "accepted" } else { "REJECTED" },
+        h.interruption_s * 1e3,
+        assoc.association_latency_s * 1e3,
+    );
+}

@@ -1,0 +1,1 @@
+//! Example crate; see `examples/` for runnable binaries.

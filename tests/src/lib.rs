@@ -1,0 +1,1 @@
+//! Integration-test crate; see the `tests/` directory beside this file.

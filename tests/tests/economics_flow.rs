@@ -1,0 +1,166 @@
+//! Integration: traffic → ledgers → reconciliation → settlement →
+//! peering, across `openspace-core`, `openspace-economics`, and
+//! `openspace-protocol`.
+
+use openspace_core::prelude::*;
+use openspace_economics::prelude::*;
+use openspace_net::routing::QosRequirement;
+use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
+use openspace_phy::hardware::SatelliteClass;
+use openspace_protocol::types::OperatorId;
+use std::collections::BTreeMap;
+
+/// Run a batch of deliveries and return the resulting ledgers.
+fn run_traffic(
+    n_slots: u64,
+) -> (Federation, Vec<OperatorId>, BTreeMap<OperatorId, TrafficLedger>) {
+    let mut fed = iridium_federation(3, &[SatelliteClass::SmallSat], &default_station_sites());
+    let ops = fed.operator_ids();
+    let sites = [
+        (-1.3, 36.8),
+        (52.5, 13.4),
+        (35.7, 139.7),
+        (40.7, -74.0),
+        (-33.9, 151.2),
+        (-23.5, -46.6),
+    ];
+    let users: Vec<(User, _)> = sites
+        .iter()
+        .enumerate()
+        .map(|(i, &(lat, lon))| {
+            let u = fed.register_user(ops[i % ops.len()]);
+            (u, geodetic_to_ecef(Geodetic::from_degrees(lat, lon, 0.0)))
+        })
+        .collect();
+    let mut ledgers = BTreeMap::new();
+    for slot in 0..n_slots {
+        let t = slot as f64 * 300.0;
+        let graph = fed.snapshot(t);
+        for (i, (user, pos)) in users.iter().enumerate() {
+            let _ = deliver(
+                &fed,
+                &graph,
+                user,
+                *pos,
+                t,
+                slot * 100 + i as u64,
+                10_000_000,
+                &QosRequirement::best_effort(),
+                &mut ledgers,
+            );
+        }
+    }
+    (fed, ops, ledgers)
+}
+
+#[test]
+fn all_ledger_pairs_reconcile_clean() {
+    let (_fed, ops, ledgers) = run_traffic(6);
+    assert!(!ledgers.is_empty(), "traffic must generate ledgers");
+    for (i, &a) in ops.iter().enumerate() {
+        for &b in &ops[i + 1..] {
+            let (Some(la), Some(lb)) = (ledgers.get(&a), ledgers.get(&b)) else {
+                continue;
+            };
+            let r = reconcile(la, lb, a, b);
+            assert!(
+                r.is_clean(),
+                "{a} vs {b}: {} disputes, first {:?}",
+                r.disputes.len(),
+                r.disputes.first()
+            );
+        }
+    }
+}
+
+#[test]
+fn settlement_conserves_money_over_real_traffic() {
+    let (_fed, _ops, ledgers) = run_traffic(6);
+    let prices = PriceBook::new(5.0);
+    let matrix = SettlementMatrix::from_ledgers(&ledgers, &prices);
+    assert!(
+        matrix.total_imbalance().abs() < 1e-6,
+        "imbalance {}",
+        matrix.total_imbalance()
+    );
+    // Someone carried someone's traffic.
+    assert!(!matrix.operators().is_empty());
+}
+
+#[test]
+fn higher_prices_scale_invoices_linearly() {
+    let (_fed, ops, ledgers) = run_traffic(4);
+    let m1 = SettlementMatrix::from_ledgers(&ledgers, &PriceBook::new(2.0));
+    let m2 = SettlementMatrix::from_ledgers(&ledgers, &PriceBook::new(4.0));
+    for &a in &ops {
+        for &b in &ops {
+            if a == b {
+                continue;
+            }
+            let o1 = m1.owed(a, b);
+            let o2 = m2.owed(a, b);
+            assert!(
+                (o2 - 2.0 * o1).abs() < 1e-9,
+                "{a}->{b}: {o1} then {o2}"
+            );
+        }
+    }
+}
+
+#[test]
+fn symmetric_mesh_traffic_tends_toward_peering() {
+    // With users of all operators spread evenly and round-robin satellite
+    // ownership, bilateral flows should be material; evaluate the policy
+    // and require at least one recommendation in either direction of
+    // evaluation (flows are symmetric-ish by construction).
+    let (_fed, ops, ledgers) = run_traffic(8);
+    let policy = PeeringPolicy {
+        max_asymmetry: 0.6, // generous: traffic mix is only roughly even
+        min_bytes_each_way: 10_000_000,
+    };
+    let mut recommendations = 0;
+    for (i, &a) in ops.iter().enumerate() {
+        for &b in &ops[i + 1..] {
+            if let Some(l) = ledgers.get(&a) {
+                if matches!(
+                    evaluate_peering(l, a, b, &policy),
+                    PeeringVerdict::RecommendPeering { .. }
+                ) {
+                    recommendations += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        recommendations >= 1,
+        "even mesh traffic should justify at least one peering"
+    );
+}
+
+#[test]
+fn accounting_records_verify_under_carrier_secrets_only() {
+    let mut fed = iridium_federation(3, &[SatelliteClass::SmallSat], &default_station_sites());
+    let home = fed.operator_ids()[0];
+    let user = fed.register_user(home);
+    let pos = geodetic_to_ecef(Geodetic::from_degrees(0.0, 20.0, 0.0));
+    let graph = fed.snapshot(0.0);
+    let mut ledgers = BTreeMap::new();
+    let d = deliver(
+        &fed,
+        &graph,
+        &user,
+        pos,
+        0.0,
+        1,
+        1_000,
+        &QosRequirement::best_effort(),
+        &mut ledgers,
+    )
+    .unwrap();
+    for rec in &d.records {
+        let right = carrier_ledger_secret(rec.carrier_operator);
+        assert!(rec.verify(&right));
+        let wrong = carrier_ledger_secret(OperatorId(rec.carrier_operator.0 + 100));
+        assert!(!rec.verify(&wrong), "record must not verify under another key");
+    }
+}

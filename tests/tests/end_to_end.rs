@@ -1,0 +1,260 @@
+//! End-to-end integration: the full OpenSpace flow across every crate —
+//! association (protocol + net + orbit), delivery (net + phy + economics),
+//! handover (protocol), and the wire encoding in between.
+
+use openspace_core::prelude::*;
+use openspace_net::routing::QosRequirement;
+use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
+use openspace_phy::hardware::SatelliteClass;
+use openspace_protocol::prelude::*;
+use std::collections::BTreeMap;
+
+fn test_federation() -> Federation {
+    iridium_federation(
+        4,
+        &[SatelliteClass::CubeSat, SatelliteClass::SmallSat],
+        &default_station_sites(),
+    )
+}
+
+#[test]
+fn full_user_journey() {
+    let mut fed = test_federation();
+    let home = fed.operator_ids()[0];
+    let user = fed.register_user(home);
+    let pos = geodetic_to_ecef(Geodetic::from_degrees(-1.3, 36.8, 1_700.0));
+
+    // 1. Associate.
+    let assoc = associate(&mut fed, &user, pos, 0.0, 1).expect("association");
+    let fed_secret = *fed.federation_secret(home);
+    assert!(assoc.certificate.verify(&fed_secret, 10));
+
+    // 2. Deliver data.
+    let graph = fed.snapshot(0.0);
+    let mut ledgers = BTreeMap::new();
+    let delivery = deliver(
+        &fed,
+        &graph,
+        &user,
+        pos,
+        0.0,
+        1,
+        1 << 20,
+        &QosRequirement::best_effort(),
+        &mut ledgers,
+    )
+    .expect("delivery");
+    assert!(delivery.latency_s < 0.15, "latency {}", delivery.latency_s);
+
+    // 3. Hand over with the session token.
+    let successor = fed
+        .satellites()
+        .iter()
+        .find(|s| s.id != assoc.serving)
+        .unwrap()
+        .id;
+    let h = execute_handover(
+        &fed,
+        &user,
+        &assoc.certificate,
+        assoc.serving,
+        successor,
+        pos,
+        60.0,
+    );
+    assert!(h.accepted);
+    assert!(h.interruption_s < assoc.association_latency_s);
+}
+
+#[test]
+fn every_station_site_reaches_the_internet() {
+    // From any of the six default sites, a user can associate and deliver.
+    let mut fed = test_federation();
+    let home = fed.operator_ids()[1];
+    for (i, site) in default_station_sites().into_iter().enumerate() {
+        let user = fed.register_user(home);
+        let pos = geodetic_to_ecef(site);
+        let assoc = associate(&mut fed, &user, pos, 0.0, 1000 + i as u64);
+        assert!(assoc.is_ok(), "site {i}: {assoc:?}");
+    }
+}
+
+#[test]
+fn beacon_frames_survive_the_wire_end_to_end() {
+    // Every satellite's beacon encodes, decodes, and reconstructs a
+    // propagator whose position matches the original.
+    let fed = test_federation();
+    for sat in fed.satellites().iter().take(12) {
+        let el = sat.propagator.elements();
+        let beacon = Beacon {
+            satellite: sat.id,
+            operator: sat.owner,
+            capabilities: sat.capabilities(),
+            timestamp_ms: 0,
+            semi_major_axis_m: el.semi_major_axis_m,
+            eccentricity: el.eccentricity,
+            inclination_rad: el.inclination_rad,
+            raan_rad: el.raan_rad,
+            arg_perigee_rad: el.arg_perigee_rad,
+            mean_anomaly_rad: el.mean_anomaly_rad,
+        };
+        let frame = Frame {
+            sender: sat.id.0,
+            message: Message::Beacon(beacon.clone()),
+        };
+        let decoded = Frame::decode(&frame.encode()).expect("valid frame");
+        let Message::Beacon(b) = decoded.message else {
+            panic!("wrong message type");
+        };
+        assert_eq!(b, beacon);
+        // Reconstruct orbital elements from the beacon and check position.
+        let el2 = openspace_orbit::kepler::OrbitalElements::new(
+            b.semi_major_axis_m,
+            b.eccentricity,
+            b.inclination_rad,
+            b.raan_rad,
+            b.arg_perigee_rad,
+            b.mean_anomaly_rad,
+        )
+        .expect("beacon carries valid elements");
+        let p2 = openspace_orbit::propagator::Propagator::new(
+            el2,
+            openspace_orbit::propagator::PerturbationModel::SecularJ2,
+        );
+        let d = sat.propagator.position_eci(500.0).distance(p2.position_eci(500.0));
+        assert!(d < 1.0, "reconstructed orbit diverges by {d} m");
+    }
+}
+
+#[test]
+fn pairing_flow_over_wire_frames() {
+    // Two satellites run the §2.1 pairing handshake through encoded
+    // frames and the initiator state machine.
+    let fed = test_federation();
+    let a = &fed.satellites()[0]; // cubesat (RF only)
+    let b = &fed.satellites()[1]; // smallsat (RF + optical)
+
+    let request = PairRequest {
+        requester: a.id,
+        target: b.id,
+        capabilities: a.capabilities(),
+        laser_azimuth_rad: 0.0,
+        laser_elevation_rad: 0.0,
+        available_bandwidth_fraction: 0.9,
+    };
+    let wire = Frame {
+        sender: a.id.0,
+        message: Message::PairRequest(request.clone()),
+    }
+    .encode();
+    let decoded = Frame::decode(&wire).unwrap();
+    let Message::PairRequest(req) = decoded.message else {
+        panic!("wrong type");
+    };
+
+    // Responder decides.
+    let verdict = decide_pair(&req, b.capabilities(), 0.8, true, 25.0);
+    // Cubesat has no lasers → RF.
+    assert_eq!(
+        verdict,
+        PairVerdict::Accept {
+            technology: LinkTechnology::Rf,
+            orient_time_s: 0.0
+        }
+    );
+    let response = PairResponse {
+        responder: b.id,
+        requester: a.id,
+        verdict,
+    };
+    let wire = Frame {
+        sender: b.id.0,
+        message: Message::PairResponse(response.clone()),
+    }
+    .encode();
+    let decoded = Frame::decode(&wire).unwrap();
+    let Message::PairResponse(resp) = decoded.message else {
+        panic!("wrong type");
+    };
+
+    let mut machine = PairingMachine::new();
+    machine.request_sent(0.0, 5.0);
+    machine.response_received(&resp, 0.5);
+    assert_eq!(
+        machine.state(),
+        PairingState::Established {
+            technology: LinkTechnology::Rf
+        }
+    );
+}
+
+#[test]
+fn optical_pairing_between_smallsats() {
+    let fed = test_federation();
+    let smallsats: Vec<_> = fed
+        .satellites()
+        .iter()
+        .filter(|s| s.has_optical())
+        .take(2)
+        .collect();
+    let request = PairRequest {
+        requester: smallsats[0].id,
+        target: smallsats[1].id,
+        capabilities: smallsats[0].capabilities(),
+        laser_azimuth_rad: 0.1,
+        laser_elevation_rad: 0.2,
+        available_bandwidth_fraction: 0.8,
+    };
+    let verdict = decide_pair(&request, smallsats[1].capabilities(), 0.8, true, 30.0);
+    assert!(matches!(
+        verdict,
+        PairVerdict::Accept {
+            technology: LinkTechnology::Optical,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn cross_operator_auth_via_isl_path_has_hops() {
+    // A user whose home operator's stations are far away authenticates
+    // over a multi-hop ISL path.
+    let mut fed = test_federation();
+    let home = fed.operator_ids()[3];
+    let user = fed.register_user(home);
+    // Mid-Pacific user: far from most stations.
+    let pos = geodetic_to_ecef(Geodetic::from_degrees(-5.0, -150.0, 0.0));
+    let assoc = associate(&mut fed, &user, pos, 0.0, 1).expect("association");
+    assert!(
+        assoc.auth_path_hops >= 2,
+        "mid-Pacific auth should take ISL hops, got {}",
+        assoc.auth_path_hops
+    );
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    // The same simulation twice gives identical results.
+    let run = || {
+        let mut fed = test_federation();
+        let home = fed.operator_ids()[0];
+        let user = fed.register_user(home);
+        let pos = geodetic_to_ecef(Geodetic::from_degrees(10.0, 10.0, 0.0));
+        let graph = fed.snapshot(100.0);
+        let mut ledgers = BTreeMap::new();
+        let d = deliver(
+            &fed,
+            &graph,
+            &user,
+            pos,
+            100.0,
+            7,
+            999,
+            &QosRequirement::best_effort(),
+            &mut ledgers,
+        )
+        .unwrap();
+        (d.path.nodes.clone(), d.latency_s)
+    };
+    assert_eq!(run(), run());
+}

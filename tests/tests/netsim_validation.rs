@@ -1,0 +1,170 @@
+//! Validation of the packet-level simulator against queueing theory and
+//! cross-crate scenarios on real constellation snapshots.
+
+use openspace_core::netsim::{run_netsim, FlowSpec, NetSimConfig, RoutingMode, TrafficKind};
+use openspace_core::prelude::*;
+use openspace_net::topology::{Graph, LinkTech};
+use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
+use openspace_phy::hardware::SatelliteClass;
+
+/// One directed link of capacity `bps` between two nodes.
+fn single_link(bps: f64) -> Graph {
+    let mut g = Graph::new(2, 0);
+    g.add_bidirectional(0, 1, 0.001, bps, 0, 0, LinkTech::Rf);
+    g
+}
+
+#[test]
+fn mm1_mean_delay_matches_theory() {
+    // M/M/1-ish check: Poisson arrivals, fixed-size packets (so strictly
+    // M/D/1) at utilization ρ. M/D/1 waiting time: W = ρ/(2μ(1−ρ)),
+    // plus service 1/μ and propagation. Simulated mean latency must land
+    // on the M/D/1 prediction, which is a sharp test of the queueing
+    // machinery (event ordering, busy chains, FIFO service).
+    let capacity = 1.0e6;
+    let packet_bytes = 1_250u32; // 10 kbit → μ = 100 pkt/s
+    let service_s = packet_bytes as f64 * 8.0 / capacity;
+    for rho in [0.3, 0.6, 0.8] {
+        let g = single_link(capacity);
+        let r = run_netsim(
+            &g,
+            &[FlowSpec {
+                src: 0,
+                dst: 1,
+                rate_bps: rho * capacity,
+                packet_bytes,
+                kind: TrafficKind::Poisson,
+            }],
+            &NetSimConfig {
+                duration_s: 400.0,
+                queue_capacity_bytes: 64 * 1024 * 1024, // effectively infinite
+                routing: RoutingMode::Proactive,
+                seed: 3,
+            },
+        );
+        assert!(r.dropped == 0, "rho={rho}: drops {}", r.dropped);
+        let wait_theory = rho * service_s / (2.0 * (1.0 - rho));
+        let latency_theory = wait_theory + service_s + 0.001;
+        let rel_err = (r.mean_latency_s - latency_theory).abs() / latency_theory;
+        assert!(
+            rel_err < 0.08,
+            "rho={rho}: simulated {} vs M/D/1 {} (err {:.1}%)",
+            r.mean_latency_s,
+            latency_theory,
+            rel_err * 100.0
+        );
+    }
+}
+
+#[test]
+fn utilization_measurement_matches_offered_load() {
+    let g = single_link(2.0e6);
+    let r = run_netsim(
+        &g,
+        &[FlowSpec {
+            src: 0,
+            dst: 1,
+            rate_bps: 1.0e6,
+            packet_bytes: 1_500,
+            kind: TrafficKind::Cbr,
+        }],
+        &NetSimConfig {
+            duration_s: 60.0,
+            ..Default::default()
+        },
+    );
+    assert!(
+        (r.max_link_utilization - 0.5).abs() < 0.05,
+        "measured {}",
+        r.max_link_utilization
+    );
+}
+
+#[test]
+fn netsim_on_real_iridium_snapshot_delivers() {
+    let fed = iridium_federation(4, &[SatelliteClass::SmallSat], &default_station_sites());
+    let graph = fed.snapshot(0.0);
+    let pos = geodetic_to_ecef(Geodetic::from_degrees(-1.3, 36.8, 0.0));
+    let (sat, _) = openspace_net::isl::best_access_satellite(
+        pos,
+        &fed.sat_nodes(),
+        0.0,
+        fed.snapshot_params.min_elevation_rad,
+    )
+    .unwrap();
+    let r = run_netsim(
+        &graph,
+        &[FlowSpec {
+            src: graph.sat_node(sat),
+            dst: graph.station_node(0),
+            rate_bps: 2.0e6,
+            packet_bytes: 1_500,
+            kind: TrafficKind::Poisson,
+        }],
+        &NetSimConfig {
+            duration_s: 10.0,
+            ..Default::default()
+        },
+    );
+    assert!(r.delivery_ratio > 0.99, "ratio {}", r.delivery_ratio);
+    // Latency is propagation-dominated on an optical Iridium mesh.
+    assert!(
+        r.mean_latency_s > 0.005 && r.mean_latency_s < 0.2,
+        "latency {}",
+        r.mean_latency_s
+    );
+}
+
+#[test]
+fn adaptive_routing_beats_proactive_under_hotspot_on_iridium() {
+    // The §5(2) claim on the real topology: several flows through one
+    // access satellite, RF-only capacities.
+    let fed = iridium_federation(4, &[SatelliteClass::CubeSat], &default_station_sites());
+    let graph = fed.snapshot(0.0);
+    let pos = geodetic_to_ecef(Geodetic::from_degrees(-1.3, 36.8, 0.0));
+    let (sat, _) = openspace_net::isl::best_access_satellite(
+        pos,
+        &fed.sat_nodes(),
+        0.0,
+        fed.snapshot_params.min_elevation_rad,
+    )
+    .unwrap();
+    let flows: Vec<FlowSpec> = (0..4)
+        .map(|_| FlowSpec {
+            src: graph.sat_node(sat),
+            dst: graph.station_node(0),
+            rate_bps: 12.0e6,
+            packet_bytes: 1_500,
+            kind: TrafficKind::Poisson,
+        })
+        .collect();
+    let base = NetSimConfig {
+        duration_s: 15.0,
+        queue_capacity_bytes: 512 * 1024,
+        routing: RoutingMode::Proactive,
+        seed: 11,
+    };
+    let pro = run_netsim(&graph, &flows, &base);
+    let ada = run_netsim(
+        &graph,
+        &flows,
+        &NetSimConfig {
+            routing: RoutingMode::Adaptive {
+                replan_interval_s: 1.0,
+            },
+            ..base
+        },
+    );
+    assert!(
+        pro.delivery_ratio < 0.95,
+        "the hotspot must actually overload: {}",
+        pro.delivery_ratio
+    );
+    assert!(
+        ada.delivery_ratio > pro.delivery_ratio + 0.05,
+        "adaptive {} vs proactive {}",
+        ada.delivery_ratio,
+        pro.delivery_ratio
+    );
+    assert!(ada.p95_latency_s < pro.p95_latency_s);
+}

@@ -1,0 +1,206 @@
+//! Property tests over state machines and the newer subsystems: the
+//! pairing machine never panics or regresses under arbitrary event
+//! sequences, DTN routing respects causality, MAC simulations conserve
+//! work, and the Shapley division is always efficient.
+
+use openspace_economics::incentives::shapley_shares;
+use openspace_mac::prelude::*;
+use openspace_net::dtn::{earliest_arrival, Contact};
+use openspace_protocol::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum MachineEvent {
+    RequestSent { timeout_s: f64 },
+    Response { accept: bool, optical: bool, orient_s: f64 },
+    Tick { dt_s: f64 },
+}
+
+fn arb_event() -> impl Strategy<Value = MachineEvent> {
+    prop_oneof![
+        (0.1..10.0f64).prop_map(|timeout_s| MachineEvent::RequestSent { timeout_s }),
+        (any::<bool>(), any::<bool>(), 0.0..60.0f64)
+            .prop_map(|(accept, optical, orient_s)| MachineEvent::Response {
+                accept,
+                optical,
+                orient_s
+            }),
+        (0.0..20.0f64).prop_map(|dt_s| MachineEvent::Tick { dt_s }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pairing_machine_is_panic_free_and_terminal_states_latch(
+        events in prop::collection::vec(arb_event(), 1..40),
+    ) {
+        let mut m = PairingMachine::new();
+        let mut now = 0.0f64;
+        let mut established = false;
+        for ev in events {
+            match ev {
+                MachineEvent::RequestSent { timeout_s } => {
+                    // Only legal from Idle/Failed; skip otherwise (the
+                    // machine asserts on misuse by design).
+                    if matches!(m.state(), PairingState::Idle | PairingState::Failed(_)) {
+                        m.request_sent(now, timeout_s);
+                    }
+                }
+                MachineEvent::Response { accept, optical, orient_s } => {
+                    let verdict = if accept {
+                        PairVerdict::Accept {
+                            technology: if optical {
+                                LinkTechnology::Optical
+                            } else {
+                                LinkTechnology::Rf
+                            },
+                            orient_time_s: orient_s,
+                        }
+                    } else {
+                        PairVerdict::Reject(RejectReason::NoBandwidth)
+                    };
+                    let resp = PairResponse {
+                        responder: SatelliteId(2),
+                        requester: SatelliteId(1),
+                        verdict,
+                    };
+                    m.response_received(&resp, now);
+                }
+                MachineEvent::Tick { dt_s } => {
+                    now += dt_s;
+                    m.tick(now);
+                }
+            }
+            if matches!(m.state(), PairingState::Established { .. }) {
+                established = true;
+            }
+            // Established is terminal: once set, it never becomes Failed.
+            if established {
+                prop_assert!(
+                    matches!(m.state(), PairingState::Established { .. }),
+                    "established link regressed to {:?}",
+                    m.state()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dtn_routing_respects_causality(
+        seed_contacts in prop::collection::vec(
+            (0usize..6, 0usize..6, 0.0..500.0f64, 1.0..300.0f64, 1e3..1e7f64),
+            1..30
+        ),
+        t_start in 0.0..400.0f64,
+        bundle in 1e3..1e6f64,
+    ) {
+        let contacts: Vec<Contact> = seed_contacts
+            .into_iter()
+            .filter(|&(f, t, ..)| f != t)
+            .map(|(from, to, start, dur, rate)| Contact {
+                from,
+                to,
+                start_s: start,
+                end_s: start + dur,
+                latency_s: 0.01,
+                rate_bps: rate,
+            })
+            .collect();
+        if contacts.is_empty() {
+            return Ok(());
+        }
+        if let Some(r) = earliest_arrival(&contacts, 6, 0, 5, t_start, bundle) {
+            // Arrival can never precede departure readiness.
+            prop_assert!(r.arrival_s >= t_start);
+            // The route starts at the source and ends at the target.
+            prop_assert_eq!(r.nodes[0], 0);
+            prop_assert_eq!(*r.nodes.last().unwrap(), 5);
+            // Starting later can never yield an earlier arrival.
+            if let Some(later) =
+                earliest_arrival(&contacts, 6, 0, 5, t_start + 50.0, bundle)
+            {
+                prop_assert!(later.arrival_s + 1e-9 >= r.arrival_s);
+            }
+        }
+    }
+
+    #[test]
+    fn csma_report_is_internally_consistent(
+        n in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let r = simulate_csma_ca(&MacParams::s_band_isl(), n, 5.0, seed);
+        prop_assert!(r.channel_efficiency >= 0.0 && r.channel_efficiency <= 1.0);
+        prop_assert!(r.collision_rate >= 0.0 && r.collision_rate <= 1.0);
+        if n == 1 {
+            prop_assert_eq!(r.collision_rate, 0.0);
+            prop_assert_eq!(r.dropped, 0);
+        }
+        prop_assert!(r.delivered > 0, "5 s of saturation must deliver");
+    }
+
+    #[test]
+    fn dama_never_delivers_more_than_offered_or_capacity(
+        n in 1usize..16,
+        load in 1e4..2e6f64,
+        seed in any::<u64>(),
+    ) {
+        let p = DamaParams::s_band_isl();
+        let duration = 20.0;
+        let r = simulate_dama(&p, n, load, duration, seed);
+        // Carried ≤ offered (with slack for arrival bunching at the
+        // horizon) and ≤ channel peak.
+        let offered = load * n as f64;
+        prop_assert!(r.goodput_bps <= offered * 1.1 + 1e4, "carried {} offered {}", r.goodput_bps, offered);
+        prop_assert!(r.goodput_bps <= p.peak_goodput_bps() * 1.02);
+    }
+
+    #[test]
+    fn shapley_is_always_efficient_for_monotone_games(
+        n in 1usize..7,
+        weights in prop::collection::vec(0.0..10.0f64, 7),
+    ) {
+        let members: Vec<OperatorId> = (1..=n as u32).map(OperatorId).collect();
+        // A weighted additive-with-synergy game: monotone by construction.
+        let value = |mask: u32| {
+            let base: f64 = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| weights[i])
+                .sum();
+            base + 0.1 * (mask.count_ones() as f64).powi(2)
+        };
+        let shares = shapley_shares(&members, value);
+        let grand = value((1u32 << n) - 1);
+        let total: f64 = shares.iter().map(|s| s.shapley_value).sum();
+        prop_assert!((total - grand).abs() < 1e-9, "sum {total} vs grand {grand}");
+    }
+
+    #[test]
+    fn neighbor_table_never_reports_expired_entries(
+        observations in prop::collection::vec((0u64..50, 0u64..10_000), 1..60),
+        probe in 0u64..20_000,
+        ttl in 1u64..5_000,
+    ) {
+        let mut t = NeighborTable::new(ttl);
+        for (id, at) in &observations {
+            let b = Beacon {
+                satellite: SatelliteId(*id),
+                operator: OperatorId(1),
+                capabilities: Capabilities::rf_only(),
+                timestamp_ms: *at,
+                semi_major_axis_m: 7.1e6,
+                eccentricity: 0.0,
+                inclination_rad: 1.0,
+                raan_rad: 0.0,
+                arg_perigee_rad: 0.0,
+                mean_anomaly_rad: 0.0,
+            };
+            t.observe(b, *at);
+        }
+        for n in t.active(probe) {
+            prop_assert!(probe.saturating_sub(n.last_heard_ms) <= ttl);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the simulation engine and queues: event
+//! ordering, conservation laws, and statistics invariants.
+
+use openspace_sim::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn events_always_pop_in_nondecreasing_time_order(
+        times in prop::collection::vec(0.0..1e6f64, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+        prop_assert_eq!(q.processed(), times.len() as u64);
+    }
+
+    #[test]
+    fn equal_times_preserve_insertion_order(
+        n in 1usize..100,
+        t in 0.0..1e3f64,
+    ) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(t, i);
+        }
+        let mut expect = 0;
+        while let Some((_, i)) = q.pop() {
+            prop_assert_eq!(i, expect);
+            expect += 1;
+        }
+    }
+
+    #[test]
+    fn queue_conserves_packets(
+        sizes in prop::collection::vec(1u32..5_000, 1..100),
+        capacity in 5_000u64..50_000,
+        drains in 0usize..50,
+    ) {
+        let mut q = DropTailQueue::new(capacity);
+        for (i, &s) in sizes.iter().enumerate() {
+            q.enqueue(Packet {
+                flow_id: i as u64,
+                size_bytes: s,
+                created_at_s: 0.0,
+                is_native: true,
+            });
+        }
+        for _ in 0..drains {
+            q.dequeue();
+        }
+        let st = q.stats();
+        // Conservation: everything offered is accounted for.
+        prop_assert_eq!(st.enqueued + st.dropped, sizes.len() as u64);
+        prop_assert_eq!(st.enqueued - st.dequeued, q.len() as u64);
+        // Occupancy never exceeds capacity.
+        prop_assert!(q.occupancy_bytes() <= capacity);
+    }
+
+    #[test]
+    fn priority_queue_never_serves_visitor_before_native(
+        native_sizes in prop::collection::vec(1u32..500, 0..30),
+        visitor_sizes in prop::collection::vec(1u32..500, 0..30),
+    ) {
+        let mut q = PriorityQueue::new(1_000_000, 0.5);
+        for &s in &visitor_sizes {
+            q.enqueue(Packet { flow_id: 0, size_bytes: s, created_at_s: 0.0, is_native: false });
+        }
+        for &s in &native_sizes {
+            q.enqueue(Packet { flow_id: 1, size_bytes: s, created_at_s: 0.0, is_native: true });
+        }
+        let mut seen_visitor = false;
+        while let Some(p) = q.dequeue() {
+            if p.is_native {
+                prop_assert!(!seen_visitor, "native packet after a visitor one");
+            } else {
+                seen_visitor = true;
+            }
+        }
+    }
+
+    #[test]
+    fn summary_quantiles_are_monotone_and_bounded(
+        samples in prop::collection::vec(-1e9..1e9f64, 2..500),
+        q1 in 0.0..1.0f64,
+        q2 in 0.0..1.0f64,
+    ) {
+        let mut s = Summary::new();
+        for &x in &samples {
+            s.add(x);
+        }
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let v_lo = s.quantile(lo);
+        let v_hi = s.quantile(hi);
+        prop_assert!(v_lo <= v_hi + 1e-9);
+        prop_assert!(v_lo >= s.min() - 1e-9 && v_hi <= s.max() + 1e-9);
+        prop_assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+        let mut a = SimRng::substream(seed, stream);
+        let mut b = SimRng::substream(seed, stream);
+        for _ in 0..32 {
+            prop_assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn cbr_arrivals_are_exactly_periodic(
+        rate in 1_000.0..1e7f64,
+        bytes in 64u32..9_000,
+    ) {
+        let mut src = CbrSource::new(rate, bytes, 0.0);
+        let period = bytes as f64 * 8.0 / rate;
+        let mut last: Option<f64> = None;
+        for _ in 0..50 {
+            let a = src.next_arrival().unwrap();
+            if let Some(prev) = last {
+                prop_assert!((a.at_s - prev - period).abs() < 1e-9);
+            }
+            last = Some(a.at_s);
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_are_strictly_increasing(
+        seed in any::<u64>(),
+        rate in 1_000.0..1e6f64,
+    ) {
+        let mut src = PoissonSource::new(rate, 1_000, 0.0, seed);
+        let mut last = 0.0;
+        for _ in 0..100 {
+            let a = src.next_arrival().unwrap();
+            prop_assert!(a.at_s >= last);
+            last = a.at_s;
+        }
+    }
+}
