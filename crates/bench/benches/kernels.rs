@@ -1,13 +1,19 @@
-//! Criterion benches for the computational kernels behind every
+//! Micro-benchmarks for the computational kernels behind every
 //! experiment: orbit propagation, snapshot construction, routing,
 //! coverage estimation, MAC simulation, wire codec, and settlement.
 //!
 //! These exist to keep the simulation substrate fast enough that the
 //! experiment sweeps stay interactive, and to catch performance
 //! regressions; the *scientific* outputs come from the `exp_*` binaries.
+//!
+//! Run: `cargo bench -p openspace-bench`
+//!
+//! Self-contained harness (no external bench framework): each kernel is
+//! warmed up, then timed over enough iterations to exceed a fixed
+//! measurement window, reporting mean wall-clock per iteration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use openspace_core::study::{latency_vs_satellites, StudyConfig};
 use openspace_economics::prelude::*;
@@ -15,6 +21,33 @@ use openspace_mac::prelude::*;
 use openspace_net::prelude::*;
 use openspace_orbit::prelude::*;
 use openspace_protocol::prelude::*;
+
+/// Time `f` for at least `window`, after a short warmup; returns mean
+/// seconds per iteration.
+fn bench(name: &str, window: Duration, mut f: impl FnMut()) {
+    // Warmup: a few iterations to populate caches and branch predictors.
+    let warmup_until = Instant::now() + window / 10;
+    while Instant::now() < warmup_until {
+        f();
+    }
+    let start = Instant::now();
+    let mut iters: u64 = 0;
+    while start.elapsed() < window {
+        f();
+        iters += 1;
+    }
+    let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+    let (value, unit) = if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else if per_iter >= 1e-6 {
+        (per_iter * 1e6, "µs")
+    } else {
+        (per_iter * 1e9, "ns")
+    };
+    println!("{name:<40} {value:>10.3} {unit}/iter  ({iters} iters)");
+}
+
+const WINDOW: Duration = Duration::from_millis(300);
 
 fn iridium_props() -> Vec<Propagator> {
     walker_star(&iridium_params())
@@ -36,21 +69,19 @@ fn iridium_nodes() -> Vec<SatNode> {
         .collect()
 }
 
-fn bench_propagation(c: &mut Criterion) {
+fn bench_propagation() {
     let sats = iridium_props();
-    c.bench_function("propagate_66_sats_one_epoch", |b| {
-        b.iter(|| {
-            for s in &sats {
-                black_box(s.position_eci(black_box(1234.5)));
-            }
-        })
+    bench("propagate_66_sats_one_epoch", WINDOW, || {
+        for s in &sats {
+            black_box(s.position_eci(black_box(1234.5)));
+        }
     });
-    c.bench_function("kepler_solve_e0p1", |b| {
-        b.iter(|| black_box(openspace_orbit::kepler::solve_kepler(black_box(2.7), 0.1)))
+    bench("kepler_solve_e0p1", WINDOW, || {
+        black_box(openspace_orbit::kepler::solve_kepler(black_box(2.7), 0.1));
     });
 }
 
-fn bench_snapshot(c: &mut Criterion) {
+fn bench_snapshot() {
     let nodes = iridium_nodes();
     let stations: Vec<GroundNode> = [(48.0, 11.0), (-33.9, 18.4), (1.35, 103.8)]
         .iter()
@@ -60,53 +91,56 @@ fn bench_snapshot(c: &mut Criterion) {
         })
         .collect();
     let params = SnapshotParams::default();
-    c.bench_function("build_snapshot_iridium", |b| {
-        b.iter(|| black_box(build_snapshot(black_box(0.0), &nodes, &stations, &params)))
+    bench("build_snapshot_iridium", WINDOW, || {
+        black_box(build_snapshot(black_box(0.0), &nodes, &stations, &params));
     });
 }
 
-fn bench_routing(c: &mut Criterion) {
+fn bench_routing() {
     let nodes = iridium_nodes();
     let params = SnapshotParams::default();
     let graph = build_snapshot(0.0, &nodes, &[], &params);
-    c.bench_function("dijkstra_iridium_crossing", |b| {
-        b.iter(|| black_box(shortest_path(&graph, black_box(0), black_box(35), latency_weight)))
+    bench("dijkstra_iridium_crossing", WINDOW, || {
+        black_box(shortest_path(
+            &graph,
+            black_box(0),
+            black_box(35),
+            latency_weight,
+        ));
     });
-    c.bench_function("yen_k4_iridium", |b| {
-        b.iter(|| black_box(k_shortest_paths(&graph, 0, 35, 4, latency_weight)))
+    bench("yen_k4_iridium", WINDOW, || {
+        black_box(k_shortest_paths(&graph, 0, 35, 4, latency_weight));
     });
-    c.bench_function("qos_route_iridium", |b| {
-        let req = QosRequirement {
-            min_bandwidth_bps: 1e5,
-            max_latency_s: f64::INFINITY,
-        };
-        b.iter(|| black_box(qos_route(&graph, 0, 35, &req, 12_000.0)))
+    let req = QosRequirement {
+        min_bandwidth_bps: 1e5,
+        max_latency_s: f64::INFINITY,
+    };
+    bench("qos_route_iridium", WINDOW, || {
+        black_box(qos_route(&graph, 0, 35, &req, 12_000.0));
     });
 }
 
-fn bench_coverage(c: &mut Criterion) {
+fn bench_coverage() {
     let sats = iridium_props();
     let grid = SphereGrid::new(2000);
-    c.bench_function("grid_coverage_2000pts_66sats", |b| {
-        b.iter(|| black_box(grid_coverage_fraction(&grid, &sats, 0.0, 0.0)))
+    bench("grid_coverage_2000pts_66sats", WINDOW, || {
+        black_box(grid_coverage_fraction(&grid, &sats, 0.0, 0.0));
     });
-    c.bench_function("worst_case_coverage_66sats", |b| {
-        b.iter(|| black_box(worst_case_coverage_fraction(&sats, 0.0, 0.0)))
+    bench("worst_case_coverage_66sats", WINDOW, || {
+        black_box(worst_case_coverage_fraction(&sats, 0.0, 0.0));
     });
 }
 
-fn bench_mac(c: &mut Criterion) {
+fn bench_mac() {
     let params = MacParams::s_band_isl();
-    let mut group = c.benchmark_group("csma_sim_1s");
     for n in [4usize, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| black_box(simulate_csma_ca(&params, n, 1.0, 42)))
+        bench(&format!("csma_sim_1s/{n}"), WINDOW, || {
+            black_box(simulate_csma_ca(&params, n, 1.0, 42));
         });
     }
-    group.finish();
 }
 
-fn bench_wire(c: &mut Criterion) {
+fn bench_wire() {
     let frame = Frame {
         sender: 42,
         message: Message::Beacon(Beacon {
@@ -123,13 +157,15 @@ fn bench_wire(c: &mut Criterion) {
         }),
     };
     let bytes = frame.encode();
-    c.bench_function("beacon_encode", |b| b.iter(|| black_box(frame.encode())));
-    c.bench_function("beacon_decode", |b| {
-        b.iter(|| black_box(Frame::decode(black_box(&bytes)).unwrap()))
+    bench("beacon_encode", WINDOW, || {
+        black_box(frame.encode());
+    });
+    bench("beacon_decode", WINDOW, || {
+        black_box(Frame::decode(black_box(&bytes)).unwrap());
     });
 }
 
-fn bench_economics(c: &mut Criterion) {
+fn bench_economics() {
     // A thousand billing items across 4 operators.
     let mut ledgers = std::collections::BTreeMap::new();
     for op in 1u32..=4 {
@@ -148,28 +184,28 @@ fn bench_economics(c: &mut Criterion) {
         ledgers.insert(OperatorId(op), l);
     }
     let prices = PriceBook::new(4.0);
-    c.bench_function("settlement_1000_items", |b| {
-        b.iter(|| black_box(SettlementMatrix::from_ledgers(&ledgers, &prices)))
+    bench("settlement_1000_items", WINDOW, || {
+        black_box(SettlementMatrix::from_ledgers(&ledgers, &prices));
     });
     let la = ledgers.get(&OperatorId(1)).unwrap();
     let lb = ledgers.get(&OperatorId(2)).unwrap();
-    c.bench_function("reconcile_pair", |b| {
-        b.iter(|| black_box(reconcile(la, lb, OperatorId(1), OperatorId(2))))
+    bench("reconcile_pair", WINDOW, || {
+        black_box(reconcile(la, lb, OperatorId(1), OperatorId(2)));
     });
 }
 
-fn bench_extensions(c: &mut Criterion) {
+fn bench_extensions() {
     // DAMA MAC simulation.
     let dama = DamaParams::s_band_isl();
-    c.bench_function("dama_sim_1s_8nodes", |b| {
-        b.iter(|| black_box(simulate_dama(&dama, 8, 5e5, 1.0, 42)))
+    bench("dama_sim_1s_8nodes", WINDOW, || {
+        black_box(simulate_dama(&dama, 8, 5e5, 1.0, 42));
     });
 
     // TLE parse.
     let el = OrbitalElements::circular(780_000.0, 86.4, 10.0, 20.0).unwrap();
     let (l1, l2) = elements_to_tle(10_001, "26001A", 2026, 185.5, &el);
-    c.bench_function("tle_parse", |b| {
-        b.iter(|| black_box(parse_tle(black_box(&l1), black_box(&l2)).unwrap()))
+    bench("tle_parse", WINDOW, || {
+        black_box(parse_tle(black_box(&l1), black_box(&l2)).unwrap());
     });
 
     // DTN earliest-arrival over a day-long single-sat plan.
@@ -190,23 +226,19 @@ fn bench_extensions(c: &mut Criterion) {
         60.0,
         &SnapshotParams::default(),
     );
-    c.bench_function("dtn_earliest_arrival_day_plan", |b| {
-        b.iter(|| {
-            black_box(openspace_net::dtn::earliest_arrival(
-                &contacts, 2, 0, 1, 0.0, 1e6,
-            ))
-        })
+    bench("dtn_earliest_arrival_day_plan", WINDOW, || {
+        black_box(openspace_net::dtn::earliest_arrival(
+            &contacts, 2, 0, 1, 0.0, 1e6,
+        ));
     });
 
     // Shapley over an 8-member game.
     let members: Vec<OperatorId> = (1..=8).map(OperatorId).collect();
-    c.bench_function("shapley_8_members", |b| {
-        b.iter(|| {
-            black_box(openspace_economics::incentives::shapley_shares(
-                &members,
-                |mask: u32| (mask.count_ones() as f64).sqrt(),
-            ))
-        })
+    bench("shapley_8_members", WINDOW, || {
+        black_box(openspace_economics::incentives::shapley_shares(
+            &members,
+            |mask: u32| (mask.count_ones() as f64).sqrt(),
+        ));
     });
 
     // Packet simulation, one second of a loaded link.
@@ -224,34 +256,33 @@ fn bench_extensions(c: &mut Criterion) {
         duration_s: 1.0,
         ..Default::default()
     };
-    c.bench_function("netsim_1s_loaded_link", |b| {
-        b.iter(|| black_box(run_netsim(&g, &flows, &cfg)))
+    bench("netsim_1s_loaded_link", WINDOW, || {
+        black_box(run_netsim(&g, &flows, &cfg));
     });
 }
 
-fn bench_study(c: &mut Criterion) {
+fn bench_study() {
     // One small figure-2(b) point end to end — the unit of experiment work.
     let cfg = StudyConfig {
         trials: 2,
         epochs_per_trial: 2,
         ..Default::default()
     };
-    c.bench_function("fig2b_point_n25", |b| {
-        b.iter(|| black_box(latency_vs_satellites(&cfg, &[25])))
+    bench("fig2b_point_n25", WINDOW, || {
+        black_box(latency_vs_satellites(&cfg, &[25]));
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_propagation,
-        bench_snapshot,
-        bench_routing,
-        bench_coverage,
-        bench_mac,
-        bench_wire,
-        bench_economics,
-        bench_extensions,
-        bench_study
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<40} {:>10}", "kernel", "time");
+    println!("{}", "-".repeat(72));
+    bench_propagation();
+    bench_snapshot();
+    bench_routing();
+    bench_coverage();
+    bench_mac();
+    bench_wire();
+    bench_economics();
+    bench_extensions();
+    bench_study();
+}

@@ -10,14 +10,13 @@
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_association`
 
-use openspace_bench::print_header;
+use openspace_bench::{ground_user, print_header, standard_federation};
 use openspace_core::prelude::*;
 use openspace_net::handover::service_schedule;
-use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
 use openspace_phy::hardware::SatelliteClass;
 
 fn main() {
-    let mut fed = iridium_federation(4, &[SatelliteClass::SmallSat], &default_station_sites());
+    let mut fed = standard_federation(4, &[SatelliteClass::SmallSat]);
     let home = fed.operator_ids()[0];
 
     println!("E10: association and roaming authentication");
@@ -36,8 +35,8 @@ fn main() {
         ("McMurdo (78S)", -77.8, 166.7),
     ];
     for (i, (name, lat, lon)) in sites.iter().enumerate() {
-        let user = fed.register_user(home);
-        let pos = geodetic_to_ecef(Geodetic::from_degrees(*lat, *lon, 0.0));
+        let user = fed.register_user(home).expect("member operator");
+        let pos = ground_user(*lat, *lon, 0.0);
         match associate(&mut fed, &user, pos, 0.0, 1 + i as u64) {
             Ok(a) => println!(
                 "{:<24} {:>10} {:>12} {:>16.1} {:>10.2}",
@@ -62,7 +61,7 @@ fn main() {
     let mut handovers = 0usize;
     let mut reassociations = 0usize;
     for (k, (_, lat, lon)) in sites.iter().take(3).enumerate() {
-        let pos = geodetic_to_ecef(Geodetic::from_degrees(*lat, *lon, 0.0));
+        let pos = ground_user(*lat, *lon, 0.0);
         let t0 = k as f64 * day / 3.0;
         let t1 = (k + 1) as f64 * day / 3.0;
         let windows = fed.contact_plan(pos, t0, t1, 10.0);

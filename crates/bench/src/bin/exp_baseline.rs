@@ -12,11 +12,10 @@
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_baseline`
 
-use openspace_bench::print_header;
+use openspace_bench::{ground_user, print_header, standard_federation};
 use openspace_core::prelude::*;
 use openspace_net::contact::coverage_time_fraction;
 use openspace_net::routing::QosRequirement;
-use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
 use openspace_phy::hardware::SatelliteClass;
 use std::collections::BTreeMap;
 
@@ -36,12 +35,11 @@ fn main() {
     );
 
     for (name, lat, lon) in sites {
-        let pos = geodetic_to_ecef(Geodetic::from_degrees(lat, lon, 0.0));
+        let pos = ground_user(lat, lon, 0.0);
         for (label, members) in [("monolith", 1usize), ("federated", 4)] {
-            let mut fed =
-                iridium_federation(members, &[SatelliteClass::SmallSat], &default_station_sites());
+            let mut fed = standard_federation(members, &[SatelliteClass::SmallSat]);
             let home = fed.operator_ids()[0];
-            let user = fed.register_user(home);
+            let user = fed.register_user(home).expect("member operator");
 
             let windows = fed.contact_plan(pos, 0.0, 3_600.0, 10.0);
             let cov = coverage_time_fraction(&windows, 0.0, 3_600.0);

@@ -10,11 +10,10 @@
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_costmodel`
 
-use openspace_bench::print_header;
+use openspace_bench::{ground_user, print_header, standard_federation};
 use openspace_core::prelude::*;
 use openspace_economics::prelude::*;
 use openspace_net::routing::QosRequirement;
-use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
 use openspace_phy::hardware::SatelliteClass;
 use openspace_protocol::types::OperatorId;
 use std::collections::BTreeMap;
@@ -35,14 +34,16 @@ fn run_pattern(
     label: &str,
     home_of: impl Fn(usize, &[OperatorId]) -> OperatorId,
 ) -> (Vec<OperatorId>, BTreeMap<OperatorId, TrafficLedger>) {
-    let mut fed = iridium_federation(4, &[SatelliteClass::SmallSat], &default_station_sites());
+    let mut fed = standard_federation(4, &[SatelliteClass::SmallSat]);
     let ops = fed.operator_ids();
     let users: Vec<(User, _)> = SITES
         .iter()
         .enumerate()
         .map(|(i, &(lat, lon))| {
-            let u = fed.register_user(home_of(i, &ops));
-            (u, geodetic_to_ecef(Geodetic::from_degrees(lat, lon, 0.0)))
+            let u = fed
+                .register_user(home_of(i, &ops))
+                .expect("member operator");
+            (u, ground_user(lat, lon, 0.0))
         })
         .collect();
     let mut ledgers = BTreeMap::new();
@@ -85,7 +86,10 @@ fn report(ops: &[OperatorId], ledgers: &BTreeMap<OperatorId, TrafficLedger>) {
             }
         }
     }
-    println!("cross-verification: {items} items, {}", if clean { "CLEAN" } else { "DISPUTED" });
+    println!(
+        "cross-verification: {items} items, {}",
+        if clean { "CLEAN" } else { "DISPUTED" }
+    );
 
     // Settlement.
     let matrix = SettlementMatrix::from_ledgers(ledgers, &PriceBook::new(4.0));
@@ -126,9 +130,10 @@ fn report(ops: &[OperatorId], ledgers: &BTreeMap<OperatorId, TrafficLedger>) {
 fn main() {
     println!("E7: cost model — ledgers, settlement, peering");
 
-    let (ops, ledgers) = run_pattern("symmetric mesh (users of all operators everywhere)", |i, ops| {
-        ops[i % ops.len()]
-    });
+    let (ops, ledgers) = run_pattern(
+        "symmetric mesh (users of all operators everywhere)",
+        |i, ops| ops[i % ops.len()],
+    );
     report(&ops, &ledgers);
 
     let (ops, ledgers) = run_pattern("skewed (operator 1 owns 6 of 8 users)", |i, ops| {

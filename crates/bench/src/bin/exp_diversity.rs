@@ -12,12 +12,11 @@
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_diversity`
 
-use openspace_bench::print_header;
-use openspace_core::prelude::*;
+use openspace_bench::{
+    access_satellite, best_station_route, nairobi_user, print_header, standard_federation,
+};
 use openspace_economics::capex::{satellite_cost, LaunchPricing};
-use openspace_net::routing::{latency_weight, shortest_path};
 use openspace_net::topology::LinkTech;
-use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
 use openspace_phy::hardware::SatelliteClass;
 
 fn mix_classes(optical_share: f64) -> Vec<SatelliteClass> {
@@ -37,7 +36,7 @@ fn mix_classes(optical_share: f64) -> Vec<SatelliteClass> {
 }
 
 fn main() {
-    let user = geodetic_to_ecef(Geodetic::from_degrees(-1.3, 36.8, 1_700.0));
+    let user = nairobi_user();
     let launch = LaunchPricing::rideshare();
 
     println!("E15: hardware diversity sweep (66-satellite federation, 4 operators)");
@@ -50,7 +49,7 @@ fn main() {
     );
     for share in [0.0, 0.2, 0.5, 0.8, 1.0] {
         let classes = mix_classes(share);
-        let fed = iridium_federation(4, &classes, &default_station_sites());
+        let fed = standard_federation(4, &classes);
         let graph = fed.snapshot(0.0);
 
         // Count optical ISLs and find the user's route to the Internet.
@@ -67,25 +66,10 @@ fn main() {
             }
         }
 
-        let (src_sat, _) = openspace_net::isl::best_access_satellite(
-            user,
-            &fed.sat_nodes(),
-            0.0,
-            fed.snapshot_params.min_elevation_rad,
-        )
-        .expect("coverage");
-        let best = (0..fed.stations().len())
-            .filter_map(|gi| {
-                shortest_path(
-                    &graph,
-                    graph.sat_node(src_sat),
-                    graph.station_node(gi),
-                    latency_weight,
-                )
-            })
-            .min_by(|a, b| a.total_cost.partial_cmp(&b.total_cost).expect("finite"));
+        let (src_sat, _) = access_satellite(&fed, user, 0.0).expect("coverage");
+        let best = best_station_route(&fed, &graph, src_sat);
         let (latency_ms, bottleneck) = best
-            .map(|p| (p.total_cost * 1e3, p.bottleneck_bps(&graph)))
+            .map(|(_, p)| (p.total_cost * 1e3, p.bottleneck_bps(&graph)))
             .unwrap_or((f64::NAN, 0.0));
 
         let capex: f64 = fed

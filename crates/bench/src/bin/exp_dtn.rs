@@ -11,14 +11,13 @@
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_dtn`
 
-use openspace_bench::{fmt_opt, print_header};
-use openspace_core::prelude::*;
+use openspace_bench::{fmt_opt, print_header, standard_federation};
 use openspace_net::dtn::{earliest_arrival, sample_contacts};
 use openspace_net::routing::{latency_weight, shortest_path};
 use openspace_phy::hardware::SatelliteClass;
 
 fn main() {
-    let fed = iridium_federation(4, &[SatelliteClass::SmallSat], &default_station_sites());
+    let fed = standard_federation(4, &[SatelliteClass::SmallSat]);
     let horizon_s = 3.0 * 3600.0;
     let bundle_bits = 80.0 * 1e6; // a 10 MB sensor bundle
 
@@ -66,8 +65,7 @@ fn main() {
                 delays.push(best);
             }
         }
-        let solo = (!delays.is_empty())
-            .then(|| delays.iter().sum::<f64>() / delays.len() as f64);
+        let solo = (!delays.is_empty()).then(|| delays.iter().sum::<f64>() / delays.len() as f64);
 
         // Federated: immediate relay over the full snapshot, charged at
         // the chosen path's bottleneck rate.

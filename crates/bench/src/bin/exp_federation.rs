@@ -12,15 +12,13 @@
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_federation`
 
-use openspace_bench::print_header;
-use openspace_core::prelude::*;
+use openspace_bench::{nairobi_user, print_header, standard_federation};
 use openspace_economics::capex::{entry_barrier, LaunchPricing};
 use openspace_net::contact::{coverage_time_fraction, longest_outage_s};
-use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
 use openspace_phy::hardware::SatelliteClass;
 
 fn main() {
-    let ground = geodetic_to_ecef(Geodetic::from_degrees(-1.3, 36.8, 1_700.0));
+    let ground = nairobi_user();
     let horizon_s = 6.0 * 3600.0;
     let step_s = 10.0;
 
@@ -33,7 +31,7 @@ fn main() {
         ),
     );
     for k in [1usize, 2, 4, 6, 11] {
-        let fed = iridium_federation(k, &[SatelliteClass::SmallSat], &default_station_sites());
+        let fed = standard_federation(k, &[SatelliteClass::SmallSat]);
         // Mean solo coverage over members.
         let mut solo_cov = 0.0;
         let mut solo_out = 0.0f64;
@@ -62,7 +60,7 @@ fn main() {
         "Ground-segment visibility (4 members, satellite 0 of each, 6 h)",
         &format!("{:<8} {:>16} {:>16}", "op", "own stations", "federated"),
     );
-    let fed = iridium_federation(4, &[SatelliteClass::SmallSat], &default_station_sites());
+    let fed = standard_federation(4, &[SatelliteClass::SmallSat]);
     let mask = fed.snapshot_params.min_elevation_rad;
     let samples = 720;
     for op in fed.operator_ids() {
@@ -71,8 +69,7 @@ fn main() {
         let mut all = 0u32;
         for kk in 0..samples {
             let t = horizon_s * kk as f64 / samples as f64;
-            let sat_ecef =
-                openspace_orbit::frames::eci_to_ecef(sat.propagator.position_eci(t), t);
+            let sat_ecef = openspace_orbit::frames::eci_to_ecef(sat.propagator.position_eci(t), t);
             let visible = |owner_filter: Option<_>| {
                 fed.stations()
                     .iter()

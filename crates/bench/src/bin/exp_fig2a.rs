@@ -9,17 +9,13 @@
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_fig2a`
 
-use openspace_bench::print_header;
+use openspace_bench::{print_header, walker_propagators};
 use openspace_net::isl::{build_snapshot, SatNode, SnapshotParams};
 use openspace_orbit::prelude::*;
 
 fn main() {
     let params = iridium_params();
-    let els = walker_star(&params).unwrap();
-    let sats: Vec<Propagator> = els
-        .iter()
-        .map(|&e| Propagator::new(e, PerturbationModel::SecularJ2))
-        .collect();
+    let sats = walker_propagators(&params, PerturbationModel::SecularJ2);
 
     println!("Figure 2(a): simulated OpenSpace constellation");
     println!(

@@ -9,30 +9,41 @@
 //! We regenerate the curve under the paper's simplified model and, for
 //! honesty, under the physical model (elevation-masked pickup and
 //! line-of-sight ISLs), where the same sweep shows up as an availability
-//! curve.
+//! curve. The sweep runs on the shared [`ScenarioRunner`] harness:
+//! ephemeris samples are memoized across size points and the points fan
+//! out over a worker pool, with output bitwise-identical to a serial run.
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_fig2b`
 
-use openspace_bench::{fmt_opt, print_header};
-use openspace_core::study::{latency_vs_satellites, StudyConfig, StudyModel};
+use openspace_bench::{fmt_opt, print_header, study_runner, timed, FIG2B_SIZES};
+use openspace_core::prelude::*;
+
+fn print_points(points: &[LatencyPoint]) {
+    for p in points {
+        println!(
+            "{:<6} {:>8.2} {:>14} {:>10}",
+            p.n_satellites,
+            p.reachability,
+            fmt_opt(p.mean_latency_ms, 1),
+            fmt_opt(p.mean_hops, 2)
+        );
+    }
+}
 
 fn main() {
-    let sizes = [2, 4, 6, 8, 12, 16, 20, 25, 30, 40, 50, 65, 80, 100];
-    let cfg = StudyConfig {
-        trials: 20,
-        epochs_per_trial: 8,
-        ..Default::default()
-    };
+    let runner = study_runner(20, 8);
+    let cfg = *runner.config();
 
     println!("Figure 2(b): propagation latency vs constellation size");
     println!(
-        "user {:.1}N {:.1}E -> station {:.1}N {:.1}E, {} trials x {} epochs",
+        "user {:.1}N {:.1}E -> station {:.1}N {:.1}E, {} trials x {} epochs, {} worker threads",
         cfg.user.lat_deg(),
         cfg.user.lon_deg(),
         cfg.station.lat_deg(),
         cfg.station.lon_deg(),
         cfg.trials,
-        cfg.epochs_per_trial
+        cfg.epochs_per_trial,
+        runner.threads()
     );
 
     print_header(
@@ -42,20 +53,13 @@ fn main() {
             "n", "reach", "latency (ms)", "mean hops"
         ),
     );
-    for p in latency_vs_satellites(&cfg, &sizes) {
-        println!(
-            "{:<6} {:>8.2} {:>14} {:>10}",
-            p.n_satellites,
-            p.reachability,
-            fmt_opt(p.mean_latency_ms, 1),
-            fmt_opt(p.mean_hops, 2)
-        );
-    }
+    let (points, harness_time) = timed(|| runner.latency_vs_satellites(&FIG2B_SIZES));
+    print_points(&points);
 
-    let phys = StudyConfig {
+    let phys = ScenarioRunner::parallel(StudyConfig {
         model: StudyModel::Physical,
         ..cfg
-    };
+    });
     print_header(
         "Physical model (horizon-masked pickup, line-of-sight ISLs)",
         &format!(
@@ -63,15 +67,29 @@ fn main() {
             "n", "avail", "latency (ms)", "mean hops"
         ),
     );
-    for p in latency_vs_satellites(&phys, &sizes) {
-        println!(
-            "{:<6} {:>8.2} {:>14} {:>10}",
-            p.n_satellites,
-            p.reachability,
-            fmt_opt(p.mean_latency_ms, 1),
-            fmt_opt(p.mean_hops, 2)
-        );
-    }
+    print_points(&phys.latency_vs_satellites(&FIG2B_SIZES));
+
+    // Harness accounting: what memoization + the worker pool buy over the
+    // pre-harness loop (a fresh serial propagation per size point), and
+    // that they buy it without changing a single output bit.
+    let (legacy_points, legacy_time) = timed(|| {
+        FIG2B_SIZES
+            .iter()
+            .flat_map(|&n| ScenarioRunner::serial(cfg).latency_vs_satellites(&[n]))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(
+        points, legacy_points,
+        "harness output must be bitwise-identical to the per-point serial loop"
+    );
+    println!(
+        "\nharness timing (simplified model): per-point serial {:.2}s -> cached parallel {:.2}s ({:.1}x), {} cache hits / {} misses, identical output",
+        legacy_time.as_secs_f64(),
+        harness_time.as_secs_f64(),
+        legacy_time.as_secs_f64() / harness_time.as_secs_f64().max(1e-9),
+        runner.cache().hits(),
+        runner.cache().misses(),
+    );
 
     println!(
         "\nshape check: latency falls steeply to ~25 satellites, then \

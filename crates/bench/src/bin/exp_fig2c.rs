@@ -8,22 +8,23 @@
 //!
 //! We regenerate the worst-case curve and print the honest grid-union
 //! and disjoint-packing estimators alongside, plus the CBO's 72-satellite
-//! ≈95% reference point that §4 cites.
+//! ≈95% reference point that §4 cites. The sweep runs on the shared
+//! [`ScenarioRunner`] harness (memoized ephemeris, parallel size points).
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_fig2c`
 
-use openspace_bench::print_header;
-use openspace_core::study::{coverage_vs_satellites, StudyConfig};
+use openspace_bench::{print_header, study_runner, walker_propagators, FIG2C_SIZES};
 use openspace_orbit::prelude::*;
 
 fn main() {
-    let sizes = [2, 5, 10, 15, 20, 25, 30, 40, 50, 60, 70, 85, 100];
-    let cfg = StudyConfig {
-        trials: 20,
-        ..Default::default()
-    };
+    let runner = study_runner(20, 8);
+    let cfg = runner.config();
 
-    println!("Figure 2(c): coverage vs constellation size ({} trials/point)", cfg.trials);
+    println!(
+        "Figure 2(c): coverage vs constellation size ({} trials/point, {} worker threads)",
+        cfg.trials,
+        runner.threads()
+    );
     print_header(
         "Random constellations, 780 km, 86.4 deg",
         &format!(
@@ -31,7 +32,7 @@ fn main() {
             "n", "worst-case (paper)", "grid union", "disjoint packing"
         ),
     );
-    for p in coverage_vs_satellites(&cfg, &sizes) {
+    for p in runner.coverage_vs_satellites(&FIG2C_SIZES) {
         println!(
             "{:<6} {:>17.1}% {:>13.1}% {:>17.1}%",
             p.n_satellites,
@@ -42,11 +43,7 @@ fn main() {
     }
 
     // The CBO reference point quoted in §4.
-    let els = walker_star(&cbo_params()).unwrap();
-    let sats: Vec<Propagator> = els
-        .into_iter()
-        .map(|e| Propagator::new(e, PerturbationModel::TwoBody))
-        .collect();
+    let sats = walker_propagators(&cbo_params(), PerturbationModel::TwoBody);
     let grid = SphereGrid::new(4000);
     println!("\nCBO reference: 72 satellites, 6 planes, 80 deg inclination (CBO: ~95%)");
     for mask_deg in [0.0f64, 10.0, 15.0] {

@@ -11,10 +11,9 @@
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_handover`
 
-use openspace_bench::{fmt_opt, print_header};
+use openspace_bench::{fmt_opt, print_header, random_sat_nodes};
 use openspace_net::contact::contact_plan;
 use openspace_net::handover::{service_schedule, HandoverCost};
-use openspace_net::isl::SatNode;
 use openspace_orbit::prelude::*;
 
 fn main() {
@@ -37,15 +36,13 @@ fn main() {
         let mut outage = 0.0;
         let seeds = 3u64;
         for seed in 0..seeds {
-            let sats: Vec<SatNode> = random_constellation(n, km_to_m(550.0), 53.0, 77 + seed)
-                .unwrap()
-                .into_iter()
-                .map(|el| SatNode {
-                    propagator: Propagator::new(el, PerturbationModel::TwoBody),
-                    operator: 0,
-                    has_optical: false,
-                })
-                .collect();
+            let sats = random_sat_nodes(
+                n,
+                km_to_m(550.0),
+                53.0,
+                77 + seed,
+                PerturbationModel::TwoBody,
+            );
             let windows = contact_plan(&sats, ground, 0.0, horizon_s, 2.0, mask);
             let s = service_schedule(&windows, 0.0, horizon_s);
             handovers += s.handovers;
@@ -59,10 +56,7 @@ fn main() {
             "{:<6} {:>10} {:>16} {:>12.0}",
             n,
             handovers / seeds as usize,
-            fmt_opt(
-                (tbh_count > 0).then(|| tbh_sum / tbh_count as f64),
-                0
-            ),
+            fmt_opt((tbh_count > 0).then(|| tbh_sum / tbh_count as f64), 0),
             outage / seeds as f64
         );
     }

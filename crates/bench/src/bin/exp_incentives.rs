@@ -9,11 +9,10 @@
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_incentives`
 
-use openspace_bench::print_header;
+use openspace_bench::{ground_user, iridium_elements, print_header};
 use openspace_core::prelude::*;
 use openspace_economics::incentives::{collaboration_surplus, shapley_shares};
 use openspace_net::contact::coverage_time_fraction;
-use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
 use openspace_phy::hardware::SatelliteClass;
 
 fn main() {
@@ -21,10 +20,10 @@ fn main() {
     // the fleet; three small entrants split the rest.
     let mut fed = Federation::new();
     let big = fed.add_operator("incumbent");
-    let smalls: Vec<_> = (0..3).map(|i| fed.add_operator(format!("entrant-{}", i + 1))).collect();
-    let els = openspace_orbit::walker::walker_star(&openspace_orbit::walker::iridium_params())
-        .unwrap();
-    for (i, el) in els.into_iter().enumerate() {
+    let smalls: Vec<_> = (0..3)
+        .map(|i| fed.add_operator(format!("entrant-{}", i + 1)))
+        .collect();
+    for (i, el) in iridium_elements().into_iter().enumerate() {
         // 36 satellites to the incumbent, 10 to each entrant.
         let owner = if i < 36 { big } else { smalls[(i - 36) / 10] };
         fed.add_satellite(owner, SatelliteClass::SmallSat, el);
@@ -35,9 +34,9 @@ fn main() {
     // sites, monetized as revenue ∝ coverage² (continuous coverage is
     // what subscriptions pay for; 50% patchwork is near-worthless).
     let sites = [
-        geodetic_to_ecef(Geodetic::from_degrees(-1.3, 36.8, 0.0)),
-        geodetic_to_ecef(Geodetic::from_degrees(52.5, 13.4, 0.0)),
-        geodetic_to_ecef(Geodetic::from_degrees(35.7, 139.7, 0.0)),
+        ground_user(-1.3, 36.8, 0.0),
+        ground_user(52.5, 13.4, 0.0),
+        ground_user(35.7, 139.7, 0.0),
     ];
     let horizon = 3.0 * 3600.0;
     let coverage_of = |mask: u32| -> f64 {

@@ -14,22 +14,21 @@
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_incremental`
 
-use openspace_bench::{fmt_opt, print_header};
+use openspace_bench::{
+    access_satellite, best_station_route, fmt_opt, ground_user, iridium_elements, print_header,
+};
 use openspace_core::prelude::*;
 use openspace_economics::capex::{fleet_cost_usd, LaunchPricing};
 use openspace_net::contact::coverage_time_fraction;
-use openspace_net::routing::{latency_weight, shortest_path};
-use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
-use openspace_orbit::walker::{iridium_params, walker_star};
 use openspace_phy::hardware::SatelliteClass;
 
 fn main() {
-    let all_elements = walker_star(&iridium_params()).unwrap();
+    let all_elements = iridium_elements();
     let sites = default_station_sites();
     let users = [
-        ("equator", geodetic_to_ecef(Geodetic::from_degrees(-1.3, 36.8, 0.0))),
-        ("mid-lat", geodetic_to_ecef(Geodetic::from_degrees(48.0, 11.0, 0.0))),
-        ("polar", geodetic_to_ecef(Geodetic::from_degrees(78.2, 15.6, 0.0))),
+        ("equator", ground_user(-1.3, 36.8, 0.0)),
+        ("mid-lat", ground_user(48.0, 11.0, 0.0)),
+        ("polar", ground_user(78.2, 15.6, 0.0)),
     ];
     let horizon = 3.0 * 3600.0;
     let launch = LaunchPricing::rideshare();
@@ -64,28 +63,10 @@ fn main() {
 
         // Best end-to-end latency for the equatorial user right now.
         let graph = fed.snapshot(0.0);
-        let latency = openspace_net::isl::best_access_satellite(
-            users[0].1,
-            &fed.sat_nodes(),
-            0.0,
-            fed.snapshot_params.min_elevation_rad,
-        )
-        .and_then(|(sat, slant)| {
-            (0..fed.stations().len())
-                .filter_map(|gi| {
-                    shortest_path(
-                        &graph,
-                        graph.sat_node(sat),
-                        graph.station_node(gi),
-                        latency_weight,
-                    )
-                })
-                .map(|p| {
-                    (slant / openspace_orbit::constants::SPEED_OF_LIGHT_M_PER_S
-                        + p.total_cost)
-                        * 1e3
-                })
-                .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+        let latency = access_satellite(&fed, users[0].1, 0.0).and_then(|(sat, slant)| {
+            best_station_route(&fed, &graph, sat).map(|(_, p)| {
+                (slant / openspace_orbit::constants::SPEED_OF_LIGHT_M_PER_S + p.total_cost) * 1e3
+            })
         });
 
         let capex = fleet_cost_usd(SatelliteClass::SmallSat, members * 11, &launch);

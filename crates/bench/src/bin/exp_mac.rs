@@ -105,15 +105,39 @@ fn main() {
     let grid = OfdmaGrid::ku_beam();
     let users = |da: f64, db: f64, dc: f64| {
         vec![
-            UserDemand { user_id: 1, demand_bps: da, spectral_efficiency: 4.0 },
-            UserDemand { user_id: 2, demand_bps: db, spectral_efficiency: 4.0 },
-            UserDemand { user_id: 3, demand_bps: dc, spectral_efficiency: 1.5 }, // edge of beam
+            UserDemand {
+                user_id: 1,
+                demand_bps: da,
+                spectral_efficiency: 4.0,
+            },
+            UserDemand {
+                user_id: 2,
+                demand_bps: db,
+                spectral_efficiency: 4.0,
+            },
+            UserDemand {
+                user_id: 3,
+                demand_bps: dc,
+                spectral_efficiency: 1.5,
+            }, // edge of beam
         ]
     };
     for (label, demands, policy) in [
-        ("equal demand, round-robin", users(200e6, 200e6, 200e6), Policy::RoundRobin),
-        ("skewed demand, round-robin", users(400e6, 50e6, 50e6), Policy::RoundRobin),
-        ("skewed demand, proportional", users(400e6, 50e6, 50e6), Policy::ProportionalDemand),
+        (
+            "equal demand, round-robin",
+            users(200e6, 200e6, 200e6),
+            Policy::RoundRobin,
+        ),
+        (
+            "skewed demand, round-robin",
+            users(400e6, 50e6, 50e6),
+            Policy::RoundRobin,
+        ),
+        (
+            "skewed demand, proportional",
+            users(400e6, 50e6, 50e6),
+            Policy::ProportionalDemand,
+        ),
     ] {
         let alloc = grid.schedule(&demands, policy);
         println!(
@@ -129,7 +153,10 @@ fn main() {
     let beacon = BeaconSchedule::openspace_default();
     print_header(
         "Beacon channel overhead",
-        &format!("{:<12} {:>16} {:>22}", "neighbors", "overhead", "mean discovery (s)"),
+        &format!(
+            "{:<12} {:>16} {:>22}",
+            "neighbors", "overhead", "mean discovery (s)"
+        ),
     );
     for n in [5usize, 20, 50, 200] {
         println!(

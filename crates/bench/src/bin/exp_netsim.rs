@@ -12,29 +12,20 @@
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_netsim`
 
-use openspace_bench::print_header;
+use openspace_bench::{access_satellite, nairobi_user, print_header, standard_federation};
 use openspace_core::netsim::{run_netsim, FlowSpec, NetSimConfig, RoutingMode, TrafficKind};
-use openspace_core::prelude::*;
-use openspace_net::isl::best_access_satellite;
-use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
 use openspace_phy::hardware::SatelliteClass;
 
 fn main() {
     // RF-only fleet: S-band ISL capacities (~27 Mbit/s) make congestion
     // real at megabit flow rates.
-    let fed = iridium_federation(4, &[SatelliteClass::CubeSat], &default_station_sites());
+    let fed = standard_federation(4, &[SatelliteClass::CubeSat]);
     let graph = fed.snapshot(0.0);
 
     // A regional hotspot: all flows uplink through the satellite over
     // Nairobi and exit at the Bavaria gateway.
-    let pos = geodetic_to_ecef(Geodetic::from_degrees(-1.3, 36.8, 1_700.0));
-    let (src_sat, _) = best_access_satellite(
-        pos,
-        &fed.sat_nodes(),
-        0.0,
-        fed.snapshot_params.min_elevation_rad,
-    )
-    .expect("coverage over Nairobi");
+    let pos = nairobi_user();
+    let (src_sat, _) = access_satellite(&fed, pos, 0.0).expect("coverage over Nairobi");
     let src = graph.sat_node(src_sat);
     let dst = graph.station_node(0);
 

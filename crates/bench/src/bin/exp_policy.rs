@@ -12,13 +12,11 @@
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_policy`
 
-use openspace_bench::print_header;
-use openspace_core::prelude::*;
+use openspace_bench::{access_satellite, nairobi_user, print_header, standard_federation};
 use openspace_net::policy::{
     policy_route, DownlinkLicense, Jurisdiction, PolicyRoute, RoutePolicy, StationAttrs,
 };
 use openspace_net::routing::latency_weight;
-use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
 use openspace_phy::hardware::SatelliteClass;
 
 const EU: Jurisdiction = Jurisdiction(1);
@@ -27,7 +25,7 @@ const AF: Jurisdiction = Jurisdiction(3);
 const AP: Jurisdiction = Jurisdiction(4);
 
 fn main() {
-    let fed = iridium_federation(4, &[SatelliteClass::SmallSat], &default_station_sites());
+    let fed = standard_federation(4, &[SatelliteClass::SmallSat]);
     let graph = fed.snapshot(0.0);
     // default_station_sites(): Bavaria, Virginia, Cape Town, Singapore,
     // Perth, Reykjavik.
@@ -43,22 +41,31 @@ fn main() {
     // op-3 in AF — the patchwork §5(3) describes.
     let mut licenses = Vec::new();
     for op in 1..=4u32 {
-        licenses.push(DownlinkLicense { operator: op, jurisdiction: EU });
-        licenses.push(DownlinkLicense { operator: op, jurisdiction: US });
+        licenses.push(DownlinkLicense {
+            operator: op,
+            jurisdiction: EU,
+        });
+        licenses.push(DownlinkLicense {
+            operator: op,
+            jurisdiction: US,
+        });
     }
-    licenses.push(DownlinkLicense { operator: 1, jurisdiction: AP });
-    licenses.push(DownlinkLicense { operator: 2, jurisdiction: AP });
-    licenses.push(DownlinkLicense { operator: 3, jurisdiction: AF });
+    licenses.push(DownlinkLicense {
+        operator: 1,
+        jurisdiction: AP,
+    });
+    licenses.push(DownlinkLicense {
+        operator: 2,
+        jurisdiction: AP,
+    });
+    licenses.push(DownlinkLicense {
+        operator: 3,
+        jurisdiction: AF,
+    });
 
     // A user in Nairobi, uplinked via the nearest satellite.
-    let pos = geodetic_to_ecef(Geodetic::from_degrees(-1.3, 36.8, 1_700.0));
-    let (src_sat, _) = openspace_net::isl::best_access_satellite(
-        pos,
-        &fed.sat_nodes(),
-        0.0,
-        fed.snapshot_params.min_elevation_rad,
-    )
-    .expect("coverage");
+    let pos = nairobi_user();
+    let (src_sat, _) = access_satellite(&fed, pos, 0.0).expect("coverage");
     let src = graph.sat_node(src_sat);
 
     println!("E13: regulation-aware routing (Nairobi user)");

@@ -12,28 +12,19 @@
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_routing`
 
-use openspace_bench::print_header;
-use openspace_core::prelude::*;
+use openspace_bench::{access_satellite, nairobi_user, print_header, standard_federation};
 use openspace_net::routing::{
     congestion_weight, latency_weight, qos_route, shortest_path, QosRequirement,
 };
-use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
 use openspace_phy::hardware::SatelliteClass;
 use openspace_sim::rng::SimRng;
 
 const PKT_BITS: f64 = 12_000.0;
 
 fn main() {
-    let fed = iridium_federation(4, &[SatelliteClass::CubeSat], &default_station_sites());
-    let user_pos = geodetic_to_ecef(Geodetic::from_degrees(-1.3, 36.8, 1_700.0));
-    let sats = fed.sat_nodes();
-    let (src_sat, _) = openspace_net::isl::best_access_satellite(
-        user_pos,
-        &sats,
-        0.0,
-        fed.snapshot_params.min_elevation_rad,
-    )
-    .expect("coverage");
+    let fed = standard_federation(4, &[SatelliteClass::CubeSat]);
+    let user_pos = nairobi_user();
+    let (src_sat, _) = access_satellite(&fed, user_pos, 0.0).expect("coverage");
 
     println!("E9: routing under load (RF-only federation, Nairobi uplink)");
     print_header(
@@ -64,7 +55,9 @@ fn main() {
                     })
                     .collect();
                 for (to, l) in loads {
-                    graph.set_load(node, to, l);
+                    graph
+                        .set_load(node, to, l)
+                        .expect("edges enumerated from this same graph");
                 }
             }
             let src = graph.sat_node(src_sat);

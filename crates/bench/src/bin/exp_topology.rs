@@ -12,23 +12,24 @@
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_topology`
 
-use openspace_bench::print_header;
+use openspace_bench::{access_satellite, nairobi_user, print_header, standard_federation};
 use openspace_core::netsim::{
     run_netsim_dynamic, FlowSpec, NetSimConfig, RoutingMode, TrafficKind,
 };
-use openspace_core::prelude::*;
 use openspace_net::routing::{latency_weight, shortest_path};
-use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
 use openspace_phy::hardware::SatelliteClass;
 use std::collections::BTreeSet;
 
 fn main() {
-    let fed = iridium_federation(4, &[SatelliteClass::SmallSat], &default_station_sites());
+    let fed = standard_federation(4, &[SatelliteClass::SmallSat]);
 
     // 1. ISL churn over one orbital period.
     let period = fed.satellites()[0].propagator.elements().period_s();
     let step = 60.0;
-    println!("E17: topology dynamics (Iridium federation, {:.0} min period)", period / 60.0);
+    println!(
+        "E17: topology dynamics (Iridium federation, {:.0} min period)",
+        period / 60.0
+    );
     print_header(
         "ISL churn per minute",
         &format!(
@@ -65,17 +66,14 @@ fn main() {
         );
         prev = cur;
     }
-    println!("mean churn: {:.1} link events/min", total_churn as f64 / 10.0);
+    println!(
+        "mean churn: {:.1} link events/min",
+        total_churn as f64 / 10.0
+    );
 
     // Route survival: how long does the t=0 route stay valid?
-    let pos = geodetic_to_ecef(Geodetic::from_degrees(-1.3, 36.8, 1_700.0));
-    let (sat0, _) = openspace_net::isl::best_access_satellite(
-        pos,
-        &fed.sat_nodes(),
-        0.0,
-        fed.snapshot_params.min_elevation_rad,
-    )
-    .expect("coverage");
+    let pos = nairobi_user();
+    let (sat0, _) = access_satellite(&fed, pos, 0.0).expect("coverage");
     let g0 = fed.snapshot(0.0);
     let route0 = shortest_path(&g0, g0.sat_node(sat0), g0.station_node(0), latency_weight)
         .expect("route exists");

@@ -4,6 +4,17 @@
 //! Every table and figure in the paper's evaluation, plus its headline
 //! quantitative claims, has one regeneration binary; see DESIGN.md §3 for
 //! the experiment index and EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! The [`scenario`] module is the shared setup harness those binaries
+//! call into instead of repeating federation/user/route boilerplate.
+
+pub mod scenario;
+
+pub use scenario::{
+    access_satellite, best_station_route, ground_user, iridium_elements, nairobi_user,
+    random_sat_nodes, standard_federation, study_runner, timed, walker_propagators, FIG2B_SIZES,
+    FIG2C_SIZES,
+};
 
 /// Print a table header row followed by a separator sized to it.
 pub fn print_header(title: &str, columns: &str) {

@@ -174,13 +174,9 @@ mod tests {
     use openspace_phy::hardware::SatelliteClass;
 
     fn setup() -> (Federation, User, Vec3) {
-        let mut fed = iridium_federation(
-            4,
-            &[SatelliteClass::SmallSat],
-            &default_station_sites(),
-        );
+        let mut fed = iridium_federation(4, &[SatelliteClass::SmallSat], &default_station_sites());
         let home = fed.operator_ids()[0];
-        let user = fed.register_user(home);
+        let user = fed.register_user(home).expect("member operator");
         let pos = geodetic_to_ecef(Geodetic::from_degrees(-1.3, 36.8, 1_700.0)); // Nairobi
         (fed, user, pos)
     }
@@ -322,7 +318,7 @@ mod tests {
     fn no_constellation_no_access() {
         let mut fed = Federation::new();
         let op = fed.add_operator("x");
-        let user = fed.register_user(op);
+        let user = fed.register_user(op).expect("member operator");
         let graph = fed.snapshot(0.0);
         let mut ledgers = BTreeMap::new();
         let err = deliver(

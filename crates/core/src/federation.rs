@@ -19,6 +19,27 @@ use openspace_protocol::crypto::SharedSecret;
 use openspace_protocol::types::{GroundStationId, OperatorId, SatelliteId, UserId};
 use std::collections::BTreeMap;
 
+/// Why a federation operation failed.
+///
+/// Operators can depart a federation (that is the point of a voluntary
+/// consortium), so looking one up is fallible by nature — not a
+/// programming error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FederationError {
+    /// The referenced operator is not (or no longer) a member.
+    UnknownOperator(OperatorId),
+}
+
+impl std::fmt::Display for FederationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownOperator(op) => write!(f, "unknown operator {op}"),
+        }
+    }
+}
+
+impl std::error::Error for FederationError {}
+
 /// A registered ground user.
 #[derive(Debug, Clone, Copy)]
 pub struct User {
@@ -71,7 +92,10 @@ impl Federation {
         class: SatelliteClass,
         elements: OrbitalElements,
     ) -> SatelliteId {
-        assert!(self.operators.contains_key(&owner), "unknown operator {owner}");
+        assert!(
+            self.operators.contains_key(&owner),
+            "unknown operator {owner}"
+        );
         self.next_satellite += 1;
         let sat = make_satellite(self.next_satellite, owner, class, elements);
         let id = sat.id;
@@ -84,27 +108,29 @@ impl Federation {
     /// # Panics
     /// Panics if `owner` is not a member.
     pub fn add_ground_station(&mut self, owner: OperatorId, site: Geodetic) -> GroundStationId {
-        assert!(self.operators.contains_key(&owner), "unknown operator {owner}");
+        assert!(
+            self.operators.contains_key(&owner),
+            "unknown operator {owner}"
+        );
         self.next_station += 1;
         let id = GroundStationId(self.next_station);
         self.stations.push(GroundStation::new(id, owner, site));
         id
     }
 
-    /// Register a subscriber with their home operator's AAA.
-    ///
-    /// # Panics
-    /// Panics if `home` is not a member.
-    pub fn register_user(&mut self, home: OperatorId) -> User {
-        self.next_user += 1;
-        let id = UserId(self.next_user);
-        let secret = SharedSecret::derive(id.0, "openspace-subscriber");
+    /// Register a subscriber with their home operator's AAA. Fails with
+    /// [`FederationError::UnknownOperator`] when `home` is not (or no
+    /// longer) a member — user IDs are only consumed on success.
+    pub fn register_user(&mut self, home: OperatorId) -> Result<User, FederationError> {
         let op = self
             .operators
             .get_mut(&home)
-            .unwrap_or_else(|| panic!("unknown operator {home}"));
+            .ok_or(FederationError::UnknownOperator(home))?;
+        self.next_user += 1;
+        let id = UserId(self.next_user);
+        let secret = SharedSecret::derive(id.0, "openspace-subscriber");
         op.auth.register_user(id, secret);
-        User { id, home, secret }
+        Ok(User { id, home, secret })
     }
 
     /// Member count.
@@ -128,16 +154,14 @@ impl Federation {
     }
 
     /// The federation secret of `op` — what every member uses to verify
-    /// that operator's roaming certificates.
-    ///
-    /// # Panics
-    /// Panics if `op` is not a member.
-    pub fn federation_secret(&self, op: OperatorId) -> &SharedSecret {
-        &self
-            .operators
+    /// that operator's roaming certificates. Fails with
+    /// [`FederationError::UnknownOperator`] for departed operators (whose
+    /// certificates must no longer verify anywhere).
+    pub fn federation_secret(&self, op: OperatorId) -> Result<&SharedSecret, FederationError> {
+        self.operators
             .get(&op)
-            .unwrap_or_else(|| panic!("unknown operator {op}"))
-            .federation_secret
+            .map(|o| &o.federation_secret)
+            .ok_or(FederationError::UnknownOperator(op))
     }
 
     /// All satellites.
@@ -290,10 +314,7 @@ pub fn iridium_federation(
 /// A monolithic baseline: the same constellation and stations under a
 /// single owner — the vertically-integrated incumbent the paper contrasts
 /// against.
-pub fn monolithic_federation(
-    classes: &[SatelliteClass],
-    station_sites: &[Geodetic],
-) -> Federation {
+pub fn monolithic_federation(classes: &[SatelliteClass], station_sites: &[Geodetic]) -> Federation {
     iridium_federation(1, classes, station_sites)
 }
 
@@ -301,12 +322,12 @@ pub fn monolithic_federation(
 /// continents (rough locations of real teleport clusters).
 pub fn default_station_sites() -> Vec<Geodetic> {
     vec![
-        Geodetic::from_degrees(48.0, 11.0, 500.0),   // Bavaria
-        Geodetic::from_degrees(39.0, -77.0, 100.0),  // Virginia
-        Geodetic::from_degrees(-33.9, 18.4, 50.0),   // Cape Town
-        Geodetic::from_degrees(1.35, 103.8, 20.0),   // Singapore
-        Geodetic::from_degrees(-31.9, 115.9, 30.0),  // Perth
-        Geodetic::from_degrees(64.1, -21.9, 40.0),   // Reykjavik
+        Geodetic::from_degrees(48.0, 11.0, 500.0),  // Bavaria
+        Geodetic::from_degrees(39.0, -77.0, 100.0), // Virginia
+        Geodetic::from_degrees(-33.9, 18.4, 50.0),  // Cape Town
+        Geodetic::from_degrees(1.35, 103.8, 20.0),  // Singapore
+        Geodetic::from_degrees(-31.9, 115.9, 30.0), // Perth
+        Geodetic::from_degrees(64.1, -21.9, 40.0),  // Reykjavik
     ]
 }
 
@@ -371,9 +392,29 @@ mod tests {
     fn users_register_with_their_home_aaa() {
         let mut fed = small_fed();
         let op = fed.operator_ids()[1];
-        let u = fed.register_user(op);
+        let u = fed.register_user(op).unwrap();
         assert_eq!(u.home, op);
         assert_eq!(fed.operator(op).unwrap().auth.user_count(), 1);
+    }
+
+    #[test]
+    fn register_user_with_unknown_operator_is_an_error() {
+        let mut fed = small_fed();
+        let err = fed.register_user(OperatorId(99)).unwrap_err();
+        assert_eq!(err, FederationError::UnknownOperator(OperatorId(99)));
+        assert_eq!(err.to_string(), "unknown operator op-99");
+        // No user id was burned by the failed registration.
+        let u = fed.register_user(fed.operator_ids()[0]).unwrap();
+        assert_eq!(u.id, UserId(1));
+    }
+
+    #[test]
+    fn federation_secret_of_unknown_operator_is_an_error() {
+        let fed = small_fed();
+        assert_eq!(
+            fed.federation_secret(OperatorId(42)).unwrap_err(),
+            FederationError::UnknownOperator(OperatorId(42))
+        );
     }
 
     #[test]
@@ -381,8 +422,8 @@ mod tests {
         let fed = small_fed();
         let ids = fed.operator_ids();
         assert_ne!(
-            fed.federation_secret(ids[0]),
-            fed.federation_secret(ids[1])
+            fed.federation_secret(ids[0]).unwrap(),
+            fed.federation_secret(ids[1]).unwrap()
         );
     }
 

@@ -39,7 +39,7 @@
 //!     &default_station_sites(),
 //! );
 //! let home = fed.operator_ids()[0];
-//! let user = fed.register_user(home);
+//! let user = fed.register_user(home).expect("home is a member");
 //!
 //! // Associate from Nairobi: nearest satellite of *any* operator serves.
 //! let pos = geodetic_to_ecef(Geodetic::from_degrees(-1.3, 36.8, 1_700.0));
@@ -59,18 +59,20 @@ pub mod study;
 pub mod prelude {
     pub use crate::delivery::{carrier_ledger_secret, deliver, Delivery, DeliveryError};
     pub use crate::federation::{
-        default_station_sites, iridium_federation, monolithic_federation, Federation, User,
-    };
-    pub use crate::operator::{make_satellite, GroundStation, Operator, Satellite};
-    pub use crate::roaming::{
-        associate, execute_handover, Association, AssociationError, HandoverOutcome,
+        default_station_sites, iridium_federation, monolithic_federation, Federation,
+        FederationError, User,
     };
     pub use crate::netsim::{
         run_netsim, run_netsim_dynamic, FlowSpec, NetSimConfig, NetSimReport, RoutingMode,
         TrafficKind,
     };
+    pub use crate::operator::{make_satellite, GroundStation, Operator, Satellite};
+    pub use crate::roaming::{
+        associate, execute_handover, Association, AssociationError, HandoverOutcome,
+    };
     pub use crate::security::{ReputationPolicy, ReputationTracker, TrustState};
     pub use crate::study::{
-        coverage_vs_satellites, latency_vs_satellites, CoveragePoint, LatencyPoint, StudyConfig, StudyModel,
+        coverage_vs_satellites, latency_vs_satellites, study_constellation, study_snapshot_params,
+        CoveragePoint, LatencyPoint, ScenarioRunner, StudyConfig, StudyModel,
     };
 }

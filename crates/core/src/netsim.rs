@@ -262,7 +262,14 @@ fn run_netsim_inner(
                     path: Rc::clone(path),
                     hop: 0,
                 };
-                forward(q, &mut links, pkt, now, cfg.queue_capacity_bytes, &mut dropped);
+                forward(
+                    q,
+                    &mut links,
+                    pkt,
+                    now,
+                    cfg.queue_capacity_bytes,
+                    &mut dropped,
+                );
             } else {
                 unroutable += 1;
             }
@@ -295,7 +302,14 @@ fn run_netsim_inner(
                 delivered += 1;
                 latency.add(now - pkt.created_s);
             } else {
-                forward(q, &mut links, pkt, now, cfg.queue_capacity_bytes, &mut dropped);
+                forward(
+                    q,
+                    &mut links,
+                    pkt,
+                    now,
+                    cfg.queue_capacity_bytes,
+                    &mut dropped,
+                );
             }
         }
         Ev::Replan => {
@@ -306,7 +320,15 @@ fn run_netsim_inner(
                 link.util_ewma = 0.5 * link.util_ewma + 0.5 * util;
                 max_util = max_util.max(util);
                 link.bits_sent = 0.0;
-                work_graph.set_load(*u, *v, link.util_ewma.min(0.98));
+                // A link can leave the topology between replans (contact
+                // expiry on dynamic graphs); skip the stale entry
+                // instead of dying inside the event loop.
+                if work_graph
+                    .set_load(*u, *v, link.util_ewma.min(0.98))
+                    .is_err()
+                {
+                    continue;
+                }
             }
             for (i, f) in flows.iter().enumerate() {
                 if let Some(r) = route_for(&work_graph, f, true) {
@@ -367,7 +389,11 @@ fn run_netsim_inner(
     }
 
     let mean = latency.mean();
-    let p95 = if latency.is_empty() { 0.0 } else { latency.p95() };
+    let p95 = if latency.is_empty() {
+        0.0
+    } else {
+        latency.p95()
+    };
     NetSimReport {
         generated,
         delivered,
@@ -652,6 +678,11 @@ mod tests {
     #[should_panic(expected = "resnapshot interval")]
     fn zero_resnapshot_interval_panics() {
         let g = diamond(1e6);
-        run_netsim_dynamic(&|_| g.clone(), 0.0, &[flow(0, 3, 1e5)], &NetSimConfig::default());
+        run_netsim_dynamic(
+            &|_| g.clone(),
+            0.0,
+            &[flow(0, 3, 1e5)],
+            &NetSimConfig::default(),
+        );
     }
 }

@@ -8,7 +8,7 @@
 //! orbits and mints a session token; the user commits to the successor
 //! without touching the home AAA again.
 
-use crate::federation::{Federation, User};
+use crate::federation::{Federation, FederationError, User};
 use openspace_net::isl::best_access_satellite;
 use openspace_net::routing::{latency_weight, shortest_path};
 use openspace_net::topology::Graph;
@@ -152,7 +152,8 @@ pub struct HandoverOutcome {
 /// Execute a predicted handover: the serving satellite mints a session
 /// token bound to (certificate, successor, time); the user commits to the
 /// successor; the successor validates offline against the home operator's
-/// federation secret.
+/// federation secret. Fails when the user's home operator has left the
+/// federation (its secret — and so its certificates — are gone with it).
 pub fn execute_handover(
     fed: &Federation,
     user: &User,
@@ -161,9 +162,9 @@ pub fn execute_handover(
     successor: SatelliteId,
     user_ecef: Vec3,
     t_s: f64,
-) -> HandoverOutcome {
+) -> Result<HandoverOutcome, FederationError> {
     let effective_ms = (t_s * 1000.0) as u64;
-    let home_secret = fed.federation_secret(user.home);
+    let home_secret = fed.federation_secret(user.home)?;
     let token = derive_session_token(certificate, successor, effective_ms, home_secret);
     let commit = HandoverCommit {
         user: user.id,
@@ -187,11 +188,11 @@ pub fn execute_handover(
             2.0 * user_ecef.distance(sat_ecef) / SPEED_OF_LIGHT_M_PER_S
         })
         .unwrap_or(f64::INFINITY);
-    HandoverOutcome {
+    Ok(HandoverOutcome {
         successor,
         interruption_s,
         accepted,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -202,11 +203,7 @@ mod tests {
     use openspace_phy::hardware::SatelliteClass;
 
     fn fed() -> Federation {
-        iridium_federation(
-            4,
-            &[SatelliteClass::SmallSat],
-            &default_station_sites(),
-        )
+        iridium_federation(4, &[SatelliteClass::SmallSat], &default_station_sites())
     }
 
     fn equator_user() -> Vec3 {
@@ -217,11 +214,11 @@ mod tests {
     fn association_succeeds_on_iridium() {
         let mut f = fed();
         let op = f.operator_ids()[0];
-        let u = f.register_user(op);
+        let u = f.register_user(op).expect("member operator");
         let a = associate(&mut f, &u, equator_user(), 0.0, 1).expect("association");
         assert!(a.access_delay_s > 0.0 && a.access_delay_s < 0.02);
         assert!(a.association_latency_s >= 2.0 * a.access_delay_s);
-        let fed_secret = *f.federation_secret(op);
+        let fed_secret = *f.federation_secret(op).expect("member operator");
         assert!(a.certificate.verify(&fed_secret, 1));
     }
 
@@ -229,7 +226,7 @@ mod tests {
     fn roaming_flag_reflects_ownership() {
         let mut f = fed();
         let op = f.operator_ids()[0];
-        let u = f.register_user(op);
+        let u = f.register_user(op).expect("member operator");
         let a = associate(&mut f, &u, equator_user(), 0.0, 2).unwrap();
         let serving_owner = f.satellite(a.serving).unwrap().owner;
         assert_eq!(a.roaming, serving_owner != op);
@@ -239,7 +236,7 @@ mod tests {
     fn replayed_nonce_fails_second_association() {
         let mut f = fed();
         let op = f.operator_ids()[0];
-        let u = f.register_user(op);
+        let u = f.register_user(op).expect("member operator");
         associate(&mut f, &u, equator_user(), 0.0, 7).unwrap();
         let err = associate(&mut f, &u, equator_user(), 1.0, 7).unwrap_err();
         assert_eq!(err, AssociationError::AuthRejected);
@@ -262,7 +259,7 @@ mod tests {
     fn no_satellite_in_view_without_constellation() {
         let mut f = Federation::new();
         let op = f.add_operator("lonely");
-        let u = f.register_user(op);
+        let u = f.register_user(op).expect("member operator");
         let err = associate(&mut f, &u, equator_user(), 0.0, 1).unwrap_err();
         assert_eq!(err, AssociationError::NoSatelliteInView);
     }
@@ -271,7 +268,7 @@ mod tests {
     fn handover_token_accepted_and_fast() {
         let mut f = fed();
         let op = f.operator_ids()[0];
-        let u = f.register_user(op);
+        let u = f.register_user(op).expect("member operator");
         let a = associate(&mut f, &u, equator_user(), 0.0, 3).unwrap();
         // Pick any other satellite as successor.
         let successor = f
@@ -280,7 +277,16 @@ mod tests {
             .find(|s| s.id != a.serving)
             .unwrap()
             .id;
-        let h = execute_handover(&f, &u, &a.certificate, a.serving, successor, equator_user(), 10.0);
+        let h = execute_handover(
+            &f,
+            &u,
+            &a.certificate,
+            a.serving,
+            successor,
+            equator_user(),
+            10.0,
+        )
+        .expect("member operator");
         assert!(h.accepted, "valid token must be accepted");
         // Interruption is a single round trip — far below the
         // re-authentication path.
@@ -291,13 +297,14 @@ mod tests {
     fn handover_with_foreign_certificate_rejected() {
         let mut f = fed();
         let op = f.operator_ids()[0];
-        let u = f.register_user(op);
+        let u = f.register_user(op).expect("member operator");
         let a = associate(&mut f, &u, equator_user(), 0.0, 4).unwrap();
         // Forge: certificate for a different user id.
         let mut forged = a.certificate;
         forged.user = openspace_protocol::types::UserId(4_242);
         let successor = f.satellites()[5].id;
-        let h = execute_handover(&f, &u, &forged, a.serving, successor, equator_user(), 10.0);
+        let h = execute_handover(&f, &u, &forged, a.serving, successor, equator_user(), 10.0)
+            .expect("member operator");
         assert!(!h.accepted, "forged certificate must fail validation");
     }
 }

@@ -250,7 +250,12 @@ mod tests {
             let claim = if flow < 6 { 5_000 } else { 1_000 }; // 6 inflated
             carrier_ledger.record_raw(key(flow), claim);
         }
-        let recon = reconcile(&origin_ledger, &carrier_ledger, OperatorId(1), OperatorId(2));
+        let recon = reconcile(
+            &origin_ledger,
+            &carrier_ledger,
+            OperatorId(1),
+            OperatorId(2),
+        );
         assert_eq!(recon.disputes.len(), 6);
         let mut t = tracker();
         t.record_reconciliation(OperatorId(2), &recon);

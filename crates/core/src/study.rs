@@ -9,18 +9,48 @@
 //! estimate, we assume that if there is any overlap between a pair of
 //! satellite ranges, their effective coverage will be reduced to that of
 //! a single satellite."
+//!
+//! ## The scenario harness
+//!
+//! [`ScenarioRunner`] is the shared execution engine behind the sweeps
+//! (and behind the `exp_*` binaries in `openspace-bench`). It adds two
+//! things over naive loops, neither of which changes a single output
+//! bit:
+//!
+//! * **Ephemeris memoization.** `random_constellation(n, seed)` draws
+//!   satellites sequentially, so for a fixed trial seed the size-`n`
+//!   constellation is a *prefix* of every larger size point, and all
+//!   size points sample the same epoch grid. The runner routes every
+//!   propagation through an [`EphemerisCache`] keyed by exact element
+//!   bits, so each distinct (satellite, epoch) is propagated once per
+//!   sweep instead of once per size point.
+//! * **Deterministic parallelism.** Size points are independent, so the
+//!   runner fans them out over a `std::thread::scope` pool via
+//!   [`parallel_map_seeded`], which hands task `i` the RNG substream
+//!   `SimRng::substream(cfg.seed, i)` and collects results in task
+//!   order. Worker count affects wall-clock only: a parallel sweep is
+//!   bitwise-identical to a serial one.
+//!
+//! The free functions [`latency_vs_satellites`] /
+//! [`coverage_vs_satellites`] remain as serial single-call conveniences
+//! and delegate to a serial runner.
 
-use openspace_net::isl::{best_access_satellite, build_snapshot, SatNode, SnapshotParams};
+use openspace_net::isl::{
+    best_access_from_ecef, build_snapshot_from_samples, SatNode, SnapshotParams,
+};
 use openspace_net::routing::{latency_weight, shortest_path};
 use openspace_orbit::constants::{km_to_m, SPEED_OF_LIGHT_M_PER_S};
 use openspace_orbit::coverage::{
-    disjoint_packing_coverage_fraction, grid_coverage_fraction, worst_case_coverage_fraction,
-    SphereGrid,
+    disjoint_packing_coverage_fraction_from_eci, grid_coverage_fraction_from_ecef,
+    worst_case_coverage_fraction_from_eci, SphereGrid,
 };
+use openspace_orbit::ephemeris::{EphemerisCache, EphemerisSample};
 use openspace_orbit::frames::{geodetic_to_ecef, Geodetic, Vec3};
 use openspace_orbit::propagator::{PerturbationModel, Propagator};
 use openspace_orbit::visibility::max_isl_range_m;
 use openspace_orbit::walker::random_constellation;
+use openspace_sim::exec::{default_threads, parallel_map_seeded};
+use openspace_sim::rng::SimRng;
 
 /// Fidelity level of the latency sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -68,7 +98,8 @@ pub struct StudyConfig {
     pub epochs_per_trial: usize,
     /// Spacing between time samples (s).
     pub epoch_spacing_s: f64,
-    /// Base RNG seed; trial `k` uses `seed + k`.
+    /// Base RNG seed; trial `k` uses `seed + k`. Doubles as the root
+    /// seed from which the runner derives per-task substreams.
     pub seed: u64,
 }
 
@@ -93,7 +124,7 @@ impl Default for StudyConfig {
 }
 
 /// One point of the Figure 2(b) latency curve.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyPoint {
     /// Constellation size.
     pub n_satellites: usize,
@@ -108,8 +139,21 @@ pub struct LatencyPoint {
     pub mean_hops: Option<f64>,
 }
 
+/// One point of the Figure 2(c) coverage curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoveragePoint {
+    /// Constellation size.
+    pub n_satellites: usize,
+    /// The paper's worst-case (pairwise-overlap) estimate, mean over trials.
+    pub worst_case: f64,
+    /// Honest grid-union coverage, mean over trials.
+    pub grid: f64,
+    /// Disjoint-packing lower bound, mean over trials.
+    pub packing: f64,
+}
+
 /// Topology parameters per fidelity level.
-fn study_snapshot_params(cfg: &StudyConfig) -> SnapshotParams {
+pub fn study_snapshot_params(cfg: &StudyConfig) -> SnapshotParams {
     match cfg.model {
         // The paper's simplified graph: purely distance-based ISLs with
         // no range cap and no occlusion check — a complete geometric
@@ -138,7 +182,13 @@ fn study_snapshot_params(cfg: &StudyConfig) -> SnapshotParams {
     }
 }
 
-fn constellation(cfg: &StudyConfig, n: usize, trial: u64) -> Vec<SatNode> {
+/// The trial's random constellation as topology nodes.
+///
+/// Note the seed is `cfg.seed + trial`, *independent of the size point*:
+/// together with `random_constellation`'s sequential draws this makes
+/// the size-`n` constellation a prefix of the size-`m > n` one, which is
+/// what lets the ephemeris cache pay off across a sweep.
+pub fn study_constellation(cfg: &StudyConfig, n: usize, trial: u64) -> Vec<SatNode> {
     random_constellation(n, cfg.altitude_m, cfg.inclination_deg, cfg.seed + trial)
         .expect("valid constellation parameters")
         .into_iter()
@@ -150,126 +200,192 @@ fn constellation(cfg: &StudyConfig, n: usize, trial: u64) -> Vec<SatNode> {
         .collect()
 }
 
-/// Figure 2(b): propagation latency vs constellation size.
-///
-/// For each trial: place `n` satellites on random orbits, find the
-/// satellite picking up the user and the satellite over the ground
-/// station, compute the shortest ISL path between them, and charge the
-/// geometric path length at the speed of light (plus both access legs).
-pub fn latency_vs_satellites(cfg: &StudyConfig, sizes: &[usize]) -> Vec<LatencyPoint> {
-    let user_ecef = geodetic_to_ecef(cfg.user);
-    let station_ecef = geodetic_to_ecef(cfg.station);
-    let params = study_snapshot_params(cfg);
-
-    sizes
-        .iter()
-        .map(|&n| {
-            let mut samples = 0u64;
-            let mut reachable = 0u64;
-            let mut latency_sum = 0.0;
-            let mut hops_sum = 0usize;
-            for trial in 0..cfg.trials {
-                let sats = constellation(cfg, n, trial);
-                for epoch in 0..cfg.epochs_per_trial.max(1) {
-                    let t = epoch as f64 * cfg.epoch_spacing_s;
-                    samples += 1;
-                    if let Some((lat_s, hops)) =
-                        one_sample_latency(&sats, user_ecef, station_ecef, &params, cfg, t)
-                    {
-                        reachable += 1;
-                        latency_sum += lat_s;
-                        hops_sum += hops;
-                    }
-                }
-            }
-            LatencyPoint {
-                n_satellites: n,
-                reachability: reachable as f64 / samples as f64,
-                mean_latency_ms: (reachable > 0)
-                    .then(|| latency_sum / reachable as f64 * 1_000.0),
-                mean_hops: (reachable > 0).then(|| hops_sum as f64 / reachable as f64),
-            }
-        })
-        .collect()
-}
-
 /// Nearest satellite to an ECEF point by straight-line distance, with no
 /// visibility requirement — the paper's simplified pickup.
-fn nearest_any_range(ground_ecef: Vec3, sats: &[SatNode], t: f64) -> Option<(usize, f64)> {
-    sats.iter()
+fn nearest_any_range(ground_ecef: Vec3, sat_ecef: &[Vec3]) -> Option<(usize, f64)> {
+    sat_ecef
+        .iter()
         .enumerate()
-        .map(|(i, s)| {
-            let sat_ecef =
-                openspace_orbit::frames::eci_to_ecef(s.propagator.position_eci(t), t);
-            (i, ground_ecef.distance(sat_ecef))
-        })
+        .map(|(i, &se)| (i, ground_ecef.distance(se)))
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
 }
 
-fn one_sample_latency(
-    sats: &[SatNode],
-    user_ecef: Vec3,
-    station_ecef: Vec3,
-    params: &SnapshotParams,
-    cfg: &StudyConfig,
-    t: f64,
-) -> Option<(f64, usize)> {
-    let pick = |ground: Vec3| match cfg.model {
-        StudyModel::PaperSimplified => nearest_any_range(ground, sats, t),
-        StudyModel::Physical => best_access_satellite(ground, sats, t, cfg.min_elevation_rad),
-    };
-    let (user_sat, user_slant) = pick(user_ecef)?;
-    let (gs_sat, gs_slant) = pick(station_ecef)?;
-    let graph = build_snapshot(t, sats, &[], params);
-    let path = shortest_path(&graph, user_sat, gs_sat, latency_weight)?;
-    let latency =
-        (user_slant + gs_slant) / SPEED_OF_LIGHT_M_PER_S + path.total_cost;
-    Some((latency, path.hops()))
+/// The shared scenario harness: memoized ephemeris + deterministic
+/// parallel sweep execution (see the module docs).
+#[derive(Debug)]
+pub struct ScenarioRunner {
+    cfg: StudyConfig,
+    threads: usize,
+    cache: EphemerisCache,
 }
 
-/// One point of the Figure 2(c) coverage curve.
-#[derive(Debug, Clone, Copy)]
-pub struct CoveragePoint {
-    /// Constellation size.
-    pub n_satellites: usize,
-    /// The paper's worst-case (pairwise-overlap) estimate, mean over trials.
-    pub worst_case: f64,
-    /// Honest grid-union coverage, mean over trials.
-    pub grid: f64,
-    /// Disjoint-packing lower bound, mean over trials.
-    pub packing: f64,
-}
+impl ScenarioRunner {
+    /// A single-threaded runner — the reference semantics.
+    pub fn serial(cfg: StudyConfig) -> Self {
+        Self {
+            cfg,
+            threads: 1,
+            cache: EphemerisCache::new(),
+        }
+    }
 
-/// Figure 2(c): Earth coverage vs constellation size, under the paper's
-/// worst-case overlap model (plus the honest and lower-bound estimators
-/// for context). Coverage is evaluated at the horizon (0° mask), as in
-/// the paper's geometric "satellite range" notion.
-pub fn coverage_vs_satellites(cfg: &StudyConfig, sizes: &[usize]) -> Vec<CoveragePoint> {
-    let grid = SphereGrid::new(2_000);
-    sizes
-        .iter()
-        .map(|&n| {
-            let mut wc = 0.0;
-            let mut gr = 0.0;
-            let mut pk = 0.0;
-            for trial in 0..cfg.trials {
-                let sats: Vec<Propagator> = constellation(cfg, n, trial)
-                    .into_iter()
-                    .map(|s| s.propagator)
-                    .collect();
-                wc += worst_case_coverage_fraction(&sats, 0.0, 0.0);
-                gr += grid_coverage_fraction(&grid, &sats, 0.0, 0.0);
-                pk += disjoint_packing_coverage_fraction(&sats, 0.0, 0.0);
-            }
-            let t = cfg.trials as f64;
-            CoveragePoint {
-                n_satellites: n,
-                worst_case: wc / t,
-                grid: gr / t,
-                packing: pk / t,
-            }
+    /// A runner using all available cores (honours `OPENSPACE_THREADS`).
+    pub fn parallel(cfg: StudyConfig) -> Self {
+        Self::serial(cfg).with_threads(default_threads())
+    }
+
+    /// Override the worker count (clamped to ≥ 1). Worker count never
+    /// changes results, only wall-clock time.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The sweep configuration.
+    pub fn config(&self) -> &StudyConfig {
+        &self.cfg
+    }
+
+    /// Worker count used for sweeps.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The ephemeris memo shared by all of this runner's sweeps (hit and
+    /// miss counters included — useful for reporting cache efficacy).
+    pub fn cache(&self) -> &EphemerisCache {
+        &self.cache
+    }
+
+    /// The RNG substream the runner hands to sweep task `index` — also
+    /// the stream `exp_*` binaries should use for any extra per-point
+    /// randomness so their runs stay reproducible.
+    pub fn task_rng(&self, index: u64) -> SimRng {
+        SimRng::substream(self.cfg.seed, index)
+    }
+
+    /// Figure 2(b): propagation latency vs constellation size.
+    ///
+    /// For each trial: place `n` satellites on random orbits, find the
+    /// satellite picking up the user and the satellite over the ground
+    /// station, compute the shortest ISL path between them, and charge
+    /// the geometric path length at the speed of light (plus both access
+    /// legs). Size points run on the worker pool; output order and
+    /// content match a serial run exactly.
+    pub fn latency_vs_satellites(&self, sizes: &[usize]) -> Vec<LatencyPoint> {
+        let user_ecef = geodetic_to_ecef(self.cfg.user);
+        let station_ecef = geodetic_to_ecef(self.cfg.station);
+        let params = study_snapshot_params(&self.cfg);
+        parallel_map_seeded(sizes, self.threads, self.cfg.seed, |&n, _rng| {
+            self.latency_point(n, user_ecef, station_ecef, &params)
         })
-        .collect()
+    }
+
+    fn latency_point(
+        &self,
+        n: usize,
+        user_ecef: Vec3,
+        station_ecef: Vec3,
+        params: &SnapshotParams,
+    ) -> LatencyPoint {
+        let cfg = &self.cfg;
+        let mut samples_total = 0u64;
+        let mut reachable = 0u64;
+        let mut latency_sum = 0.0;
+        let mut hops_sum = 0usize;
+        for trial in 0..cfg.trials {
+            let sats = study_constellation(cfg, n, trial);
+            let props: Vec<Propagator> = sats.iter().map(|s| s.propagator).collect();
+            for epoch in 0..cfg.epochs_per_trial.max(1) {
+                let t = epoch as f64 * cfg.epoch_spacing_s;
+                let eph = self.cache.samples(&props, t);
+                samples_total += 1;
+                if let Some((lat_s, hops)) =
+                    self.one_sample_latency(&sats, &eph, user_ecef, station_ecef, params)
+                {
+                    reachable += 1;
+                    latency_sum += lat_s;
+                    hops_sum += hops;
+                }
+            }
+        }
+        LatencyPoint {
+            n_satellites: n,
+            reachability: reachable as f64 / samples_total as f64,
+            mean_latency_ms: (reachable > 0).then(|| latency_sum / reachable as f64 * 1_000.0),
+            mean_hops: (reachable > 0).then(|| hops_sum as f64 / reachable as f64),
+        }
+    }
+
+    fn one_sample_latency(
+        &self,
+        sats: &[SatNode],
+        eph: &[EphemerisSample],
+        user_ecef: Vec3,
+        station_ecef: Vec3,
+        params: &SnapshotParams,
+    ) -> Option<(f64, usize)> {
+        let ecef: Vec<Vec3> = eph.iter().map(|s| s.ecef).collect();
+        let pick = |ground: Vec3| match self.cfg.model {
+            StudyModel::PaperSimplified => nearest_any_range(ground, &ecef),
+            StudyModel::Physical => {
+                best_access_from_ecef(ground, &ecef, self.cfg.min_elevation_rad)
+            }
+        };
+        let (user_sat, user_slant) = pick(user_ecef)?;
+        let (gs_sat, gs_slant) = pick(station_ecef)?;
+        let graph = build_snapshot_from_samples(sats, eph, &[], params);
+        let path = shortest_path(&graph, user_sat, gs_sat, latency_weight)?;
+        let latency = (user_slant + gs_slant) / SPEED_OF_LIGHT_M_PER_S + path.total_cost;
+        Some((latency, path.hops()))
+    }
+
+    /// Figure 2(c): Earth coverage vs constellation size, under the
+    /// paper's worst-case overlap model (plus the honest and lower-bound
+    /// estimators for context). Coverage is evaluated at the horizon
+    /// (0° mask), as in the paper's geometric "satellite range" notion.
+    pub fn coverage_vs_satellites(&self, sizes: &[usize]) -> Vec<CoveragePoint> {
+        let grid = SphereGrid::new(2_000);
+        parallel_map_seeded(sizes, self.threads, self.cfg.seed, |&n, _rng| {
+            self.coverage_point(&grid, n)
+        })
+    }
+
+    fn coverage_point(&self, grid: &SphereGrid, n: usize) -> CoveragePoint {
+        let cfg = &self.cfg;
+        let mut wc = 0.0;
+        let mut gr = 0.0;
+        let mut pk = 0.0;
+        for trial in 0..cfg.trials {
+            let props: Vec<Propagator> = study_constellation(cfg, n, trial)
+                .into_iter()
+                .map(|s| s.propagator)
+                .collect();
+            let eph = self.cache.samples(&props, 0.0);
+            let eci: Vec<Vec3> = eph.iter().map(|s| s.eci).collect();
+            let ecef: Vec<Vec3> = eph.iter().map(|s| s.ecef).collect();
+            wc += worst_case_coverage_fraction_from_eci(&eci, 0.0);
+            gr += grid_coverage_fraction_from_ecef(grid, &ecef, 0.0);
+            pk += disjoint_packing_coverage_fraction_from_eci(&eci, 0.0);
+        }
+        let t = cfg.trials as f64;
+        CoveragePoint {
+            n_satellites: n,
+            worst_case: wc / t,
+            grid: gr / t,
+            packing: pk / t,
+        }
+    }
+}
+
+/// Serial convenience wrapper over [`ScenarioRunner::latency_vs_satellites`].
+pub fn latency_vs_satellites(cfg: &StudyConfig, sizes: &[usize]) -> Vec<LatencyPoint> {
+    ScenarioRunner::serial(*cfg).latency_vs_satellites(sizes)
+}
+
+/// Serial convenience wrapper over [`ScenarioRunner::coverage_vs_satellites`].
+pub fn coverage_vs_satellites(cfg: &StudyConfig, sizes: &[usize]) -> Vec<CoveragePoint> {
+    ScenarioRunner::serial(*cfg).coverage_vs_satellites(sizes)
 }
 
 #[cfg(test)]
@@ -355,5 +471,84 @@ mod tests {
         let b = latency_vs_satellites(&cfg, &[20]);
         assert_eq!(a[0].reachability, b[0].reachability);
         assert_eq!(a[0].mean_latency_ms, b[0].mean_latency_ms);
+    }
+
+    /// Bitwise field-level equality for the determinism assertions.
+    fn assert_points_bitwise_eq(a: &[LatencyPoint], b: &[LatencyPoint]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.n_satellites, y.n_satellites);
+            assert_eq!(x.reachability.to_bits(), y.reachability.to_bits());
+            assert_eq!(
+                x.mean_latency_ms.map(f64::to_bits),
+                y.mean_latency_ms.map(f64::to_bits)
+            );
+            assert_eq!(x.mean_hops.map(f64::to_bits), y.mean_hops.map(f64::to_bits));
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_bitwise_identical_to_serial() {
+        let cfg = quick_cfg();
+        let sizes = [4, 8, 16, 25, 40];
+        let serial = ScenarioRunner::serial(cfg).latency_vs_satellites(&sizes);
+        for threads in [2, 3, 8] {
+            let par = ScenarioRunner::serial(cfg)
+                .with_threads(threads)
+                .latency_vs_satellites(&sizes);
+            assert_points_bitwise_eq(&serial, &par);
+        }
+        // And the runner output matches the legacy free function.
+        assert_points_bitwise_eq(&serial, &latency_vs_satellites(&cfg, &sizes));
+    }
+
+    #[test]
+    fn parallel_coverage_matches_serial() {
+        let cfg = quick_cfg();
+        let sizes = [5, 15, 30];
+        let serial = ScenarioRunner::serial(cfg).coverage_vs_satellites(&sizes);
+        let par = ScenarioRunner::serial(cfg)
+            .with_threads(4)
+            .coverage_vs_satellites(&sizes);
+        for (x, y) in serial.iter().zip(&par) {
+            assert_eq!(x.n_satellites, y.n_satellites);
+            assert_eq!(x.worst_case.to_bits(), y.worst_case.to_bits());
+            assert_eq!(x.grid.to_bits(), y.grid.to_bits());
+            assert_eq!(x.packing.to_bits(), y.packing.to_bits());
+        }
+    }
+
+    #[test]
+    fn sweep_reuses_ephemeris_across_size_points() {
+        // With the per-trial seed independent of size, the size-8
+        // constellation is a prefix of the size-16/24 ones — the second
+        // and third size points must hit the cache for every satellite
+        // the smaller points already propagated.
+        let runner = ScenarioRunner::serial(quick_cfg());
+        runner.latency_vs_satellites(&[8]);
+        let misses_after_first = runner.cache().misses();
+        assert_eq!(runner.cache().hits(), 0, "first sweep point cannot hit");
+        runner.latency_vs_satellites(&[8, 16]);
+        // The size-8 point re-runs entirely from cache; size-16 reuses
+        // its first 8 satellites per trial and epoch.
+        let expected_hits = 2 * misses_after_first;
+        assert_eq!(runner.cache().hits(), expected_hits);
+        // Distinct samples overall: 16 sats × trials × epochs.
+        let cfg = quick_cfg();
+        assert_eq!(
+            runner.cache().misses(),
+            16 * cfg.trials * cfg.epochs_per_trial as u64
+        );
+    }
+
+    #[test]
+    fn task_rng_is_reproducible_per_index() {
+        let runner = ScenarioRunner::serial(quick_cfg());
+        let mut a = runner.task_rng(3);
+        let mut b = runner.task_rng(3);
+        let mut c = runner.task_rng(4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        // Different tasks get decorrelated streams.
+        assert_ne!(a.next_u64(), c.next_u64());
     }
 }

@@ -52,10 +52,7 @@ impl Share {
 /// # Panics
 /// Panics if `members.len() > 20` (2^20 coalition evaluations is the
 /// sanity ceiling) or if `members` is empty.
-pub fn shapley_shares(
-    members: &[OperatorId],
-    mut value: impl FnMut(u32) -> f64,
-) -> Vec<Share> {
+pub fn shapley_shares(members: &[OperatorId], mut value: impl FnMut(u32) -> f64) -> Vec<Share> {
     let n = members.len();
     assert!(n >= 1, "need at least one member");
     assert!(n <= 20, "exact Shapley capped at 20 members, got {n}");

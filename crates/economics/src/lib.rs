@@ -40,8 +40,8 @@ pub mod settlement;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::capex::{
-        entry_barrier, fleet_cost_usd, satellite_cost, EntryBarrier, LaunchPricing,
-        SatelliteCost, FCC_SMALLSAT_FEE_USD,
+        entry_barrier, fleet_cost_usd, satellite_cost, EntryBarrier, LaunchPricing, SatelliteCost,
+        FCC_SMALLSAT_FEE_USD,
     };
     pub use crate::incentives::{collaboration_surplus, shapley_shares, Share};
     pub use crate::ledger::{reconcile, BillingKey, Dispute, Reconciliation, TrafficLedger};

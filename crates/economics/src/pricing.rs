@@ -67,10 +67,7 @@ impl HopEconomics {
     /// prices higher, which is what §2.2's "higher tariffs on visitor
     /// traffic" under load amounts to.
     pub fn congested_price_usd_per_gib(&self, load_fraction: f64) -> f64 {
-        assert!(
-            (0.0..1.0).contains(&load_fraction),
-            "load must be in [0,1)"
-        );
+        assert!((0.0..1.0).contains(&load_fraction), "load must be in [0,1)");
         self.base_price_usd_per_gib() / (1.0 - load_fraction)
     }
 }
@@ -126,7 +123,10 @@ mod tests {
 
     #[test]
     fn base_price_is_positive_and_finite() {
-        for h in [HopEconomics::rf_isl(RF_BPS), HopEconomics::laser_isl(LASER_BPS)] {
+        for h in [
+            HopEconomics::rf_isl(RF_BPS),
+            HopEconomics::laser_isl(LASER_BPS),
+        ] {
             let p = h.base_price_usd_per_gib();
             assert!(p.is_finite() && p > 0.0, "price {p}");
         }

@@ -57,10 +57,7 @@ impl SettlementMatrix {
     /// ledger. Uses the carrier's own ledger as the billing source (the
     /// cross-verification step in [`crate::ledger::reconcile`] is what
     /// makes that trustworthy).
-    pub fn from_ledgers(
-        ledgers: &BTreeMap<OperatorId, TrafficLedger>,
-        prices: &PriceBook,
-    ) -> Self {
+    pub fn from_ledgers(ledgers: &BTreeMap<OperatorId, TrafficLedger>, prices: &PriceBook) -> Self {
         let mut m = Self::default();
         for (&carrier, ledger) in ledgers {
             for (key, &bytes) in ledger.iter() {
@@ -102,11 +99,7 @@ impl SettlementMatrix {
 
     /// All operators appearing in the matrix.
     pub fn operators(&self) -> Vec<OperatorId> {
-        let mut ops: Vec<OperatorId> = self
-            .invoices
-            .keys()
-            .flat_map(|&(a, b)| [a, b])
-            .collect();
+        let mut ops: Vec<OperatorId> = self.invoices.keys().flat_map(|&(a, b)| [a, b]).collect();
         ops.sort_unstable();
         ops.dedup();
         ops

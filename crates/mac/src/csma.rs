@@ -12,8 +12,7 @@
 //! transmission, collision otherwise.
 
 use crate::params::MacParams;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use openspace_sim::rng::SimRng;
 
 /// Aggregate results of a MAC simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,17 +38,22 @@ pub struct MacReport {
 ///
 /// # Panics
 /// Panics if `n_nodes == 0`, if `duration_s <= 0`, or on invalid params.
-pub fn simulate_csma_ca(params: &MacParams, n_nodes: usize, duration_s: f64, seed: u64) -> MacReport {
+pub fn simulate_csma_ca(
+    params: &MacParams,
+    n_nodes: usize,
+    duration_s: f64,
+    seed: u64,
+) -> MacReport {
     params.validate();
     assert!(n_nodes > 0, "need at least one node");
     assert!(duration_s > 0.0, "duration must be positive");
 
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SimRng::new(seed);
     // Per-node state: current contention window and backoff counter, retry
     // count, and the time the head-of-line frame became pending.
     let mut cw: Vec<u32> = vec![params.cw_min; n_nodes];
     let mut backoff: Vec<u32> = (0..n_nodes)
-        .map(|_| rng.random_range(0..=params.cw_min))
+        .map(|_| rng.below(params.cw_min as u64 + 1) as u32)
         .collect();
     let mut retries: Vec<u32> = vec![0; n_nodes];
     let mut hol_since: Vec<f64> = vec![0.0; n_nodes];
@@ -93,7 +97,7 @@ pub fn simulate_csma_ca(params: &MacParams, n_nodes: usize, duration_s: f64, see
                 cw[i] = params.cw_min;
                 retries[i] = 0;
                 hol_since[i] = t;
-                backoff[i] = rng.random_range(0..=cw[i]);
+                backoff[i] = rng.below(cw[i] as u64 + 1) as u32;
             }
             _ => {
                 attempts += tx.len() as u64;
@@ -109,7 +113,7 @@ pub fn simulate_csma_ca(params: &MacParams, n_nodes: usize, duration_s: f64, see
                     } else {
                         cw[i] = ((cw[i] + 1) * 2 - 1).min(params.cw_max);
                     }
-                    backoff[i] = rng.random_range(0..=cw[i]);
+                    backoff[i] = rng.below(cw[i] as u64 + 1) as u32;
                 }
             }
         }

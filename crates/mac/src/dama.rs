@@ -14,8 +14,7 @@
 //! models so the E5 harness can compare all three.
 
 use crate::csma::MacReport;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use openspace_sim::rng::SimRng;
 
 /// DAMA frame structure and channel parameters.
 #[derive(Debug, Clone, Copy)]
@@ -91,19 +90,18 @@ pub fn simulate_dama(
     assert!(duration_s > 0.0, "duration must be positive");
     assert!(per_node_load_bps >= 0.0);
 
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SimRng::new(seed);
     let frame_s = params.frame_duration_s();
     let pkt_rate = per_node_load_bps / params.slot_payload_bits as f64; // pkts/s/node
 
     // Per-node FIFO of arrival timestamps; granted[] = packets whose
     // reservation succeeded, waiting for data slots.
-    let mut backlog: Vec<std::collections::VecDeque<f64>> =
-        vec![Default::default(); n_nodes];
+    let mut backlog: Vec<std::collections::VecDeque<f64>> = vec![Default::default(); n_nodes];
     let mut reserved: Vec<usize> = vec![0; n_nodes]; // packets with grants
     let mut next_arrival: Vec<f64> = (0..n_nodes)
         .map(|_| {
             if pkt_rate > 0.0 {
-                -(1.0 - rng.random::<f64>()).ln() / pkt_rate
+                rng.exponential(pkt_rate)
             } else {
                 f64::INFINITY
             }
@@ -123,14 +121,14 @@ pub fn simulate_dama(
         for (i, na) in next_arrival.iter_mut().enumerate() {
             while *na < frame_end {
                 backlog[i].push_back(*na);
-                *na += -(1.0 - rng.random::<f64>()).ln() / pkt_rate;
+                *na += rng.exponential(pkt_rate);
             }
         }
         // Reservation phase: nodes with unreserved backlog contend once.
         let mut chosen: Vec<(usize, usize)> = Vec::new(); // (minislot, node)
         for (i, q) in backlog.iter().enumerate() {
             if q.len() > reserved[i] {
-                chosen.push((rng.random_range(0..params.minislots), i));
+                chosen.push((rng.index(params.minislots), i));
                 attempts += 1;
             }
         }

@@ -183,7 +183,11 @@ mod tests {
         );
         for w in &windows {
             assert!(w.duration_s() > 60.0, "pass too short: {}", w.duration_s());
-            assert!(w.duration_s() < 1_000.0, "pass too long: {}", w.duration_s());
+            assert!(
+                w.duration_s() < 1_000.0,
+                "pass too long: {}",
+                w.duration_s()
+            );
         }
     }
 

@@ -67,15 +67,12 @@ pub fn service_schedule(
 
     while t < t_end_s {
         // Visible windows at t, pick the one lasting longest.
-        let best = windows
-            .iter()
-            .filter(|w| w.contains(t))
-            .max_by(|a, b| {
-                a.end_s
-                    .partial_cmp(&b.end_s)
-                    .expect("finite")
-                    .then(b.sat_index.cmp(&a.sat_index))
-            });
+        let best = windows.iter().filter(|w| w.contains(t)).max_by(|a, b| {
+            a.end_s
+                .partial_cmp(&b.end_s)
+                .expect("finite")
+                .then(b.sat_index.cmp(&a.sat_index))
+        });
         match best {
             Some(w) => {
                 let end = w.end_s.min(t_end_s);
@@ -203,7 +200,10 @@ mod tests {
         assert!(s.handovers >= 7, "handovers {}", s.handovers);
         assert_eq!(s.outage_s, 0.0);
         let mtbh = s.mean_time_between_handovers_s().unwrap();
-        assert!((mtbh - 30.0).abs() < 5.0, "mean time between handovers {mtbh}");
+        assert!(
+            (mtbh - 30.0).abs() < 5.0,
+            "mean time between handovers {mtbh}"
+        );
     }
 
     #[test]

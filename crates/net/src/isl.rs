@@ -7,6 +7,7 @@
 
 use crate::topology::{Graph, LinkTech};
 use openspace_orbit::constants::SPEED_OF_LIGHT_M_PER_S;
+use openspace_orbit::ephemeris::EphemerisSample;
 use openspace_orbit::frames::{ecef_to_eci, eci_to_ecef, Vec3};
 use openspace_orbit::propagator::Propagator;
 use openspace_orbit::visibility::{is_visible, line_of_sight_with_clearance};
@@ -118,8 +119,35 @@ pub fn build_snapshot(
     stations: &[GroundNode],
     params: &SnapshotParams,
 ) -> Graph {
+    let samples: Vec<EphemerisSample> = sats
+        .iter()
+        .map(|s| {
+            let eci = s.propagator.position_eci(t_s);
+            EphemerisSample {
+                eci,
+                ecef: eci_to_ecef(eci, t_s),
+            }
+        })
+        .collect();
+    build_snapshot_from_samples(sats, &samples, stations, params)
+}
+
+/// [`build_snapshot`] with the per-satellite ephemeris already in hand —
+/// the entry point for callers holding an
+/// [`openspace_orbit::ephemeris::EphemerisCache`], which skips the
+/// propagation and frame rotations entirely on cache hits.
+///
+/// `samples[i]` must be satellite `i`'s state at the snapshot instant;
+/// the result is identical to [`build_snapshot`] at that instant.
+pub fn build_snapshot_from_samples(
+    sats: &[SatNode],
+    samples: &[EphemerisSample],
+    stations: &[GroundNode],
+    params: &SnapshotParams,
+) -> Graph {
+    assert_eq!(sats.len(), samples.len(), "one sample per satellite");
     let mut g = Graph::new(sats.len(), stations.len());
-    let pos_eci: Vec<Vec3> = sats.iter().map(|s| s.propagator.position_eci(t_s)).collect();
+    let pos_eci: Vec<Vec3> = samples.iter().map(|s| s.eci).collect();
 
     // Candidate neighbour lists per satellite.
     let mut candidates: Vec<Vec<(usize, f64)>> = vec![Vec::new(); sats.len()];
@@ -128,11 +156,7 @@ pub fn build_snapshot(
             let d = pos_eci[i].distance(pos_eci[j]);
             if d <= params.max_isl_range_m
                 && (!params.require_los
-                    || line_of_sight_with_clearance(
-                        pos_eci[i],
-                        pos_eci[j],
-                        params.los_clearance_m,
-                    ))
+                    || line_of_sight_with_clearance(pos_eci[i], pos_eci[j], params.los_clearance_m))
             {
                 candidates[i].push((j, d));
                 candidates[j].push((i, d));
@@ -168,7 +192,7 @@ pub fn build_snapshot(
     for (gi, st) in stations.iter().enumerate() {
         let gs_node = g.station_node(gi);
         for (si, _s) in sats.iter().enumerate() {
-            let sat_ecef = eci_to_ecef(pos_eci[si], t_s);
+            let sat_ecef = samples[si].ecef;
             if is_visible(st.position_ecef, sat_ecef, params.min_elevation_rad) {
                 let d = st.position_ecef.distance(sat_ecef);
                 g.add_bidirectional(
@@ -194,11 +218,24 @@ pub fn best_access_satellite(
     t_s: f64,
     min_elevation_rad: f64,
 ) -> Option<(usize, f64)> {
+    let ecefs: Vec<Vec3> = sats
+        .iter()
+        .map(|s| eci_to_ecef(s.propagator.position_eci(t_s), t_s))
+        .collect();
+    best_access_from_ecef(ground_ecef, &ecefs, min_elevation_rad)
+}
+
+/// [`best_access_satellite`] over already-computed satellite ECEF
+/// positions (e.g. from an ephemeris cache).
+pub fn best_access_from_ecef(
+    ground_ecef: Vec3,
+    sat_ecef: &[Vec3],
+    min_elevation_rad: f64,
+) -> Option<(usize, f64)> {
     let mut best: Option<(usize, f64)> = None;
-    for (i, s) in sats.iter().enumerate() {
-        let sat_ecef = eci_to_ecef(s.propagator.position_eci(t_s), t_s);
-        if is_visible(ground_ecef, sat_ecef, min_elevation_rad) {
-            let d = ground_ecef.distance(sat_ecef);
+    for (i, &se) in sat_ecef.iter().enumerate() {
+        if is_visible(ground_ecef, se, min_elevation_rad) {
+            let d = ground_ecef.distance(se);
             if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((i, d));
             }
@@ -216,7 +253,7 @@ pub fn ground_eci(ground_ecef: Vec3, t_s: f64) -> Vec3 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
     use openspace_orbit::propagator::PerturbationModel;
     use openspace_orbit::walker::{iridium_params, walker_star};
@@ -256,7 +293,11 @@ mod tests {
         let p = SnapshotParams::default();
         let g = build_snapshot(0.0, &sats, &[], &p);
         for i in 0..66 {
-            assert!(g.degree(i) <= p.max_isl_per_sat, "sat {i} degree {}", g.degree(i));
+            assert!(
+                g.degree(i) <= p.max_isl_per_sat,
+                "sat {i} degree {}",
+                g.degree(i)
+            );
         }
     }
 
@@ -333,7 +374,9 @@ mod tests {
         };
         let g_strict = build_snapshot(0.0, &sats, &st, &strict);
         let g_loose = build_snapshot(0.0, &sats, &st, &SnapshotParams::default());
-        assert!(g_strict.degree(g_strict.station_node(0)) <= g_loose.degree(g_loose.station_node(0)));
+        assert!(
+            g_strict.degree(g_strict.station_node(0)) <= g_loose.degree(g_loose.station_node(0))
+        );
     }
 
     #[test]
@@ -359,12 +402,6 @@ mod tests {
     fn empty_constellation_gives_empty_graph() {
         let g = build_snapshot(0.0, &[], &[station(0.0, 0.0)], &SnapshotParams::default());
         assert_eq!(g.edge_count(), 0);
-        assert!(best_access_satellite(
-            station(0.0, 0.0).position_ecef,
-            &[],
-            0.0,
-            0.0
-        )
-        .is_none());
+        assert!(best_access_satellite(station(0.0, 0.0).position_ecef, &[], 0.0, 0.0).is_none());
     }
 }

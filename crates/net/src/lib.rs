@@ -57,8 +57,8 @@ pub mod prelude {
     pub use crate::dtn::{earliest_arrival, sample_contacts, Contact, DtnRoute};
     pub use crate::handover::{service_schedule, HandoverCost, ServiceInterval, ServiceSchedule};
     pub use crate::isl::{
-        best_access_satellite, build_snapshot, isl_capacity_bps, GroundNode, SatNode,
-        SnapshotParams,
+        best_access_from_ecef, best_access_satellite, build_snapshot, build_snapshot_from_samples,
+        isl_capacity_bps, GroundNode, SatNode, SnapshotParams,
     };
     pub use crate::policy::{
         audit_path, policy_route, DownlinkLicense, Jurisdiction, PolicyRoute, RoutePolicy,
@@ -68,5 +68,5 @@ pub mod prelude {
         congestion_weight, hop_weight, k_shortest_paths, latency_weight, qos_route, residual_bps,
         shortest_path, widest_path, Path, QosRequirement,
     };
-    pub use crate::topology::{Edge, Graph, LinkTech, NodeKind};
+    pub use crate::topology::{Edge, Graph, LinkTech, NoSuchEdge, NodeKind};
 }

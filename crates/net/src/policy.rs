@@ -133,7 +133,10 @@ pub fn policy_route(
             weight(e)
         });
         if let Some(p) = constrained {
-            if best.as_ref().is_none_or(|(b, _)| p.total_cost < b.total_cost) {
+            if best
+                .as_ref()
+                .is_none_or(|(b, _)| p.total_cost < b.total_cost)
+            {
                 best = Some((p, gi));
             }
         }
@@ -187,18 +190,34 @@ mod tests {
         g.add_bidirectional(1, 3, 0.001, 1e8, 1, 9, LinkTech::Rf); // gs0
         g.add_bidirectional(2, 4, 0.002, 1e8, 2, 9, LinkTech::Rf); // gs1
         let attrs = vec![
-            StationAttrs { jurisdiction: Jurisdiction(b'A') },
-            StationAttrs { jurisdiction: Jurisdiction(b'B') },
+            StationAttrs {
+                jurisdiction: Jurisdiction(b'A'),
+            },
+            StationAttrs {
+                jurisdiction: Jurisdiction(b'B'),
+            },
         ];
         (g, attrs)
     }
 
     fn all_licenses() -> Vec<DownlinkLicense> {
         vec![
-            DownlinkLicense { operator: 1, jurisdiction: Jurisdiction(b'A') },
-            DownlinkLicense { operator: 1, jurisdiction: Jurisdiction(b'B') },
-            DownlinkLicense { operator: 2, jurisdiction: Jurisdiction(b'A') },
-            DownlinkLicense { operator: 2, jurisdiction: Jurisdiction(b'B') },
+            DownlinkLicense {
+                operator: 1,
+                jurisdiction: Jurisdiction(b'A'),
+            },
+            DownlinkLicense {
+                operator: 1,
+                jurisdiction: Jurisdiction(b'B'),
+            },
+            DownlinkLicense {
+                operator: 2,
+                jurisdiction: Jurisdiction(b'A'),
+            },
+            DownlinkLicense {
+                operator: 2,
+                jurisdiction: Jurisdiction(b'B'),
+            },
         ]
     }
 
@@ -305,7 +324,9 @@ mod tests {
         let mut g = Graph::new(2, 1);
         // Satellite 1 exists but has no links at all.
         g.add_bidirectional(0, 2, 0.001, 1e8, 1, 9, LinkTech::Rf);
-        let attrs = vec![StationAttrs { jurisdiction: Jurisdiction(b'A') }];
+        let attrs = vec![StationAttrs {
+            jurisdiction: Jurisdiction(b'A'),
+        }];
         let r = policy_route(
             &g,
             &attrs,

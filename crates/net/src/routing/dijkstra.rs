@@ -96,7 +96,10 @@ pub fn shortest_path(
     let mut prev: Vec<Option<usize>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[src] = 0.0;
-    heap.push(HeapEntry { cost: 0.0, node: src });
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: src,
+    });
 
     while let Some(HeapEntry { cost, node }) = heap.pop() {
         if cost > dist[node] {

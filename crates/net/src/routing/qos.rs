@@ -115,7 +115,10 @@ pub fn widest_path(graph: &Graph, src: usize, dst: usize) -> Option<(Path, f64)>
             if w > best[e.to] {
                 best[e.to] = w;
                 prev[e.to] = Some(node);
-                heap.push(Entry { width: w, node: e.to });
+                heap.push(Entry {
+                    width: w,
+                    node: e.to,
+                });
             }
         }
     }
@@ -151,8 +154,8 @@ mod tests {
         g.add_bidirectional(1, 3, 0.001, 1e7, 0, 0, LinkTech::Rf);
         g.add_bidirectional(0, 2, 0.004, 1e7, 0, 0, LinkTech::Rf);
         g.add_bidirectional(2, 3, 0.004, 1e7, 0, 0, LinkTech::Rf);
-        g.set_load(0, 1, load);
-        g.set_load(1, 3, load);
+        g.set_load(0, 1, load).unwrap();
+        g.set_load(1, 3, load).unwrap();
         g
     }
 

@@ -47,8 +47,7 @@ pub fn k_shortest_paths(
             // All banned edges originate at spur_node (they are the next
             // hops of found paths sharing this root), so banning them by
             // first-hop destination out of the source is exact.
-            let banned_first_hops: Vec<usize> =
-                banned_edges.iter().map(|&(_, to)| to).collect();
+            let banned_first_hops: Vec<usize> = banned_edges.iter().map(|&(_, to)| to).collect();
             let spur_path = shortest_path_with_bans(
                 graph,
                 spur_node,
@@ -131,7 +130,10 @@ fn shortest_path_with_bans(
     let mut prev: Vec<Option<usize>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[src] = 0.0;
-    heap.push(Entry { cost: 0.0, node: src });
+    heap.push(Entry {
+        cost: 0.0,
+        node: src,
+    });
 
     while let Some(Entry { cost, node }) = heap.pop() {
         if cost > dist[node] {

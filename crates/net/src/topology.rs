@@ -10,6 +10,25 @@
 //! ground stations `n_sats..n_sats+n_stations`. [`Graph::node_kind`]
 //! recovers the kind.
 
+/// Error addressing an edge that is not in the graph — on dynamic
+/// topologies a contact can expire between snapshot and update, so this
+/// is a recoverable condition, not a programming bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoSuchEdge {
+    /// Source node of the missing edge.
+    pub from: usize,
+    /// Destination node of the missing edge.
+    pub to: usize,
+}
+
+impl std::fmt::Display for NoSuchEdge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no edge {} -> {}", self.from, self.to)
+    }
+}
+
+impl std::error::Error for NoSuchEdge {}
+
 /// Link technology of an edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkTech {
@@ -185,11 +204,19 @@ impl Graph {
         self.adj[from].iter().find(|e| e.to == to)
     }
 
-    /// Set the utilization of the edge `from → to`.
+    /// Set the utilization of the edge `from → to`. Returns
+    /// [`NoSuchEdge`] when the edge is absent (e.g. the contact expired
+    /// since the caller last looked at the topology).
     ///
     /// # Panics
-    /// Panics if the edge does not exist or the load is out of range.
-    pub fn set_load(&mut self, from: usize, to: usize, load_fraction: f64) {
+    /// Panics if the load is out of range (a caller bug, unlike a
+    /// missing edge, which is a property of the evolving topology).
+    pub fn set_load(
+        &mut self,
+        from: usize,
+        to: usize,
+        load_fraction: f64,
+    ) -> Result<(), NoSuchEdge> {
         assert!(
             (0.0..1.0).contains(&load_fraction),
             "load fraction must be in [0,1)"
@@ -197,8 +224,9 @@ impl Graph {
         let e = self.adj[from]
             .iter_mut()
             .find(|e| e.to == to)
-            .unwrap_or_else(|| panic!("no edge {from} -> {to}"));
+            .ok_or(NoSuchEdge { from, to })?;
         e.load_fraction = load_fraction;
+        Ok(())
     }
 
     /// Nodes reachable from `start` (BFS over directed edges).
@@ -267,7 +295,7 @@ mod tests {
     #[test]
     fn set_load_updates_edge() {
         let mut g = line_graph();
-        g.set_load(0, 1, 0.75);
+        g.set_load(0, 1, 0.75).unwrap();
         assert_eq!(g.find_edge(0, 1).unwrap().load_fraction, 0.75);
         assert_eq!(g.find_edge(1, 0).unwrap().load_fraction, 0.0);
     }
@@ -290,10 +318,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no edge")]
-    fn set_load_missing_edge_panics() {
+    fn set_load_missing_edge_is_an_error_not_a_panic() {
         let mut g = line_graph();
-        g.set_load(0, 2, 0.5);
+        let err = g.set_load(0, 2, 0.5).unwrap_err();
+        assert_eq!(err, NoSuchEdge { from: 0, to: 2 });
+        assert_eq!(err.to_string(), "no edge 0 -> 2");
+        // The graph is untouched by the failed update.
+        assert_eq!(g.find_edge(0, 1).unwrap().load_fraction, 0.0);
     }
 
     #[test]

@@ -85,15 +85,23 @@ pub fn grid_coverage_fraction(
     t_s: f64,
     min_elevation_rad: f64,
 ) -> f64 {
-    if grid.is_empty() {
-        return 0.0;
-    }
     let sat_ecef: Vec<Vec3> = sats
         .iter()
         .map(|p| eci_to_ecef(p.position_eci(t_s), t_s))
         .collect();
-    // Pre-compute the maximum central angle at which coverage is possible,
-    // to skip the precise test for distant satellites.
+    grid_coverage_fraction_from_ecef(grid, &sat_ecef, min_elevation_rad)
+}
+
+/// [`grid_coverage_fraction`] over already-computed satellite ECEF
+/// positions (e.g. from an ephemeris cache).
+pub fn grid_coverage_fraction_from_ecef(
+    grid: &SphereGrid,
+    sat_ecef: &[Vec3],
+    min_elevation_rad: f64,
+) -> f64 {
+    if grid.is_empty() {
+        return 0.0;
+    }
     let covered = grid
         .points()
         .iter()
@@ -109,9 +117,17 @@ pub fn grid_coverage_fraction(
 
 /// Footprint descriptors (sub-satellite direction, half-angle) at `t_s`.
 fn footprints(sats: &[Propagator], t_s: f64, min_elevation_rad: f64) -> Vec<(Vec3, f64)> {
-    sats.iter()
-        .map(|p| {
-            let pos = p.position_eci(t_s);
+    let pos: Vec<Vec3> = sats.iter().map(|p| p.position_eci(t_s)).collect();
+    footprints_from_eci(&pos, min_elevation_rad)
+}
+
+/// Footprint descriptors from already-computed ECI positions. Directions
+/// keep the ECI frame; footprint *angles* are frame-independent, which is
+/// all the overlap models consume.
+fn footprints_from_eci(pos_eci: &[Vec3], min_elevation_rad: f64) -> Vec<(Vec3, f64)> {
+    pos_eci
+        .iter()
+        .map(|&pos| {
             let lam = coverage_half_angle_rad(
                 pos.norm() - crate::constants::EARTH_MEAN_RADIUS_M,
                 min_elevation_rad,
@@ -130,12 +146,16 @@ fn footprints(sats: &[Propagator], t_s: f64, min_elevation_rad: f64) -> Vec<(Vec
 ///
 /// Footprints overlap when the central angle between sub-satellite points
 /// is below the sum of their half-angles.
-pub fn worst_case_coverage_fraction(
-    sats: &[Propagator],
-    t_s: f64,
-    min_elevation_rad: f64,
-) -> f64 {
-    let fp = footprints(sats, t_s, min_elevation_rad);
+pub fn worst_case_coverage_fraction(sats: &[Propagator], t_s: f64, min_elevation_rad: f64) -> f64 {
+    worst_case_from_footprints(footprints(sats, t_s, min_elevation_rad))
+}
+
+/// [`worst_case_coverage_fraction`] over already-computed ECI positions.
+pub fn worst_case_coverage_fraction_from_eci(pos_eci: &[Vec3], min_elevation_rad: f64) -> f64 {
+    worst_case_from_footprints(footprints_from_eci(pos_eci, min_elevation_rad))
+}
+
+fn worst_case_from_footprints(fp: Vec<(Vec3, f64)>) -> f64 {
     let mut matched = vec![false; fp.len()];
     let mut frac = 0.0;
     for i in 0..fp.len() {
@@ -166,7 +186,19 @@ pub fn disjoint_packing_coverage_fraction(
     t_s: f64,
     min_elevation_rad: f64,
 ) -> f64 {
-    let fp = footprints(sats, t_s, min_elevation_rad);
+    disjoint_packing_from_footprints(footprints(sats, t_s, min_elevation_rad))
+}
+
+/// [`disjoint_packing_coverage_fraction`] over already-computed ECI
+/// positions.
+pub fn disjoint_packing_coverage_fraction_from_eci(
+    pos_eci: &[Vec3],
+    min_elevation_rad: f64,
+) -> f64 {
+    disjoint_packing_from_footprints(footprints_from_eci(pos_eci, min_elevation_rad))
+}
+
+fn disjoint_packing_from_footprints(fp: Vec<(Vec3, f64)>) -> f64 {
     let mut kept: Vec<(Vec3, f64)> = Vec::new();
     for (dir, lam) in fp {
         let overlaps = kept
@@ -318,7 +350,10 @@ mod tests {
             let sats = props(random_constellation(40, km_to_m(780.0), 86.4, seed).unwrap());
             let pairwise = worst_case_coverage_fraction(&sats, 0.0, 0.0);
             let packing = disjoint_packing_coverage_fraction(&sats, 0.0, 0.0);
-            assert!(pairwise >= packing - 1e-9, "seed {seed}: {pairwise} < {packing}");
+            assert!(
+                pairwise >= packing - 1e-9,
+                "seed {seed}: {pairwise} < {packing}"
+            );
         }
     }
 
@@ -349,8 +384,8 @@ mod tests {
     fn visible_count_zero_without_sats_overhead() {
         let ground = Vec3::new(crate::constants::EARTH_RADIUS_M, 0.0, 0.0);
         // One satellite on the opposite side of the planet.
-        let els = crate::kepler::OrbitalElements::circular(km_to_m(780.0), 86.4, 0.0, 180.0)
-            .unwrap();
+        let els =
+            crate::kepler::OrbitalElements::circular(km_to_m(780.0), 86.4, 0.0, 180.0).unwrap();
         let sats = props(vec![els]);
         assert_eq!(visible_count(ground, &sats, 0.0, 0.0), 0);
     }

@@ -111,7 +111,11 @@ mod tests {
     #[test]
     fn off_axis_anti_sun_point_is_lit() {
         // Behind the Earth but far off the shadow axis.
-        let sat = Vec3::new(-(EARTH_RADIUS_M + km_to_m(780.0)), 3.0 * EARTH_RADIUS_M, 0.0);
+        let sat = Vec3::new(
+            -(EARTH_RADIUS_M + km_to_m(780.0)),
+            3.0 * EARTH_RADIUS_M,
+            0.0,
+        );
         assert!(!in_eclipse(sat, 0.0));
     }
 

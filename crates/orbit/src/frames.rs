@@ -14,9 +14,7 @@
 //! Earth Rotation Angle, with the epoch chosen so that the two frames
 //! coincide at simulation time `t = 0`.
 
-use crate::constants::{
-    EARTH_ECCENTRICITY_SQ, EARTH_RADIUS_M, EARTH_ROTATION_RATE_RAD_PER_S,
-};
+use crate::constants::{EARTH_ECCENTRICITY_SQ, EARTH_RADIUS_M, EARTH_ROTATION_RATE_RAD_PER_S};
 
 /// A 3-vector in meters (position) or meters/second (velocity).
 ///
@@ -242,7 +240,8 @@ pub fn ecef_to_geodetic(p: Vec3) -> Geodetic {
         } else {
             p.z.abs() - n * (1.0 - EARTH_ECCENTRICITY_SQ)
         };
-        let new_lat = p.z.atan2(rho * (1.0 - EARTH_ECCENTRICITY_SQ * n / (n + alt)));
+        let new_lat =
+            p.z.atan2(rho * (1.0 - EARTH_ECCENTRICITY_SQ * n / (n + alt)));
         if (new_lat - lat).abs() < 1e-13 {
             lat = new_lat;
             break;

@@ -82,14 +82,20 @@ mod tests {
             );
         }
         // And the track actually reaches near the bound.
-        let max_lat = tr.iter().map(|p| p.geodetic.lat_deg().abs()).fold(0.0, f64::max);
+        let max_lat = tr
+            .iter()
+            .map(|p| p.geodetic.lat_deg().abs())
+            .fold(0.0, f64::max);
         assert!(max_lat > 50.0, "max lat {max_lat}");
     }
 
     #[test]
     fn polar_orbit_reaches_high_latitude() {
         let tr = ground_track(&sat(86.4), 0.0, 7000.0, 30.0);
-        let max_lat = tr.iter().map(|p| p.geodetic.lat_deg().abs()).fold(0.0, f64::max);
+        let max_lat = tr
+            .iter()
+            .map(|p| p.geodetic.lat_deg().abs())
+            .fold(0.0, f64::max);
         assert!(max_lat > 80.0, "max lat {max_lat}");
     }
 

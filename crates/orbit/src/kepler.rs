@@ -31,7 +31,10 @@ impl std::fmt::Display for ElementsError {
                 write!(f, "eccentricity must be in [0,1), got {e}")
             }
             Self::PerigeeBelowSurface { perigee_m } => {
-                write!(f, "perigee radius {perigee_m} m is below the Earth's surface")
+                write!(
+                    f,
+                    "perigee radius {perigee_m} m is below the Earth's surface"
+                )
             }
             Self::InclinationOutOfRange(i) => {
                 write!(f, "inclination must be in [0,pi], got {i} rad")

@@ -48,6 +48,7 @@
 pub mod constants;
 pub mod coverage;
 pub mod eclipse;
+pub mod ephemeris;
 pub mod frames;
 pub mod groundtrack;
 pub mod kepler;
@@ -64,25 +65,26 @@ pub mod prelude {
         EARTH_RADIUS_M, SPEED_OF_LIGHT_M_PER_S,
     };
     pub use crate::coverage::{
-        disjoint_packing_coverage_fraction, grid_coverage_fraction, visible_count,
-        worst_case_coverage_fraction, SphereGrid,
+        disjoint_packing_coverage_fraction, disjoint_packing_coverage_fraction_from_eci,
+        grid_coverage_fraction, grid_coverage_fraction_from_ecef, visible_count,
+        worst_case_coverage_fraction, worst_case_coverage_fraction_from_eci, SphereGrid,
     };
     pub use crate::eclipse::{eclipse_fraction, in_eclipse};
+    pub use crate::ephemeris::{EphemerisCache, EphemerisSample, SampleKey, VisibilityCache};
     pub use crate::frames::{
         ecef_to_eci, ecef_to_geodetic, eci_to_ecef, geodetic_to_ecef, Geodetic, Vec3,
     };
     pub use crate::groundtrack::{ground_track, TrackPoint};
     pub use crate::kepler::{ElementsError, OrbitalElements};
     pub use crate::propagator::{PerturbationModel, Propagator};
+    pub use crate::time::{tle_epoch_to_sim_s, CivilDate, UtcInstant};
+    pub use crate::tle::{elements_to_tle, parse_tle, Tle, TleError};
     pub use crate::visibility::{
         cap_fraction, coverage_half_angle_rad, elevation_angle_rad, is_visible, line_of_sight,
         line_of_sight_with_clearance, look_angles_rad, max_isl_range_m, max_slant_range_m,
         slant_range_m,
     };
-    pub use crate::time::{tle_epoch_to_sim_s, CivilDate, UtcInstant};
-    pub use crate::tle::{elements_to_tle, parse_tle, Tle, TleError};
     pub use crate::walker::{
-        cbo_params, iridium_params, random_constellation, walker_delta, walker_star,
-        WalkerParams,
+        cbo_params, iridium_params, random_constellation, walker_delta, walker_star, WalkerParams,
     };
 }

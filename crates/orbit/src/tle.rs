@@ -127,18 +127,28 @@ fn implied_decimal(s: &str) -> Result<f64, TleError> {
         return Ok(0.0);
     }
     let (mantissa_str, exp_str) = t.split_at(t.len().saturating_sub(2));
-    let sign = if mantissa_str.starts_with('-') { -1.0 } else { 1.0 };
-    let digits: String = mantissa_str.chars().filter(|c| c.is_ascii_digit()).collect();
+    let sign = if mantissa_str.starts_with('-') {
+        -1.0
+    } else {
+        1.0
+    };
+    let digits: String = mantissa_str
+        .chars()
+        .filter(|c| c.is_ascii_digit())
+        .collect();
     if digits.is_empty() {
-        return Err(TleError::BadField { field: "implied_decimal" });
+        return Err(TleError::BadField {
+            field: "implied_decimal",
+        });
     }
     let mantissa: f64 = format!("0.{digits}")
         .parse()
-        .map_err(|_| TleError::BadField { field: "implied_decimal" })?;
-    let exp: i32 = exp_str
-        .trim()
-        .parse()
-        .map_err(|_| TleError::BadField { field: "implied_decimal_exp" })?;
+        .map_err(|_| TleError::BadField {
+            field: "implied_decimal",
+        })?;
+    let exp: i32 = exp_str.trim().parse().map_err(|_| TleError::BadField {
+        field: "implied_decimal_exp",
+    })?;
     Ok(sign * mantissa * 10f64.powi(exp))
 }
 
@@ -176,13 +186,19 @@ pub fn parse_tle(line1: &str, line2: &str) -> Result<Tle, TleError> {
     }
 
     let epoch_yy: u32 = field(&line1[18..20], "epoch_year")?;
-    let epoch_year = if epoch_yy < 57 { 2000 + epoch_yy } else { 1900 + epoch_yy };
+    let epoch_year = if epoch_yy < 57 {
+        2000 + epoch_yy
+    } else {
+        1900 + epoch_yy
+    };
 
     // Eccentricity has an implied leading decimal point.
     let ecc_digits = line2[26..33].trim();
     let eccentricity: f64 = format!("0.{ecc_digits}")
         .parse()
-        .map_err(|_| TleError::BadField { field: "eccentricity" })?;
+        .map_err(|_| TleError::BadField {
+            field: "eccentricity",
+        })?;
 
     Ok(Tle {
         catalog_number: cat1,
@@ -261,10 +277,8 @@ mod tests {
     use crate::constants::km_to_m;
 
     // The canonical ISS TLE example (valid checksums).
-    const ISS_L1: &str =
-        "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927";
-    const ISS_L2: &str =
-        "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537";
+    const ISS_L1: &str = "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927";
+    const ISS_L2: &str = "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537";
 
     #[test]
     fn parses_the_iss_tle() {

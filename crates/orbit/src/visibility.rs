@@ -76,8 +76,7 @@ pub fn coverage_half_angle_rad(altitude_m: f64, min_elevation_rad: f64) -> f64 {
 /// Area (m²) of a spherical cap with half-angle `half_angle_rad` on the
 /// mean-radius Earth sphere.
 pub fn cap_area_m2(half_angle_rad: f64) -> f64 {
-    std::f64::consts::TAU * EARTH_MEAN_RADIUS_M * EARTH_MEAN_RADIUS_M
-        * (1.0 - half_angle_rad.cos())
+    std::f64::consts::TAU * EARTH_MEAN_RADIUS_M * EARTH_MEAN_RADIUS_M * (1.0 - half_angle_rad.cos())
 }
 
 /// Fraction of the Earth's surface covered by one spherical cap.
@@ -96,7 +95,6 @@ pub fn max_slant_range_m(altitude_m: f64, min_elevation_rad: f64) -> f64 {
     let rh = r + altitude_m;
     (rh * rh - (r * min_elevation_rad.cos()).powi(2)).sqrt() - r * se
 }
-
 
 /// Look angles from a ground site to a satellite: azimuth (rad, clockwise
 /// from true north) and elevation (rad). Both positions in ECEF.
@@ -221,7 +219,11 @@ mod tests {
         // (with mean radius). At 10° it shrinks.
         let lam0 = coverage_half_angle_rad(H780, 0.0);
         let lam10 = coverage_half_angle_rad(H780, 10f64.to_radians());
-        assert!((lam0.to_degrees() - 27.0).abs() < 1.5, "{}", lam0.to_degrees());
+        assert!(
+            (lam0.to_degrees() - 27.0).abs() < 1.5,
+            "{}",
+            lam0.to_degrees()
+        );
         assert!(lam10 < lam0);
         assert!(lam10 > 0.0);
     }
@@ -266,12 +268,20 @@ mod tests {
         // A satellite due east of the site at the same latitude.
         let east_sat = geodetic_to_ecef(Geodetic::from_degrees(0.0, 10.0, 780_000.0));
         let (az, el) = look_angles_rad(g, east_sat);
-        assert!((az.to_degrees() - 90.0).abs() < 1.0, "azimuth {}", az.to_degrees());
+        assert!(
+            (az.to_degrees() - 90.0).abs() < 1.0,
+            "azimuth {}",
+            az.to_degrees()
+        );
         assert!(el > 0.0);
         // A satellite due north.
         let north_sat = geodetic_to_ecef(Geodetic::from_degrees(10.0, 0.0, 780_000.0));
         let (az, _) = look_angles_rad(g, north_sat);
-        assert!(az.to_degrees() < 5.0 || az.to_degrees() > 355.0, "azimuth {}", az.to_degrees());
+        assert!(
+            az.to_degrees() < 5.0 || az.to_degrees() > 355.0,
+            "azimuth {}",
+            az.to_degrees()
+        );
     }
 
     #[test]

@@ -194,7 +194,10 @@ mod tests {
     fn delta_raans_span_full_circle() {
         let els = walker_delta(&iridium_params()).unwrap();
         let max_raan = els.iter().map(|e| e.raan_rad).fold(0.0, f64::max);
-        assert!(max_raan > TAU * 0.7, "delta RAANs should reach past 250 deg");
+        assert!(
+            max_raan > TAU * 0.7,
+            "delta RAANs should reach past 250 deg"
+        );
     }
 
     #[test]
@@ -241,7 +244,10 @@ mod tests {
     fn rejects_bad_phasing() {
         let mut p = iridium_params();
         p.phasing = 6;
-        assert!(matches!(walker_star(&p), Err(WalkerError::BadPhasing { .. })));
+        assert!(matches!(
+            walker_star(&p),
+            Err(WalkerError::BadPhasing { .. })
+        ));
     }
 
     #[test]

@@ -31,8 +31,8 @@ fn zenith_gas_loss_db(band: RfBand) -> f64 {
 /// (circular polarization, representative values).
 fn rain_coefficients(band: RfBand) -> (f64, f64) {
     match band {
-        RfBand::Uhf => (1.0e-5, 0.9),   // negligible at 435 MHz
-        RfBand::S => (2.0e-4, 1.0),     // still tiny at 2.2 GHz
+        RfBand::Uhf => (1.0e-5, 0.9), // negligible at 435 MHz
+        RfBand::S => (2.0e-4, 1.0),   // still tiny at 2.2 GHz
         RfBand::X => (1.2e-2, 1.18),
         RfBand::Ku => (2.7e-2, 1.15),
         RfBand::Ka => (1.9e-1, 1.04),
@@ -111,7 +111,10 @@ mod tests {
         let ka = rain_loss_db(RfBand::Ka, heavy, FRAC_PI_2);
         let s = rain_loss_db(RfBand::S, heavy, FRAC_PI_2);
         assert!(ka > 50.0 * s, "Ka {ka} dB vs S {s} dB");
-        assert!(ka > 3.0, "heavy rain on Ka should cost several dB, got {ka}");
+        assert!(
+            ka > 3.0,
+            "heavy rain on Ka should cost several dB, got {ka}"
+        );
     }
 
     #[test]

@@ -67,9 +67,7 @@ pub mod prelude {
     pub use crate::hardware::{
         laser_terminal_spec, rf_terminal_spec, SatelliteClass, TerminalSpec,
     };
-    pub use crate::linkbudget::{
-        free_space_path_loss_db, from_db, to_db, RfLink, RfTerminal,
-    };
+    pub use crate::linkbudget::{free_space_path_loss_db, from_db, to_db, RfLink, RfTerminal};
     pub use crate::optical::{OpticalTerminal, PatSession, PatState};
     pub use crate::power::{slew_energy_j, InsufficientPower, PowerBudget, PowerSystem};
 }

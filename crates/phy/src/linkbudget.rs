@@ -46,8 +46,7 @@ pub fn dbw_to_watts(dbw: f64) -> f64 {
 pub fn free_space_path_loss_db(distance_m: f64, frequency_hz: f64) -> f64 {
     assert!(distance_m > 0.0, "distance must be positive");
     assert!(frequency_hz > 0.0, "frequency must be positive");
-    20.0 * (4.0 * std::f64::consts::PI * distance_m * frequency_hz / SPEED_OF_LIGHT_M_PER_S)
-        .log10()
+    20.0 * (4.0 * std::f64::consts::PI * distance_m * frequency_hz / SPEED_OF_LIGHT_M_PER_S).log10()
 }
 
 /// One end of an RF link: transmit power and antenna gains.
@@ -129,7 +128,8 @@ pub struct RfLink {
 impl RfLink {
     /// Received carrier power (dBW).
     pub fn received_power_dbw(&self) -> f64 {
-        self.tx.eirp_dbw() - free_space_path_loss_db(self.distance_m, self.band.center_frequency_hz())
+        self.tx.eirp_dbw()
+            - free_space_path_loss_db(self.distance_m, self.band.center_frequency_hz())
             - self.extra_loss_db
             - self.tx.implementation_loss_db
             - self.rx.implementation_loss_db

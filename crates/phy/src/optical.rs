@@ -59,11 +59,7 @@ impl OpticalTerminal {
 /// Geometric + pointing link efficiency (linear) between two terminals at
 /// `distance_m`: the fraction of transmitted photons collected by the
 /// receive aperture.
-pub fn optical_link_efficiency(
-    tx: &OpticalTerminal,
-    rx: &OpticalTerminal,
-    distance_m: f64,
-) -> f64 {
+pub fn optical_link_efficiency(tx: &OpticalTerminal, rx: &OpticalTerminal, distance_m: f64) -> f64 {
     assert!(distance_m > 0.0, "distance must be positive");
     // Beam radius at the receiver (half-power cone).
     let spot_radius_m = tx.beam_divergence_rad() / 2.0 * distance_m;
@@ -255,7 +251,10 @@ mod tests {
         let t = term();
         let r1 = achievable_rate_bps(&t, &t, 3_000_000.0);
         let r2 = achievable_rate_bps(&t, &t, 6_000_000.0);
-        assert!(r1 < t.max_data_rate_bps, "test distances must be photon-limited");
+        assert!(
+            r1 < t.max_data_rate_bps,
+            "test distances must be photon-limited"
+        );
         assert!((r1 / r2 - 4.0).abs() < 0.01, "ratio {}", r1 / r2);
     }
 

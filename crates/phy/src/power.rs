@@ -149,7 +149,11 @@ impl PowerBudget {
     /// caller can detect it via [`Self::state_of_charge_j`] == 0).
     pub fn advance(&mut self, dt_s: f64, payload_load_w: f64, sunlit: bool) {
         assert!(dt_s >= 0.0 && payload_load_w >= 0.0);
-        let generation = if sunlit { self.system.solar_power_w } else { 0.0 };
+        let generation = if sunlit {
+            self.system.solar_power_w
+        } else {
+            0.0
+        };
         let net_w = generation - self.system.bus_load_w - payload_load_w;
         let delta_j = if net_w >= 0.0 {
             net_w * dt_s * self.system.battery_efficiency

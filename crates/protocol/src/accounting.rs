@@ -42,7 +42,9 @@ impl AccountingRecord {
         b[16..24].copy_from_slice(&self.carrier_node.0.to_be_bytes());
         b[24..32].copy_from_slice(&self.bytes_carried.to_be_bytes());
         b[32..40].copy_from_slice(&self.interval_start_ms.to_be_bytes());
-        b[40..44].copy_from_slice(&((self.interval_end_ms - self.interval_start_ms) as u32).to_be_bytes());
+        b[40..44].copy_from_slice(
+            &((self.interval_end_ms - self.interval_start_ms) as u32).to_be_bytes(),
+        );
         b
     }
 

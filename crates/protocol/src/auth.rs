@@ -135,7 +135,11 @@ impl AuthFailure {
             1 => Self::BadCredentials,
             2 => Self::UnknownUser,
             3 => Self::ReplayedNonce,
-            _ => return Err(WireError::IllegalField { field: "auth_failure" }),
+            _ => {
+                return Err(WireError::IllegalField {
+                    field: "auth_failure",
+                })
+            }
         })
     }
 }

@@ -149,7 +149,10 @@ mod tests {
     fn rejects_hyperbolic_orbit() {
         let mut b = sample();
         b.eccentricity = 1.5;
-        assert!(matches!(round_trip(&b), Err(WireError::IllegalField { .. })));
+        assert!(matches!(
+            round_trip(&b),
+            Err(WireError::IllegalField { .. })
+        ));
     }
 
     #[test]

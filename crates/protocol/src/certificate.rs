@@ -42,7 +42,10 @@ impl Certificate {
         issuer_secret: &SharedSecret,
     ) -> Self {
         assert!(expires_at_ms > issued_at_ms, "empty validity window");
-        let tag = compute_tag(issuer_secret, &Self::signed_bytes(user, home_operator, issued_at_ms, expires_at_ms));
+        let tag = compute_tag(
+            issuer_secret,
+            &Self::signed_bytes(user, home_operator, issued_at_ms, expires_at_ms),
+        );
         Self {
             user,
             home_operator,
@@ -68,8 +71,12 @@ impl Certificate {
 
     /// Verify integrity (tag) and temporal validity at `now_ms`.
     pub fn verify(&self, issuer_secret: &SharedSecret, now_ms: u64) -> bool {
-        let bytes =
-            Self::signed_bytes(self.user, self.home_operator, self.issued_at_ms, self.expires_at_ms);
+        let bytes = Self::signed_bytes(
+            self.user,
+            self.home_operator,
+            self.issued_at_ms,
+            self.expires_at_ms,
+        );
         verify_tag(issuer_secret, &bytes, &self.tag)
             && now_ms >= self.issued_at_ms
             && now_ms < self.expires_at_ms

@@ -99,7 +99,11 @@ impl RejectReason {
             2 => Self::NoBandwidth,
             3 => Self::PowerConstrained,
             4 => Self::GeometryExpiring,
-            _ => return Err(WireError::IllegalField { field: "reject_reason" }),
+            _ => {
+                return Err(WireError::IllegalField {
+                    field: "reject_reason",
+                })
+            }
         })
     }
 }
@@ -168,10 +172,16 @@ impl PairResponse {
                 let technology = match code {
                     0 => LinkTechnology::Rf,
                     1 => LinkTechnology::Optical,
-                    _ => return Err(WireError::IllegalField { field: "technology" }),
+                    _ => {
+                        return Err(WireError::IllegalField {
+                            field: "technology",
+                        })
+                    }
                 };
                 if !(orient_time_s.is_finite() && orient_time_s >= 0.0) {
-                    return Err(WireError::IllegalField { field: "orient_time_s" });
+                    return Err(WireError::IllegalField {
+                        field: "orient_time_s",
+                    });
                 }
                 PairVerdict::Accept {
                     technology,
@@ -376,7 +386,10 @@ mod tests {
         let mut w = Writer::default();
         m.encode_payload(&mut w);
         let b = w.into_bytes();
-        assert_eq!(PairRequest::decode_payload(&mut Reader::new(&b)).unwrap(), m);
+        assert_eq!(
+            PairRequest::decode_payload(&mut Reader::new(&b)).unwrap(),
+            m
+        );
     }
 
     #[test]
@@ -429,7 +442,13 @@ mod tests {
 
     #[test]
     fn decide_prefers_optical_with_headroom() {
-        let v = decide_pair(&sample_request(), Capabilities::rf_and_optical(), 0.7, true, 30.0);
+        let v = decide_pair(
+            &sample_request(),
+            Capabilities::rf_and_optical(),
+            0.7,
+            true,
+            30.0,
+        );
         assert!(matches!(
             v,
             PairVerdict::Accept {
@@ -441,7 +460,13 @@ mod tests {
 
     #[test]
     fn decide_falls_back_to_rf_when_loaded() {
-        let v = decide_pair(&sample_request(), Capabilities::rf_and_optical(), 0.1, true, 30.0);
+        let v = decide_pair(
+            &sample_request(),
+            Capabilities::rf_and_optical(),
+            0.1,
+            true,
+            30.0,
+        );
         assert_eq!(
             v,
             PairVerdict::Accept {

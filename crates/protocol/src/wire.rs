@@ -53,7 +53,10 @@ impl std::fmt::Display for WireError {
             Self::BadMagic(m) => write!(f, "bad magic {m:#06x}"),
             Self::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
             Self::BadChecksum { stated, computed } => {
-                write!(f, "checksum mismatch: stated {stated:#010x}, computed {computed:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: stated {stated:#010x}, computed {computed:#010x}"
+                )
             }
             Self::UnknownMessageType(t) => write!(f, "unknown message type {t:#04x}"),
             Self::BadLength { stated, actual } => {

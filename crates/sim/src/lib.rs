@@ -13,6 +13,8 @@
 //!   traffic modelling).
 //! * [`stats`] — summary statistics and time-weighted integrals for the
 //!   experiment reports.
+//! * [`exec`] — deterministic parallel map over independent tasks with
+//!   per-task RNG substreams (parallel output ≡ serial output).
 //!
 //! Intentionally not async: this is CPU-bound simulation, where an async
 //! runtime adds overhead and nondeterminism for zero benefit. Parallelism
@@ -32,6 +34,7 @@
 //! ```
 
 pub mod engine;
+pub mod exec;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -40,6 +43,7 @@ pub mod traffic;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::engine::{EventQueue, SimTime};
+    pub use crate::exec::{default_threads, parallel_map_seeded};
     pub use crate::queue::{DropTailQueue, Packet, PriorityQueue, QueueStats};
     pub use crate::rng::SimRng;
     pub use crate::stats::{Summary, TimeWeighted};

@@ -1,24 +1,44 @@
 //! Seeded randomness for simulations.
 //!
-//! Thin wrapper over `rand::SmallRng` adding the distributions the
-//! traffic models need and a stream-splitting constructor so independent
-//! subsystems (per-user generators, per-link noise) get decorrelated but
-//! reproducible streams from one master seed.
+//! A self-contained xoshiro256++ generator (seeded through splitmix64)
+//! adding the distributions the traffic models need and a
+//! stream-splitting constructor so independent subsystems (per-user
+//! generators, per-link noise, per-sweep-task streams) get decorrelated
+//! but reproducible streams from one master seed.
+//!
+//! No external dependencies: determinism across platforms and toolchain
+//! versions is a correctness property of the scenario harness (parallel
+//! sweeps must be bitwise-identical to serial ones), so the generator is
+//! pinned here rather than inherited from a crate that may change its
+//! stream between versions.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// splitmix64 step — used for seeding and stream derivation.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
-/// A deterministic simulation RNG.
+/// A deterministic simulation RNG (xoshiro256++).
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Seed a master stream.
     pub fn new(seed: u64) -> Self {
+        let mut st = seed;
         Self {
-            inner: SmallRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ],
         }
     }
 
@@ -32,9 +52,25 @@ impl SimRng {
         Self::new(z ^ (z >> 31))
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Next raw 64-bit output (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -46,13 +82,19 @@ impl SimRng {
         lo + (hi - lo) * self.uniform()
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)`, unbiased (modulo rejection).
     ///
     /// # Panics
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is empty");
-        self.inner.random_range(0..n)
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let r = self.next_u64();
+            if r >= threshold {
+                return r % n;
+            }
+        }
     }
 
     /// Exponential with the given rate (events/s) — inter-arrival times of
@@ -171,6 +213,16 @@ mod tests {
         for _ in 0..1000 {
             assert!(rng.below(13) < 13);
         }
+    }
+
+    #[test]
+    fn below_covers_all_residues() {
+        let mut rng = SimRng::new(8);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
     }
 
     #[test]

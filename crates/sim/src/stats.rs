@@ -139,7 +139,11 @@ impl TimeWeighted {
     /// # Panics
     /// Panics if `t` moves backwards.
     pub fn update(&mut self, t: f64, v: f64) {
-        assert!(t >= self.last_t, "time moved backwards: {t} < {}", self.last_t);
+        assert!(
+            t >= self.last_t,
+            "time moved backwards: {t} < {}",
+            self.last_t
+        );
         self.integral += self.last_v * (t - self.last_t);
         self.last_t = t;
         self.last_v = v;
@@ -219,7 +223,7 @@ mod tests {
         let mut tw = TimeWeighted::new(0.0, 0.0);
         tw.update(5.0, 10.0); // 0 for 5 s
         tw.update(10.0, 0.0); // 10 for 5 s
-        // mean over [0,10] = (0*5 + 10*5)/10 = 5
+                              // mean over [0,10] = (0*5 + 10*5)/10 = 5
         assert!((tw.mean_until(10.0) - 5.0).abs() < 1e-12);
         // extend: 0 for 10 more seconds → mean 2.5 over [0,20]
         assert!((tw.mean_until(20.0) - 2.5).abs() < 1e-12);

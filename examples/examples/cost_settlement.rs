@@ -38,8 +38,13 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, &(lat, lon))| {
-            let user = fed.register_user(ops[i % ops.len()]);
-            (user, geodetic_to_ecef(Geodetic::from_degrees(lat, lon, 0.0)))
+            let user = fed
+                .register_user(ops[i % ops.len()])
+                .expect("member operator");
+            (
+                user,
+                geodetic_to_ecef(Geodetic::from_degrees(lat, lon, 0.0)),
+            )
         })
         .collect();
 
@@ -91,7 +96,10 @@ fn main() {
             );
         }
     }
-    println!("cross-verification {}", if all_clean { "CLEAN" } else { "DISPUTED" });
+    println!(
+        "cross-verification {}",
+        if all_clean { "CLEAN" } else { "DISPUTED" }
+    );
 
     // Settlement at $4/GiB default transit with one bilateral discount.
     let mut prices = PriceBook::new(4.0);
@@ -101,10 +109,7 @@ fn main() {
     for &op in &ops {
         println!("{op}: net {:+.2} USD", matrix.net_position(op));
     }
-    println!(
-        "(sum {:.6} — money is conserved)",
-        matrix.total_imbalance()
-    );
+    println!("(sum {:.6} — money is conserved)", matrix.total_imbalance());
 
     // Peering evaluation on the home operator's cross-verified ledger.
     println!("\n-- peering recommendations (policy: within 25%, ≥0.5 GiB) --");

@@ -13,7 +13,7 @@
 //! ```
 
 use openspace_core::prelude::*;
-use openspace_net::routing::{qos_route, shortest_path, latency_weight, QosRequirement};
+use openspace_net::routing::{latency_weight, qos_route, shortest_path, QosRequirement};
 use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
 use openspace_phy::hardware::SatelliteClass;
 use openspace_sim::rng::SimRng;
@@ -25,7 +25,7 @@ fn main() {
     // Disaster zone: coastal Philippines after a typhoon.
     let zone = geodetic_to_ecef(Geodetic::from_degrees(11.2, 125.0, 5.0));
     let home = fed.operator_ids()[1];
-    let user = fed.register_user(home);
+    let user = fed.register_user(home).expect("member operator");
 
     println!("== Disaster relief scenario: Leyte, Philippines ==");
     let assoc = associate(&mut fed, &user, zone, 0.0, 1).expect("satellites overhead");
@@ -78,7 +78,9 @@ fn main() {
             })
             .collect();
         for (to, load) in loads {
-            graph.set_load(node, to, load);
+            graph
+                .set_load(node, to, load)
+                .expect("edges enumerated from this same graph");
         }
     }
 

@@ -26,13 +26,22 @@ fn main() {
 
     // Three user sites at different latitudes.
     let sites = [
-        ("Nairobi  (-1.3N)", Geodetic::from_degrees(-1.3, 36.8, 1_700.0)),
+        (
+            "Nairobi  (-1.3N)",
+            Geodetic::from_degrees(-1.3, 36.8, 1_700.0),
+        ),
         ("Berlin   (52.5N)", Geodetic::from_degrees(52.5, 13.4, 50.0)),
-        ("Longyearbyen (78N)", Geodetic::from_degrees(78.2, 15.6, 0.0)),
+        (
+            "Longyearbyen (78N)",
+            Geodetic::from_degrees(78.2, 15.6, 0.0),
+        ),
     ];
 
     println!("== Solo vs federated service over {horizon_s:.0} s ==");
-    println!("{:<20} {:>12} {:>16} {:>16}", "site / owner", "coverage", "longest outage", "");
+    println!(
+        "{:<20} {:>12} {:>16} {:>16}",
+        "site / owner", "coverage", "longest outage", ""
+    );
     for (name, site) in &sites {
         let ground = geodetic_to_ecef(*site);
         println!("--- {name} ---");
@@ -70,10 +79,7 @@ fn main() {
         let samples = 720;
         for k in 0..samples {
             let t = horizon_s * k as f64 / samples as f64;
-            let sat_ecef = openspace_orbit::frames::eci_to_ecef(
-                sat.propagator.position_eci(t),
-                t,
-            );
+            let sat_ecef = openspace_orbit::frames::eci_to_ecef(sat.propagator.position_eci(t), t);
             let mask = fed.snapshot_params.min_elevation_rad;
             let sees = |stations: &[&GroundStation]| {
                 stations.iter().any(|st| {

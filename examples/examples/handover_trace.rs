@@ -18,7 +18,7 @@ use openspace_phy::hardware::SatelliteClass;
 fn main() {
     let mut fed = iridium_federation(4, &[SatelliteClass::SmallSat], &default_station_sites());
     let home = fed.operator_ids()[2];
-    let user = fed.register_user(home);
+    let user = fed.register_user(home).expect("member operator");
     let pos = geodetic_to_ecef(Geodetic::from_degrees(46.9, 7.45, 550.0)); // Bern
 
     let horizon_s = 2.0 * 3600.0;
@@ -58,7 +58,8 @@ fn main() {
     for (k, iv) in schedule.intervals.iter().enumerate().take(12) {
         let sat = fed.satellites()[iv.sat_index];
         let interruption_ms = if let Some(prev) = prev_sat {
-            let h = execute_handover(&fed, &user, &certificate, prev, sat.id, pos, iv.start_s);
+            let h = execute_handover(&fed, &user, &certificate, prev, sat.id, pos, iv.start_s)
+                .expect("member operator");
             assert!(h.accepted, "token handover must be accepted");
             total_predicted += h.interruption_s;
             // What re-auth would have cost at this instant.
@@ -88,7 +89,7 @@ fn main() {
         prev_sat = Some(sat.id);
         // Certificates outlive the trace; re-issue only if expired.
         let now_ms = (iv.start_s * 1000.0) as u64;
-        let fed_secret = *fed.federation_secret(user.home);
+        let fed_secret = *fed.federation_secret(user.home).expect("member operator");
         if !certificate.verify(&fed_secret, now_ms) {
             let renewed = associate(&mut fed, &user, pos, iv.start_s, 100 + k as u64)
                 .expect("re-association");

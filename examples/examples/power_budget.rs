@@ -54,7 +54,10 @@ fn main() {
     let mut accepted = 0;
     let mut declined = 0;
     let mut min_soc = 1.0f64;
-    println!("{:<8} {:>10} {:>8} {:>12}", "t (h)", "sunlit", "SoC", "ISL verdict");
+    println!(
+        "{:<8} {:>10} {:>8} {:>12}",
+        "t (h)", "sunlit", "SoC", "ISL verdict"
+    );
     let mut t = 0.0;
     while t < day {
         let sunlit = !in_eclipse(sat.position_eci(t), t);

@@ -30,7 +30,7 @@ fn main() {
 
     // A user in Nairobi subscribes to operator 1.
     let home = fed.operator_ids()[0];
-    let user = fed.register_user(home);
+    let user = fed.register_user(home).expect("member operator");
     let pos = geodetic_to_ecef(Geodetic::from_degrees(-1.286, 36.817, 1_700.0));
     println!("\nuser {} (home {}) at Nairobi", user.id, home);
 
@@ -102,7 +102,8 @@ fn main() {
         successor,
         pos,
         30.0,
-    );
+    )
+    .expect("member operator");
     println!(
         "\nhandover to {}: token {}, interruption {:.2} ms \
          (vs {:.2} ms association from scratch)",

@@ -13,7 +13,11 @@ use std::collections::BTreeMap;
 /// Run a batch of deliveries and return the resulting ledgers.
 fn run_traffic(
     n_slots: u64,
-) -> (Federation, Vec<OperatorId>, BTreeMap<OperatorId, TrafficLedger>) {
+) -> (
+    Federation,
+    Vec<OperatorId>,
+    BTreeMap<OperatorId, TrafficLedger>,
+) {
     let mut fed = iridium_federation(3, &[SatelliteClass::SmallSat], &default_station_sites());
     let ops = fed.operator_ids();
     let sites = [
@@ -28,7 +32,9 @@ fn run_traffic(
         .iter()
         .enumerate()
         .map(|(i, &(lat, lon))| {
-            let u = fed.register_user(ops[i % ops.len()]);
+            let u = fed
+                .register_user(ops[i % ops.len()])
+                .expect("member operator");
             (u, geodetic_to_ecef(Geodetic::from_degrees(lat, lon, 0.0)))
         })
         .collect();
@@ -99,10 +105,7 @@ fn higher_prices_scale_invoices_linearly() {
             }
             let o1 = m1.owed(a, b);
             let o2 = m2.owed(a, b);
-            assert!(
-                (o2 - 2.0 * o1).abs() < 1e-9,
-                "{a}->{b}: {o1} then {o2}"
-            );
+            assert!((o2 - 2.0 * o1).abs() < 1e-9, "{a}->{b}: {o1} then {o2}");
         }
     }
 }
@@ -141,7 +144,7 @@ fn symmetric_mesh_traffic_tends_toward_peering() {
 fn accounting_records_verify_under_carrier_secrets_only() {
     let mut fed = iridium_federation(3, &[SatelliteClass::SmallSat], &default_station_sites());
     let home = fed.operator_ids()[0];
-    let user = fed.register_user(home);
+    let user = fed.register_user(home).expect("member operator");
     let pos = geodetic_to_ecef(Geodetic::from_degrees(0.0, 20.0, 0.0));
     let graph = fed.snapshot(0.0);
     let mut ledgers = BTreeMap::new();
@@ -161,6 +164,9 @@ fn accounting_records_verify_under_carrier_secrets_only() {
         let right = carrier_ledger_secret(rec.carrier_operator);
         assert!(rec.verify(&right));
         let wrong = carrier_ledger_secret(OperatorId(rec.carrier_operator.0 + 100));
-        assert!(!rec.verify(&wrong), "record must not verify under another key");
+        assert!(
+            !rec.verify(&wrong),
+            "record must not verify under another key"
+        );
     }
 }

@@ -21,12 +21,12 @@ fn test_federation() -> Federation {
 fn full_user_journey() {
     let mut fed = test_federation();
     let home = fed.operator_ids()[0];
-    let user = fed.register_user(home);
+    let user = fed.register_user(home).expect("member operator");
     let pos = geodetic_to_ecef(Geodetic::from_degrees(-1.3, 36.8, 1_700.0));
 
     // 1. Associate.
     let assoc = associate(&mut fed, &user, pos, 0.0, 1).expect("association");
-    let fed_secret = *fed.federation_secret(home);
+    let fed_secret = *fed.federation_secret(home).expect("member operator");
     assert!(assoc.certificate.verify(&fed_secret, 10));
 
     // 2. Deliver data.
@@ -61,7 +61,8 @@ fn full_user_journey() {
         successor,
         pos,
         60.0,
-    );
+    )
+    .expect("member operator");
     assert!(h.accepted);
     assert!(h.interruption_s < assoc.association_latency_s);
 }
@@ -72,7 +73,7 @@ fn every_station_site_reaches_the_internet() {
     let mut fed = test_federation();
     let home = fed.operator_ids()[1];
     for (i, site) in default_station_sites().into_iter().enumerate() {
-        let user = fed.register_user(home);
+        let user = fed.register_user(home).expect("member operator");
         let pos = geodetic_to_ecef(site);
         let assoc = associate(&mut fed, &user, pos, 0.0, 1000 + i as u64);
         assert!(assoc.is_ok(), "site {i}: {assoc:?}");
@@ -121,7 +122,10 @@ fn beacon_frames_survive_the_wire_end_to_end() {
             el2,
             openspace_orbit::propagator::PerturbationModel::SecularJ2,
         );
-        let d = sat.propagator.position_eci(500.0).distance(p2.position_eci(500.0));
+        let d = sat
+            .propagator
+            .position_eci(500.0)
+            .distance(p2.position_eci(500.0));
         assert!(d < 1.0, "reconstructed orbit diverges by {d} m");
     }
 }
@@ -221,7 +225,7 @@ fn cross_operator_auth_via_isl_path_has_hops() {
     // over a multi-hop ISL path.
     let mut fed = test_federation();
     let home = fed.operator_ids()[3];
-    let user = fed.register_user(home);
+    let user = fed.register_user(home).expect("member operator");
     // Mid-Pacific user: far from most stations.
     let pos = geodetic_to_ecef(Geodetic::from_degrees(-5.0, -150.0, 0.0));
     let assoc = associate(&mut fed, &user, pos, 0.0, 1).expect("association");
@@ -238,7 +242,7 @@ fn deterministic_end_to_end() {
     let run = || {
         let mut fed = test_federation();
         let home = fed.operator_ids()[0];
-        let user = fed.register_user(home);
+        let user = fed.register_user(home).expect("member operator");
         let pos = geodetic_to_ecef(Geodetic::from_degrees(10.0, 10.0, 0.0));
         let graph = fed.snapshot(100.0);
         let mut ledgers = BTreeMap::new();

@@ -15,10 +15,7 @@ use openspace_phy::hardware::SatelliteClass;
 use openspace_protocol::types::OperatorId;
 
 /// Build ledgers where `cheater` systematically over-reports.
-fn ledgers_with_cheater(
-    honest: OperatorId,
-    cheater: OperatorId,
-) -> (TrafficLedger, TrafficLedger) {
+fn ledgers_with_cheater(honest: OperatorId, cheater: OperatorId) -> (TrafficLedger, TrafficLedger) {
     let mut origin = TrafficLedger::new();
     let mut carrier = TrafficLedger::new();
     for flow in 0..40u64 {
@@ -92,7 +89,10 @@ fn dispute_to_quarantine_to_rerouting_loop() {
             // No hop may be carried by the cheater.
             for w in path.nodes.windows(2) {
                 let e = graph.find_edge(w[0], w[1]).unwrap();
-                assert_ne!(e.operator, cheater.0, "route crossed the quarantined carrier");
+                assert_ne!(
+                    e.operator, cheater.0,
+                    "route crossed the quarantined carrier"
+                );
             }
         }
         other => panic!("a compliant route should exist around one operator: {other:?}"),

@@ -31,7 +31,7 @@ fn a_day_in_the_federation() {
     let users: Vec<(User, _)> = user_specs
         .iter()
         .map(|&((lat, lon), home)| {
-            let u = fed.register_user(home);
+            let u = fed.register_user(home).expect("member operator");
             (u, geodetic_to_ecef(Geodetic::from_degrees(lat, lon, 0.0)))
         })
         .collect();
@@ -41,7 +41,7 @@ fn a_day_in_the_federation() {
     let mut assocs = Vec::new();
     for (i, (user, pos)) in users.iter().enumerate() {
         let a = associate(&mut fed, user, *pos, 0.0, 1 + i as u64).expect("association");
-        let secret = *fed.federation_secret(user.home);
+        let secret = *fed.federation_secret(user.home).expect("member operator");
         assert!(a.certificate.verify(&secret, 1));
         assocs.push(a);
     }
@@ -71,7 +71,10 @@ fn a_day_in_the_federation() {
             }
         }
     }
-    assert!(deliveries >= 15, "most delivery rounds succeed: {deliveries}");
+    assert!(
+        deliveries >= 15,
+        "most delivery rounds succeed: {deliveries}"
+    );
 
     // 3. Handovers all day: the schedule hands over every few minutes
     // and every token commit validates without touching the home AAA.
@@ -82,7 +85,16 @@ fn a_day_in_the_federation() {
     let mut prev = fed.satellites()[schedule.intervals[0].sat_index].id;
     for iv in schedule.intervals.iter().skip(1).take(10) {
         let succ = fed.satellites()[iv.sat_index].id;
-        let h = execute_handover(&fed, user, &assocs[0].certificate, prev, succ, *pos, iv.start_s);
+        let h = execute_handover(
+            &fed,
+            user,
+            &assocs[0].certificate,
+            prev,
+            succ,
+            *pos,
+            iv.start_s,
+        )
+        .expect("member operator");
         assert!(h.accepted, "token handover at t={}", iv.start_s);
         prev = succ;
     }
@@ -125,5 +137,8 @@ fn a_day_in_the_federation() {
             }
         }
     }
-    assert!(peerable >= 1, "a day of mesh traffic should justify a peering");
+    assert!(
+        peerable >= 1,
+        "a day of mesh traffic should justify a peering"
+    );
 }

@@ -1,41 +1,63 @@
-//! Property tests over state machines and the newer subsystems: the
-//! pairing machine never panics or regresses under arbitrary event
-//! sequences, DTN routing respects causality, MAC simulations conserve
-//! work, and the Shapley division is always efficient.
+//! Randomized property tests over state machines and the newer
+//! subsystems: the pairing machine never panics or regresses under
+//! arbitrary event sequences, DTN routing respects causality, MAC
+//! simulations conserve work, and the Shapley division is always
+//! efficient.
+//!
+//! Cases are drawn from a seeded [`SimRng`] stream — deterministic,
+//! dependency-free property testing.
 
 use openspace_economics::incentives::shapley_shares;
 use openspace_mac::prelude::*;
 use openspace_net::dtn::{earliest_arrival, Contact};
 use openspace_protocol::prelude::*;
-use proptest::prelude::*;
+use openspace_sim::rng::SimRng;
+
+const CASES: u64 = 256;
+
+fn for_cases(seed: u64, mut f: impl FnMut(&mut SimRng)) {
+    for case in 0..CASES {
+        let mut rng = SimRng::substream(seed, case);
+        f(&mut rng);
+    }
+}
 
 #[derive(Debug, Clone)]
 enum MachineEvent {
-    RequestSent { timeout_s: f64 },
-    Response { accept: bool, optical: bool, orient_s: f64 },
-    Tick { dt_s: f64 },
+    RequestSent {
+        timeout_s: f64,
+    },
+    Response {
+        accept: bool,
+        optical: bool,
+        orient_s: f64,
+    },
+    Tick {
+        dt_s: f64,
+    },
 }
 
-fn arb_event() -> impl Strategy<Value = MachineEvent> {
-    prop_oneof![
-        (0.1..10.0f64).prop_map(|timeout_s| MachineEvent::RequestSent { timeout_s }),
-        (any::<bool>(), any::<bool>(), 0.0..60.0f64)
-            .prop_map(|(accept, optical, orient_s)| MachineEvent::Response {
-                accept,
-                optical,
-                orient_s
-            }),
-        (0.0..20.0f64).prop_map(|dt_s| MachineEvent::Tick { dt_s }),
-    ]
+fn arb_event(rng: &mut SimRng) -> MachineEvent {
+    match rng.index(3) {
+        0 => MachineEvent::RequestSent {
+            timeout_s: rng.uniform_range(0.1, 10.0),
+        },
+        1 => MachineEvent::Response {
+            accept: rng.chance(0.5),
+            optical: rng.chance(0.5),
+            orient_s: rng.uniform_range(0.0, 60.0),
+        },
+        _ => MachineEvent::Tick {
+            dt_s: rng.uniform_range(0.0, 20.0),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn pairing_machine_is_panic_free_and_terminal_states_latch(
-        events in prop::collection::vec(arb_event(), 1..40),
-    ) {
+#[test]
+fn pairing_machine_is_panic_free_and_terminal_states_latch() {
+    for_cases(0xC1, |rng| {
+        let n_events = 1 + rng.index(39);
+        let events: Vec<MachineEvent> = (0..n_events).map(|_| arb_event(rng)).collect();
         let mut m = PairingMachine::new();
         let mut now = 0.0f64;
         let mut established = false;
@@ -48,7 +70,11 @@ proptest! {
                         m.request_sent(now, timeout_s);
                     }
                 }
-                MachineEvent::Response { accept, optical, orient_s } => {
+                MachineEvent::Response {
+                    accept,
+                    optical,
+                    orient_s,
+                } => {
                     let verdict = if accept {
                         PairVerdict::Accept {
                             technology: if optical {
@@ -78,26 +104,30 @@ proptest! {
             }
             // Established is terminal: once set, it never becomes Failed.
             if established {
-                prop_assert!(
+                assert!(
                     matches!(m.state(), PairingState::Established { .. }),
                     "established link regressed to {:?}",
                     m.state()
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dtn_routing_respects_causality(
-        seed_contacts in prop::collection::vec(
-            (0usize..6, 0usize..6, 0.0..500.0f64, 1.0..300.0f64, 1e3..1e7f64),
-            1..30
-        ),
-        t_start in 0.0..400.0f64,
-        bundle in 1e3..1e6f64,
-    ) {
-        let contacts: Vec<Contact> = seed_contacts
-            .into_iter()
+#[test]
+fn dtn_routing_respects_causality() {
+    for_cases(0xC2, |rng| {
+        let n_contacts = 1 + rng.index(29);
+        let contacts: Vec<Contact> = (0..n_contacts)
+            .map(|_| {
+                (
+                    rng.index(6),
+                    rng.index(6),
+                    rng.uniform_range(0.0, 500.0),
+                    rng.uniform_range(1.0, 300.0),
+                    rng.uniform_range(1e3, 1e7),
+                )
+            })
             .filter(|&(f, t, ..)| f != t)
             .map(|(from, to, start, dur, rate)| Contact {
                 from,
@@ -108,60 +138,68 @@ proptest! {
                 rate_bps: rate,
             })
             .collect();
+        let t_start = rng.uniform_range(0.0, 400.0);
+        let bundle = rng.uniform_range(1e3, 1e6);
         if contacts.is_empty() {
-            return Ok(());
+            return;
         }
         if let Some(r) = earliest_arrival(&contacts, 6, 0, 5, t_start, bundle) {
             // Arrival can never precede departure readiness.
-            prop_assert!(r.arrival_s >= t_start);
+            assert!(r.arrival_s >= t_start);
             // The route starts at the source and ends at the target.
-            prop_assert_eq!(r.nodes[0], 0);
-            prop_assert_eq!(*r.nodes.last().unwrap(), 5);
+            assert_eq!(r.nodes[0], 0);
+            assert_eq!(*r.nodes.last().unwrap(), 5);
             // Starting later can never yield an earlier arrival.
-            if let Some(later) =
-                earliest_arrival(&contacts, 6, 0, 5, t_start + 50.0, bundle)
-            {
-                prop_assert!(later.arrival_s + 1e-9 >= r.arrival_s);
+            if let Some(later) = earliest_arrival(&contacts, 6, 0, 5, t_start + 50.0, bundle) {
+                assert!(later.arrival_s + 1e-9 >= r.arrival_s);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn csma_report_is_internally_consistent(
-        n in 1usize..24,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn csma_report_is_internally_consistent() {
+    for_cases(0xC3, |rng| {
+        let n = 1 + rng.index(23);
+        let seed = rng.next_u64();
         let r = simulate_csma_ca(&MacParams::s_band_isl(), n, 5.0, seed);
-        prop_assert!(r.channel_efficiency >= 0.0 && r.channel_efficiency <= 1.0);
-        prop_assert!(r.collision_rate >= 0.0 && r.collision_rate <= 1.0);
+        assert!(r.channel_efficiency >= 0.0 && r.channel_efficiency <= 1.0);
+        assert!(r.collision_rate >= 0.0 && r.collision_rate <= 1.0);
         if n == 1 {
-            prop_assert_eq!(r.collision_rate, 0.0);
-            prop_assert_eq!(r.dropped, 0);
+            assert_eq!(r.collision_rate, 0.0);
+            assert_eq!(r.dropped, 0);
         }
-        prop_assert!(r.delivered > 0, "5 s of saturation must deliver");
-    }
+        assert!(r.delivered > 0, "5 s of saturation must deliver");
+    });
+}
 
-    #[test]
-    fn dama_never_delivers_more_than_offered_or_capacity(
-        n in 1usize..16,
-        load in 1e4..2e6f64,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn dama_never_delivers_more_than_offered_or_capacity() {
+    for_cases(0xC4, |rng| {
+        let n = 1 + rng.index(15);
+        let load = rng.uniform_range(1e4, 2e6);
+        let seed = rng.next_u64();
         let p = DamaParams::s_band_isl();
         let duration = 20.0;
         let r = simulate_dama(&p, n, load, duration, seed);
         // Carried ≤ offered (with slack for arrival bunching at the
         // horizon) and ≤ channel peak.
         let offered = load * n as f64;
-        prop_assert!(r.goodput_bps <= offered * 1.1 + 1e4, "carried {} offered {}", r.goodput_bps, offered);
-        prop_assert!(r.goodput_bps <= p.peak_goodput_bps() * 1.02);
-    }
+        assert!(
+            r.goodput_bps <= offered * 1.1 + 1e4,
+            "carried {} offered {}",
+            r.goodput_bps,
+            offered
+        );
+        assert!(r.goodput_bps <= p.peak_goodput_bps() * 1.02);
+    });
+}
 
-    #[test]
-    fn shapley_is_always_efficient_for_monotone_games(
-        n in 1usize..7,
-        weights in prop::collection::vec(0.0..10.0f64, 7),
-    ) {
+#[test]
+fn shapley_is_always_efficient_for_monotone_games() {
+    for_cases(0xC5, |rng| {
+        let n = 1 + rng.index(6);
+        let weights: Vec<f64> = (0..7).map(|_| rng.uniform_range(0.0, 10.0)).collect();
         let members: Vec<OperatorId> = (1..=n as u32).map(OperatorId).collect();
         // A weighted additive-with-synergy game: monotone by construction.
         let value = |mask: u32| {
@@ -174,15 +212,19 @@ proptest! {
         let shares = shapley_shares(&members, value);
         let grand = value((1u32 << n) - 1);
         let total: f64 = shares.iter().map(|s| s.shapley_value).sum();
-        prop_assert!((total - grand).abs() < 1e-9, "sum {total} vs grand {grand}");
-    }
+        assert!((total - grand).abs() < 1e-9, "sum {total} vs grand {grand}");
+    });
+}
 
-    #[test]
-    fn neighbor_table_never_reports_expired_entries(
-        observations in prop::collection::vec((0u64..50, 0u64..10_000), 1..60),
-        probe in 0u64..20_000,
-        ttl in 1u64..5_000,
-    ) {
+#[test]
+fn neighbor_table_never_reports_expired_entries() {
+    for_cases(0xC6, |rng| {
+        let n_obs = 1 + rng.index(59);
+        let observations: Vec<(u64, u64)> = (0..n_obs)
+            .map(|_| (rng.below(50), rng.below(10_000)))
+            .collect();
+        let probe = rng.below(20_000);
+        let ttl = 1 + rng.below(4_999);
         let mut t = NeighborTable::new(ttl);
         for (id, at) in &observations {
             let b = Beacon {
@@ -200,7 +242,7 @@ proptest! {
             t.observe(b, *at);
         }
         for n in t.active(probe) {
-            prop_assert!(probe.saturating_sub(n.last_heard_ms) <= ttl);
+            assert!(probe.saturating_sub(n.last_heard_ms) <= ttl);
         }
-    }
+    });
 }

@@ -1,114 +1,150 @@
-//! Property-based tests of the orbital substrate: frame conversions,
+//! Randomized property tests of the orbital substrate: frame conversions,
 //! Kepler-equation residuals, propagation invariants, and constellation
 //! generators, over wide parameter ranges.
+//!
+//! Cases are drawn from a seeded [`SimRng`] stream, so every run explores
+//! the same 256 points per property — deterministic, dependency-free
+//! property testing.
 
 use openspace_orbit::prelude::*;
-use proptest::prelude::*;
+use openspace_sim::rng::SimRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: u64 = 256;
 
-    #[test]
-    fn geodetic_ecef_round_trip(
-        lat in -89.9..89.9f64,
-        lon in -179.9..179.9f64,
-        alt in 0.0..2_000_000.0f64,
-    ) {
+/// Run `f` over `CASES` deterministic substreams of `seed`.
+fn for_cases(seed: u64, mut f: impl FnMut(&mut SimRng)) {
+    for case in 0..CASES {
+        let mut rng = SimRng::substream(seed, case);
+        f(&mut rng);
+    }
+}
+
+#[test]
+fn geodetic_ecef_round_trip() {
+    for_cases(0xA1, |rng| {
+        let lat = rng.uniform_range(-89.9, 89.9);
+        let lon = rng.uniform_range(-179.9, 179.9);
+        let alt = rng.uniform_range(0.0, 2_000_000.0);
         let g = Geodetic::from_degrees(lat, lon, alt);
         let back = ecef_to_geodetic(geodetic_to_ecef(g));
-        prop_assert!((back.lat_deg() - lat).abs() < 1e-6, "lat {} vs {}", back.lat_deg(), lat);
-        prop_assert!((back.lon_deg() - lon).abs() < 1e-6, "lon {} vs {}", back.lon_deg(), lon);
-        prop_assert!((back.alt_m - alt).abs() < 1e-2, "alt {} vs {}", back.alt_m, alt);
-    }
+        assert!(
+            (back.lat_deg() - lat).abs() < 1e-6,
+            "lat {} vs {}",
+            back.lat_deg(),
+            lat
+        );
+        assert!(
+            (back.lon_deg() - lon).abs() < 1e-6,
+            "lon {} vs {}",
+            back.lon_deg(),
+            lon
+        );
+        assert!(
+            (back.alt_m - alt).abs() < 1e-2,
+            "alt {} vs {}",
+            back.alt_m,
+            alt
+        );
+    });
+}
 
-    #[test]
-    fn eci_ecef_round_trip_preserves_norm(
-        x in -1e7..1e7f64,
-        y in -1e7..1e7f64,
-        z in -1e7..1e7f64,
-        t in 0.0..1e6f64,
-    ) {
-        let p = Vec3::new(x, y, z);
+#[test]
+fn eci_ecef_round_trip_preserves_norm() {
+    for_cases(0xA2, |rng| {
+        let p = Vec3::new(
+            rng.uniform_range(-1e7, 1e7),
+            rng.uniform_range(-1e7, 1e7),
+            rng.uniform_range(-1e7, 1e7),
+        );
+        let t = rng.uniform_range(0.0, 1e6);
         let q = eci_to_ecef(p, t);
         // Rotation preserves length…
-        prop_assert!((q.norm() - p.norm()).abs() < 1e-6);
+        assert!((q.norm() - p.norm()).abs() < 1e-6);
         // …and inverts cleanly.
-        prop_assert!(ecef_to_eci(q, t).distance(p) < 1e-6);
-    }
+        assert!(ecef_to_eci(q, t).distance(p) < 1e-6);
+    });
+}
 
-    #[test]
-    fn kepler_solver_residual_is_tiny(
-        m in 0.0..std::f64::consts::TAU,
-        e in 0.0..0.95f64,
-    ) {
+#[test]
+fn kepler_solver_residual_is_tiny() {
+    for_cases(0xA3, |rng| {
+        let m = rng.uniform_range(0.0, std::f64::consts::TAU);
+        let e = rng.uniform_range(0.0, 0.95);
         let big_e = openspace_orbit::kepler::solve_kepler(m, e);
         let residual = big_e - e * big_e.sin() - m;
-        prop_assert!(residual.abs() < 1e-9, "residual {residual}");
-    }
+        assert!(residual.abs() < 1e-9, "residual {residual}");
+    });
+}
 
-    #[test]
-    fn circular_orbit_radius_is_invariant_under_propagation(
-        alt_km in 400.0..2_000.0f64,
-        inc in 0.0..180.0f64,
-        raan in 0.0..360.0f64,
-        ma in 0.0..360.0f64,
-        t in 0.0..100_000.0f64,
-    ) {
+#[test]
+fn circular_orbit_radius_is_invariant_under_propagation() {
+    for_cases(0xA4, |rng| {
+        let alt_km = rng.uniform_range(400.0, 2_000.0);
+        let inc = rng.uniform_range(0.0, 180.0);
+        let raan = rng.uniform_range(0.0, 360.0);
+        let ma = rng.uniform_range(0.0, 360.0);
+        let t = rng.uniform_range(0.0, 100_000.0);
         let el = OrbitalElements::circular(km_to_m(alt_km), inc, raan, ma).unwrap();
         let prop = Propagator::new(el, PerturbationModel::SecularJ2);
         let r = prop.position_eci(t).norm();
         let expect = EARTH_RADIUS_M + km_to_m(alt_km);
-        prop_assert!((r - expect).abs() < 1.0, "radius {r} vs {expect}");
-    }
+        assert!((r - expect).abs() < 1.0, "radius {r} vs {expect}");
+    });
+}
 
-    #[test]
-    fn orbital_energy_is_conserved(
-        alt_km in 400.0..2_000.0f64,
-        ecc in 0.0..0.05f64,
-        inc in 0.0..180.0f64,
-        t in 0.0..50_000.0f64,
-    ) {
+#[test]
+fn orbital_energy_is_conserved() {
+    for_cases(0xA5, |rng| {
+        let alt_km = rng.uniform_range(400.0, 2_000.0);
+        let ecc = rng.uniform_range(0.0, 0.05);
+        let inc = rng.uniform_range(0.0, 180.0);
+        let t = rng.uniform_range(0.0, 50_000.0);
         let a = EARTH_RADIUS_M + km_to_m(alt_km) + ecc * 1e6; // keep perigee up
         let Ok(el) = OrbitalElements::new(a, ecc, inc.to_radians(), 1.0, 0.5, 0.1) else {
-            return Ok(()); // perigee below surface: not a valid case
+            return; // perigee below surface: not a valid case
         };
         let prop = Propagator::new(el, PerturbationModel::TwoBody);
         let (r, v) = prop.state_eci(t);
         let mu = openspace_orbit::constants::EARTH_MU_M3_PER_S2;
         let energy = v.norm_sq() / 2.0 - mu / r.norm();
         let expect = -mu / (2.0 * a);
-        prop_assert!(((energy - expect) / expect).abs() < 1e-9);
-    }
+        assert!(((energy - expect) / expect).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn walker_constellations_have_exact_size_and_valid_elements(
-        planes in 1usize..12,
-        per_plane in 1usize..12,
-        phasing_seed in any::<usize>(),
-        alt_km in 400.0..2_000.0f64,
-        inc in 1.0..179.0f64,
-    ) {
+#[test]
+fn walker_constellations_have_exact_size_and_valid_elements() {
+    for_cases(0xA6, |rng| {
+        let planes = 1 + rng.index(11);
+        let per_plane = 1 + rng.index(11);
+        let phasing = rng.index(planes);
+        let alt_km = rng.uniform_range(400.0, 2_000.0);
+        let inc = rng.uniform_range(1.0, 179.0);
         let total = planes * per_plane;
         let params = WalkerParams {
             total_satellites: total,
             planes,
-            phasing: phasing_seed % planes,
+            phasing,
             altitude_m: km_to_m(alt_km),
             inclination_deg: inc,
         };
-        for els in [walker_star(&params).unwrap(), walker_delta(&params).unwrap()] {
-            prop_assert_eq!(els.len(), total);
+        for els in [
+            walker_star(&params).unwrap(),
+            walker_delta(&params).unwrap(),
+        ] {
+            assert_eq!(els.len(), total);
             for el in &els {
-                prop_assert!((el.altitude_m() - km_to_m(alt_km)).abs() < 1e-6);
+                assert!((el.altitude_m() - km_to_m(alt_km)).abs() < 1e-6);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn coverage_estimators_stay_in_unit_interval(
-        n in 1usize..80,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn coverage_estimators_stay_in_unit_interval() {
+    for_cases(0xA7, |rng| {
+        let n = 1 + rng.index(79);
+        let seed = rng.next_u64();
         let sats: Vec<Propagator> = random_constellation(n, km_to_m(780.0), 86.4, seed)
             .unwrap()
             .into_iter()
@@ -116,32 +152,46 @@ proptest! {
             .collect();
         let wc = worst_case_coverage_fraction(&sats, 0.0, 0.0);
         let pk = disjoint_packing_coverage_fraction(&sats, 0.0, 0.0);
-        prop_assert!((0.0..=1.0).contains(&wc));
-        prop_assert!((0.0..=1.0).contains(&pk));
-        prop_assert!(pk <= wc + 1e-9, "packing {pk} must not exceed pairwise {wc}");
-    }
+        assert!((0.0..=1.0).contains(&wc));
+        assert!((0.0..=1.0).contains(&pk));
+        assert!(
+            pk <= wc + 1e-9,
+            "packing {pk} must not exceed pairwise {wc}"
+        );
+    });
+}
 
-    #[test]
-    fn line_of_sight_is_symmetric(
-        ax in -8e6..8e6f64, ay in -8e6..8e6f64, az in -8e6..8e6f64,
-        bx in -8e6..8e6f64, by in -8e6..8e6f64, bz in -8e6..8e6f64,
-    ) {
-        let a = Vec3::new(ax, ay, az);
-        let b = Vec3::new(bx, by, bz);
-        prop_assert_eq!(line_of_sight(a, b), line_of_sight(b, a));
-    }
+#[test]
+fn line_of_sight_is_symmetric() {
+    for_cases(0xA8, |rng| {
+        let a = Vec3::new(
+            rng.uniform_range(-8e6, 8e6),
+            rng.uniform_range(-8e6, 8e6),
+            rng.uniform_range(-8e6, 8e6),
+        );
+        let b = Vec3::new(
+            rng.uniform_range(-8e6, 8e6),
+            rng.uniform_range(-8e6, 8e6),
+            rng.uniform_range(-8e6, 8e6),
+        );
+        assert_eq!(line_of_sight(a, b), line_of_sight(b, a));
+    });
+}
 
-    #[test]
-    fn elevation_bounded_by_quarter_turn(
-        lat in -89.0..89.0f64,
-        lon in -179.0..179.0f64,
-        sx in -8e6..8e6f64, sy in -8e6..8e6f64, sz in -8e6..8e6f64,
-    ) {
+#[test]
+fn elevation_bounded_by_quarter_turn() {
+    for_cases(0xA9, |rng| {
+        let lat = rng.uniform_range(-89.0, 89.0);
+        let lon = rng.uniform_range(-179.0, 179.0);
         let g = geodetic_to_ecef(Geodetic::from_degrees(lat, lon, 0.0));
-        let s = Vec3::new(sx, sy, sz);
+        let s = Vec3::new(
+            rng.uniform_range(-8e6, 8e6),
+            rng.uniform_range(-8e6, 8e6),
+            rng.uniform_range(-8e6, 8e6),
+        );
         if s.distance(g) > 1.0 {
             let e = elevation_angle_rad(g, s);
-            prop_assert!((-std::f64::consts::FRAC_PI_2..=std::f64::consts::FRAC_PI_2).contains(&e));
+            assert!((-std::f64::consts::FRAC_PI_2..=std::f64::consts::FRAC_PI_2).contains(&e));
         }
-    }
+    });
 }

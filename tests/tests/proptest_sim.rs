@@ -1,50 +1,63 @@
-//! Property-based tests of the simulation engine and queues: event
+//! Randomized property tests of the simulation engine and queues: event
 //! ordering, conservation laws, and statistics invariants.
+//!
+//! Cases are drawn from a seeded [`SimRng`] stream (see
+//! `proptest_orbit.rs` for the scheme) — deterministic, dependency-free
+//! property testing.
 
 use openspace_sim::prelude::*;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: u64 = 256;
 
-    #[test]
-    fn events_always_pop_in_nondecreasing_time_order(
-        times in prop::collection::vec(0.0..1e6f64, 1..200),
-    ) {
+fn for_cases(seed: u64, mut f: impl FnMut(&mut SimRng)) {
+    for case in 0..CASES {
+        let mut rng = SimRng::substream(seed, case);
+        f(&mut rng);
+    }
+}
+
+#[test]
+fn events_always_pop_in_nondecreasing_time_order() {
+    for_cases(0xB1, |rng| {
+        let n = 1 + rng.index(199);
+        let times: Vec<f64> = (0..n).map(|_| rng.uniform_range(0.0, 1e6)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(t, i);
         }
         let mut last = f64::NEG_INFINITY;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
         }
-        prop_assert_eq!(q.processed(), times.len() as u64);
-    }
+        assert_eq!(q.processed(), times.len() as u64);
+    });
+}
 
-    #[test]
-    fn equal_times_preserve_insertion_order(
-        n in 1usize..100,
-        t in 0.0..1e3f64,
-    ) {
+#[test]
+fn equal_times_preserve_insertion_order() {
+    for_cases(0xB2, |rng| {
+        let n = 1 + rng.index(99);
+        let t = rng.uniform_range(0.0, 1e3);
         let mut q = EventQueue::new();
         for i in 0..n {
             q.schedule(t, i);
         }
         let mut expect = 0;
         while let Some((_, i)) = q.pop() {
-            prop_assert_eq!(i, expect);
+            assert_eq!(i, expect);
             expect += 1;
         }
-    }
+    });
+}
 
-    #[test]
-    fn queue_conserves_packets(
-        sizes in prop::collection::vec(1u32..5_000, 1..100),
-        capacity in 5_000u64..50_000,
-        drains in 0usize..50,
-    ) {
+#[test]
+fn queue_conserves_packets() {
+    for_cases(0xB3, |rng| {
+        let n = 1 + rng.index(99);
+        let sizes: Vec<u32> = (0..n).map(|_| 1 + rng.below(4_999) as u32).collect();
+        let capacity = 5_000 + rng.below(45_000);
+        let drains = rng.index(50);
         let mut q = DropTailQueue::new(capacity);
         for (i, &s) in sizes.iter().enumerate() {
             q.enqueue(Packet {
@@ -59,40 +72,57 @@ proptest! {
         }
         let st = q.stats();
         // Conservation: everything offered is accounted for.
-        prop_assert_eq!(st.enqueued + st.dropped, sizes.len() as u64);
-        prop_assert_eq!(st.enqueued - st.dequeued, q.len() as u64);
+        assert_eq!(st.enqueued + st.dropped, sizes.len() as u64);
+        assert_eq!(st.enqueued - st.dequeued, q.len() as u64);
         // Occupancy never exceeds capacity.
-        prop_assert!(q.occupancy_bytes() <= capacity);
-    }
+        assert!(q.occupancy_bytes() <= capacity);
+    });
+}
 
-    #[test]
-    fn priority_queue_never_serves_visitor_before_native(
-        native_sizes in prop::collection::vec(1u32..500, 0..30),
-        visitor_sizes in prop::collection::vec(1u32..500, 0..30),
-    ) {
+#[test]
+fn priority_queue_never_serves_visitor_before_native() {
+    for_cases(0xB4, |rng| {
+        let native: Vec<u32> = (0..rng.index(30))
+            .map(|_| 1 + rng.below(499) as u32)
+            .collect();
+        let visitor: Vec<u32> = (0..rng.index(30))
+            .map(|_| 1 + rng.below(499) as u32)
+            .collect();
         let mut q = PriorityQueue::new(1_000_000, 0.5);
-        for &s in &visitor_sizes {
-            q.enqueue(Packet { flow_id: 0, size_bytes: s, created_at_s: 0.0, is_native: false });
+        for &s in &visitor {
+            q.enqueue(Packet {
+                flow_id: 0,
+                size_bytes: s,
+                created_at_s: 0.0,
+                is_native: false,
+            });
         }
-        for &s in &native_sizes {
-            q.enqueue(Packet { flow_id: 1, size_bytes: s, created_at_s: 0.0, is_native: true });
+        for &s in &native {
+            q.enqueue(Packet {
+                flow_id: 1,
+                size_bytes: s,
+                created_at_s: 0.0,
+                is_native: true,
+            });
         }
         let mut seen_visitor = false;
         while let Some(p) = q.dequeue() {
             if p.is_native {
-                prop_assert!(!seen_visitor, "native packet after a visitor one");
+                assert!(!seen_visitor, "native packet after a visitor one");
             } else {
                 seen_visitor = true;
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn summary_quantiles_are_monotone_and_bounded(
-        samples in prop::collection::vec(-1e9..1e9f64, 2..500),
-        q1 in 0.0..1.0f64,
-        q2 in 0.0..1.0f64,
-    ) {
+#[test]
+fn summary_quantiles_are_monotone_and_bounded() {
+    for_cases(0xB5, |rng| {
+        let n = 2 + rng.index(498);
+        let samples: Vec<f64> = (0..n).map(|_| rng.uniform_range(-1e9, 1e9)).collect();
+        let q1 = rng.uniform();
+        let q2 = rng.uniform();
         let mut s = Summary::new();
         for &x in &samples {
             s.add(x);
@@ -100,48 +130,54 @@ proptest! {
         let (lo, hi) = (q1.min(q2), q1.max(q2));
         let v_lo = s.quantile(lo);
         let v_hi = s.quantile(hi);
-        prop_assert!(v_lo <= v_hi + 1e-9);
-        prop_assert!(v_lo >= s.min() - 1e-9 && v_hi <= s.max() + 1e-9);
-        prop_assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
-    }
+        assert!(v_lo <= v_hi + 1e-9);
+        assert!(v_lo >= s.min() - 1e-9 && v_hi <= s.max() + 1e-9);
+        assert!(s.mean() >= s.min() - 1e-9 && s.mean() <= s.max() + 1e-9);
+    });
+}
 
-    #[test]
-    fn rng_streams_are_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+#[test]
+fn rng_streams_are_reproducible() {
+    for_cases(0xB6, |rng| {
+        let seed = rng.next_u64();
+        let stream = rng.next_u64();
         let mut a = SimRng::substream(seed, stream);
         let mut b = SimRng::substream(seed, stream);
         for _ in 0..32 {
-            prop_assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
         }
-    }
+    });
+}
 
-    #[test]
-    fn cbr_arrivals_are_exactly_periodic(
-        rate in 1_000.0..1e7f64,
-        bytes in 64u32..9_000,
-    ) {
+#[test]
+fn cbr_arrivals_are_exactly_periodic() {
+    for_cases(0xB7, |rng| {
+        let rate = rng.uniform_range(1_000.0, 1e7);
+        let bytes = 64 + rng.below(8_936) as u32;
         let mut src = CbrSource::new(rate, bytes, 0.0);
         let period = bytes as f64 * 8.0 / rate;
         let mut last: Option<f64> = None;
         for _ in 0..50 {
             let a = src.next_arrival().unwrap();
             if let Some(prev) = last {
-                prop_assert!((a.at_s - prev - period).abs() < 1e-9);
+                assert!((a.at_s - prev - period).abs() < 1e-9);
             }
             last = Some(a.at_s);
         }
-    }
+    });
+}
 
-    #[test]
-    fn poisson_arrivals_are_strictly_increasing(
-        seed in any::<u64>(),
-        rate in 1_000.0..1e6f64,
-    ) {
+#[test]
+fn poisson_arrivals_are_strictly_increasing() {
+    for_cases(0xB8, |rng| {
+        let seed = rng.next_u64();
+        let rate = rng.uniform_range(1_000.0, 1e6);
         let mut src = PoissonSource::new(rate, 1_000, 0.0, seed);
         let mut last = 0.0;
         for _ in 0..100 {
             let a = src.next_arrival().unwrap();
-            prop_assert!(a.at_s >= last);
+            assert!(a.at_s >= last);
             last = a.at_s;
         }
-    }
+    });
 }

@@ -1,153 +1,169 @@
-//! Property-based tests of the wire protocol: round trips, corruption
-//! detection, and tamper resistance, over arbitrary field values.
+//! Randomized property tests of the wire protocol: round trips,
+//! corruption detection, and tamper resistance, over arbitrary field
+//! values.
+//!
+//! Cases are drawn from a seeded [`SimRng`] stream — deterministic,
+//! dependency-free property testing.
 
 use openspace_protocol::prelude::*;
-use proptest::prelude::*;
+use openspace_sim::rng::SimRng;
 
-fn arb_capabilities() -> impl Strategy<Value = Capabilities> {
+const CASES: u64 = 256;
+
+fn for_cases(seed: u64, mut f: impl FnMut(&mut SimRng)) {
+    for case in 0..CASES {
+        let mut rng = SimRng::substream(seed, case);
+        f(&mut rng);
+    }
+}
+
+fn arb_capabilities(rng: &mut SimRng) -> Capabilities {
     // Always include the mandatory RF bit (beacons without it are
     // rejected by design).
-    any::<u16>().prop_map(|bits| Capabilities::from_bits(bits | 1))
+    Capabilities::from_bits(rng.next_u64() as u16 | 1)
 }
 
-fn arb_beacon() -> impl Strategy<Value = Beacon> {
-    (
-        any::<u64>(),
-        any::<u32>(),
-        arb_capabilities(),
-        any::<u64>(),
-        6_878_137.0..8_378_137.0f64, // 500..2000 km altitude class
-        0.0..0.1f64,
-        0.0..std::f64::consts::PI,
-        0.0..std::f64::consts::TAU,
-        0.0..std::f64::consts::TAU,
-        0.0..std::f64::consts::TAU,
-    )
-        .prop_map(
-            |(sat, op, caps, ts, sma, ecc, inc, raan, argp, ma)| Beacon {
-                satellite: SatelliteId(sat),
-                operator: OperatorId(op),
-                capabilities: caps,
-                timestamp_ms: ts,
-                semi_major_axis_m: sma,
-                eccentricity: ecc,
-                inclination_rad: inc,
-                raan_rad: raan,
-                arg_perigee_rad: argp,
-                mean_anomaly_rad: ma,
-            },
-        )
+fn arb_beacon(rng: &mut SimRng) -> Beacon {
+    Beacon {
+        satellite: SatelliteId(rng.next_u64()),
+        operator: OperatorId(rng.next_u64() as u32),
+        capabilities: arb_capabilities(rng),
+        timestamp_ms: rng.next_u64(),
+        semi_major_axis_m: rng.uniform_range(6_878_137.0, 8_378_137.0), // 500..2000 km class
+        eccentricity: rng.uniform_range(0.0, 0.1),
+        inclination_rad: rng.uniform_range(0.0, std::f64::consts::PI),
+        raan_rad: rng.uniform_range(0.0, std::f64::consts::TAU),
+        arg_perigee_rad: rng.uniform_range(0.0, std::f64::consts::TAU),
+        mean_anomaly_rad: rng.uniform_range(0.0, std::f64::consts::TAU),
+    }
 }
 
-fn arb_message() -> impl Strategy<Value = Message> {
-    prop_oneof![
-        arb_beacon().prop_map(Message::Beacon),
-        (any::<u64>(), any::<u64>(), arb_capabilities(), 0.0..1.0f64).prop_map(
-            |(a, b, caps, bw)| {
-                Message::PairRequest(PairRequest {
-                    requester: SatelliteId(a),
-                    target: SatelliteId(a.wrapping_add(b.max(1))),
-                    capabilities: caps,
-                    laser_azimuth_rad: 0.5,
-                    laser_elevation_rad: -0.25,
-                    available_bandwidth_fraction: bw,
-                })
+fn arb_message(rng: &mut SimRng) -> Message {
+    match rng.index(4) {
+        0 => Message::Beacon(arb_beacon(rng)),
+        1 => {
+            let a = rng.next_u64();
+            let b = rng.next_u64();
+            Message::PairRequest(PairRequest {
+                requester: SatelliteId(a),
+                target: SatelliteId(a.wrapping_add(b.max(1))),
+                capabilities: arb_capabilities(rng),
+                laser_azimuth_rad: 0.5,
+                laser_elevation_rad: -0.25,
+                available_bandwidth_fraction: rng.uniform(),
+            })
+        }
+        2 => {
+            let mut tag = [0u8; 16];
+            for byte in tag.iter_mut() {
+                *byte = rng.below(256) as u8;
             }
-        ),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<[u8; 16]>()).prop_map(
-            |(u, from, _ts, tag)| {
-                Message::HandoverCommit(HandoverCommit {
-                    user: UserId(u),
-                    from: SatelliteId(from),
-                    session_token: Tag(tag),
-                })
+            Message::HandoverCommit(HandoverCommit {
+                user: UserId(rng.next_u64()),
+                from: SatelliteId(rng.next_u64()),
+                session_token: Tag(tag),
+            })
+        }
+        _ => {
+            let mut proof = [0u8; 16];
+            for byte in proof.iter_mut() {
+                *byte = rng.below(256) as u8;
             }
-        ),
-        (any::<u64>(), any::<u32>(), any::<u64>(), any::<[u8; 16]>()).prop_map(
-            |(u, op, nonce, proof)| {
-                Message::AccessRequest(AccessRequest {
-                    user: UserId(u),
-                    home_operator: OperatorId(op),
-                    nonce,
-                    proof: Tag(proof),
-                })
-            }
-        ),
-    ]
+            Message::AccessRequest(AccessRequest {
+                user: UserId(rng.next_u64()),
+                home_operator: OperatorId(rng.next_u64() as u32),
+                nonce: rng.next_u64(),
+                proof: Tag(proof),
+            })
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn frame_round_trip(sender in any::<u64>(), msg in arb_message()) {
-        let frame = Frame { sender, message: msg };
+#[test]
+fn frame_round_trip() {
+    for_cases(0xD1, |rng| {
+        let frame = Frame {
+            sender: rng.next_u64(),
+            message: arb_message(rng),
+        };
         let bytes = frame.encode();
         let decoded = Frame::decode(&bytes).expect("round trip");
-        prop_assert_eq!(decoded, frame);
-    }
+        assert_eq!(decoded, frame);
+    });
+}
 
-    #[test]
-    fn any_single_byte_corruption_is_detected(
-        msg in arb_beacon(),
-        byte_idx in any::<prop::sample::Index>(),
-        flip in 1u8..=255,
-    ) {
-        let frame = Frame { sender: 1, message: Message::Beacon(msg) };
+#[test]
+fn any_single_byte_corruption_is_detected() {
+    for_cases(0xD2, |rng| {
+        let frame = Frame {
+            sender: 1,
+            message: Message::Beacon(arb_beacon(rng)),
+        };
         let mut bytes = frame.encode();
-        let i = byte_idx.index(bytes.len());
+        let i = rng.index(bytes.len());
+        let flip = 1 + rng.below(255) as u8;
         bytes[i] ^= flip;
         // Either the decode fails, or (vanishingly unlikely with a
         // checksum) it must not silently produce a different frame.
         if let Ok(decoded) = Frame::decode(&bytes) {
-            prop_assert_eq!(decoded, frame);
+            assert_eq!(decoded, frame);
         }
-    }
+    });
+}
 
-    #[test]
-    fn any_truncation_is_detected(msg in arb_beacon(), cut in any::<prop::sample::Index>()) {
-        let frame = Frame { sender: 9, message: Message::Beacon(msg) };
+#[test]
+fn any_truncation_is_detected() {
+    for_cases(0xD3, |rng| {
+        let frame = Frame {
+            sender: 9,
+            message: Message::Beacon(arb_beacon(rng)),
+        };
         let bytes = frame.encode();
-        let n = cut.index(bytes.len()); // 0..len-1: always a strict prefix
-        prop_assert!(Frame::decode(&bytes[..n]).is_err());
-    }
+        let n = rng.index(bytes.len()); // 0..len-1: always a strict prefix
+        assert!(Frame::decode(&bytes[..n]).is_err());
+    });
+}
 
-    #[test]
-    fn tag_verification_rejects_any_other_message(
-        key_id in any::<u64>(),
-        data in prop::collection::vec(any::<u8>(), 0..256),
-        mutation in any::<prop::sample::Index>(),
-        flip in 1u8..=255,
-    ) {
+#[test]
+fn tag_verification_rejects_any_other_message() {
+    for_cases(0xD4, |rng| {
+        let key_id = rng.next_u64();
+        let len = rng.index(256);
+        let data: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
         let secret = SharedSecret::derive(key_id, "prop");
         let tag = compute_tag(&secret, &data);
-        prop_assert!(verify_tag(&secret, &data, &tag));
+        assert!(verify_tag(&secret, &data, &tag));
         if !data.is_empty() {
             let mut other = data.clone();
-            let i = mutation.index(other.len());
-            other[i] ^= flip;
-            prop_assert!(!verify_tag(&secret, &other, &tag));
+            let i = rng.index(other.len());
+            other[i] ^= 1 + rng.below(255) as u8;
+            assert!(!verify_tag(&secret, &other, &tag));
         }
-    }
+    });
+}
 
-    #[test]
-    fn certificates_never_verify_outside_their_window(
-        user in any::<u64>(),
-        op in any::<u32>(),
-        start in 0u64..1_000_000,
-        len in 1u64..1_000_000,
-        probe in any::<u64>(),
-    ) {
+#[test]
+fn certificates_never_verify_outside_their_window() {
+    for_cases(0xD5, |rng| {
+        let user = rng.next_u64();
+        let op = rng.next_u64() as u32;
+        let start = rng.below(1_000_000);
+        let len = 1 + rng.below(999_999);
+        let probe = rng.next_u64();
         let secret = SharedSecret::derive(op as u64, "fed");
         let cert = Certificate::issue(UserId(user), OperatorId(op), start, start + len, &secret);
         let now = probe % (start + 2 * len + 1);
         let inside = now >= start && now < start + len;
-        prop_assert_eq!(cert.verify(&secret, now), inside);
-    }
+        assert_eq!(cert.verify(&secret, now), inside);
+    });
+}
 
-    #[test]
-    fn reader_never_panics_on_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn reader_never_panics_on_arbitrary_bytes() {
+    for_cases(0xD6, |rng| {
+        let len = rng.index(512);
+        let data: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
         // Decoding arbitrary garbage must return an error, never panic.
         let _ = Frame::decode(&data);
-    }
+    });
 }
