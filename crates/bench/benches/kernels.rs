@@ -229,7 +229,8 @@ fn bench_extensions() {
     bench("dtn_earliest_arrival_day_plan", WINDOW, || {
         black_box(openspace_net::dtn::earliest_arrival(
             &contacts, 2, 0, 1, 0.0, 1e6,
-        ));
+        ))
+        .ok();
     });
 
     // Shapley over an 8-member game.
@@ -246,8 +247,8 @@ fn bench_extensions() {
     let mut g = Graph::new(2, 0);
     g.add_bidirectional(0, 1, 0.001, 1e7, 0, 0, LinkTech::Rf);
     let flows = [FlowSpec {
-        src: 0,
-        dst: 1,
+        src: 0.into(),
+        dst: 1.into(),
         rate_bps: 8e6,
         packet_bytes: 1_500,
         kind: TrafficKind::Poisson,
@@ -257,7 +258,7 @@ fn bench_extensions() {
         ..Default::default()
     };
     bench("netsim_1s_loaded_link", WINDOW, || {
-        black_box(run_netsim(&g, &flows, &cfg));
+        black_box(run_netsim(&g, &flows, &cfg)).ok();
     });
 }
 

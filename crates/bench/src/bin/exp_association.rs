@@ -65,7 +65,7 @@ fn main() {
         let t0 = k as f64 * day / 3.0;
         let t1 = (k + 1) as f64 * day / 3.0;
         let windows = fed.contact_plan(pos, t0, t1, 10.0);
-        let sched = service_schedule(&windows, t0, t1);
+        let sched = service_schedule(&windows, t0, t1).expect("valid service window");
         handovers += sched.handovers;
         reassociations += 1; // one re-auth per relocation
     }

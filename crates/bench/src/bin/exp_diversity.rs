@@ -69,7 +69,7 @@ fn main() {
         let (src_sat, _) = access_satellite(&fed, user, 0.0).expect("coverage");
         let best = best_station_route(&fed, &graph, src_sat);
         let (latency_ms, bottleneck) = best
-            .map(|(_, p)| (p.total_cost * 1e3, p.bottleneck_bps(&graph)))
+            .map(|(_, p)| (p.total_cost * 1e3, p.bottleneck_bps(&graph).unwrap_or(0.0)))
             .unwrap_or((f64::NAN, 0.0));
 
         let capex: f64 = fed

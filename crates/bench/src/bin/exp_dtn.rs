@@ -58,6 +58,7 @@ fn main() {
                         t0,
                         bundle_bits,
                     )
+                    .ok()
                 })
                 .map(|r| r.arrival_s - t0)
                 .fold(f64::INFINITY, f64::min);
@@ -84,7 +85,7 @@ fn main() {
                     latency_weight,
                 )
             })
-            .map(|p| p.total_cost + bundle_bits / p.bottleneck_bps(&graph))
+            .map(|p| p.total_cost + bundle_bits / p.bottleneck_bps(&graph).unwrap_or(f64::INFINITY))
             .fold(f64::INFINITY, f64::min);
 
         let speedup = solo.map(|s| s.max(1e-3) / fed_latency);

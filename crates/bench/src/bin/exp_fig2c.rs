@@ -9,7 +9,8 @@
 //! We regenerate the worst-case curve and print the honest grid-union
 //! and disjoint-packing estimators alongside, plus the CBO's 72-satellite
 //! ≈95% reference point that §4 cites. The sweep runs on the shared
-//! [`ScenarioRunner`] harness (memoized ephemeris, parallel size points).
+//! [`ScenarioRunner`](openspace_core::study::ScenarioRunner) harness
+//! (memoized ephemeris, parallel size points).
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_fig2c`
 

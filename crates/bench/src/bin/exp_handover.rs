@@ -44,7 +44,7 @@ fn main() {
                 PerturbationModel::TwoBody,
             );
             let windows = contact_plan(&sats, ground, 0.0, horizon_s, 2.0, mask);
-            let s = service_schedule(&windows, 0.0, horizon_s);
+            let s = service_schedule(&windows, 0.0, horizon_s).expect("valid service window");
             handovers += s.handovers;
             if let Some(t) = s.mean_time_between_handovers_s() {
                 tbh_sum += t;

@@ -26,7 +26,8 @@ fn main() {
     for (i, el) in iridium_elements().into_iter().enumerate() {
         // 36 satellites to the incumbent, 10 to each entrant.
         let owner = if i < 36 { big } else { smalls[(i - 36) / 10] };
-        fed.add_satellite(owner, SatelliteClass::SmallSat, el);
+        fed.add_satellite(owner, SatelliteClass::SmallSat, el)
+            .expect("member operator");
     }
     let members = fed.operator_ids();
 

@@ -48,10 +48,12 @@ fn main() {
             .map(|i| fed.add_operator(format!("member-{}", i + 1)))
             .collect();
         for (i, el) in all_elements.iter().take(members * 11).enumerate() {
-            fed.add_satellite(ops[i / 11], SatelliteClass::SmallSat, *el);
+            fed.add_satellite(ops[i / 11], SatelliteClass::SmallSat, *el)
+                .expect("member operator");
         }
         for (i, &op) in ops.iter().enumerate() {
-            fed.add_ground_station(op, sites[i % sites.len()]);
+            fed.add_ground_station(op, sites[i % sites.len()])
+                .expect("member operator");
         }
 
         // Coverage at the three latitudes.

@@ -58,7 +58,7 @@ fn main() {
             routing: RoutingMode::Proactive,
             seed: 11,
         };
-        let pro = run_netsim(&graph, &flows, &base);
+        let pro = run_netsim(&graph, &flows, &base).expect("valid netsim config");
         let ada = run_netsim(
             &graph,
             &flows,
@@ -68,7 +68,8 @@ fn main() {
                 },
                 ..base
             },
-        );
+        )
+        .expect("valid netsim config");
         println!(
             "{:<12} {:>11.1}% {:>11.1}% {:>14.1} {:>14.1} {:>10}",
             format!("{:.0} Mb/s", aggregate / 1e6),

@@ -16,6 +16,7 @@ use openspace_bench::{access_satellite, nairobi_user, print_header, standard_fed
 use openspace_net::routing::{
     congestion_weight, latency_weight, qos_route, shortest_path, QosRequirement,
 };
+use openspace_net::topology::NodeId;
 use openspace_phy::hardware::SatelliteClass;
 use openspace_sim::rng::SimRng;
 
@@ -46,7 +47,7 @@ fn main() {
             let mut rng = SimRng::substream(9, rep);
             // Beta-ish load around the mean: clamp(mean + u*0.3 - 0.15).
             for node in 0..graph.node_count() {
-                let loads: Vec<(usize, f64)> = graph
+                let loads: Vec<(NodeId, f64)> = graph
                     .edges(node)
                     .iter()
                     .map(|e| {
@@ -70,7 +71,9 @@ fn main() {
             for gi in 0..fed.stations().len() {
                 let dst = graph.station_node(gi);
                 if let Some(p) = shortest_path(&graph, src, dst, latency_weight) {
-                    let eff = p.sum_metric(&graph, |e| congestion_weight(e, PKT_BITS));
+                    let eff = p
+                        .sum_metric(&graph, |e| congestion_weight(e, PKT_BITS))
+                        .unwrap_or(f64::INFINITY);
                     if best_pro.is_none_or(|(bp, _)| p.total_cost < bp) {
                         best_pro = Some((p.total_cost, eff));
                     }

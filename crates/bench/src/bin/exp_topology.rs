@@ -43,7 +43,7 @@ fn main() {
         for u in 0..g.satellite_count() {
             for e in g.edges(u) {
                 if e.to < g.satellite_count() && e.to > u {
-                    s.insert((u, e.to));
+                    s.insert((u, e.to.index()));
                 }
             }
         }
@@ -132,7 +132,8 @@ fn main() {
                 routing,
                 seed: 21,
             },
-        );
+        )
+        .expect("valid netsim config");
         println!(
             "{:<14} {:>11.1}% {:>12} {:>14.1}",
             label,

@@ -76,7 +76,7 @@ pub fn best_station_route(
             )
             .map(|p| (gi, p))
         })
-        .min_by(|(_, a), (_, b)| a.total_cost.partial_cmp(&b.total_cost).expect("finite"))
+        .min_by(|(_, a), (_, b)| a.total_cost.total_cmp(&b.total_cost))
 }
 
 /// A parallel [`ScenarioRunner`] over the default §4 study scenario with

@@ -48,8 +48,8 @@ pub struct Delivery {
     pub path: Path,
     /// End-to-end one-way latency (s): user uplink + space path.
     pub latency_s: f64,
-    /// Ground station node index the flow exited at.
-    pub exit_station_node: usize,
+    /// Ground station node the flow exited at.
+    pub exit_station_node: openspace_net::topology::NodeId,
     /// Operators that carried at least one hop.
     pub carriers: Vec<OperatorId>,
     /// Signed per-hop accounting records.
@@ -101,14 +101,21 @@ pub fn deliver(
         }
     }
     let path = best.ok_or(DeliveryError::NoRoute)?;
-    let exit_station_node = *path.nodes.last().expect("non-empty path");
+    let Some(&exit_station_node) = path.nodes.last() else {
+        return Err(DeliveryError::NoRoute);
+    };
     debug_assert!(matches!(
         graph.node_kind(exit_station_node),
         NodeKind::GroundStation(_)
     ));
 
     // Latency: user uplink leg + propagation along the path.
-    let latency_s = slant_m / SPEED_OF_LIGHT_M_PER_S + path.sum_metric(graph, |e| e.latency_s);
+    // A just-computed path sums cleanly; a vanished edge yields infinity
+    // (visibly broken) rather than a panic.
+    let latency_s = slant_m / SPEED_OF_LIGHT_M_PER_S
+        + path
+            .sum_metric(graph, |e| e.latency_s)
+            .unwrap_or(f64::INFINITY);
 
     // Accounting: one record per hop, keyed to the transmitting node's
     // operator.
@@ -116,13 +123,18 @@ pub fn deliver(
     let mut carriers: Vec<OperatorId> = Vec::new();
     let mut records = Vec::new();
     for w in path.nodes.windows(2) {
-        let edge = graph.find_edge(w[0], w[1]).expect("path edge");
-        let carrier = OperatorId(edge.operator);
+        // The path was just computed on this graph; a vanished edge can
+        // only mean the graph changed underneath us — skip its billing
+        // rather than abort the delivered flow.
+        let Some(edge) = graph.find_edge(w[0], w[1]) else {
+            continue;
+        };
+        let carrier = edge.operator;
         let carrier_node = match graph.node_kind(w[0]) {
-            NodeKind::Satellite(si) => fed.satellites()[si].id,
+            NodeKind::Satellite(si) => fed.satellites()[si.index()].id,
             // Ground-originated hop: bill under a pseudo node id derived
             // from the station index (stations don't have SatelliteIds).
-            NodeKind::GroundStation(gi) => SatelliteId(1_000_000 + gi as u64),
+            NodeKind::GroundStation(gi) => SatelliteId(1_000_000 + gi.index() as u64),
         };
         let carrier_secret = carrier_ledger_secret(carrier);
         let rec = AccountingRecord::create(

@@ -17,6 +17,7 @@ use openspace_orbit::kepler::OrbitalElements;
 use openspace_phy::hardware::SatelliteClass;
 use openspace_protocol::crypto::SharedSecret;
 use openspace_protocol::types::{GroundStationId, OperatorId, SatelliteId, UserId};
+use openspace_sim::fault::FaultTopology;
 use std::collections::BTreeMap;
 
 /// Why a federation operation failed.
@@ -28,17 +29,37 @@ use std::collections::BTreeMap;
 pub enum FederationError {
     /// The referenced operator is not (or no longer) a member.
     UnknownOperator(OperatorId),
+    /// An operator withdrawal would leave nobody to serve its users.
+    NoSurvivingOperator,
 }
 
 impl std::fmt::Display for FederationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::UnknownOperator(op) => write!(f, "unknown operator {op}"),
+            Self::NoSurvivingOperator => {
+                write!(f, "withdrawal would leave no surviving operator")
+            }
         }
     }
 }
 
 impl std::error::Error for FederationError {}
+
+/// Record of a completed operator withdrawal: who left, where their
+/// subscribers went, and what infrastructure went dark with them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Withdrawal {
+    /// The departed operator.
+    pub operator: OperatorId,
+    /// Each migrated subscriber and their new home operator.
+    pub migrated: Vec<(UserId, OperatorId)>,
+    /// Satellites stranded by the departure (kept in the roster for
+    /// index stability, but no longer operated by a member).
+    pub orphaned_satellites: usize,
+    /// Ground stations stranded by the departure.
+    pub orphaned_stations: usize,
+}
 
 /// A registered ground user.
 #[derive(Debug, Clone, Copy)]
@@ -57,6 +78,7 @@ pub struct Federation {
     operators: BTreeMap<OperatorId, Operator>,
     satellites: Vec<Satellite>,
     stations: Vec<GroundStation>,
+    users: Vec<User>,
     next_operator: u32,
     next_satellite: u64,
     next_station: u32,
@@ -82,40 +104,38 @@ impl Federation {
         id
     }
 
-    /// Launch a satellite for `owner`.
-    ///
-    /// # Panics
-    /// Panics if `owner` is not a member.
+    /// Launch a satellite for `owner`. Fails with
+    /// [`FederationError::UnknownOperator`] when `owner` is not a member.
     pub fn add_satellite(
         &mut self,
         owner: OperatorId,
         class: SatelliteClass,
         elements: OrbitalElements,
-    ) -> SatelliteId {
-        assert!(
-            self.operators.contains_key(&owner),
-            "unknown operator {owner}"
-        );
+    ) -> Result<SatelliteId, FederationError> {
+        if !self.operators.contains_key(&owner) {
+            return Err(FederationError::UnknownOperator(owner));
+        }
         self.next_satellite += 1;
         let sat = make_satellite(self.next_satellite, owner, class, elements);
         let id = sat.id;
         self.satellites.push(sat);
-        id
+        Ok(id)
     }
 
-    /// Build a ground station for `owner` at `site`.
-    ///
-    /// # Panics
-    /// Panics if `owner` is not a member.
-    pub fn add_ground_station(&mut self, owner: OperatorId, site: Geodetic) -> GroundStationId {
-        assert!(
-            self.operators.contains_key(&owner),
-            "unknown operator {owner}"
-        );
+    /// Build a ground station for `owner` at `site`. Fails with
+    /// [`FederationError::UnknownOperator`] when `owner` is not a member.
+    pub fn add_ground_station(
+        &mut self,
+        owner: OperatorId,
+        site: Geodetic,
+    ) -> Result<GroundStationId, FederationError> {
+        if !self.operators.contains_key(&owner) {
+            return Err(FederationError::UnknownOperator(owner));
+        }
         self.next_station += 1;
         let id = GroundStationId(self.next_station);
         self.stations.push(GroundStation::new(id, owner, site));
-        id
+        Ok(id)
     }
 
     /// Register a subscriber with their home operator's AAA. Fails with
@@ -130,7 +150,78 @@ impl Federation {
         let id = UserId(self.next_user);
         let secret = SharedSecret::derive(id.0, "openspace-subscriber");
         op.auth.register_user(id, secret);
-        Ok(User { id, home, secret })
+        let user = User { id, home, secret };
+        self.users.push(user);
+        Ok(user)
+    }
+
+    /// All registered subscribers (home assignments reflect migrations).
+    pub fn users(&self) -> &[User] {
+        &self.users
+    }
+
+    /// A subscriber by id.
+    pub fn user(&self, id: UserId) -> Option<&User> {
+        self.users.iter().find(|u| u.id == id)
+    }
+
+    /// Remove `op` from the federation: its certificates stop verifying,
+    /// its infrastructure is orphaned (kept in the roster so node indices
+    /// stay stable for compiled fault plans), and its subscribers are
+    /// migrated round-robin to the surviving members, each re-keyed with
+    /// a fresh AAA secret at their new home.
+    ///
+    /// Fails with [`FederationError::UnknownOperator`] when `op` is not a
+    /// member and [`FederationError::NoSurvivingOperator`] when `op` is
+    /// the last one (the federation refuses to strand its users).
+    pub fn withdraw_operator(&mut self, op: OperatorId) -> Result<Withdrawal, FederationError> {
+        if !self.operators.contains_key(&op) {
+            return Err(FederationError::UnknownOperator(op));
+        }
+        let survivors: Vec<OperatorId> = self
+            .operators
+            .keys()
+            .copied()
+            .filter(|&id| id != op)
+            .collect();
+        let orphans: Vec<UserId> = self
+            .users
+            .iter()
+            .filter(|u| u.home == op)
+            .map(|u| u.id)
+            .collect();
+        if survivors.is_empty() && !self.users.is_empty() {
+            return Err(FederationError::NoSurvivingOperator);
+        }
+        self.operators.remove(&op);
+        let mut migrated = Vec::with_capacity(orphans.len());
+        for (i, uid) in orphans.into_iter().enumerate() {
+            let new_home = survivors[i % survivors.len()];
+            let secret = SharedSecret::derive(uid.0, "openspace-migrated");
+            if let Some(new_op) = self.operators.get_mut(&new_home) {
+                new_op.auth.register_user(uid, secret);
+            }
+            if let Some(user) = self.users.iter_mut().find(|u| u.id == uid) {
+                user.home = new_home;
+                user.secret = secret;
+            }
+            migrated.push((uid, new_home));
+        }
+        Ok(Withdrawal {
+            operator: op,
+            migrated,
+            orphaned_satellites: self.satellites.iter().filter(|s| s.owner == op).count(),
+            orphaned_stations: self.stations.iter().filter(|s| s.owner == op).count(),
+        })
+    }
+
+    /// The entity layout fault plans compile against: per-satellite and
+    /// per-station ownership in topology-graph node order.
+    pub fn fault_topology(&self) -> FaultTopology {
+        FaultTopology::new(
+            self.satellites.iter().map(|s| s.owner).collect(),
+            self.stations.iter().map(|s| s.owner).collect(),
+        )
     }
 
     /// Member count.
@@ -298,15 +389,18 @@ pub fn iridium_federation(
     let ops: Vec<OperatorId> = (0..n_operators)
         .map(|i| fed.add_operator(format!("operator-{}", i + 1)))
         .collect();
+    // Iridium's published parameters are valid by construction; an empty
+    // constellation here would only mean the hard-coded params regressed.
     let els = openspace_orbit::walker::walker_star(&openspace_orbit::walker::iridium_params())
-        .expect("iridium params are valid");
+        .unwrap_or_default();
     for (i, el) in els.into_iter().enumerate() {
         let owner = ops[i % n_operators];
         let class = classes[i % classes.len()];
-        fed.add_satellite(owner, class, el);
+        // Cannot fail: every owner was admitted above.
+        let _ = fed.add_satellite(owner, class, el);
     }
     for (i, site) in station_sites.iter().enumerate() {
-        fed.add_ground_station(ops[i % n_operators], *site);
+        let _ = fed.add_ground_station(ops[i % n_operators], *site);
     }
     fed
 }
@@ -445,13 +539,87 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown operator")]
-    fn satellite_for_unknown_operator_panics() {
+    fn satellite_for_unknown_operator_is_an_error() {
         let mut fed = Federation::new();
-        fed.add_satellite(
-            OperatorId(99),
-            SatelliteClass::CubeSat,
-            OrbitalElements::circular(780_000.0, 86.4, 0.0, 0.0).unwrap(),
+        let err = fed
+            .add_satellite(
+                OperatorId(99),
+                SatelliteClass::CubeSat,
+                OrbitalElements::circular(780_000.0, 86.4, 0.0, 0.0).unwrap(),
+            )
+            .unwrap_err();
+        assert_eq!(err, FederationError::UnknownOperator(OperatorId(99)));
+        assert!(fed.satellites().is_empty());
+        let err = fed
+            .add_ground_station(OperatorId(99), default_station_sites()[0])
+            .unwrap_err();
+        assert_eq!(err, FederationError::UnknownOperator(OperatorId(99)));
+    }
+
+    #[test]
+    fn withdrawal_migrates_users_to_survivors() {
+        let mut fed = small_fed();
+        let ids = fed.operator_ids();
+        let leaver = ids[0];
+        let u1 = fed.register_user(leaver).unwrap();
+        let u2 = fed.register_user(leaver).unwrap();
+        let u3 = fed.register_user(ids[1]).unwrap();
+        let w = fed.withdraw_operator(leaver).unwrap();
+        assert_eq!(w.operator, leaver);
+        assert_eq!(w.migrated.len(), 2);
+        assert!(w.orphaned_satellites > 0);
+        // Every migrated user has a surviving home and a fresh secret.
+        for (uid, new_home) in &w.migrated {
+            assert_ne!(*new_home, leaver);
+            let user = fed.user(*uid).unwrap();
+            assert_eq!(user.home, *new_home);
+            assert!(fed.operator(*new_home).unwrap().auth.user_count() > 0);
+        }
+        assert_ne!(fed.user(u1.id).unwrap().secret, u1.secret);
+        assert_ne!(fed.user(u2.id).unwrap().home, leaver);
+        // Unaffected users keep their registration.
+        assert_eq!(fed.user(u3.id).unwrap().home, ids[1]);
+        // The leaver's certificates no longer verify.
+        assert!(fed.federation_secret(leaver).is_err());
+        assert_eq!(fed.operator_count(), 3);
+        // Node indices stayed stable: the fleet roster is untouched.
+        assert_eq!(fed.satellites().len(), 66);
+    }
+
+    #[test]
+    fn withdrawing_the_last_operator_with_users_is_refused() {
+        let mut fed = monolithic_federation(&[SatelliteClass::SmallSat], &default_station_sites());
+        let op = fed.operator_ids()[0];
+        fed.register_user(op).unwrap();
+        assert_eq!(
+            fed.withdraw_operator(op).unwrap_err(),
+            FederationError::NoSurvivingOperator
+        );
+        // The roster is untouched by the refused withdrawal.
+        assert_eq!(fed.operator_count(), 1);
+    }
+
+    #[test]
+    fn withdrawing_an_unknown_operator_is_an_error() {
+        let mut fed = small_fed();
+        assert_eq!(
+            fed.withdraw_operator(OperatorId(77)).unwrap_err(),
+            FederationError::UnknownOperator(OperatorId(77))
+        );
+    }
+
+    #[test]
+    fn fault_topology_mirrors_the_roster() {
+        let fed = small_fed();
+        let topo = fed.fault_topology();
+        assert_eq!(topo.n_sats(), 66);
+        assert_eq!(topo.n_stations(), 6);
+        // Ownership round-robins exactly like the roster.
+        let ops = fed.operator_ids();
+        assert_eq!(
+            topo.nodes_of_operator(ops[0]).len(),
+            fed.satellites_of(ops[0]).len()
+                + fed.stations().iter().filter(|s| s.owner == ops[0]).count()
         );
     }
 }

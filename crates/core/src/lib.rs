@@ -23,7 +23,9 @@
 //!   layer's carrier blocklist.
 //! * [`netsim`] — §5(2)'s open problem: a packet-level discrete-event
 //!   simulation with per-link queues, comparing proactive (load-blind)
-//!   against adaptive (utilization-replanned) routing.
+//!   against adaptive (utilization-replanned) routing; consumes compiled
+//!   fault plans ([`openspace_sim::fault`]) for graceful-degradation
+//!   studies.
 //!
 //! ## Quick start
 //!
@@ -60,11 +62,11 @@ pub mod prelude {
     pub use crate::delivery::{carrier_ledger_secret, deliver, Delivery, DeliveryError};
     pub use crate::federation::{
         default_station_sites, iridium_federation, monolithic_federation, Federation,
-        FederationError, User,
+        FederationError, User, Withdrawal,
     };
     pub use crate::netsim::{
-        run_netsim, run_netsim_dynamic, FlowSpec, NetSimConfig, NetSimReport, RoutingMode,
-        TrafficKind,
+        run_netsim, run_netsim_dynamic, run_netsim_faulted, FaultImpact, FlowSpec, NetSimConfig,
+        NetSimConfigBuilder, NetSimReport, RoutingMode, TrafficKind,
     };
     pub use crate::operator::{make_satellite, GroundStation, Operator, Satellite};
     pub use crate::roaming::{
@@ -73,6 +75,7 @@ pub mod prelude {
     pub use crate::security::{ReputationPolicy, ReputationTracker, TrustState};
     pub use crate::study::{
         coverage_vs_satellites, latency_vs_satellites, study_constellation, study_snapshot_params,
-        CoveragePoint, LatencyPoint, ScenarioRunner, StudyConfig, StudyModel,
+        CoveragePoint, LatencyPoint, ScenarioRunner, ScenarioRunnerBuilder, StudyConfig,
+        StudyModel,
     };
 }

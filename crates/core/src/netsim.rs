@@ -13,13 +13,25 @@
 //! load-blind — §2.2's beginner system) or **adaptive** (periodically
 //! re-planned against measured link utilization — the end-to-end
 //! approach the paper calls for). Deterministic under a seed.
+//!
+//! [`run_netsim_faulted`] additionally consumes the [`TopologyEvent`]
+//! stream a compiled [`FaultPlan`](openspace_sim::fault::FaultPlan)
+//! produces: packets queued on or in flight toward failed elements are
+//! lost, surviving flows re-route around the outage (failure detection
+//! is link-layer and happens in both routing modes), and the report's
+//! [`FaultImpact`] section accounts for availability, repair time, and
+//! flow re-association. An empty event stream reproduces [`run_netsim`]
+//! bit for bit.
 
+use openspace_net::outage::OutageTracker;
 use openspace_net::routing::{latency_weight, qos_route, shortest_path, QosRequirement};
-use openspace_net::topology::Graph;
+use openspace_net::topology::{Graph, NodeId};
+use openspace_sim::config::{require_positive, ConfigError};
 use openspace_sim::engine::EventQueue;
+use openspace_sim::fault::{TopologyEvent, TopologyEventKind};
 use openspace_sim::rng::SimRng;
 use openspace_sim::stats::Summary;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 /// Traffic model of one flow.
@@ -34,16 +46,35 @@ pub enum TrafficKind {
 /// One simulated flow.
 #[derive(Debug, Clone, Copy)]
 pub struct FlowSpec {
-    /// Injection node (graph index).
-    pub src: usize,
-    /// Destination node (graph index).
-    pub dst: usize,
+    /// Injection node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
     /// Offered rate (bit/s).
     pub rate_bps: f64,
     /// Packet size (bytes).
     pub packet_bytes: u32,
     /// Arrival process.
     pub kind: TrafficKind,
+}
+
+impl FlowSpec {
+    /// A flow between two nodes (any `usize`/`NodeId` mix).
+    pub fn new(
+        src: impl Into<NodeId>,
+        dst: impl Into<NodeId>,
+        rate_bps: f64,
+        packet_bytes: u32,
+        kind: TrafficKind,
+    ) -> Self {
+        Self {
+            src: src.into(),
+            dst: dst.into(),
+            rate_bps,
+            packet_bytes,
+            kind,
+        }
+    }
 }
 
 /// Routing discipline under test.
@@ -60,7 +91,8 @@ pub enum RoutingMode {
     },
 }
 
-/// Simulation configuration.
+/// Simulation configuration. Build one with [`NetSimConfig::builder`]
+/// for validated construction, or use [`Default`] and struct update.
 #[derive(Debug, Clone, Copy)]
 pub struct NetSimConfig {
     /// Simulated duration (s).
@@ -84,14 +116,107 @@ impl Default for NetSimConfig {
     }
 }
 
-/// Aggregate results.
+impl NetSimConfig {
+    /// Start building a config from the defaults.
+    pub fn builder() -> NetSimConfigBuilder {
+        NetSimConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+}
+
+/// Validating builder for [`NetSimConfig`].
 #[derive(Debug, Clone)]
+pub struct NetSimConfigBuilder {
+    cfg: NetSimConfig,
+}
+
+impl NetSimConfigBuilder {
+    /// Simulated duration (s).
+    pub fn duration_s(mut self, v: f64) -> Self {
+        self.cfg.duration_s = v;
+        self
+    }
+
+    /// Per-link queue capacity (bytes).
+    pub fn queue_capacity_bytes(mut self, v: u64) -> Self {
+        self.cfg.queue_capacity_bytes = v;
+        self
+    }
+
+    /// Routing discipline.
+    pub fn routing(mut self, v: RoutingMode) -> Self {
+        self.cfg.routing = v;
+        self
+    }
+
+    /// Arrival-process seed.
+    pub fn seed(mut self, v: u64) -> Self {
+        self.cfg.seed = v;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<NetSimConfig, ConfigError> {
+        let cfg = self.cfg;
+        require_positive("duration_s", cfg.duration_s)?;
+        if cfg.queue_capacity_bytes == 0 {
+            return Err(ConfigError::NonPositive {
+                field: "queue_capacity_bytes",
+                value: 0.0,
+            });
+        }
+        if let RoutingMode::Adaptive { replan_interval_s } = cfg.routing {
+            require_positive("replan_interval_s", replan_interval_s)?;
+        }
+        Ok(cfg)
+    }
+}
+
+/// Fault accounting appended to [`NetSimReport`] by
+/// [`run_netsim_faulted`]. A fault-free run carries the default value
+/// (full availability, nothing lost), so reports stay comparable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultImpact {
+    /// Topology events applied during the run.
+    pub events_applied: u64,
+    /// Packets lost to faults specifically: queued on a failed link,
+    /// in flight toward a dead node, or forwarded onto a faulted link.
+    pub packets_lost: u64,
+    /// Time-weighted fraction of node-uptime over the run
+    /// (1.0 = no node was ever down).
+    pub node_availability: f64,
+    /// Mean time to repair (s) over outages that recovered in-run;
+    /// `None` when nothing recovered (e.g. only permanent failures).
+    pub mttr_s: Option<f64>,
+    /// Times a flow was re-routed because a fault broke its path.
+    pub reassociations: u64,
+    /// Mean delay (s) between losing a route to a fault and having one
+    /// again; 0 for immediate failover, `None` with no re-associations.
+    pub mean_reassociation_latency_s: Option<f64>,
+}
+
+impl Default for FaultImpact {
+    fn default() -> Self {
+        Self {
+            events_applied: 0,
+            packets_lost: 0,
+            node_availability: 1.0,
+            mttr_s: None,
+            reassociations: 0,
+            mean_reassociation_latency_s: None,
+        }
+    }
+}
+
+/// Aggregate results.
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetSimReport {
     /// Packets injected.
     pub generated: u64,
     /// Packets that reached their destination.
     pub delivered: u64,
-    /// Packets dropped at full queues.
+    /// Packets dropped at full queues (includes fault losses).
     pub dropped: u64,
     /// Packets unroutable at injection time.
     pub unroutable: u64,
@@ -103,25 +228,29 @@ pub struct NetSimReport {
     pub p95_latency_s: f64,
     /// Highest measured utilization across links (fraction of capacity).
     pub max_link_utilization: f64,
+    /// Fault accounting (default for fault-free runs).
+    pub fault: FaultImpact,
 }
 
 #[derive(Clone)]
 struct Pkt {
     bytes: u32,
     created_s: f64,
-    path: Rc<[usize]>,
+    path: Rc<[NodeId]>,
     hop: usize,
 }
 
 enum Ev {
     Inject(usize),
     /// Transmission of the head-of-queue packet on (u → v) completed.
-    Depart(usize, usize),
+    Depart(NodeId, NodeId),
     /// Packet finished propagating to `node`.
-    HopArrive(Pkt, usize),
+    HopArrive(Pkt, NodeId),
     Replan,
     /// Topology refresh (dynamic mode): satellites have moved.
     Resnapshot,
+    /// A fault-plan event (index into the event list) takes effect.
+    Fault(usize),
 }
 
 struct Link {
@@ -134,14 +263,47 @@ struct Link {
     util_ewma: f64,
 }
 
+fn fresh_link(capacity_bps: f64, latency_s: f64) -> Link {
+    Link {
+        capacity_bps,
+        latency_s,
+        queue: Default::default(),
+        occupancy_bytes: 0,
+        busy: false,
+        bits_sent: 0.0,
+        util_ewma: 0.0,
+    }
+}
+
 /// Run the simulation on a static topology snapshot. The input graph
 /// supplies topology, capacities and latencies; queues and measured
 /// loads live inside the simulator.
 ///
-/// # Panics
-/// Panics on empty flows, bad node indices, or non-positive duration.
-pub fn run_netsim(graph: &Graph, flows: &[FlowSpec], cfg: &NetSimConfig) -> NetSimReport {
-    run_netsim_inner(graph.clone(), None, flows, cfg)
+/// Fails with [`ConfigError`] on empty flows, out-of-range nodes, or
+/// non-positive durations/rates/intervals.
+pub fn run_netsim(
+    graph: &Graph,
+    flows: &[FlowSpec],
+    cfg: &NetSimConfig,
+) -> Result<NetSimReport, ConfigError> {
+    run_netsim_inner(graph.clone(), None, flows, cfg, &[])
+}
+
+/// Run the simulation with a fault plan: `events` is the time-ordered
+/// output of [`FaultPlan::compile`](openspace_sim::fault::FaultPlan::compile).
+/// Failed links lose their queued packets; packets in flight toward a
+/// dead node are lost on arrival; flows whose path broke are re-routed
+/// on the degraded topology (in both routing modes — failure detection
+/// is not congestion adaptation). Recoveries restore links with empty
+/// queues. With an empty `events` the result is bit-for-bit identical
+/// to [`run_netsim`].
+pub fn run_netsim_faulted(
+    graph: &Graph,
+    flows: &[FlowSpec],
+    cfg: &NetSimConfig,
+    events: &[TopologyEvent],
+) -> Result<NetSimReport, ConfigError> {
+    run_netsim_inner(graph.clone(), None, flows, cfg, events)
 }
 
 /// Run the simulation over a *moving* constellation: `topology_at(t)`
@@ -150,26 +312,75 @@ pub fn run_netsim(graph: &Graph, flows: &[FlowSpec], cfg: &NetSimConfig) -> NetS
 /// that persist across a refresh keep their queues; packets queued on a
 /// vanished link are dropped (the handover cost of ISL churn), and all
 /// routes are recomputed on the new snapshot.
-///
-/// # Panics
-/// Panics on empty flows, bad node indices, non-positive duration, or a
-/// non-positive refresh interval.
 pub fn run_netsim_dynamic(
     topology_at: &dyn Fn(f64) -> Graph,
     resnapshot_interval_s: f64,
     flows: &[FlowSpec],
     cfg: &NetSimConfig,
-) -> NetSimReport {
-    assert!(
-        resnapshot_interval_s > 0.0,
-        "resnapshot interval must be positive"
-    );
+) -> Result<NetSimReport, ConfigError> {
+    require_positive("resnapshot_interval_s", resnapshot_interval_s)?;
     run_netsim_inner(
         topology_at(0.0),
         Some((topology_at, resnapshot_interval_s)),
         flows,
         cfg,
+        &[],
     )
+}
+
+fn validate(
+    graph: &Graph,
+    flows: &[FlowSpec],
+    cfg: &NetSimConfig,
+    events: &[TopologyEvent],
+) -> Result<(), ConfigError> {
+    if flows.is_empty() {
+        return Err(ConfigError::Empty { field: "flows" });
+    }
+    require_positive("duration_s", cfg.duration_s)?;
+    let n = graph.node_count();
+    for f in flows {
+        for (field, node) in [("flow.src", f.src), ("flow.dst", f.dst)] {
+            if node.0 >= n {
+                return Err(ConfigError::IndexOutOfRange {
+                    field,
+                    index: node.0,
+                    len: n,
+                });
+            }
+        }
+        require_positive("flow.rate_bps", f.rate_bps)?;
+        if f.packet_bytes == 0 {
+            return Err(ConfigError::NonPositive {
+                field: "flow.packet_bytes",
+                value: 0.0,
+            });
+        }
+    }
+    if let RoutingMode::Adaptive { replan_interval_s } = cfg.routing {
+        require_positive("replan_interval_s", replan_interval_s)?;
+    }
+    for ev in events {
+        let check = |node: NodeId| -> Result<(), ConfigError> {
+            if node.0 >= n {
+                return Err(ConfigError::IndexOutOfRange {
+                    field: "fault_event.node",
+                    index: node.0,
+                    len: n,
+                });
+            }
+            Ok(())
+        };
+        match ev.kind {
+            TopologyEventKind::NodeDown(a) | TopologyEventKind::NodeUp(a) => check(a)?,
+            TopologyEventKind::LinkDown(a, b) | TopologyEventKind::LinkUp(a, b) => {
+                check(a)?;
+                check(b)?;
+            }
+            TopologyEventKind::OperatorWithdrawn(_) => {}
+        }
+    }
+    Ok(())
 }
 
 fn run_netsim_inner(
@@ -177,36 +388,21 @@ fn run_netsim_inner(
     dynamics: Option<(&dyn Fn(f64) -> Graph, f64)>,
     flows: &[FlowSpec],
     cfg: &NetSimConfig,
-) -> NetSimReport {
+    events: &[TopologyEvent],
+) -> Result<NetSimReport, ConfigError> {
     let graph = &graph;
-    assert!(!flows.is_empty(), "need at least one flow");
-    assert!(cfg.duration_s > 0.0, "duration must be positive");
-    for f in flows {
-        assert!(f.src < graph.node_count() && f.dst < graph.node_count());
-        assert!(f.rate_bps > 0.0 && f.packet_bytes > 0);
-    }
+    validate(graph, flows, cfg, events)?;
 
     // Link state keyed by (u, v).
-    let mut links: HashMap<(usize, usize), Link> = HashMap::new();
+    let mut links: HashMap<(NodeId, NodeId), Link> = HashMap::new();
     for u in 0..graph.node_count() {
         for e in graph.edges(u) {
-            links.insert(
-                (u, e.to),
-                Link {
-                    capacity_bps: e.capacity_bps,
-                    latency_s: e.latency_s,
-                    queue: Default::default(),
-                    occupancy_bytes: 0,
-                    busy: false,
-                    bits_sent: 0.0,
-                    util_ewma: 0.0,
-                },
-            );
+            links.insert((NodeId(u), e.to), fresh_link(e.capacity_bps, e.latency_s));
         }
     }
 
     // Initial routes: proactive latency paths for every flow.
-    let route_for = |g: &Graph, f: &FlowSpec, adaptive: bool| -> Option<Rc<[usize]>> {
+    let route_for = |g: &Graph, f: &FlowSpec, adaptive: bool| -> Option<Rc<[NodeId]>> {
         let p = if adaptive {
             qos_route(g, f.src, f.dst, &QosRequirement::best_effort(), 12_000.0)?
         } else {
@@ -215,7 +411,7 @@ fn run_netsim_inner(
         Some(Rc::from(p.nodes.into_boxed_slice()))
     };
     let mut work_graph = graph.clone();
-    let mut routes: Vec<Option<Rc<[usize]>>> = flows
+    let mut routes: Vec<Option<Rc<[NodeId]>>> = flows
         .iter()
         .map(|f| route_for(&work_graph, f, false))
         .collect();
@@ -233,7 +429,6 @@ fn run_netsim_inner(
     }
     let replan_interval = match cfg.routing {
         RoutingMode::Adaptive { replan_interval_s } => {
-            assert!(replan_interval_s > 0.0, "replan interval must be positive");
             q.schedule(replan_interval_s, Ev::Replan);
             Some(replan_interval_s)
         }
@@ -242,14 +437,30 @@ fn run_netsim_inner(
     if let Some((_, interval)) = dynamics {
         q.schedule(interval, Ev::Resnapshot);
     }
+    for (idx, ev) in events.iter().enumerate() {
+        if ev.at_s < cfg.duration_s {
+            q.schedule(ev.at_s.max(0.0), Ev::Fault(idx));
+        }
+    }
 
     let mut generated = 0u64;
     let mut delivered = 0u64;
     let mut dropped = 0u64;
     let mut unroutable = 0u64;
     let mut latency = Summary::new();
-    let mut last_replan_t = 0.0f64;
     let mut max_util: f64 = 0.0;
+
+    // Fault machinery.
+    let mut tracker = OutageTracker::new();
+    let mut fault = FaultImpact::default();
+    let mut down_nodes: HashSet<NodeId> = HashSet::new();
+    let mut fault_removed: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let mut down_since: HashMap<NodeId, f64> = HashMap::new();
+    let mut downtime_total = 0.0f64;
+    let mut repairs = 0u64;
+    let mut repair_total = 0.0f64;
+    let mut reassoc_latency_total = 0.0f64;
+    let mut route_lost_at: Vec<Option<f64>> = vec![None; flows.len()];
 
     q.run_until(cfg.duration_s, |q, now, ev| match ev {
         Ev::Inject(i) => {
@@ -269,6 +480,8 @@ fn run_netsim_inner(
                     now,
                     cfg.queue_capacity_bytes,
                     &mut dropped,
+                    &fault_removed,
+                    &mut fault.packets_lost,
                 );
             } else {
                 unroutable += 1;
@@ -282,9 +495,15 @@ fn run_netsim_inner(
             q.schedule(now + gap, Ev::Inject(i));
         }
         Ev::Depart(u, v) => {
-            let link = links.get_mut(&(u, v)).expect("link exists");
-            let pkt = link.queue.pop_front().expect("depart implies queued");
-            link.occupancy_bytes -= pkt.bytes as u64;
+            // The link can vanish (fault, resnapshot) between the Depart
+            // being scheduled and firing; its queue died with it.
+            let Some(link) = links.get_mut(&(u, v)) else {
+                return;
+            };
+            let Some(pkt) = link.queue.pop_front() else {
+                return;
+            };
+            link.occupancy_bytes = link.occupancy_bytes.saturating_sub(pkt.bytes as u64);
             link.bits_sent += pkt.bytes as f64 * 8.0;
             let arrive_at = now + link.latency_s;
             // Start the next transmission if any.
@@ -297,8 +516,14 @@ fn run_netsim_inner(
             q.schedule(arrive_at, Ev::HopArrive(pkt, v));
         }
         Ev::HopArrive(mut pkt, node) => {
+            if down_nodes.contains(&node) {
+                // The receiver died while the packet was in flight.
+                dropped += 1;
+                fault.packets_lost += 1;
+                return;
+            }
             pkt.hop += 1;
-            if node == *pkt.path.last().expect("non-empty path") {
+            if Some(&node) == pkt.path.last() {
                 delivered += 1;
                 latency.add(now - pkt.created_s);
             } else {
@@ -309,11 +534,15 @@ fn run_netsim_inner(
                     now,
                     cfg.queue_capacity_bytes,
                     &mut dropped,
+                    &fault_removed,
+                    &mut fault.packets_lost,
                 );
             }
         }
         Ev::Replan => {
-            let interval = replan_interval.expect("replan only in adaptive mode");
+            let Some(interval) = replan_interval else {
+                return; // replan only ticks in adaptive mode
+            };
             // Measure utilization, fold into EWMA, push into the graph.
             for ((u, v), link) in links.iter_mut() {
                 let util = (link.bits_sent / interval / link.capacity_bps).min(0.98);
@@ -335,37 +564,29 @@ fn run_netsim_inner(
                     routes[i] = Some(r);
                 }
             }
-            last_replan_t = now;
-            let _ = last_replan_t;
             q.schedule(now + interval, Ev::Replan);
         }
         Ev::Resnapshot => {
-            let (provider, interval) = dynamics.expect("resnapshot only in dynamic mode");
+            let Some((provider, interval)) = dynamics else {
+                return; // resnapshot only ticks in dynamic mode
+            };
             let fresh = provider(now);
             work_graph = fresh;
             // Rebuild link state: persistent links keep queues and EWMA;
             // vanished links drop their queued packets; new links start
             // empty.
-            let mut new_links: HashMap<(usize, usize), Link> = HashMap::new();
+            let mut new_links: HashMap<(NodeId, NodeId), Link> = HashMap::new();
             for u in 0..work_graph.node_count() {
                 for e in work_graph.edges(u) {
-                    let link = match links.remove(&(u, e.to)) {
+                    let link = match links.remove(&(NodeId(u), e.to)) {
                         Some(mut old) => {
                             old.capacity_bps = e.capacity_bps;
                             old.latency_s = e.latency_s;
                             old
                         }
-                        None => Link {
-                            capacity_bps: e.capacity_bps,
-                            latency_s: e.latency_s,
-                            queue: Default::default(),
-                            occupancy_bytes: 0,
-                            busy: false,
-                            bits_sent: 0.0,
-                            util_ewma: 0.0,
-                        },
+                        None => fresh_link(e.capacity_bps, e.latency_s),
                     };
-                    new_links.insert((u, e.to), link);
+                    new_links.insert((NodeId(u), e.to), link);
                 }
             }
             // Anything left in `links` vanished: its queue is lost.
@@ -380,7 +601,94 @@ fn run_netsim_inner(
             }
             q.schedule(now + interval, Ev::Resnapshot);
         }
+        Ev::Fault(idx) => {
+            let event = &events[idx];
+            // Availability / MTTR bookkeeping from the (normalized)
+            // event stream: Down/Up alternate per node.
+            match event.kind {
+                TopologyEventKind::NodeDown(n) => {
+                    down_nodes.insert(n);
+                    down_since.entry(n).or_insert(now);
+                }
+                TopologyEventKind::NodeUp(n) => {
+                    down_nodes.remove(&n);
+                    if let Some(t0) = down_since.remove(&n) {
+                        let span = now - t0;
+                        downtime_total += span;
+                        repairs += 1;
+                        repair_total += span;
+                    }
+                }
+                _ => {}
+            }
+            // Mutate the topology; events were range-checked up front,
+            // so application cannot fail here.
+            let Ok(delta) = tracker.apply(&mut work_graph, event) else {
+                return;
+            };
+            fault.events_applied += 1;
+            for &(u, v) in &delta.removed_links {
+                fault_removed.insert((u, v));
+                if let Some(link) = links.remove(&(u, v)) {
+                    let queued = link.queue.len() as u64;
+                    dropped += queued;
+                    fault.packets_lost += queued;
+                }
+            }
+            for (u, e) in &delta.restored_links {
+                fault_removed.remove(&(*u, e.to));
+                links.insert((*u, e.to), fresh_link(e.capacity_bps, e.latency_s));
+            }
+            if delta.is_empty() {
+                return;
+            }
+            // Graceful degradation: flows whose path broke re-route on
+            // the degraded topology immediately (failure detection);
+            // flows that lost all connectivity re-associate when a
+            // recovery gives them a route again.
+            let adaptive = replan_interval.is_some();
+            for (i, f) in flows.iter().enumerate() {
+                let broken = match &routes[i] {
+                    Some(path) => path.windows(2).any(|w| !links.contains_key(&(w[0], w[1]))),
+                    None => true,
+                };
+                if !broken {
+                    continue;
+                }
+                let had_route = routes[i].is_some();
+                routes[i] = route_for(&work_graph, f, adaptive);
+                match (&routes[i], route_lost_at[i]) {
+                    (Some(_), Some(lost_at)) => {
+                        fault.reassociations += 1;
+                        reassoc_latency_total += now - lost_at;
+                        route_lost_at[i] = None;
+                    }
+                    (Some(_), None) if had_route => {
+                        // Immediate failover onto a surviving path.
+                        fault.reassociations += 1;
+                    }
+                    (None, None) if had_route => {
+                        route_lost_at[i] = Some(now);
+                    }
+                    _ => {}
+                }
+            }
+        }
     });
+
+    // Close availability accounting for still-open outages.
+    for (_, t0) in down_since.drain() {
+        downtime_total += cfg.duration_s - t0;
+    }
+    let node_time = cfg.duration_s * graph.node_count() as f64;
+    fault.node_availability = if node_time > 0.0 {
+        1.0 - downtime_total / node_time
+    } else {
+        1.0
+    };
+    fault.mttr_s = (repairs > 0).then(|| repair_total / repairs as f64);
+    fault.mean_reassociation_latency_s =
+        (fault.reassociations > 0).then(|| reassoc_latency_total / fault.reassociations as f64);
 
     // Final utilization sample for proactive mode (no replan events).
     for link in links.values() {
@@ -394,7 +702,7 @@ fn run_netsim_inner(
     } else {
         latency.p95()
     };
-    NetSimReport {
+    Ok(NetSimReport {
         generated,
         delivered,
         dropped,
@@ -407,24 +715,31 @@ fn run_netsim_inner(
         mean_latency_s: mean,
         p95_latency_s: p95,
         max_link_utilization: max_util,
-    }
+        fault,
+    })
 }
 
 /// Enqueue `pkt` on its next-hop link, starting transmission if idle.
+#[allow(clippy::too_many_arguments)] // internal hot path, all state threaded
 fn forward(
     q: &mut EventQueue<Ev>,
-    links: &mut HashMap<(usize, usize), Link>,
+    links: &mut HashMap<(NodeId, NodeId), Link>,
     pkt: Pkt,
     now: f64,
     queue_capacity_bytes: u64,
     dropped: &mut u64,
+    fault_removed: &HashSet<(NodeId, NodeId)>,
+    lost_to_faults: &mut u64,
 ) {
     let u = pkt.path[pkt.hop];
     let v = pkt.path[pkt.hop + 1];
     let Some(link) = links.get_mut(&(u, v)) else {
         // Route references a vanished link (possible after replans on a
-        // changed snapshot); count as a drop.
+        // changed snapshot, or right after a fault); count as a drop.
         *dropped += 1;
+        if fault_removed.contains(&(u, v)) {
+            *lost_to_faults += 1;
+        }
         return;
     };
     if link.occupancy_bytes + pkt.bytes as u64 > queue_capacity_bytes {
@@ -444,6 +759,8 @@ fn forward(
 mod tests {
     use super::*;
     use openspace_net::topology::{Graph, LinkTech};
+    use openspace_sim::fault::{FaultPlan, FaultTopology};
+    use openspace_sim::ids::OperatorId;
 
     /// 0 —fast— 1 —fast— 3   plus a slow bypass 0 — 2 — 3.
     fn diamond(fast_bps: f64) -> Graph {
@@ -456,19 +773,13 @@ mod tests {
     }
 
     fn flow(src: usize, dst: usize, rate: f64) -> FlowSpec {
-        FlowSpec {
-            src,
-            dst,
-            rate_bps: rate,
-            packet_bytes: 1_500,
-            kind: TrafficKind::Cbr,
-        }
+        FlowSpec::new(src, dst, rate, 1_500, TrafficKind::Cbr)
     }
 
     #[test]
     fn light_load_delivers_everything_at_propagation_latency() {
         let g = diamond(10e6);
-        let r = run_netsim(&g, &[flow(0, 3, 1e5)], &NetSimConfig::default());
+        let r = run_netsim(&g, &[flow(0, 3, 1e5)], &NetSimConfig::default()).unwrap();
         assert!(r.delivery_ratio > 0.99, "ratio {}", r.delivery_ratio);
         assert_eq!(r.dropped, 0);
         // 2 hops x 2 ms + 2 serializations of 12 kbit at 10 Mbit/s.
@@ -485,7 +796,7 @@ mod tests {
     fn overload_drops_packets() {
         let g = diamond(1e6);
         // 3 Mbit/s offered into a 1 Mbit/s path.
-        let r = run_netsim(&g, &[flow(0, 3, 3e6)], &NetSimConfig::default());
+        let r = run_netsim(&g, &[flow(0, 3, 3e6)], &NetSimConfig::default()).unwrap();
         assert!(r.dropped > 0);
         assert!(r.delivery_ratio < 0.5, "ratio {}", r.delivery_ratio);
         assert!(r.max_link_utilization > 0.9);
@@ -501,7 +812,8 @@ mod tests {
                 duration_s: 10.0,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         // Everything generated is delivered, dropped, unroutable, or
         // still in flight (bounded by queue depth + links).
         let in_flight = r.generated - r.delivered - r.dropped - r.unroutable;
@@ -521,7 +833,8 @@ mod tests {
                 duration_s: 20.0,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let ada = run_netsim(
             &g,
             &flows,
@@ -532,7 +845,8 @@ mod tests {
                 },
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(
             ada.delivery_ratio > pro.delivery_ratio + 0.1,
             "adaptive {} vs proactive {}",
@@ -544,19 +858,13 @@ mod tests {
     #[test]
     fn poisson_and_cbr_offer_the_same_mean_load() {
         let g = diamond(10e6);
-        let mk = |kind| FlowSpec {
-            src: 0,
-            dst: 3,
-            rate_bps: 1e6,
-            packet_bytes: 1_500,
-            kind,
-        };
+        let mk = |kind| FlowSpec::new(0, 3, 1e6, 1_500, kind);
         let cfg = NetSimConfig {
             duration_s: 30.0,
             ..Default::default()
         };
-        let cbr = run_netsim(&g, &[mk(TrafficKind::Cbr)], &cfg);
-        let poi = run_netsim(&g, &[mk(TrafficKind::Poisson)], &cfg);
+        let cbr = run_netsim(&g, &[mk(TrafficKind::Cbr)], &cfg).unwrap();
+        let poi = run_netsim(&g, &[mk(TrafficKind::Poisson)], &cfg).unwrap();
         let ratio = poi.generated as f64 / cbr.generated as f64;
         assert!((ratio - 1.0).abs() < 0.1, "ratio {ratio}");
         // Poisson burstiness raises p95 latency.
@@ -574,7 +882,8 @@ mod tests {
                 duration_s: 5.0,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(r.delivered, 0);
         assert!(r.unroutable > 0);
         assert_eq!(r.unroutable, r.generated);
@@ -583,29 +892,44 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let g = diamond(2e6);
-        let flows = [FlowSpec {
-            src: 0,
-            dst: 3,
-            rate_bps: 1e6,
-            packet_bytes: 1_200,
-            kind: TrafficKind::Poisson,
-        }];
+        let flows = [FlowSpec::new(0, 3, 1e6, 1_200, TrafficKind::Poisson)];
         let cfg = NetSimConfig {
             duration_s: 10.0,
             seed: 7,
             ..Default::default()
         };
-        let a = run_netsim(&g, &flows, &cfg);
-        let b = run_netsim(&g, &flows, &cfg);
-        assert_eq!(a.generated, b.generated);
-        assert_eq!(a.delivered, b.delivered);
-        assert_eq!(a.mean_latency_s, b.mean_latency_s);
+        let a = run_netsim(&g, &flows, &cfg).unwrap();
+        let b = run_netsim(&g, &flows, &cfg).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]
-    #[should_panic(expected = "at least one flow")]
-    fn empty_flows_panics() {
-        run_netsim(&diamond(1e6), &[], &NetSimConfig::default());
+    fn empty_flows_is_a_config_error() {
+        let err = run_netsim(&diamond(1e6), &[], &NetSimConfig::default()).unwrap_err();
+        assert_eq!(err, ConfigError::Empty { field: "flows" });
+    }
+
+    #[test]
+    fn out_of_range_flow_is_a_config_error() {
+        let err =
+            run_netsim(&diamond(1e6), &[flow(0, 9, 1e5)], &NetSimConfig::default()).unwrap_err();
+        assert!(matches!(err, ConfigError::IndexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(NetSimConfig::builder()
+            .duration_s(10.0)
+            .seed(3)
+            .build()
+            .is_ok());
+        assert!(NetSimConfig::builder().duration_s(0.0).build().is_err());
+        assert!(NetSimConfig::builder()
+            .routing(RoutingMode::Adaptive {
+                replan_interval_s: -1.0
+            })
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -618,8 +942,8 @@ mod tests {
             duration_s: 10.0,
             ..Default::default()
         };
-        let stat = run_netsim(&g, &flows, &cfg);
-        let dynamic = run_netsim_dynamic(&|_t| g.clone(), 2.0, &flows, &cfg);
+        let stat = run_netsim(&g, &flows, &cfg).unwrap();
+        let dynamic = run_netsim_dynamic(&|_t| g.clone(), 2.0, &flows, &cfg).unwrap();
         assert_eq!(stat.generated, dynamic.generated);
         assert_eq!(stat.delivered, dynamic.delivered);
         assert_eq!(stat.dropped, dynamic.dropped);
@@ -647,7 +971,7 @@ mod tests {
             duration_s: 20.0,
             ..Default::default()
         };
-        let r = run_netsim_dynamic(&provider, 1.0, &flows, &cfg);
+        let r = run_netsim_dynamic(&provider, 1.0, &flows, &cfg).unwrap();
         // The flow keeps delivering after the handover to the slow path.
         assert!(
             r.delivery_ratio > 0.95,
@@ -669,20 +993,159 @@ mod tests {
             duration_s: 10.0,
             ..Default::default()
         };
-        let r = run_netsim_dynamic(&provider, 1.0, &flows, &cfg);
+        let r = run_netsim_dynamic(&provider, 1.0, &flows, &cfg).unwrap();
         assert!(r.unroutable > 0, "post-blackout packets are unroutable");
         assert!(r.delivered > 0, "pre-blackout packets were delivered");
     }
 
     #[test]
-    #[should_panic(expected = "resnapshot interval")]
-    fn zero_resnapshot_interval_panics() {
+    fn zero_resnapshot_interval_is_a_config_error() {
         let g = diamond(1e6);
-        run_netsim_dynamic(
+        let err = run_netsim_dynamic(
             &|_| g.clone(),
             0.0,
             &[flow(0, 3, 1e5)],
             &NetSimConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::NonPositive {
+                field: "resnapshot_interval_s",
+                value: 0.0
+            }
         );
+    }
+
+    // ---- fault-injection runs ----
+
+    fn compile_plan(plan: &FaultPlan, n_nodes: usize) -> Vec<TopologyEvent> {
+        let topo = FaultTopology::homogeneous(n_nodes, 0, OperatorId(0));
+        plan.compile(&topo).unwrap()
+    }
+
+    #[test]
+    fn empty_fault_plan_reproduces_the_report_bit_for_bit() {
+        let g = diamond(2e6);
+        let flows = [FlowSpec::new(0, 3, 1e6, 1_200, TrafficKind::Poisson)];
+        let cfg = NetSimConfig {
+            duration_s: 10.0,
+            seed: 5,
+            ..Default::default()
+        };
+        let plain = run_netsim(&g, &flows, &cfg).unwrap();
+        let faulted = run_netsim_faulted(&g, &flows, &cfg, &[]).unwrap();
+        assert_eq!(plain, faulted);
+        assert_eq!(
+            plain.mean_latency_s.to_bits(),
+            faulted.mean_latency_s.to_bits()
+        );
+        assert_eq!(faulted.fault, FaultImpact::default());
+    }
+
+    #[test]
+    fn transient_outage_reroutes_and_recovers() {
+        // Node 1 (on the fast path) dies at t=5 and recovers at t=15.
+        let g = diamond(5e6);
+        let plan = FaultPlan::builder()
+            .sat_outage(1usize, 5.0, 10.0)
+            .build()
+            .unwrap();
+        let events = compile_plan(&plan, 4);
+        let flows = [flow(0, 3, 1e6)];
+        let cfg = NetSimConfig {
+            duration_s: 30.0,
+            ..Default::default()
+        };
+        let r = run_netsim_faulted(&g, &flows, &cfg, &events).unwrap();
+        assert_eq!(r.fault.events_applied, 2);
+        assert!(r.fault.reassociations >= 1, "flow re-routed around node 1");
+        assert!(
+            r.delivery_ratio > 0.95,
+            "bypass keeps the flow alive: {}",
+            r.delivery_ratio
+        );
+        // Availability: 1 of 4 nodes down for 10 of 30 s.
+        let expect = 1.0 - 10.0 / (30.0 * 4.0);
+        assert!((r.fault.node_availability - expect).abs() < 1e-9);
+        assert_eq!(r.fault.mttr_s, Some(10.0));
+    }
+
+    #[test]
+    fn permanent_failure_of_the_only_route_strands_the_flow() {
+        // Chain 0-1-2: node 1 is a single point of failure.
+        let mut g = Graph::new(3, 0);
+        g.add_bidirectional(0, 1, 0.002, 5e6, 0, 0, LinkTech::Rf);
+        g.add_bidirectional(1, 2, 0.002, 5e6, 0, 0, LinkTech::Rf);
+        let plan = FaultPlan::builder()
+            .sat_failure(1usize, 5.0)
+            .build()
+            .unwrap();
+        let events = compile_plan(&plan, 3);
+        let flows = [flow(0, 2, 1e6)];
+        let cfg = NetSimConfig {
+            duration_s: 20.0,
+            ..Default::default()
+        };
+        let r = run_netsim_faulted(&g, &flows, &cfg, &events).unwrap();
+        assert!(r.unroutable > 0, "post-fault packets have no route");
+        assert!(r.delivered > 0, "pre-fault packets were delivered");
+        assert!(r.delivery_ratio < 0.5);
+        assert!(r.fault.node_availability < 1.0);
+        assert_eq!(r.fault.mttr_s, None, "nothing recovered");
+    }
+
+    #[test]
+    fn link_flap_loses_only_the_flapping_links_packets() {
+        let g = diamond(5e6);
+        // Flap the 1-3 link; flow re-routes during down phases.
+        let plan = FaultPlan::builder()
+            .link_flap(1usize, 3usize, 5.0, 2.0, 3.0, 3)
+            .build()
+            .unwrap();
+        let events = compile_plan(&plan, 4);
+        let flows = [flow(0, 3, 1e6)];
+        let cfg = NetSimConfig {
+            duration_s: 30.0,
+            ..Default::default()
+        };
+        let r = run_netsim_faulted(&g, &flows, &cfg, &events).unwrap();
+        assert!(r.delivery_ratio > 0.9, "ratio {}", r.delivery_ratio);
+        assert!(r.fault.reassociations >= 1);
+        // Links, not nodes, failed: availability is untouched.
+        assert_eq!(r.fault.node_availability, 1.0);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let g = diamond(2e6);
+        let plan = FaultPlan::builder()
+            .seed(9)
+            .random_sat_outages(200.0, 3.0, 0.0, 20.0)
+            .build()
+            .unwrap();
+        let events = compile_plan(&plan, 4);
+        let flows = [FlowSpec::new(0, 3, 1e6, 1_200, TrafficKind::Poisson)];
+        let cfg = NetSimConfig {
+            duration_s: 20.0,
+            seed: 3,
+            ..Default::default()
+        };
+        let a = run_netsim_faulted(&g, &flows, &cfg, &events).unwrap();
+        let b = run_netsim_faulted(&g, &flows, &cfg, &events).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_range_fault_event_is_a_config_error() {
+        let g = diamond(1e6);
+        let events = [TopologyEvent {
+            at_s: 1.0,
+            seq: 0,
+            kind: TopologyEventKind::NodeDown(NodeId(77)),
+        }];
+        let err = run_netsim_faulted(&g, &[flow(0, 3, 1e5)], &NetSimConfig::default(), &events)
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::IndexOutOfRange { .. }));
     }
 }

@@ -29,6 +29,9 @@ pub enum AssociationError {
     HomeAaaUnreachable,
     /// The home AAA rejected the credentials.
     AuthRejected,
+    /// The user's home operator has withdrawn from the federation; the
+    /// user must re-register with a surviving member.
+    HomeOperatorWithdrawn,
 }
 
 impl std::fmt::Display for AssociationError {
@@ -37,6 +40,9 @@ impl std::fmt::Display for AssociationError {
             Self::NoSatelliteInView => write!(f, "no OpenSpace satellite in view"),
             Self::HomeAaaUnreachable => write!(f, "home AAA unreachable over ISLs"),
             Self::AuthRejected => write!(f, "home AAA rejected credentials"),
+            Self::HomeOperatorWithdrawn => {
+                write!(f, "home operator has withdrawn from the federation")
+            }
         }
     }
 }
@@ -98,7 +104,7 @@ pub fn associate(
     let now_ms = (t_s * 1000.0) as u64;
     let accept = fed
         .operator_mut(user.home)
-        .expect("home operator exists")
+        .ok_or(AssociationError::HomeOperatorWithdrawn)?
         .auth
         .handle_request(&req, now_ms)
         .map_err(|_| AssociationError::AuthRejected)?;
@@ -291,6 +297,28 @@ mod tests {
         // Interruption is a single round trip — far below the
         // re-authentication path.
         assert!(h.interruption_s < a.association_latency_s);
+    }
+
+    #[test]
+    fn association_after_home_withdrawal_fails_cleanly() {
+        let mut f = fed();
+        let op = f.operator_ids()[0];
+        // A user whose snapshot predates the withdrawal (the federation's
+        // own registry migrates users; this stale handle does not).
+        let u = f.register_user(op).expect("member operator");
+        f.withdraw_operator(op).expect("survivors exist");
+        let err = associate(&mut f, &u, equator_user(), 0.0, 11).unwrap_err();
+        // Either the AAA is gone entirely or its stations no longer
+        // terminate the auth route — both are clean errors, not panics.
+        assert!(matches!(
+            err,
+            AssociationError::HomeOperatorWithdrawn | AssociationError::HomeAaaUnreachable
+        ));
+        // The migrated registration works against the new home.
+        let migrated = *f.user(u.id).expect("user survived migration");
+        assert_ne!(migrated.home, op);
+        let a = associate(&mut f, &migrated, equator_user(), 0.0, 12).expect("re-associates");
+        assert!(a.association_latency_s > 0.0);
     }
 
     #[test]

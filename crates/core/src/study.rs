@@ -49,6 +49,7 @@ use openspace_orbit::frames::{geodetic_to_ecef, Geodetic, Vec3};
 use openspace_orbit::propagator::{PerturbationModel, Propagator};
 use openspace_orbit::visibility::max_isl_range_m;
 use openspace_orbit::walker::random_constellation;
+use openspace_sim::config::{require_non_negative, require_positive, ConfigError};
 use openspace_sim::exec::{default_threads, parallel_map_seeded};
 use openspace_sim::rng::SimRng;
 
@@ -189,8 +190,12 @@ pub fn study_snapshot_params(cfg: &StudyConfig) -> SnapshotParams {
 /// the size-`n` constellation a prefix of the size-`m > n` one, which is
 /// what lets the ephemeris cache pay off across a sweep.
 pub fn study_constellation(cfg: &StudyConfig, n: usize, trial: u64) -> Vec<SatNode> {
+    // Invalid parameters (non-positive altitude) yield an empty
+    // constellation — every sample then counts as unreachable instead of
+    // aborting a sweep. [`ScenarioRunner::builder`] rejects such configs
+    // up front.
     random_constellation(n, cfg.altitude_m, cfg.inclination_deg, cfg.seed + trial)
-        .expect("valid constellation parameters")
+        .unwrap_or_default()
         .into_iter()
         .map(|el| SatNode {
             propagator: Propagator::new(el, PerturbationModel::TwoBody),
@@ -207,7 +212,7 @@ fn nearest_any_range(ground_ecef: Vec3, sat_ecef: &[Vec3]) -> Option<(usize, f64
         .iter()
         .enumerate()
         .map(|(i, &se)| (i, ground_ecef.distance(se)))
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
 }
 
 /// The shared scenario harness: memoized ephemeris + deterministic
@@ -219,7 +224,70 @@ pub struct ScenarioRunner {
     cache: EphemerisCache,
 }
 
+/// Validating builder for [`ScenarioRunner`].
+#[derive(Debug, Clone)]
+pub struct ScenarioRunnerBuilder {
+    cfg: StudyConfig,
+    threads: usize,
+}
+
+impl ScenarioRunnerBuilder {
+    /// Replace the whole sweep configuration.
+    pub fn config(mut self, cfg: StudyConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Worker count (clamped to ≥ 1 at build).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// RNG seed override.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Trials per sweep point.
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.cfg.trials = trials;
+        self
+    }
+
+    /// Validate and produce the runner.
+    pub fn build(self) -> Result<ScenarioRunner, ConfigError> {
+        let cfg = &self.cfg;
+        require_positive("altitude_m", cfg.altitude_m)?;
+        require_positive("epoch_spacing_s", cfg.epoch_spacing_s)?;
+        require_non_negative("min_elevation_rad", cfg.min_elevation_rad)?;
+        if cfg.trials == 0 {
+            return Err(ConfigError::NonPositive {
+                field: "trials",
+                value: 0.0,
+            });
+        }
+        if cfg.epochs_per_trial == 0 {
+            return Err(ConfigError::NonPositive {
+                field: "epochs_per_trial",
+                value: 0.0,
+            });
+        }
+        Ok(ScenarioRunner::serial(self.cfg).with_threads(self.threads))
+    }
+}
+
 impl ScenarioRunner {
+    /// Start building a validated runner from the default config and a
+    /// single worker.
+    pub fn builder() -> ScenarioRunnerBuilder {
+        ScenarioRunnerBuilder {
+            cfg: StudyConfig::default(),
+            threads: 1,
+        }
+    }
+
     /// A single-threaded runner — the reference semantics.
     pub fn serial(cfg: StudyConfig) -> Self {
         Self {
@@ -539,6 +607,36 @@ mod tests {
             runner.cache().misses(),
             16 * cfg.trials * cfg.epochs_per_trial as u64
         );
+    }
+
+    #[test]
+    fn builder_validates_and_matches_serial() {
+        let cfg = quick_cfg();
+        let built = ScenarioRunner::builder()
+            .config(cfg)
+            .threads(2)
+            .build()
+            .expect("valid config");
+        assert_eq!(built.threads(), 2);
+        let a = built.latency_vs_satellites(&[10]);
+        let b = ScenarioRunner::serial(cfg).latency_vs_satellites(&[10]);
+        assert_points_bitwise_eq(&a, &b);
+
+        let err = ScenarioRunner::builder()
+            .config(StudyConfig {
+                altitude_m: -5.0,
+                ..quick_cfg()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::NonPositive {
+                field: "altitude_m",
+                ..
+            }
+        ));
+        assert!(ScenarioRunner::builder().trials(0).build().is_err());
     }
 
     #[test]

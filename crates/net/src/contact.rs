@@ -7,12 +7,13 @@
 use crate::isl::SatNode;
 use openspace_orbit::frames::{eci_to_ecef, Vec3};
 use openspace_orbit::visibility::is_visible;
+use openspace_sim::ids::SatId;
 
 /// One visibility window of one satellite over a ground point.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ContactWindow {
     /// Index into the satellite array.
-    pub sat_index: usize,
+    pub sat_index: SatId,
     /// Window start (s); clamped to the scan start when already visible.
     pub start_s: f64,
     /// Window end (s); clamped to the scan end when still visible.
@@ -62,7 +63,7 @@ pub fn contact_plan(
                 (None, true) => open = Some(t),
                 (Some(start), false) => {
                     windows.push(ContactWindow {
-                        sat_index: si,
+                        sat_index: SatId(si),
                         start_s: start,
                         end_s: t,
                     });
@@ -76,7 +77,7 @@ pub fn contact_plan(
         }
         if let Some(start) = open {
             windows.push(ContactWindow {
-                sat_index: si,
+                sat_index: SatId(si),
                 start_s: start,
                 end_s: t_end_s,
             });
@@ -84,8 +85,7 @@ pub fn contact_plan(
     }
     windows.sort_by(|a, b| {
         a.start_s
-            .partial_cmp(&b.start_s)
-            .expect("finite times")
+            .total_cmp(&b.start_s)
             .then(a.sat_index.cmp(&b.sat_index))
     });
     windows
@@ -101,7 +101,7 @@ pub fn coverage_time_fraction(windows: &[ContactWindow], t_start_s: f64, t_end_s
         events.push((w.start_s.max(t_start_s), 1));
         events.push((w.end_s.min(t_end_s), -1));
     }
-    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(b.1.cmp(&a.1)));
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)));
     let mut covered = 0.0;
     let mut depth = 0;
     let mut last = t_start_s;
@@ -123,7 +123,7 @@ pub fn longest_outage_s(windows: &[ContactWindow], t_start_s: f64, t_end_s: f64)
         .map(|w| (w.start_s.max(t_start_s), w.end_s.min(t_end_s)))
         .filter(|(s, e)| e > s)
         .collect();
-    intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut gap: f64 = 0.0;
     let mut horizon = t_start_s;
     for (s, e) in intervals {
@@ -235,7 +235,7 @@ mod tests {
     #[test]
     fn contains_and_duration() {
         let w = ContactWindow {
-            sat_index: 0,
+            sat_index: SatId(0),
             start_s: 10.0,
             end_s: 20.0,
         };

@@ -8,14 +8,20 @@
 //! [`service_schedule`] turns a contact plan into the sequence of serving
 //! satellites a user experiences; experiment E4 measures its handover
 //! cadence against constellation density (the Starlink-every-15-s claim).
+//! [`service_schedule_with_outages`] additionally consumes satellite
+//! outage windows from a fault plan: a user whose access satellite dies
+//! mid-pass is *forcibly* re-associated to the best surviving satellite,
+//! and the schedule counts those unplanned handovers separately.
 
 use crate::contact::ContactWindow;
+use openspace_sim::config::ConfigError;
+use openspace_sim::ids::SatId;
 
 /// One serving interval in a user's schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceInterval {
     /// Serving satellite index.
-    pub sat_index: usize,
+    pub sat_index: SatId,
     /// Service start (s).
     pub start_s: f64,
     /// Service end (s) — a handover or an outage boundary.
@@ -30,6 +36,9 @@ pub struct ServiceSchedule {
     /// Number of satellite-to-satellite handovers (transitions without an
     /// intervening outage).
     pub handovers: usize,
+    /// Of those, handovers forced by the serving satellite failing
+    /// mid-pass rather than setting on schedule. Zero without faults.
+    pub forced_reassociations: usize,
     /// Total time with no serving satellite (s).
     pub outage_s: f64,
 }
@@ -46,42 +55,104 @@ impl ServiceSchedule {
     }
 }
 
+/// A time span during which one satellite is failed (from a compiled
+/// fault plan).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SatOutageWindow {
+    /// The failed satellite.
+    pub sat: SatId,
+    /// Outage start (s).
+    pub start_s: f64,
+    /// Outage end (s); `f64::INFINITY` for a permanent failure.
+    pub end_s: f64,
+}
+
+impl SatOutageWindow {
+    fn covers(&self, sat: SatId, t_s: f64) -> bool {
+        self.sat == sat && (self.start_s..self.end_s).contains(&t_s)
+    }
+}
+
 /// Build the serving schedule over `[t_start, t_end)` from a contact
 /// plan, using the paper's policy: stay on the current satellite until it
 /// sets, then switch to the predicted successor — the visible satellite
 /// whose window extends furthest (maximizing time to the next handover,
 /// which the serving satellite can compute from public orbits).
 ///
-/// # Panics
-/// Panics on an inverted interval.
+/// Errs on an inverted interval.
 pub fn service_schedule(
     windows: &[ContactWindow],
     t_start_s: f64,
     t_end_s: f64,
-) -> ServiceSchedule {
-    assert!(t_end_s >= t_start_s, "interval inverted");
+) -> Result<ServiceSchedule, ConfigError> {
+    service_schedule_with_outages(windows, &[], t_start_s, t_end_s)
+}
+
+/// [`service_schedule`] under satellite outages: a satellite is only
+/// eligible to serve while alive, and the serving interval of a user
+/// whose satellite fails mid-pass is cut short — the user re-associates
+/// immediately to the best surviving visible satellite (a *forced*
+/// re-association), or falls into outage when none exists.
+pub fn service_schedule_with_outages(
+    windows: &[ContactWindow],
+    outages: &[SatOutageWindow],
+    t_start_s: f64,
+    t_end_s: f64,
+) -> Result<ServiceSchedule, ConfigError> {
+    if t_end_s < t_start_s {
+        return Err(ConfigError::InvertedInterval {
+            field: "service_schedule.interval",
+            start: t_start_s,
+            end: t_end_s,
+        });
+    }
+    let alive = |sat: SatId, t: f64| !outages.iter().any(|o| o.covers(sat, t));
+    // The satellite serving at `t` keeps serving until its window ends —
+    // or until its next outage begins, whichever is first.
+    let serve_end = |w: &ContactWindow, t: f64| {
+        let death = outages
+            .iter()
+            .filter(|o| o.sat == w.sat_index && o.start_s > t)
+            .map(|o| o.start_s)
+            .fold(f64::INFINITY, f64::min);
+        w.end_s.min(death)
+    };
+
     let mut intervals: Vec<ServiceInterval> = Vec::new();
     let mut handovers = 0usize;
+    let mut forced = 0usize;
     let mut outage = 0.0f64;
     let mut t = t_start_s;
+    // Whether the previous interval ended because its satellite failed.
+    let mut last_end_was_fault = false;
 
     while t < t_end_s {
-        // Visible windows at t, pick the one lasting longest.
-        let best = windows.iter().filter(|w| w.contains(t)).max_by(|a, b| {
-            a.end_s
-                .partial_cmp(&b.end_s)
-                .expect("finite")
-                .then(b.sat_index.cmp(&a.sat_index))
-        });
+        // Visible, alive windows at t; pick the one whose *contact
+        // window* lasts longest. Orbits are public, faults are not: the
+        // predictor ranks successors by visibility alone, and an outage
+        // merely cuts the chosen interval short when it strikes.
+        let best = windows
+            .iter()
+            .filter(|w| w.contains(t) && alive(w.sat_index, t))
+            .max_by(|a, b| {
+                a.end_s
+                    .total_cmp(&b.end_s)
+                    .then(b.sat_index.cmp(&a.sat_index))
+            });
         match best {
             Some(w) => {
-                let end = w.end_s.min(t_end_s);
+                let natural_end = serve_end(w, t);
+                let end = natural_end.min(t_end_s);
                 let came_from_service = intervals
                     .last()
                     .is_some_and(|last: &ServiceInterval| last.end_s == t);
                 if came_from_service {
                     handovers += 1;
+                    if last_end_was_fault {
+                        forced += 1;
+                    }
                 }
+                last_end_was_fault = natural_end < w.end_s.min(t_end_s);
                 intervals.push(ServiceInterval {
                     sat_index: w.sat_index,
                     start_s: t,
@@ -90,24 +161,37 @@ pub fn service_schedule(
                 t = end;
             }
             None => {
-                // Outage until the next window opens.
-                let next_start = windows
+                // Outage until a window opens or a failed satellite that
+                // is inside a current window recovers.
+                let next_window = windows
                     .iter()
                     .map(|w| w.start_s)
                     .filter(|&s| s > t)
                     .fold(f64::INFINITY, f64::min);
-                let until = next_start.min(t_end_s);
+                let next_recovery = outages
+                    .iter()
+                    .filter(|o| o.end_s > t && o.end_s < f64::INFINITY)
+                    .filter(|o| {
+                        windows
+                            .iter()
+                            .any(|w| w.sat_index == o.sat && w.contains(o.end_s))
+                    })
+                    .map(|o| o.end_s)
+                    .fold(f64::INFINITY, f64::min);
+                let until = next_window.min(next_recovery).min(t_end_s);
                 outage += until - t;
                 t = until;
+                last_end_was_fault = false;
             }
         }
     }
 
-    ServiceSchedule {
+    Ok(ServiceSchedule {
         intervals,
         handovers,
+        forced_reassociations: forced,
         outage_s: outage,
-    }
+    })
 }
 
 /// Interruption time per handover under two protocols:
@@ -147,7 +231,15 @@ mod tests {
 
     fn w(sat: usize, start: f64, end: f64) -> ContactWindow {
         ContactWindow {
-            sat_index: sat,
+            sat_index: SatId(sat),
+            start_s: start,
+            end_s: end,
+        }
+    }
+
+    fn dead(sat: usize, start: f64, end: f64) -> SatOutageWindow {
+        SatOutageWindow {
+            sat: SatId(sat),
             start_s: start,
             end_s: end,
         }
@@ -157,19 +249,20 @@ mod tests {
     fn seamless_two_sat_schedule() {
         // Sat 0 visible [0,100), sat 1 visible [80,200): one handover at 100.
         let windows = [w(0, 0.0, 100.0), w(1, 80.0, 200.0)];
-        let s = service_schedule(&windows, 0.0, 200.0);
+        let s = service_schedule(&windows, 0.0, 200.0).unwrap();
         assert_eq!(s.intervals.len(), 2);
-        assert_eq!(s.intervals[0].sat_index, 0);
-        assert_eq!(s.intervals[1].sat_index, 1);
+        assert_eq!(s.intervals[0].sat_index, SatId(0));
+        assert_eq!(s.intervals[1].sat_index, SatId(1));
         assert_eq!(s.intervals[1].start_s, 100.0);
         assert_eq!(s.handovers, 1);
+        assert_eq!(s.forced_reassociations, 0);
         assert_eq!(s.outage_s, 0.0);
     }
 
     #[test]
     fn gap_counts_as_outage_not_handover() {
         let windows = [w(0, 0.0, 50.0), w(1, 80.0, 150.0)];
-        let s = service_schedule(&windows, 0.0, 150.0);
+        let s = service_schedule(&windows, 0.0, 150.0).unwrap();
         assert_eq!(s.handovers, 0, "outage breaks the handover chain");
         assert_eq!(s.outage_s, 30.0);
         assert_eq!(s.intervals.len(), 2);
@@ -179,9 +272,9 @@ mod tests {
     fn picks_longest_lasting_visible_sat() {
         // At t=0 both are visible; sat 1 lasts longer and must be chosen.
         let windows = [w(0, 0.0, 50.0), w(1, 0.0, 300.0)];
-        let s = service_schedule(&windows, 0.0, 300.0);
+        let s = service_schedule(&windows, 0.0, 300.0).unwrap();
         assert_eq!(s.intervals.len(), 1);
-        assert_eq!(s.intervals[0].sat_index, 1);
+        assert_eq!(s.intervals[0].sat_index, SatId(1));
         assert_eq!(s.handovers, 0);
     }
 
@@ -196,7 +289,7 @@ mod tests {
             let start = 15.0 * k as f64;
             windows.push(w(k, start, start + 30.0));
         }
-        let s = service_schedule(&windows, 0.0, 250.0);
+        let s = service_schedule(&windows, 0.0, 250.0).unwrap();
         assert!(s.handovers >= 7, "handovers {}", s.handovers);
         assert_eq!(s.outage_s, 0.0);
         let mtbh = s.mean_time_between_handovers_s().unwrap();
@@ -208,7 +301,7 @@ mod tests {
 
     #[test]
     fn no_windows_is_all_outage() {
-        let s = service_schedule(&[], 0.0, 100.0);
+        let s = service_schedule(&[], 0.0, 100.0).unwrap();
         assert!(s.intervals.is_empty());
         assert_eq!(s.outage_s, 100.0);
         assert_eq!(s.mean_time_between_handovers_s(), None);
@@ -217,8 +310,16 @@ mod tests {
     #[test]
     fn horizon_clamps_final_interval() {
         let windows = [w(0, 0.0, 1_000.0)];
-        let s = service_schedule(&windows, 0.0, 100.0);
+        let s = service_schedule(&windows, 0.0, 100.0).unwrap();
         assert_eq!(s.intervals[0].end_s, 100.0);
+    }
+
+    #[test]
+    fn inverted_interval_is_an_error_not_a_panic() {
+        assert!(matches!(
+            service_schedule(&[], 100.0, 0.0),
+            Err(ConfigError::InvertedInterval { .. })
+        ));
     }
 
     #[test]
@@ -233,8 +334,54 @@ mod tests {
     #[test]
     fn schedule_is_deterministic() {
         let windows = [w(0, 0.0, 60.0), w(1, 30.0, 90.0), w(2, 60.0, 120.0)];
-        let a = service_schedule(&windows, 0.0, 120.0);
-        let b = service_schedule(&windows, 0.0, 120.0);
+        let a = service_schedule(&windows, 0.0, 120.0).unwrap();
+        let b = service_schedule(&windows, 0.0, 120.0).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dying_access_sat_forces_reassociation() {
+        // Both sats visible the whole time; sat 1 (longer window) serves
+        // first, dies at t=50, and the user must jump to sat 0.
+        let windows = [w(0, 0.0, 200.0), w(1, 0.0, 300.0)];
+        let outages = [dead(1, 50.0, f64::INFINITY)];
+        let s = service_schedule_with_outages(&windows, &outages, 0.0, 200.0).unwrap();
+        assert_eq!(s.intervals.len(), 2);
+        assert_eq!(s.intervals[0].sat_index, SatId(1));
+        assert_eq!(s.intervals[0].end_s, 50.0);
+        assert_eq!(s.intervals[1].sat_index, SatId(0));
+        assert_eq!(s.handovers, 1);
+        assert_eq!(s.forced_reassociations, 1);
+        assert_eq!(s.outage_s, 0.0);
+    }
+
+    #[test]
+    fn failure_with_no_survivor_is_an_outage() {
+        let windows = [w(0, 0.0, 100.0)];
+        let outages = [dead(0, 40.0, 60.0)];
+        let s = service_schedule_with_outages(&windows, &outages, 0.0, 100.0).unwrap();
+        // Serve [0,40), outage [40,60) while the sat is down, resume at 60.
+        assert_eq!(s.intervals.len(), 2);
+        assert_eq!(s.outage_s, 20.0);
+        assert_eq!(s.forced_reassociations, 0, "no survivor to re-associate to");
+        assert_eq!(s.intervals[1].start_s, 60.0);
+    }
+
+    #[test]
+    fn dead_sat_is_never_selected() {
+        // Sat 1's window is longer but it is dead the whole time.
+        let windows = [w(0, 0.0, 100.0), w(1, 0.0, 300.0)];
+        let outages = [dead(1, 0.0, f64::INFINITY)];
+        let s = service_schedule_with_outages(&windows, &outages, 0.0, 100.0).unwrap();
+        assert_eq!(s.intervals.len(), 1);
+        assert_eq!(s.intervals[0].sat_index, SatId(0));
+    }
+
+    #[test]
+    fn empty_outage_list_matches_plain_schedule() {
+        let windows = [w(0, 0.0, 60.0), w(1, 30.0, 90.0), w(2, 60.0, 120.0)];
+        let plain = service_schedule(&windows, 0.0, 120.0).unwrap();
+        let faulted = service_schedule_with_outages(&windows, &[], 0.0, 120.0).unwrap();
+        assert_eq!(plain, faulted);
     }
 }

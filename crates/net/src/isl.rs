@@ -164,7 +164,7 @@ pub fn build_snapshot_from_samples(
         }
     }
     for c in candidates.iter_mut() {
-        c.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        c.sort_by(|a, b| a.1.total_cmp(&b.1));
         c.truncate(params.max_isl_per_sat);
     }
     // Mutual selection.

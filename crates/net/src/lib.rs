@@ -18,6 +18,14 @@
 //!   operators whose satellites are scheduled to be disconnected (§2).
 //! * [`policy`] — regulation-aware routing: jurisdictions, downlink
 //!   licenses, and per-user privacy policies (§5's open problem (3)).
+//! * [`outage`] — applies compiled fault-plan events
+//!   ([`openspace_sim::fault`]) to a live [`topology::Graph`] and
+//!   reverts them exactly, with idempotent bookkeeping.
+//!
+//! Public node/operator identities are typed ([`topology::NodeId`],
+//! [`topology::SatId`], [`topology::GsId`], [`topology::OperatorId`] —
+//! re-exported from `openspace_sim::ids`); plain `usize` indices still
+//! convert implicitly at call sites via `impl Into<NodeId>` parameters.
 
 //! ## Example
 //!
@@ -45,6 +53,7 @@ pub mod contact;
 pub mod dtn;
 pub mod handover;
 pub mod isl;
+pub mod outage;
 pub mod policy;
 pub mod routing;
 pub mod topology;
@@ -54,12 +63,19 @@ pub mod prelude {
     pub use crate::contact::{
         contact_plan, coverage_time_fraction, longest_outage_s, ContactWindow,
     };
-    pub use crate::dtn::{earliest_arrival, sample_contacts, Contact, DtnRoute};
-    pub use crate::handover::{service_schedule, HandoverCost, ServiceInterval, ServiceSchedule};
+    pub use crate::dtn::{
+        earliest_arrival, earliest_arrival_with_retry, sample_contacts, Contact, DtnError,
+        DtnRoute, NodeOutageWindow, RetryPolicy,
+    };
+    pub use crate::handover::{
+        service_schedule, service_schedule_with_outages, HandoverCost, SatOutageWindow,
+        ServiceInterval, ServiceSchedule,
+    };
     pub use crate::isl::{
         best_access_from_ecef, best_access_satellite, build_snapshot, build_snapshot_from_samples,
         isl_capacity_bps, GroundNode, SatNode, SnapshotParams,
     };
+    pub use crate::outage::{OutageTracker, TopologyDelta};
     pub use crate::policy::{
         audit_path, policy_route, DownlinkLicense, Jurisdiction, PolicyRoute, RoutePolicy,
         StationAttrs,
@@ -68,5 +84,8 @@ pub mod prelude {
         congestion_weight, hop_weight, k_shortest_paths, latency_weight, qos_route, residual_bps,
         shortest_path, widest_path, Path, QosRequirement,
     };
-    pub use crate::topology::{Edge, Graph, LinkTech, NoSuchEdge, NodeKind};
+    pub use crate::topology::{
+        Edge, Graph, GsId, LinkOutage, LinkTech, NoSuchEdge, NodeId, NodeKind, NodeOutage,
+        OperatorId, SatId, TopologyError,
+    };
 }

@@ -1,0 +1,377 @@
+//! Applying fault-plan events to a live topology.
+//!
+//! [`OutageTracker`] consumes the [`TopologyEvent`] stream a
+//! [`FaultPlan`](openspace_sim::fault::FaultPlan) compiles to and keeps
+//! the bookkeeping needed to (a) undo each outage exactly when its
+//! recovery event arrives and (b) undo *everything* at end of run
+//! ([`OutageTracker::revert_all`]), restoring the pre-fault graph
+//! bit-for-bit. Each application returns a [`TopologyDelta`] naming the
+//! directed links that vanished or reappeared, which the network
+//! simulator uses to drop in-flight packets and re-create link state.
+
+use crate::topology::{Edge, Graph, LinkOutage, NodeId, NodeOutage, TopologyError};
+use openspace_sim::fault::{TopologyEvent, TopologyEventKind};
+
+/// The observable effect of applying one topology event.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TopologyDelta {
+    /// Directed links removed from the graph by this event.
+    pub removed_links: Vec<(NodeId, NodeId)>,
+    /// Directed links re-added to the graph, with their edge data.
+    pub restored_links: Vec<(NodeId, Edge)>,
+}
+
+impl TopologyDelta {
+    /// Whether the event changed the graph at all.
+    pub fn is_empty(&self) -> bool {
+        self.removed_links.is_empty() && self.restored_links.is_empty()
+    }
+}
+
+/// Identity of an open outage, for matching recovery events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutageKey {
+    Node(NodeId),
+    Link(NodeId, NodeId),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum OpenOutage {
+    Node(NodeOutage),
+    Link(LinkOutage),
+}
+
+/// Stateful applier of [`TopologyEvent`]s to a [`Graph`].
+///
+/// Semantics are idempotent in the directions faults compose: downing
+/// an already-down entity is a no-op (the later recovery still restores
+/// it once), and a recovery with no matching outage is a no-op. Link
+/// faults on a link whose endpoint already failed are no-ops too — the
+/// node outage already owns those edges and will restore them.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct OutageTracker {
+    /// Open outages in application order (LIFO restores exactly).
+    open: Vec<(OutageKey, OpenOutage)>,
+}
+
+impl OutageTracker {
+    /// A tracker with no open outages.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `node` is currently failed.
+    pub fn is_node_down(&self, node: impl Into<NodeId>) -> bool {
+        let node = node.into();
+        self.open
+            .iter()
+            .any(|(key, _)| matches!(key, OutageKey::Node(n) if *n == node))
+    }
+
+    /// Number of outages currently open.
+    pub fn open_outages(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Apply one event to `graph`, returning what changed.
+    ///
+    /// Errs only on out-of-range nodes (a plan compiled against a
+    /// different topology); all legitimate runtime races — duplicate
+    /// downs, recoveries of never-failed entities, faults on links whose
+    /// endpoints already died — resolve to empty deltas.
+    pub fn apply(
+        &mut self,
+        graph: &mut Graph,
+        event: &TopologyEvent,
+    ) -> Result<TopologyDelta, TopologyError> {
+        match event.kind {
+            TopologyEventKind::NodeDown(node) => {
+                if self.is_node_down(node) {
+                    return Ok(TopologyDelta::default());
+                }
+                let outage = graph.fail_node(node)?;
+                let delta = TopologyDelta {
+                    removed_links: outage.removed_links(),
+                    restored_links: Vec::new(),
+                };
+                self.open
+                    .push((OutageKey::Node(node), OpenOutage::Node(outage)));
+                Ok(delta)
+            }
+            TopologyEventKind::NodeUp(node) => {
+                let Some(pos) = self
+                    .open
+                    .iter()
+                    .rposition(|(key, _)| *key == OutageKey::Node(node))
+                else {
+                    return Ok(TopologyDelta::default());
+                };
+                self.close_at(graph, pos)?;
+                // Net effect: every edge touching `node` that survived the
+                // re-application of the remaining outages reappeared.
+                let restored_links = edges_touching(graph, node);
+                Ok(TopologyDelta {
+                    removed_links: Vec::new(),
+                    restored_links,
+                })
+            }
+            TopologyEventKind::LinkDown(a, b) => {
+                let key = OutageKey::Link(a.min(b), a.max(b));
+                let already_down = self.open.iter().any(|(k, _)| *k == key);
+                if already_down || self.is_node_down(a) || self.is_node_down(b) {
+                    return Ok(TopologyDelta::default());
+                }
+                match graph.fail_link(a, b) {
+                    Ok(outage) => {
+                        let delta = TopologyDelta {
+                            removed_links: outage.removed_links(),
+                            restored_links: Vec::new(),
+                        };
+                        self.open.push((key, OpenOutage::Link(outage)));
+                        Ok(delta)
+                    }
+                    // No such edge in this snapshot: nothing to fail.
+                    Err(TopologyError::NoSuchEdge(_)) => Ok(TopologyDelta::default()),
+                    Err(e) => Err(e),
+                }
+            }
+            TopologyEventKind::LinkUp(a, b) => {
+                let key = OutageKey::Link(a.min(b), a.max(b));
+                let Some(pos) = self.open.iter().rposition(|(k, _)| *k == key) else {
+                    return Ok(TopologyDelta::default());
+                };
+                self.close_at(graph, pos)?;
+                let mut restored_links = Vec::new();
+                for (from, to) in [(a, b), (b, a)] {
+                    if let Some(e) = graph.find_edge(from, to) {
+                        restored_links.push((from, *e));
+                    }
+                }
+                Ok(TopologyDelta {
+                    removed_links: Vec::new(),
+                    restored_links,
+                })
+            }
+            // Membership bookkeeping, not a graph change: the compiler
+            // emits explicit NodeDown events for the operator's assets.
+            TopologyEventKind::OperatorWithdrawn(_) => Ok(TopologyDelta::default()),
+        }
+    }
+
+    /// Undo every still-open outage (most recent first), restoring the
+    /// graph to its pre-fault state exactly.
+    pub fn revert_all(&mut self, graph: &mut Graph) {
+        while let Some((_, open)) = self.open.pop() {
+            revert_one(graph, open);
+        }
+    }
+
+    /// Close the outage at stack position `pos`, possibly mid-stack.
+    ///
+    /// Outage records are positional, so they only replay exactly in LIFO
+    /// order. Recoveries arrive in arbitrary order, though; to keep the
+    /// stack LIFO-consistent we revert every outage above the target,
+    /// revert the target, then re-apply the survivors in their original
+    /// order against the now-current graph, giving them fresh records.
+    /// This is O(open outages × degree) per recovery — outage counts are
+    /// tiny next to topology sizes.
+    fn close_at(&mut self, graph: &mut Graph, pos: usize) -> Result<(), TopologyError> {
+        let mut reapply: Vec<OutageKey> = Vec::new();
+        while self.open.len() > pos + 1 {
+            let Some((key, open)) = self.open.pop() else {
+                break; // unreachable: len > pos + 1 >= 1
+            };
+            revert_one(graph, open);
+            reapply.push(key);
+        }
+        if let Some((_, target)) = self.open.pop() {
+            revert_one(graph, target);
+        }
+        for key in reapply.into_iter().rev() {
+            let open = match key {
+                OutageKey::Node(n) => OpenOutage::Node(graph.fail_node(n)?),
+                OutageKey::Link(a, b) => match graph.fail_link(a, b) {
+                    Ok(o) => OpenOutage::Link(o),
+                    // The link existed when this outage opened and closing
+                    // the target only adds edges, so this cannot happen;
+                    // degrade to dropping the (already-removed) outage.
+                    Err(TopologyError::NoSuchEdge(_)) => continue,
+                    Err(e) => return Err(e),
+                },
+            };
+            self.open.push((key, open));
+        }
+        Ok(())
+    }
+}
+
+fn revert_one(graph: &mut Graph, open: OpenOutage) {
+    match open {
+        OpenOutage::Node(outage) => graph.restore_node(outage),
+        OpenOutage::Link(outage) => graph.restore_link(outage),
+    }
+}
+
+/// Every directed edge currently in `graph` with `node` as an endpoint.
+fn edges_touching(graph: &Graph, node: NodeId) -> Vec<(NodeId, Edge)> {
+    let mut out: Vec<(NodeId, Edge)> = graph.edges(node).iter().map(|e| (node, *e)).collect();
+    for m in 0..graph.node_count() {
+        if m == node.0 {
+            continue;
+        }
+        for e in graph.edges(m) {
+            if e.to == node {
+                out.push((NodeId(m), *e));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkTech;
+    use openspace_sim::fault::{FaultPlan, FaultTopology};
+    use openspace_sim::ids::OperatorId;
+
+    fn ring(n: usize) -> Graph {
+        let mut g = Graph::new(n, 0);
+        for i in 0..n {
+            g.add_bidirectional(i, (i + 1) % n, 0.004, 1e9, 0u32, 0u32, LinkTech::Rf);
+        }
+        g
+    }
+
+    fn ev(kind: TopologyEventKind) -> TopologyEvent {
+        TopologyEvent {
+            at_s: 0.0,
+            seq: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn node_down_then_up_restores_graph() {
+        let original = ring(5);
+        let mut g = original.clone();
+        let mut tracker = OutageTracker::new();
+        let down = tracker
+            .apply(&mut g, &ev(TopologyEventKind::NodeDown(NodeId(2))))
+            .unwrap();
+        assert_eq!(down.removed_links.len(), 4);
+        assert!(tracker.is_node_down(2usize));
+        let up = tracker
+            .apply(&mut g, &ev(TopologyEventKind::NodeUp(NodeId(2))))
+            .unwrap();
+        assert_eq!(up.restored_links.len(), 4);
+        assert_eq!(g, original);
+        assert_eq!(tracker.open_outages(), 0);
+    }
+
+    #[test]
+    fn duplicate_down_is_idempotent() {
+        let original = ring(4);
+        let mut g = original.clone();
+        let mut tracker = OutageTracker::new();
+        tracker
+            .apply(&mut g, &ev(TopologyEventKind::NodeDown(NodeId(1))))
+            .unwrap();
+        let dup = tracker
+            .apply(&mut g, &ev(TopologyEventKind::NodeDown(NodeId(1))))
+            .unwrap();
+        assert!(dup.is_empty());
+        tracker
+            .apply(&mut g, &ev(TopologyEventKind::NodeUp(NodeId(1))))
+            .unwrap();
+        assert_eq!(g, original);
+    }
+
+    #[test]
+    fn up_without_down_is_a_no_op() {
+        let mut g = ring(4);
+        let mut tracker = OutageTracker::new();
+        let delta = tracker
+            .apply(&mut g, &ev(TopologyEventKind::NodeUp(NodeId(0))))
+            .unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(g, ring(4));
+    }
+
+    #[test]
+    fn link_fault_on_dead_node_is_a_no_op() {
+        let original = ring(4);
+        let mut g = original.clone();
+        let mut tracker = OutageTracker::new();
+        tracker
+            .apply(&mut g, &ev(TopologyEventKind::NodeDown(NodeId(0))))
+            .unwrap();
+        let flap = tracker
+            .apply(
+                &mut g,
+                &ev(TopologyEventKind::LinkDown(NodeId(0), NodeId(1))),
+            )
+            .unwrap();
+        assert!(flap.is_empty(), "node outage already owns those edges");
+        // The matching LinkUp must not resurrect edges the node outage owns.
+        let up = tracker
+            .apply(&mut g, &ev(TopologyEventKind::LinkUp(NodeId(0), NodeId(1))))
+            .unwrap();
+        assert!(up.is_empty());
+        tracker
+            .apply(&mut g, &ev(TopologyEventKind::NodeUp(NodeId(0))))
+            .unwrap();
+        assert_eq!(g, original);
+    }
+
+    #[test]
+    fn link_keys_are_direction_insensitive() {
+        let original = ring(4);
+        let mut g = original.clone();
+        let mut tracker = OutageTracker::new();
+        tracker
+            .apply(
+                &mut g,
+                &ev(TopologyEventKind::LinkDown(NodeId(2), NodeId(1))),
+            )
+            .unwrap();
+        let up = tracker
+            .apply(&mut g, &ev(TopologyEventKind::LinkUp(NodeId(1), NodeId(2))))
+            .unwrap();
+        assert_eq!(up.restored_links.len(), 2);
+        assert_eq!(g, original);
+    }
+
+    #[test]
+    fn revert_all_after_compiled_plan_restores_graph() {
+        let original = ring(6);
+        let mut g = original.clone();
+        let topo = FaultTopology::homogeneous(6, 0, OperatorId(0));
+        let plan = FaultPlan::builder()
+            .seed(11)
+            .sat_failure(0usize, 1.0)
+            .link_flap(2usize, 3usize, 2.0, 5.0, 5.0, 3)
+            .random_sat_outages(30.0, 40.0, 0.0, 600.0)
+            .build()
+            .unwrap();
+        let events = plan.compile(&topo).unwrap();
+        assert!(!events.is_empty());
+        let mut tracker = OutageTracker::new();
+        for ev in &events {
+            tracker.apply(&mut g, ev).unwrap();
+        }
+        assert_ne!(g, original, "permanent failure leaves the graph degraded");
+        tracker.revert_all(&mut g);
+        assert_eq!(g, original);
+        assert_eq!(tracker.open_outages(), 0);
+    }
+
+    #[test]
+    fn out_of_range_event_is_an_error() {
+        let mut g = ring(3);
+        let mut tracker = OutageTracker::new();
+        assert!(tracker
+            .apply(&mut g, &ev(TopologyEventKind::NodeDown(NodeId(99))))
+            .is_err());
+    }
+}

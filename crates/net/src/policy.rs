@@ -91,10 +91,11 @@ pub fn policy_route(
     graph: &Graph,
     station_attrs: &[StationAttrs],
     licenses: &[DownlinkLicense],
-    src: usize,
+    src: impl Into<crate::topology::NodeId>,
     policy: &RoutePolicy,
     weight: impl Fn(&crate::topology::Edge) -> f64 + Copy,
 ) -> PolicyRoute {
+    let src = src.into();
     assert_eq!(
         station_attrs.len(),
         graph.station_count(),
@@ -119,14 +120,14 @@ pub fn policy_route(
             continue;
         }
         let constrained = shortest_path(graph, src, dst, |e| {
-            if !policy.carrier_allowed(e.operator) {
+            if !policy.carrier_allowed(e.operator.0) {
                 return f64::INFINITY;
             }
             // A hop terminating at a ground station is a downlink: the
             // transmitting operator must hold a license there.
             if e.to >= n_sats {
-                let j = station_attrs[e.to - n_sats].jurisdiction;
-                if !licensed(e.operator, j) {
+                let j = station_attrs[e.to.0 - n_sats].jurisdiction;
+                if !licensed(e.operator.0, j) {
                     return f64::INFINITY;
                 }
             }
@@ -150,27 +151,27 @@ pub fn policy_route(
 
 /// Convenience check: does a computed path keep the user's traffic out of
 /// blocked carriers and exit in an allowed jurisdiction? Used to audit
-/// routes produced by policy-unaware routers.
+/// routes produced by policy-unaware routers. A path with a hop the graph
+/// no longer carries (e.g. stale after a fault) fails the audit.
 pub fn audit_path(
     graph: &Graph,
     station_attrs: &[StationAttrs],
     path: &Path,
     policy: &RoutePolicy,
 ) -> bool {
-    let n_sats = graph.satellite_count();
     // Carrier check on every hop.
     for w in path.nodes.windows(2) {
-        let e = graph.find_edge(w[0], w[1]).expect("path edge exists");
-        if !policy.carrier_allowed(e.operator) {
-            return false;
+        match graph.find_edge(w[0], w[1]) {
+            Some(e) if policy.carrier_allowed(e.operator.0) => {}
+            _ => return false,
         }
     }
     // Exit check on the terminal node.
-    match graph.node_kind(*path.nodes.last().expect("non-empty")) {
-        NodeKind::GroundStation(gi) => {
-            let _ = n_sats;
-            policy.exit_allowed(station_attrs[gi].jurisdiction)
-        }
+    let Some(&last) = path.nodes.last() else {
+        return true; // empty path: vacuously compliant
+    };
+    match graph.node_kind(last) {
+        NodeKind::GroundStation(gi) => policy.exit_allowed(station_attrs[gi.index()].jurisdiction),
         NodeKind::Satellite(_) => true, // not an exit path
     }
 }
@@ -249,7 +250,7 @@ mod tests {
         match r {
             PolicyRoute::Compliant { exit_station, path } => {
                 assert_eq!(exit_station, 1);
-                assert_eq!(path.nodes, vec![0, 2, 4]);
+                assert_eq!(path.nodes, vec![0usize, 2, 4]);
             }
             other => panic!("expected compliant via B, got {other:?}"),
         }

@@ -5,7 +5,7 @@
 //! parameter so the same machinery serves latency-optimal, hop-count, and
 //! the QoS-aware costs in [`crate::routing::qos`].
 
-use crate::topology::{Edge, Graph};
+use crate::topology::{Edge, Graph, NodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -13,7 +13,7 @@ use std::collections::BinaryHeap;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Path {
     /// Node sequence, source first, destination last.
-    pub nodes: Vec<usize>,
+    pub nodes: Vec<NodeId>,
     /// Total weight under the cost function used.
     pub total_cost: f64,
 }
@@ -25,37 +25,30 @@ impl Path {
     }
 
     /// Sum a per-edge metric along the path (e.g. latency when the route
-    /// was computed under a different cost).
-    pub fn sum_metric(&self, graph: &Graph, metric: impl Fn(&Edge) -> f64) -> f64 {
+    /// was computed under a different cost). Returns `None` when an edge
+    /// of the path no longer exists in `graph` — a stale route after the
+    /// topology changed under it.
+    pub fn sum_metric(&self, graph: &Graph, metric: impl Fn(&Edge) -> f64) -> Option<f64> {
         self.nodes
             .windows(2)
-            .map(|w| {
-                let e = graph
-                    .find_edge(w[0], w[1])
-                    .expect("path edge exists in graph");
-                metric(e)
-            })
+            .map(|w| graph.find_edge(w[0], w[1]).map(&metric))
             .sum()
     }
 
-    /// Minimum capacity along the path (the bottleneck, bit/s).
-    pub fn bottleneck_bps(&self, graph: &Graph) -> f64 {
+    /// Minimum capacity along the path (the bottleneck, bit/s), or
+    /// `None` for a stale path whose edges vanished.
+    pub fn bottleneck_bps(&self, graph: &Graph) -> Option<f64> {
         self.nodes
             .windows(2)
-            .map(|w| {
-                graph
-                    .find_edge(w[0], w[1])
-                    .expect("path edge exists in graph")
-                    .capacity_bps
-            })
-            .fold(f64::INFINITY, f64::min)
+            .map(|w| graph.find_edge(w[0], w[1]).map(|e| e.capacity_bps))
+            .try_fold(f64::INFINITY, |acc, c| c.map(|c| acc.min(c)))
     }
 }
 
 #[derive(PartialEq)]
 struct HeapEntry {
     cost: f64,
-    node: usize,
+    node: NodeId,
 }
 impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
@@ -63,8 +56,7 @@ impl Ord for HeapEntry {
         // Min-heap by cost; tie-break on node index for determinism.
         other
             .cost
-            .partial_cmp(&self.cost)
-            .expect("finite costs")
+            .total_cmp(&self.cost)
             .then(other.node.cmp(&self.node))
     }
 }
@@ -85,24 +77,25 @@ impl PartialOrd for HeapEntry {
 /// or on out-of-range endpoints.
 pub fn shortest_path(
     graph: &Graph,
-    src: usize,
-    dst: usize,
+    src: impl Into<NodeId>,
+    dst: impl Into<NodeId>,
     weight: impl Fn(&Edge) -> f64,
 ) -> Option<Path> {
-    assert!(src < graph.node_count(), "src out of range");
-    assert!(dst < graph.node_count(), "dst out of range");
+    let (src, dst) = (src.into(), dst.into());
+    assert!(src.0 < graph.node_count(), "src out of range");
+    assert!(dst.0 < graph.node_count(), "dst out of range");
     let n = graph.node_count();
     let mut dist = vec![f64::INFINITY; n];
-    let mut prev: Vec<Option<usize>> = vec![None; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
-    dist[src] = 0.0;
+    dist[src.0] = 0.0;
     heap.push(HeapEntry {
         cost: 0.0,
         node: src,
     });
 
     while let Some(HeapEntry { cost, node }) = heap.pop() {
-        if cost > dist[node] {
+        if cost > dist[node.0] {
             continue; // stale entry
         }
         if node == dst {
@@ -115,9 +108,9 @@ pub fn shortest_path(
             }
             assert!(w >= 0.0 && !w.is_nan(), "edge weight must be non-negative");
             let next = cost + w;
-            if next < dist[e.to] {
-                dist[e.to] = next;
-                prev[e.to] = Some(node);
+            if next < dist[e.to.0] {
+                dist[e.to.0] = next;
+                prev[e.to.0] = Some(node);
                 heap.push(HeapEntry {
                     cost: next,
                     node: e.to,
@@ -126,12 +119,12 @@ pub fn shortest_path(
         }
     }
 
-    if dist[dst].is_infinite() {
+    if dist[dst.0].is_infinite() {
         return None;
     }
     let mut nodes = vec![dst];
     let mut cur = dst;
-    while let Some(p) = prev[cur] {
+    while let Some(p) = prev[cur.0] {
         nodes.push(p);
         cur = p;
     }
@@ -139,7 +132,7 @@ pub fn shortest_path(
     debug_assert_eq!(nodes[0], src);
     Some(Path {
         nodes,
-        total_cost: dist[dst],
+        total_cost: dist[dst.0],
     })
 }
 
@@ -162,9 +155,9 @@ mod tests {
     ///          \________5ms_______/
     fn diamond() -> Graph {
         let mut g = Graph::new(3, 0);
-        g.add_bidirectional(0, 1, 0.001, 1e6, 0, 0, LinkTech::Rf);
-        g.add_bidirectional(1, 2, 0.001, 1e6, 0, 0, LinkTech::Rf);
-        g.add_bidirectional(0, 2, 0.005, 1e9, 0, 0, LinkTech::Rf);
+        g.add_bidirectional(0, 1, 0.001, 1e6, 0u32, 0u32, LinkTech::Rf);
+        g.add_bidirectional(1, 2, 0.001, 1e6, 0u32, 0u32, LinkTech::Rf);
+        g.add_bidirectional(0, 2, 0.005, 1e9, 0u32, 0u32, LinkTech::Rf);
         g
     }
 
@@ -172,7 +165,7 @@ mod tests {
     fn picks_lower_latency_two_hop() {
         let g = diamond();
         let p = shortest_path(&g, 0, 2, latency_weight).unwrap();
-        assert_eq!(p.nodes, vec![0, 1, 2]);
+        assert_eq!(p.nodes, vec![0usize, 1, 2]);
         assert!((p.total_cost - 0.002).abs() < 1e-12);
     }
 
@@ -180,7 +173,7 @@ mod tests {
     fn hop_weight_prefers_direct() {
         let g = diamond();
         let p = shortest_path(&g, 0, 2, hop_weight).unwrap();
-        assert_eq!(p.nodes, vec![0, 2]);
+        assert_eq!(p.nodes, vec![0usize, 2]);
         assert_eq!(p.hops(), 1);
     }
 
@@ -188,7 +181,7 @@ mod tests {
     fn source_equals_destination() {
         let g = diamond();
         let p = shortest_path(&g, 1, 1, latency_weight).unwrap();
-        assert_eq!(p.nodes, vec![1]);
+        assert_eq!(p.nodes, vec![1usize]);
         assert_eq!(p.total_cost, 0.0);
         assert_eq!(p.hops(), 0);
     }
@@ -196,7 +189,7 @@ mod tests {
     #[test]
     fn unreachable_returns_none() {
         let mut g = Graph::new(3, 0);
-        g.add_bidirectional(0, 1, 0.001, 1e6, 0, 0, LinkTech::Rf);
+        g.add_bidirectional(0, 1, 0.001, 1e6, 0u32, 0u32, LinkTech::Rf);
         assert!(shortest_path(&g, 0, 2, latency_weight).is_none());
     }
 
@@ -205,23 +198,32 @@ mod tests {
         let g = diamond();
         // Exclude the 0-1 edge: forced onto the direct path.
         let p = shortest_path(&g, 0, 2, |e| {
-            if e.latency_s < 0.002 && e.to != 2 {
+            if e.latency_s < 0.002 && e.to != 2usize {
                 f64::INFINITY
             } else {
                 e.latency_s
             }
         });
         // With 0->1 excluded, path is the direct 0->2.
-        assert_eq!(p.unwrap().nodes, vec![0, 2]);
+        assert_eq!(p.unwrap().nodes, vec![0usize, 2]);
     }
 
     #[test]
     fn bottleneck_and_metric_sum() {
         let g = diamond();
         let p = shortest_path(&g, 0, 2, latency_weight).unwrap();
-        assert_eq!(p.bottleneck_bps(&g), 1e6);
-        let lat = p.sum_metric(&g, |e| e.latency_s);
+        assert_eq!(p.bottleneck_bps(&g), Some(1e6));
+        let lat = p.sum_metric(&g, |e| e.latency_s).unwrap();
         assert!((lat - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_path_metrics_are_none_not_a_panic() {
+        let mut g = diamond();
+        let p = shortest_path(&g, 0, 2, latency_weight).unwrap();
+        let _ = g.fail_node(1).unwrap();
+        assert_eq!(p.sum_metric(&g, |e| e.latency_s), None);
+        assert_eq!(p.bottleneck_bps(&g), None);
     }
 
     #[test]
@@ -229,10 +231,10 @@ mod tests {
         // Two equal-cost paths: 0-1-3 and 0-2-3. Lower node index wins the
         // heap tie, so the result must be stable across runs.
         let mut g = Graph::new(4, 0);
-        g.add_bidirectional(0, 1, 0.001, 1e6, 0, 0, LinkTech::Rf);
-        g.add_bidirectional(0, 2, 0.001, 1e6, 0, 0, LinkTech::Rf);
-        g.add_bidirectional(1, 3, 0.001, 1e6, 0, 0, LinkTech::Rf);
-        g.add_bidirectional(2, 3, 0.001, 1e6, 0, 0, LinkTech::Rf);
+        g.add_bidirectional(0, 1, 0.001, 1e6, 0u32, 0u32, LinkTech::Rf);
+        g.add_bidirectional(0, 2, 0.001, 1e6, 0u32, 0u32, LinkTech::Rf);
+        g.add_bidirectional(1, 3, 0.001, 1e6, 0u32, 0u32, LinkTech::Rf);
+        g.add_bidirectional(2, 3, 0.001, 1e6, 0u32, 0u32, LinkTech::Rf);
         let a = shortest_path(&g, 0, 3, latency_weight).unwrap();
         let b = shortest_path(&g, 0, 3, latency_weight).unwrap();
         assert_eq!(a, b);
@@ -243,7 +245,7 @@ mod tests {
         let n = 500;
         let mut g = Graph::new(n, 0);
         for i in 0..n - 1 {
-            g.add_bidirectional(i, i + 1, 0.001, 1e6, 0, 0, LinkTech::Rf);
+            g.add_bidirectional(i, i + 1, 0.001, 1e6, 0u32, 0u32, LinkTech::Rf);
         }
         let p = shortest_path(&g, 0, n - 1, latency_weight).unwrap();
         assert_eq!(p.hops(), n - 1);

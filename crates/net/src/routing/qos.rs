@@ -7,7 +7,7 @@
 //! floor — the two effects the paper names.
 
 use crate::routing::dijkstra::{shortest_path, Path};
-use crate::topology::{Edge, Graph};
+use crate::topology::{Edge, Graph, NodeId};
 
 /// A flow's QoS requirements.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,8 +49,8 @@ pub fn residual_bps(e: &Edge) -> f64 {
 /// path exists or the best one violates the latency bound.
 pub fn qos_route(
     graph: &Graph,
-    src: usize,
-    dst: usize,
+    src: impl Into<NodeId>,
+    dst: impl Into<NodeId>,
     requirement: &QosRequirement,
     packet_bits: f64,
 ) -> Option<Path> {
@@ -67,22 +67,25 @@ pub fn qos_route(
 /// Widest path (maximum bottleneck residual bandwidth) via a modified
 /// Dijkstra. Used to answer "what is the best QoS we can advertise to
 /// users in this region" (§2.2's preemptive QoS adjustment).
-pub fn widest_path(graph: &Graph, src: usize, dst: usize) -> Option<(Path, f64)> {
+pub fn widest_path(
+    graph: &Graph,
+    src: impl Into<NodeId>,
+    dst: impl Into<NodeId>,
+) -> Option<(Path, f64)> {
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;
 
     #[derive(PartialEq)]
     struct Entry {
         width: f64,
-        node: usize,
+        node: NodeId,
     }
     impl Eq for Entry {}
     impl Ord for Entry {
         fn cmp(&self, other: &Self) -> Ordering {
             // Max-heap by width; tie-break on node for determinism.
             self.width
-                .partial_cmp(&other.width)
-                .expect("finite widths")
+                .total_cmp(&other.width)
                 .then(other.node.cmp(&self.node))
         }
     }
@@ -92,19 +95,20 @@ pub fn widest_path(graph: &Graph, src: usize, dst: usize) -> Option<(Path, f64)>
         }
     }
 
-    assert!(src < graph.node_count() && dst < graph.node_count());
+    let (src, dst) = (src.into(), dst.into());
+    assert!(src.0 < graph.node_count() && dst.0 < graph.node_count());
     let n = graph.node_count();
     let mut best = vec![0.0f64; n];
-    let mut prev: Vec<Option<usize>> = vec![None; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
-    best[src] = f64::INFINITY;
+    best[src.0] = f64::INFINITY;
     heap.push(Entry {
         width: f64::INFINITY,
         node: src,
     });
 
     while let Some(Entry { width, node }) = heap.pop() {
-        if width < best[node] {
+        if width < best[node.0] {
             continue;
         }
         if node == dst {
@@ -112,9 +116,9 @@ pub fn widest_path(graph: &Graph, src: usize, dst: usize) -> Option<(Path, f64)>
         }
         for e in graph.edges(node) {
             let w = width.min(residual_bps(e));
-            if w > best[e.to] {
-                best[e.to] = w;
-                prev[e.to] = Some(node);
+            if w > best[e.to.0] {
+                best[e.to.0] = w;
+                prev[e.to.0] = Some(node);
                 heap.push(Entry {
                     width: w,
                     node: e.to,
@@ -122,12 +126,12 @@ pub fn widest_path(graph: &Graph, src: usize, dst: usize) -> Option<(Path, f64)>
             }
         }
     }
-    if best[dst] <= 0.0 {
+    if best[dst.0] <= 0.0 {
         return None;
     }
     let mut nodes = vec![dst];
     let mut cur = dst;
-    while let Some(p) = prev[cur] {
+    while let Some(p) = prev[cur.0] {
         nodes.push(p);
         cur = p;
     }
@@ -139,13 +143,13 @@ pub fn widest_path(graph: &Graph, src: usize, dst: usize) -> Option<(Path, f64)>
         total_cost: 0.0,
         nodes,
     };
-    Some((path, best[dst]))
+    Some((path, best[dst.0]))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::LinkTech;
+    use crate::topology::{LinkTech, OperatorId};
 
     /// 0 —fast/loaded→ 1 → 3 and 0 —slow/idle→ 2 → 3.
     fn loaded_diamond(load: f64) -> Graph {
@@ -165,7 +169,7 @@ mod tests {
     fn idle_network_prefers_low_latency() {
         let g = loaded_diamond(0.0);
         let p = qos_route(&g, 0, 3, &QosRequirement::best_effort(), PKT).unwrap();
-        assert_eq!(p.nodes, vec![0, 1, 3]);
+        assert_eq!(p.nodes, vec![0usize, 1, 3]);
     }
 
     #[test]
@@ -173,7 +177,11 @@ mod tests {
         // At 99.9% load the fast path's queueing term dominates.
         let g = loaded_diamond(0.999);
         let p = qos_route(&g, 0, 3, &QosRequirement::best_effort(), PKT).unwrap();
-        assert_eq!(p.nodes, vec![0, 2, 3], "router must avoid the hot path");
+        assert_eq!(
+            p.nodes,
+            vec![0usize, 2, 3],
+            "router must avoid the hot path"
+        );
     }
 
     #[test]
@@ -184,7 +192,7 @@ mod tests {
             max_latency_s: f64::INFINITY,
         };
         let p = qos_route(&g, 0, 3, &req, PKT).unwrap();
-        assert_eq!(p.nodes, vec![0, 2, 3]);
+        assert_eq!(p.nodes, vec![0usize, 2, 3]);
     }
 
     #[test]
@@ -212,10 +220,10 @@ mod tests {
     #[test]
     fn congestion_weight_blows_up_near_saturation() {
         let mut e = Edge {
-            to: 1,
+            to: NodeId(1),
             latency_s: 0.001,
             capacity_bps: 1e7,
-            operator: 0,
+            operator: OperatorId(0),
             technology: LinkTech::Rf,
             load_fraction: 0.0,
         };
@@ -230,7 +238,7 @@ mod tests {
         let g = loaded_diamond(0.5);
         let (p, width) = widest_path(&g, 0, 3).unwrap();
         // Fast path residual 5 Mbit/s, slow path 10 Mbit/s: widest is slow.
-        assert_eq!(p.nodes, vec![0, 2, 3]);
+        assert_eq!(p.nodes, vec![0usize, 2, 3]);
         assert!((width - 1e7).abs() < 1.0);
     }
 

@@ -5,18 +5,19 @@
 //! the router falls back along this list.
 
 use crate::routing::dijkstra::{shortest_path, Path};
-use crate::topology::{Edge, Graph};
+use crate::topology::{Edge, Graph, NodeId};
 
 /// Up to `k` loopless shortest paths from `src` to `dst` under `weight`,
 /// ascending by cost. Returns fewer when the graph has fewer distinct
 /// paths. Determinstic: ties break by node sequence.
 pub fn k_shortest_paths(
     graph: &Graph,
-    src: usize,
-    dst: usize,
+    src: impl Into<NodeId>,
+    dst: impl Into<NodeId>,
     k: usize,
     weight: impl Fn(&Edge) -> f64 + Copy,
 ) -> Vec<Path> {
+    let (src, dst) = (src.into(), dst.into());
     if k == 0 {
         return Vec::new();
     }
@@ -28,26 +29,26 @@ pub fn k_shortest_paths(
     let mut candidates: Vec<Path> = Vec::new();
 
     for _ in 1..k {
-        let last = found.last().expect("at least one found path");
+        let Some(last) = found.last() else { break };
         // Each node of the previous path (except the terminal) is a spur.
         for spur_idx in 0..last.nodes.len() - 1 {
             let spur_node = last.nodes[spur_idx];
-            let root: Vec<usize> = last.nodes[..=spur_idx].to_vec();
+            let root: Vec<NodeId> = last.nodes[..=spur_idx].to_vec();
 
             // Edges to suppress: next-hop edges of any found path sharing
             // this root, plus edges back into root nodes (looplessness).
-            let mut banned_edges: Vec<(usize, usize)> = Vec::new();
+            let mut banned_edges: Vec<(NodeId, NodeId)> = Vec::new();
             for p in &found {
                 if p.nodes.len() > spur_idx + 1 && p.nodes[..=spur_idx] == root[..] {
                     banned_edges.push((p.nodes[spur_idx], p.nodes[spur_idx + 1]));
                 }
             }
-            let banned_nodes: Vec<usize> = root[..root.len() - 1].to_vec();
+            let banned_nodes: Vec<NodeId> = root[..root.len() - 1].to_vec();
 
             // All banned edges originate at spur_node (they are the next
             // hops of found paths sharing this root), so banning them by
             // first-hop destination out of the source is exact.
-            let banned_first_hops: Vec<usize> = banned_edges.iter().map(|&(_, to)| to).collect();
+            let banned_first_hops: Vec<NodeId> = banned_edges.iter().map(|&(_, to)| to).collect();
             let spur_path = shortest_path_with_bans(
                 graph,
                 spur_node,
@@ -60,10 +61,17 @@ pub fn k_shortest_paths(
             if let Some(sp) = spur_path {
                 let mut nodes = root.clone();
                 nodes.extend_from_slice(&sp.nodes[1..]);
-                // Total cost: root cost + spur cost.
+                // Total cost: root cost + spur cost. Root edges come from
+                // a found path, so they exist; an infinite sum (never in
+                // practice) would simply sink the candidate in the sort.
                 let root_cost: f64 = root
                     .windows(2)
-                    .map(|w| weight(graph.find_edge(w[0], w[1]).expect("root edge")))
+                    .map(|w| {
+                        graph
+                            .find_edge(w[0], w[1])
+                            .map(weight)
+                            .unwrap_or(f64::INFINITY)
+                    })
                     .sum();
                 let candidate = Path {
                     nodes,
@@ -82,8 +90,7 @@ pub fn k_shortest_paths(
         // Extract the cheapest candidate (stable by node sequence).
         candidates.sort_by(|a, b| {
             a.total_cost
-                .partial_cmp(&b.total_cost)
-                .expect("finite costs")
+                .total_cmp(&b.total_cost)
                 .then_with(|| a.nodes.cmp(&b.nodes))
         });
         found.push(candidates.remove(0));
@@ -95,10 +102,10 @@ pub fn k_shortest_paths(
 /// of first-hop destinations out of the source.
 fn shortest_path_with_bans(
     graph: &Graph,
-    src: usize,
-    dst: usize,
-    banned_nodes: &[usize],
-    banned_first_hops: &[usize],
+    src: NodeId,
+    dst: NodeId,
+    banned_nodes: &[NodeId],
+    banned_first_hops: &[NodeId],
     weight: impl Fn(&Edge) -> f64,
 ) -> Option<Path> {
     use std::cmp::Ordering;
@@ -107,15 +114,14 @@ fn shortest_path_with_bans(
     #[derive(PartialEq)]
     struct Entry {
         cost: f64,
-        node: usize,
+        node: NodeId,
     }
     impl Eq for Entry {}
     impl Ord for Entry {
         fn cmp(&self, other: &Self) -> Ordering {
             other
                 .cost
-                .partial_cmp(&self.cost)
-                .expect("finite")
+                .total_cmp(&self.cost)
                 .then(other.node.cmp(&self.node))
         }
     }
@@ -127,16 +133,16 @@ fn shortest_path_with_bans(
 
     let n = graph.node_count();
     let mut dist = vec![f64::INFINITY; n];
-    let mut prev: Vec<Option<usize>> = vec![None; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
-    dist[src] = 0.0;
+    dist[src.0] = 0.0;
     heap.push(Entry {
         cost: 0.0,
         node: src,
     });
 
     while let Some(Entry { cost, node }) = heap.pop() {
-        if cost > dist[node] {
+        if cost > dist[node.0] {
             continue;
         }
         if node == dst {
@@ -154,9 +160,9 @@ fn shortest_path_with_bans(
                 continue;
             }
             let next = cost + w;
-            if next < dist[e.to] {
-                dist[e.to] = next;
-                prev[e.to] = Some(node);
+            if next < dist[e.to.0] {
+                dist[e.to.0] = next;
+                prev[e.to.0] = Some(node);
                 heap.push(Entry {
                     cost: next,
                     node: e.to,
@@ -164,19 +170,19 @@ fn shortest_path_with_bans(
             }
         }
     }
-    if dist[dst].is_infinite() {
+    if dist[dst.0].is_infinite() {
         return None;
     }
     let mut nodes = vec![dst];
     let mut cur = dst;
-    while let Some(p) = prev[cur] {
+    while let Some(p) = prev[cur.0] {
         nodes.push(p);
         cur = p;
     }
     nodes.reverse();
     Some(Path {
         nodes,
-        total_cost: dist[dst],
+        total_cost: dist[dst.0],
     })
 }
 
@@ -202,9 +208,9 @@ mod tests {
         let g = triple();
         let paths = k_shortest_paths(&g, 0, 3, 3, latency_weight);
         assert_eq!(paths.len(), 3);
-        assert_eq!(paths[0].nodes, vec![0, 1, 3]);
-        assert_eq!(paths[1].nodes, vec![0, 2, 3]);
-        assert_eq!(paths[2].nodes, vec![0, 3]);
+        assert_eq!(paths[0].nodes, vec![0usize, 1, 3]);
+        assert_eq!(paths[1].nodes, vec![0usize, 2, 3]);
+        assert_eq!(paths[2].nodes, vec![0usize, 3]);
         assert!(paths[0].total_cost <= paths[1].total_cost);
         assert!(paths[1].total_cost <= paths[2].total_cost);
     }

@@ -8,7 +8,17 @@
 //!
 //! Node indexing convention: satellites occupy indices `0..n_sats`,
 //! ground stations `n_sats..n_sats+n_stations`. [`Graph::node_kind`]
-//! recovers the kind.
+//! recovers the kind. Public signatures use the typed identifiers from
+//! [`openspace_sim::ids`] ([`NodeId`], [`SatId`], [`GsId`]), so a
+//! satellite-array index can't silently be used as a graph-node index.
+//!
+//! Fault injection enters here: [`Graph::fail_node`] and
+//! [`Graph::fail_link`] remove an entity's edges while recording exactly
+//! what was removed, and the matching `restore_*` methods put them back
+//! — applied and reverted in LIFO order, the graph is restored
+//! bit-for-bit (a property the fault tests pin down).
+
+pub use openspace_sim::ids::{GsId, NodeId, OperatorId, SatId};
 
 /// Error addressing an edge that is not in the graph — on dynamic
 /// topologies a contact can expire between snapshot and update, so this
@@ -16,9 +26,9 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NoSuchEdge {
     /// Source node of the missing edge.
-    pub from: usize,
+    pub from: NodeId,
     /// Destination node of the missing edge.
-    pub to: usize,
+    pub to: NodeId,
 }
 
 impl std::fmt::Display for NoSuchEdge {
@@ -28,6 +38,39 @@ impl std::fmt::Display for NoSuchEdge {
 }
 
 impl std::error::Error for NoSuchEdge {}
+
+/// Error from the topology-mutation API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A node index referred past the end of the graph.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Graph node count.
+        len: usize,
+    },
+    /// The addressed link does not exist (in either direction).
+    NoSuchEdge(NoSuchEdge),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} out of range (graph has {len} nodes)")
+            }
+            TopologyError::NoSuchEdge(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+impl From<NoSuchEdge> for TopologyError {
+    fn from(e: NoSuchEdge) -> Self {
+        TopologyError::NoSuchEdge(e)
+    }
+}
 
 /// Link technology of an edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,23 +85,23 @@ pub enum LinkTech {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
     /// Satellite with the given satellite-array index.
-    Satellite(usize),
+    Satellite(SatId),
     /// Ground station with the given station-array index.
-    GroundStation(usize),
+    GroundStation(GsId),
 }
 
 /// A directed edge of the snapshot graph.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Edge {
     /// Destination node index.
-    pub to: usize,
+    pub to: NodeId,
     /// One-way propagation latency (s).
     pub latency_s: f64,
     /// Achievable capacity (bit/s).
     pub capacity_bps: f64,
     /// Operator owning the *transmitting* node (the carrier that bills
     /// for this hop in the §3 cost model).
-    pub operator: u32,
+    pub operator: OperatorId,
     /// Link technology.
     pub technology: LinkTech,
     /// Current utilization in `[0, 1)`; 0 in a fresh snapshot, set by the
@@ -66,8 +109,77 @@ pub struct Edge {
     pub load_fraction: f64,
 }
 
+/// Record of a node outage: everything [`Graph::fail_node`] removed,
+/// in a form [`Graph::restore_node`] can replay exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeOutage {
+    node: NodeId,
+    /// The failed node's own out-edges, in their original order.
+    out_edges: Vec<Edge>,
+    /// In-edges from other nodes: `(owner, original position, edge)`,
+    /// recorded in ascending owner/position order.
+    in_edges: Vec<(NodeId, usize, Edge)>,
+}
+
+impl NodeOutage {
+    /// The failed node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Directed links removed by the failure, as `(from, to)` pairs.
+    pub fn removed_links(&self) -> Vec<(NodeId, NodeId)> {
+        let out = self.out_edges.iter().map(|e| (self.node, e.to));
+        let inn = self
+            .in_edges
+            .iter()
+            .map(|(owner, _, _)| (*owner, self.node));
+        out.chain(inn).collect()
+    }
+
+    /// Directed links this outage will restore, with their edge data.
+    pub fn restored_links(&self) -> Vec<(NodeId, Edge)> {
+        let out = self.out_edges.iter().map(|e| (self.node, *e));
+        let inn = self.in_edges.iter().map(|(owner, _, e)| (*owner, *e));
+        out.chain(inn).collect()
+    }
+}
+
+/// Record of a link outage (both directions of one link), replayable by
+/// [`Graph::restore_link`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkOutage {
+    a: NodeId,
+    b: NodeId,
+    /// Removed directions: `(owner, original position, edge)`.
+    removed: Vec<(NodeId, usize, Edge)>,
+}
+
+impl LinkOutage {
+    /// The link's endpoints as given to [`Graph::fail_link`].
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (self.a, self.b)
+    }
+
+    /// Directed links removed, as `(from, to)` pairs.
+    pub fn removed_links(&self) -> Vec<(NodeId, NodeId)> {
+        self.removed
+            .iter()
+            .map(|(owner, _, e)| (*owner, e.to))
+            .collect()
+    }
+
+    /// Directed links this outage will restore, with their edge data.
+    pub fn restored_links(&self) -> Vec<(NodeId, Edge)> {
+        self.removed
+            .iter()
+            .map(|(owner, _, e)| (*owner, *e))
+            .collect()
+    }
+}
+
 /// A snapshot of the network at one instant.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
     n_sats: usize,
     n_stations: usize,
@@ -103,25 +215,34 @@ impl Graph {
     ///
     /// # Panics
     /// Panics if `node` is out of range.
-    pub fn node_kind(&self, node: usize) -> NodeKind {
-        assert!(node < self.node_count(), "node {node} out of range");
-        if node < self.n_sats {
-            NodeKind::Satellite(node)
+    pub fn node_kind(&self, node: impl Into<NodeId>) -> NodeKind {
+        let node = node.into();
+        assert!(node.0 < self.node_count(), "node {node} out of range");
+        if node.0 < self.n_sats {
+            NodeKind::Satellite(SatId(node.0))
         } else {
-            NodeKind::GroundStation(node - self.n_sats)
+            NodeKind::GroundStation(GsId(node.0 - self.n_sats))
         }
     }
 
     /// Node index of satellite `i`.
-    pub fn sat_node(&self, i: usize) -> usize {
-        assert!(i < self.n_sats, "satellite {i} out of range");
-        i
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn sat_node(&self, i: impl Into<SatId>) -> NodeId {
+        let i = i.into();
+        assert!(i.0 < self.n_sats, "satellite {i} out of range");
+        NodeId(i.0)
     }
 
     /// Node index of ground station `i`.
-    pub fn station_node(&self, i: usize) -> usize {
-        assert!(i < self.n_stations, "station {i} out of range");
-        self.n_sats + i
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn station_node(&self, i: impl Into<GsId>) -> NodeId {
+        let i = i.into();
+        assert!(i.0 < self.n_stations, "station {i} out of range");
+        NodeId(self.n_sats + i.0)
     }
 
     /// Add a directed edge.
@@ -129,9 +250,10 @@ impl Graph {
     /// # Panics
     /// Panics on out-of-range endpoints, self-loops, or non-positive
     /// capacity/latency.
-    pub fn add_edge(&mut self, from: usize, edge: Edge) {
-        assert!(from < self.node_count(), "from {from} out of range");
-        assert!(edge.to < self.node_count(), "to {} out of range", edge.to);
+    pub fn add_edge(&mut self, from: impl Into<NodeId>, edge: Edge) {
+        let from = from.into();
+        assert!(from.0 < self.node_count(), "from {from} out of range");
+        assert!(edge.to.0 < self.node_count(), "to {} out of range", edge.to);
         assert!(from != edge.to, "self-loop at {from}");
         assert!(edge.latency_s > 0.0, "latency must be positive");
         assert!(edge.capacity_bps > 0.0, "capacity must be positive");
@@ -139,7 +261,7 @@ impl Graph {
             (0.0..1.0).contains(&edge.load_fraction),
             "load fraction must be in [0,1)"
         );
-        self.adj[from].push(edge);
+        self.adj[from.0].push(edge);
     }
 
     /// Add the same link in both directions (symmetric ISLs/ground links),
@@ -147,21 +269,22 @@ impl Graph {
     #[allow(clippy::too_many_arguments)] // a link is genuinely 7 facts
     pub fn add_bidirectional(
         &mut self,
-        a: usize,
-        b: usize,
+        a: impl Into<NodeId>,
+        b: impl Into<NodeId>,
         latency_s: f64,
         capacity_bps: f64,
-        operator_a: u32,
-        operator_b: u32,
+        operator_a: impl Into<OperatorId>,
+        operator_b: impl Into<OperatorId>,
         technology: LinkTech,
     ) {
+        let (a, b) = (a.into(), b.into());
         self.add_edge(
             a,
             Edge {
                 to: b,
                 latency_s,
                 capacity_bps,
-                operator: operator_a,
+                operator: operator_a.into(),
                 technology,
                 load_fraction: 0.0,
             },
@@ -172,7 +295,7 @@ impl Graph {
                 to: a,
                 latency_s,
                 capacity_bps,
-                operator: operator_b,
+                operator: operator_b.into(),
                 technology,
                 load_fraction: 0.0,
             },
@@ -180,13 +303,13 @@ impl Graph {
     }
 
     /// Out-edges of `node`.
-    pub fn edges(&self, node: usize) -> &[Edge] {
-        &self.adj[node]
+    pub fn edges(&self, node: impl Into<NodeId>) -> &[Edge] {
+        &self.adj[node.into().0]
     }
 
     /// Mutable out-edges (the traffic simulation updates loads in place).
-    pub fn edges_mut(&mut self, node: usize) -> &mut [Edge] {
-        &mut self.adj[node]
+    pub fn edges_mut(&mut self, node: impl Into<NodeId>) -> &mut [Edge] {
+        &mut self.adj[node.into().0]
     }
 
     /// Total directed edge count.
@@ -195,13 +318,14 @@ impl Graph {
     }
 
     /// Out-degree of `node`.
-    pub fn degree(&self, node: usize) -> usize {
-        self.adj[node].len()
+    pub fn degree(&self, node: impl Into<NodeId>) -> usize {
+        self.adj[node.into().0].len()
     }
 
     /// Find the edge `from → to`, if present.
-    pub fn find_edge(&self, from: usize, to: usize) -> Option<&Edge> {
-        self.adj[from].iter().find(|e| e.to == to)
+    pub fn find_edge(&self, from: impl Into<NodeId>, to: impl Into<NodeId>) -> Option<&Edge> {
+        let to = to.into();
+        self.adj[from.into().0].iter().find(|e| e.to == to)
     }
 
     /// Set the utilization of the edge `from → to`. Returns
@@ -213,15 +337,16 @@ impl Graph {
     /// missing edge, which is a property of the evolving topology).
     pub fn set_load(
         &mut self,
-        from: usize,
-        to: usize,
+        from: impl Into<NodeId>,
+        to: impl Into<NodeId>,
         load_fraction: f64,
     ) -> Result<(), NoSuchEdge> {
         assert!(
             (0.0..1.0).contains(&load_fraction),
             "load fraction must be in [0,1)"
         );
-        let e = self.adj[from]
+        let (from, to) = (from.into(), to.into());
+        let e = self.adj[from.0]
             .iter_mut()
             .find(|e| e.to == to)
             .ok_or(NoSuchEdge { from, to })?;
@@ -230,19 +355,108 @@ impl Graph {
     }
 
     /// Nodes reachable from `start` (BFS over directed edges).
-    pub fn reachable_from(&self, start: usize) -> Vec<bool> {
+    pub fn reachable_from(&self, start: impl Into<NodeId>) -> Vec<bool> {
+        let start = start.into();
         let mut seen = vec![false; self.node_count()];
         let mut stack = vec![start];
-        seen[start] = true;
+        seen[start.0] = true;
         while let Some(u) = stack.pop() {
-            for e in &self.adj[u] {
-                if !seen[e.to] {
-                    seen[e.to] = true;
+            for e in &self.adj[u.0] {
+                if !seen[e.to.0] {
+                    seen[e.to.0] = true;
                     stack.push(e.to);
                 }
             }
         }
         seen
+    }
+
+    /// Fail `node`: remove its out-edges and every in-edge pointing at
+    /// it, returning a [`NodeOutage`] that [`Graph::restore_node`] can
+    /// replay. A node with no incident edges fails successfully with an
+    /// empty outage (it is simply unreachable either way).
+    pub fn fail_node(&mut self, node: impl Into<NodeId>) -> Result<NodeOutage, TopologyError> {
+        let node = node.into();
+        if node.0 >= self.node_count() {
+            return Err(TopologyError::NodeOutOfRange {
+                node,
+                len: self.node_count(),
+            });
+        }
+        let out_edges = std::mem::take(&mut self.adj[node.0]);
+        let mut in_edges = Vec::new();
+        for owner in 0..self.adj.len() {
+            // Collect positions first, then remove descending so earlier
+            // positions stay valid — and restore (reverse order, insert
+            // at recorded position) reconstructs the exact layout.
+            let positions: Vec<usize> = self.adj[owner]
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.to == node)
+                .map(|(i, _)| i)
+                .collect();
+            for &pos in positions.iter().rev() {
+                let edge = self.adj[owner].remove(pos);
+                in_edges.push((NodeId(owner), pos, edge));
+            }
+        }
+        Ok(NodeOutage {
+            node,
+            out_edges,
+            in_edges,
+        })
+    }
+
+    /// Undo a [`Graph::fail_node`]. Outages must be reverted in reverse
+    /// order of application (LIFO) for exact restoration.
+    pub fn restore_node(&mut self, outage: NodeOutage) {
+        for (owner, pos, edge) in outage.in_edges.into_iter().rev() {
+            let list = &mut self.adj[owner.0];
+            let at = pos.min(list.len());
+            list.insert(at, edge);
+        }
+        self.adj[outage.node.0] = outage.out_edges;
+    }
+
+    /// Fail the link between `a` and `b`: remove both directions (where
+    /// present), returning a [`LinkOutage`] for [`Graph::restore_link`].
+    /// Errs with [`TopologyError::NoSuchEdge`] when neither direction
+    /// exists — e.g. the link's endpoint already failed.
+    pub fn fail_link(
+        &mut self,
+        a: impl Into<NodeId>,
+        b: impl Into<NodeId>,
+    ) -> Result<LinkOutage, TopologyError> {
+        let (a, b) = (a.into(), b.into());
+        for node in [a, b] {
+            if node.0 >= self.node_count() {
+                return Err(TopologyError::NodeOutOfRange {
+                    node,
+                    len: self.node_count(),
+                });
+            }
+        }
+        let mut removed = Vec::new();
+        for (from, to) in [(a, b), (b, a)] {
+            if let Some(pos) = self.adj[from.0].iter().position(|e| e.to == to) {
+                let edge = self.adj[from.0].remove(pos);
+                removed.push((from, pos, edge));
+            }
+        }
+        if removed.is_empty() {
+            return Err(NoSuchEdge { from: a, to: b }.into());
+        }
+        Ok(LinkOutage { a, b, removed })
+    }
+
+    /// Undo a [`Graph::fail_link`]. Same LIFO discipline as
+    /// [`Graph::restore_node`].
+    pub fn restore_link(&mut self, outage: LinkOutage) {
+        for (owner, pos, edge) in outage.removed.into_iter().rev() {
+            let list = &mut self.adj[owner.0];
+            let at = pos.min(list.len());
+            list.insert(at, edge);
+        }
     }
 }
 
@@ -253,51 +467,51 @@ mod tests {
     fn line_graph() -> Graph {
         // sat0 - sat1 - gs0
         let mut g = Graph::new(2, 1);
-        g.add_bidirectional(0, 1, 0.005, 1e6, 1, 2, LinkTech::Rf);
-        g.add_bidirectional(1, 2, 0.003, 1e7, 2, 9, LinkTech::Rf);
+        g.add_bidirectional(0usize, 1usize, 0.005, 1e6, 1u32, 2u32, LinkTech::Rf);
+        g.add_bidirectional(1usize, 2usize, 0.003, 1e7, 2u32, 9u32, LinkTech::Rf);
         g
     }
 
     #[test]
     fn indexing_convention() {
         let g = line_graph();
-        assert_eq!(g.node_kind(0), NodeKind::Satellite(0));
-        assert_eq!(g.node_kind(2), NodeKind::GroundStation(0));
-        assert_eq!(g.station_node(0), 2);
-        assert_eq!(g.sat_node(1), 1);
+        assert_eq!(g.node_kind(0usize), NodeKind::Satellite(SatId(0)));
+        assert_eq!(g.node_kind(2usize), NodeKind::GroundStation(GsId(0)));
+        assert_eq!(g.station_node(0usize), NodeId(2));
+        assert_eq!(g.sat_node(1usize), NodeId(1));
     }
 
     #[test]
     fn bidirectional_adds_two_edges() {
         let g = line_graph();
         assert_eq!(g.edge_count(), 4);
-        assert_eq!(g.degree(1), 2);
-        assert!(g.find_edge(0, 1).is_some());
-        assert!(g.find_edge(1, 0).is_some());
-        assert!(g.find_edge(0, 2).is_none());
+        assert_eq!(g.degree(1usize), 2);
+        assert!(g.find_edge(0usize, 1usize).is_some());
+        assert!(g.find_edge(1usize, 0usize).is_some());
+        assert!(g.find_edge(0usize, 2usize).is_none());
     }
 
     #[test]
     fn per_direction_operators() {
         let g = line_graph();
-        assert_eq!(g.find_edge(0, 1).unwrap().operator, 1);
-        assert_eq!(g.find_edge(1, 0).unwrap().operator, 2);
+        assert_eq!(g.find_edge(0usize, 1usize).unwrap().operator, OperatorId(1));
+        assert_eq!(g.find_edge(1usize, 0usize).unwrap().operator, OperatorId(2));
     }
 
     #[test]
     fn reachability() {
         let mut g = Graph::new(3, 0);
-        g.add_bidirectional(0, 1, 0.001, 1e6, 0, 0, LinkTech::Rf);
-        let r = g.reachable_from(0);
+        g.add_bidirectional(0usize, 1usize, 0.001, 1e6, 0u32, 0u32, LinkTech::Rf);
+        let r = g.reachable_from(0usize);
         assert_eq!(r, vec![true, true, false]);
     }
 
     #[test]
     fn set_load_updates_edge() {
         let mut g = line_graph();
-        g.set_load(0, 1, 0.75).unwrap();
-        assert_eq!(g.find_edge(0, 1).unwrap().load_fraction, 0.75);
-        assert_eq!(g.find_edge(1, 0).unwrap().load_fraction, 0.0);
+        g.set_load(0usize, 1usize, 0.75).unwrap();
+        assert_eq!(g.find_edge(0usize, 1usize).unwrap().load_fraction, 0.75);
+        assert_eq!(g.find_edge(1usize, 0usize).unwrap().load_fraction, 0.0);
     }
 
     #[test]
@@ -305,12 +519,12 @@ mod tests {
     fn self_loop_panics() {
         let mut g = Graph::new(2, 0);
         g.add_edge(
-            0,
+            0usize,
             Edge {
-                to: 0,
+                to: NodeId(0),
                 latency_s: 1.0,
                 capacity_bps: 1.0,
-                operator: 0,
+                operator: OperatorId(0),
                 technology: LinkTech::Rf,
                 load_fraction: 0.0,
             },
@@ -320,16 +534,96 @@ mod tests {
     #[test]
     fn set_load_missing_edge_is_an_error_not_a_panic() {
         let mut g = line_graph();
-        let err = g.set_load(0, 2, 0.5).unwrap_err();
-        assert_eq!(err, NoSuchEdge { from: 0, to: 2 });
+        let err = g.set_load(0usize, 2usize, 0.5).unwrap_err();
+        assert_eq!(
+            err,
+            NoSuchEdge {
+                from: NodeId(0),
+                to: NodeId(2)
+            }
+        );
         assert_eq!(err.to_string(), "no edge 0 -> 2");
         // The graph is untouched by the failed update.
-        assert_eq!(g.find_edge(0, 1).unwrap().load_fraction, 0.0);
+        assert_eq!(g.find_edge(0usize, 1usize).unwrap().load_fraction, 0.0);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn bad_node_kind_panics() {
-        line_graph().node_kind(99);
+        line_graph().node_kind(99usize);
+    }
+
+    #[test]
+    fn fail_node_removes_all_incident_edges() {
+        let mut g = line_graph();
+        let outage = g.fail_node(1usize).unwrap();
+        assert_eq!(g.edge_count(), 0, "sat1 touched every link");
+        assert_eq!(g.degree(1usize), 0);
+        assert_eq!(outage.node(), NodeId(1));
+        assert_eq!(outage.removed_links().len(), 4);
+    }
+
+    #[test]
+    fn restore_node_recovers_exact_graph() {
+        let original = line_graph();
+        let mut g = original.clone();
+        let outage = g.fail_node(1usize).unwrap();
+        assert_ne!(g, original);
+        g.restore_node(outage);
+        assert_eq!(g, original);
+    }
+
+    #[test]
+    fn fail_link_removes_both_directions() {
+        let mut g = line_graph();
+        let outage = g.fail_link(0usize, 1usize).unwrap();
+        assert!(g.find_edge(0usize, 1usize).is_none());
+        assert!(g.find_edge(1usize, 0usize).is_none());
+        assert!(
+            g.find_edge(1usize, 2usize).is_some(),
+            "other link untouched"
+        );
+        g.restore_link(outage);
+        assert_eq!(g, line_graph());
+    }
+
+    #[test]
+    fn fail_missing_link_is_an_error() {
+        let mut g = line_graph();
+        assert_eq!(
+            g.fail_link(0usize, 2usize),
+            Err(TopologyError::NoSuchEdge(NoSuchEdge {
+                from: NodeId(0),
+                to: NodeId(2)
+            }))
+        );
+        assert!(matches!(
+            g.fail_node(99usize),
+            Err(TopologyError::NodeOutOfRange { len: 3, .. })
+        ));
+        assert!(matches!(
+            g.fail_link(0usize, 99usize),
+            Err(TopologyError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn nested_outages_restore_in_lifo_order() {
+        let original = line_graph();
+        let mut g = original.clone();
+        let link = g.fail_link(0usize, 1usize).unwrap();
+        let node = g.fail_node(2usize).unwrap();
+        g.restore_node(node);
+        g.restore_link(link);
+        assert_eq!(g, original);
+    }
+
+    #[test]
+    fn isolated_node_fails_with_empty_outage() {
+        let mut g = Graph::new(2, 0);
+        let outage = g.fail_node(1usize).unwrap();
+        assert!(outage.removed_links().is_empty());
+        g.restore_node(outage);
+        assert_eq!(g, Graph::new(2, 0));
     }
 }

@@ -5,8 +5,11 @@
 pub struct SatelliteId(pub u64);
 
 /// An operator ("ISP" in the paper's roaming analogy) identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct OperatorId(pub u32);
+///
+/// Re-exported from `openspace_sim::ids` so the protocol, simulator and
+/// federation layers all share one type — an operator named in a fault
+/// plan is the same operator named in a roaming request.
+pub use openspace_sim::ids::OperatorId;
 
 /// A ground user's identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -19,12 +22,6 @@ pub struct GroundStationId(pub u32);
 impl std::fmt::Display for SatelliteId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "sat-{}", self.0)
-    }
-}
-
-impl std::fmt::Display for OperatorId {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "op-{}", self.0)
     }
 }
 

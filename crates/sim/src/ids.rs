@@ -1,0 +1,182 @@
+//! Typed entity identifiers shared across the OpenSpace stack.
+//!
+//! The simulator indexes everything — graph nodes, satellites, ground
+//! stations, operators — and a bare `usize` makes it far too easy to
+//! hand a satellite index to a function expecting a graph-node index
+//! (they differ by `n_sats` for stations!). These `#[repr(transparent)]`
+//! newtypes make each index kind its own type, while `From`/`Into` impls
+//! and mixed-type comparisons keep migration and test code ergonomic.
+//!
+//! Conventions (see `net::topology`):
+//! * [`NodeId`] — index into a topology [`Graph`](https://docs.rs)
+//!   adjacency list. Satellites occupy nodes `0..n_sats`, ground
+//!   stations `n_sats..n_sats + n_stations`.
+//! * [`SatId`] — index into the satellite array (`0..n_sats`).
+//! * [`GsId`] — index into the ground-station array (`0..n_stations`).
+//! * [`OperatorId`] — a federation member. Unlike the other three this
+//!   is a *name*, not an array index, and is allocated by the
+//!   federation registry.
+
+use std::fmt;
+
+macro_rules! index_id {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[repr(transparent)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The raw index, for slicing into arrays.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(raw: usize) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl PartialEq<usize> for $name {
+            #[inline]
+            fn eq(&self, other: &usize) -> bool {
+                self.0 == *other
+            }
+        }
+
+        impl PartialEq<$name> for usize {
+            #[inline]
+            fn eq(&self, other: &$name) -> bool {
+                *self == other.0
+            }
+        }
+
+        impl PartialOrd<usize> for $name {
+            #[inline]
+            fn partial_cmp(&self, other: &usize) -> Option<std::cmp::Ordering> {
+                self.0.partial_cmp(other)
+            }
+        }
+
+        impl PartialOrd<$name> for usize {
+            #[inline]
+            fn partial_cmp(&self, other: &$name) -> Option<std::cmp::Ordering> {
+                self.partial_cmp(&other.0)
+            }
+        }
+    };
+}
+
+index_id! {
+    /// Index of a node in a topology graph (satellite or ground station).
+    NodeId
+}
+
+index_id! {
+    /// Index of a satellite in a constellation's satellite array.
+    SatId
+}
+
+index_id! {
+    /// Index of a ground station in a station array.
+    GsId
+}
+
+/// Identifier of a federation member (an operator).
+///
+/// This is the one identifier that crosses the wire: roaming requests,
+/// settlement records and governance votes all name operators, so the
+/// protocol crate re-exports this type.
+#[repr(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct OperatorId(pub u32);
+
+impl From<u32> for OperatorId {
+    #[inline]
+    fn from(raw: u32) -> Self {
+        Self(raw)
+    }
+}
+
+impl From<OperatorId> for u32 {
+    #[inline]
+    fn from(id: OperatorId) -> u32 {
+        id.0
+    }
+}
+
+impl fmt::Display for OperatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_raw() {
+        let n: NodeId = 7usize.into();
+        assert_eq!(usize::from(n), 7);
+        assert_eq!(n.index(), 7);
+        let s = SatId::from(3usize);
+        assert_eq!(s, SatId(3));
+        let op = OperatorId::from(2u32);
+        assert_eq!(u32::from(op), 2);
+    }
+
+    #[test]
+    fn mixed_comparisons_with_raw_usize() {
+        let n = NodeId(5);
+        assert_eq!(n, 5usize);
+        assert_eq!(5usize, n);
+        assert!(n < 6usize);
+        assert!(4usize < n);
+        assert!(n >= 5usize);
+    }
+
+    #[test]
+    fn vectors_of_ids_compare_with_vectors_of_usize() {
+        let path: Vec<NodeId> = vec![NodeId(0), NodeId(2), NodeId(9)];
+        assert_eq!(path, vec![0usize, 2, 9]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(4).to_string(), "4");
+        assert_eq!(SatId(12).to_string(), "12");
+        assert_eq!(GsId(1).to_string(), "1");
+        assert_eq!(OperatorId(3).to_string(), "op-3");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(NodeId(1));
+        set.insert(NodeId(1));
+        set.insert(NodeId(2));
+        assert_eq!(set.len(), 2);
+        let mut v = vec![SatId(3), SatId(1), SatId(2)];
+        v.sort();
+        assert_eq!(v, vec![1usize, 2, 3]);
+    }
+}

@@ -15,6 +15,13 @@
 //!   experiment reports.
 //! * [`exec`] — deterministic parallel map over independent tasks with
 //!   per-task RNG substreams (parallel output ≡ serial output).
+//! * [`ids`] — typed entity identifiers (`NodeId`, `SatId`, `GsId`,
+//!   `OperatorId`) shared by every layer of the stack.
+//! * [`config`] — the shared [`config::ConfigError`] all builders
+//!   return from `build()`.
+//! * [`fault`] — declarative fault plans (scheduled + seeded-stochastic
+//!   outages, link flaps, operator withdrawals) compiled into
+//!   time-ordered topology events (§2.2's graceful-degradation story).
 //!
 //! Intentionally not async: this is CPU-bound simulation, where an async
 //! runtime adds overhead and nondeterminism for zero benefit. Parallelism
@@ -33,8 +40,11 @@
 //! assert_eq!(order, vec!["pong", "ping"]);
 //! ```
 
+pub mod config;
 pub mod engine;
 pub mod exec;
+pub mod fault;
+pub mod ids;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -42,8 +52,14 @@ pub mod traffic;
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::config::ConfigError;
     pub use crate::engine::{EventQueue, SimTime};
     pub use crate::exec::{default_threads, parallel_map_seeded};
+    pub use crate::fault::{
+        mean_time_to_repair_s, FaultPlan, FaultPlanBuilder, FaultSpec, FaultTopology,
+        TopologyEvent, TopologyEventKind,
+    };
+    pub use crate::ids::{GsId, NodeId, OperatorId, SatId};
     pub use crate::queue::{DropTailQueue, Packet, PriorityQueue, QueueStats};
     pub use crate::rng::SimRng;
     pub use crate::stats::{Summary, TimeWeighted};

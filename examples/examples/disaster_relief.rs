@@ -65,7 +65,7 @@ fn main() {
     let hot_station = graph.station_node(idle_gi);
     let n = graph.node_count();
     for node in 0..n {
-        let loads: Vec<(usize, f64)> = graph
+        let loads: Vec<(openspace_net::topology::NodeId, f64)> = graph
             .edges(node)
             .iter()
             .map(|e| {
@@ -87,9 +87,11 @@ fn main() {
     // Proactive routing ignores load: same path, now with queueing pain.
     let proactive = shortest_path(&graph, src, graph.station_node(idle_gi), latency_weight)
         .expect("path still exists");
-    let proactive_latency = proactive.sum_metric(&graph, |e| {
-        e.latency_s + 12_000.0 / e.capacity_bps / (1.0 - e.load_fraction)
-    });
+    let proactive_latency = proactive
+        .sum_metric(&graph, |e| {
+            e.latency_s + 12_000.0 / e.capacity_bps / (1.0 - e.load_fraction)
+        })
+        .unwrap_or(f64::INFINITY);
 
     // QoS-aware routing sees the congestion and detours.
     let req = QosRequirement {

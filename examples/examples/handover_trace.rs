@@ -34,7 +34,7 @@ fn main() {
 
     // The precomputable serving schedule.
     let windows = fed.contact_plan(pos, 0.0, horizon_s, 5.0);
-    let schedule = service_schedule(&windows, 0.0, horizon_s);
+    let schedule = service_schedule(&windows, 0.0, horizon_s).expect("valid horizon");
     println!(
         "schedule: {} serving intervals, {} handovers, {:.0} s outage",
         schedule.intervals.len(),
@@ -56,7 +56,7 @@ fn main() {
     let mut total_reauth = 0.0;
     let mut prev_sat = None::<openspace_protocol::types::SatelliteId>;
     for (k, iv) in schedule.intervals.iter().enumerate().take(12) {
-        let sat = fed.satellites()[iv.sat_index];
+        let sat = fed.satellites()[iv.sat_index.index()];
         let interruption_ms = if let Some(prev) = prev_sat {
             let h = execute_handover(&fed, &user, &certificate, prev, sat.id, pos, iv.start_s)
                 .expect("member operator");

@@ -79,7 +79,7 @@ fn main() {
     );
     println!(
         "bottleneck capacity: {:.1} Mbit/s",
-        delivery.path.bottleneck_bps(&graph) / 1e6
+        delivery.path.bottleneck_bps(&graph).unwrap_or(0.0) / 1e6
     );
     println!(
         "accounting: {} signed records feeding {} operator ledgers",

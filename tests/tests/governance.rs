@@ -89,10 +89,7 @@ fn dispute_to_quarantine_to_rerouting_loop() {
             // No hop may be carried by the cheater.
             for w in path.nodes.windows(2) {
                 let e = graph.find_edge(w[0], w[1]).unwrap();
-                assert_ne!(
-                    e.operator, cheater.0,
-                    "route crossed the quarantined carrier"
-                );
+                assert_ne!(e.operator, cheater, "route crossed the quarantined carrier");
             }
         }
         other => panic!("a compliant route should exist around one operator: {other:?}"),
@@ -129,7 +126,7 @@ fn solo_operator_falls_back_to_dtn_when_cut_off() {
     );
     let n = sats.len() + stations.len();
     let route = (0..stations.len())
-        .filter_map(|gi| earliest_arrival(&contacts, n, 0, sats.len() + gi, 0.0, 1e6))
+        .filter_map(|gi| earliest_arrival(&contacts, n, 0, sats.len() + gi, 0.0, 1e6).ok())
         .min_by(|a, b| a.arrival_s.partial_cmp(&b.arrival_s).unwrap());
     let route = route.expect("a pass happens within six hours");
     assert!(

@@ -80,11 +80,11 @@ fn a_day_in_the_federation() {
     // and every token commit validates without touching the home AAA.
     let (user, pos) = &users[0];
     let windows = fed.contact_plan(*pos, 0.0, 4.0 * 3_600.0, 10.0);
-    let schedule = service_schedule(&windows, 0.0, 4.0 * 3_600.0);
+    let schedule = service_schedule(&windows, 0.0, 4.0 * 3_600.0).expect("valid horizon");
     assert!(schedule.handovers >= 10, "handovers {}", schedule.handovers);
-    let mut prev = fed.satellites()[schedule.intervals[0].sat_index].id;
+    let mut prev = fed.satellites()[schedule.intervals[0].sat_index.index()].id;
     for iv in schedule.intervals.iter().skip(1).take(10) {
-        let succ = fed.satellites()[iv.sat_index].id;
+        let succ = fed.satellites()[iv.sat_index.index()].id;
         let h = execute_handover(
             &fed,
             user,

@@ -29,8 +29,8 @@ fn mm1_mean_delay_matches_theory() {
         let r = run_netsim(
             &g,
             &[FlowSpec {
-                src: 0,
-                dst: 1,
+                src: 0.into(),
+                dst: 1.into(),
                 rate_bps: rho * capacity,
                 packet_bytes,
                 kind: TrafficKind::Poisson,
@@ -41,7 +41,8 @@ fn mm1_mean_delay_matches_theory() {
                 routing: RoutingMode::Proactive,
                 seed: 3,
             },
-        );
+        )
+        .expect("valid netsim config");
         assert!(r.dropped == 0, "rho={rho}: drops {}", r.dropped);
         let wait_theory = rho * service_s / (2.0 * (1.0 - rho));
         let latency_theory = wait_theory + service_s + 0.001;
@@ -62,8 +63,8 @@ fn utilization_measurement_matches_offered_load() {
     let r = run_netsim(
         &g,
         &[FlowSpec {
-            src: 0,
-            dst: 1,
+            src: 0.into(),
+            dst: 1.into(),
             rate_bps: 1.0e6,
             packet_bytes: 1_500,
             kind: TrafficKind::Cbr,
@@ -72,7 +73,8 @@ fn utilization_measurement_matches_offered_load() {
             duration_s: 60.0,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid netsim config");
     assert!(
         (r.max_link_utilization - 0.5).abs() < 0.05,
         "measured {}",
@@ -105,7 +107,8 @@ fn netsim_on_real_iridium_snapshot_delivers() {
             duration_s: 10.0,
             ..Default::default()
         },
-    );
+    )
+    .expect("valid netsim config");
     assert!(r.delivery_ratio > 0.99, "ratio {}", r.delivery_ratio);
     // Latency is propagation-dominated on an optical Iridium mesh.
     assert!(
@@ -144,7 +147,7 @@ fn adaptive_routing_beats_proactive_under_hotspot_on_iridium() {
         routing: RoutingMode::Proactive,
         seed: 11,
     };
-    let pro = run_netsim(&graph, &flows, &base);
+    let pro = run_netsim(&graph, &flows, &base).expect("valid netsim config");
     let ada = run_netsim(
         &graph,
         &flows,
@@ -154,7 +157,8 @@ fn adaptive_routing_beats_proactive_under_hotspot_on_iridium() {
             },
             ..base
         },
-    );
+    )
+    .expect("valid netsim config");
     assert!(
         pro.delivery_ratio < 0.95,
         "the hotspot must actually overload: {}",

@@ -130,8 +130,8 @@ fn dtn_routing_respects_causality() {
             })
             .filter(|&(f, t, ..)| f != t)
             .map(|(from, to, start, dur, rate)| Contact {
-                from,
-                to,
+                from: from.into(),
+                to: to.into(),
                 start_s: start,
                 end_s: start + dur,
                 latency_s: 0.01,
@@ -143,14 +143,14 @@ fn dtn_routing_respects_causality() {
         if contacts.is_empty() {
             return;
         }
-        if let Some(r) = earliest_arrival(&contacts, 6, 0, 5, t_start, bundle) {
+        if let Ok(r) = earliest_arrival(&contacts, 6, 0, 5, t_start, bundle) {
             // Arrival can never precede departure readiness.
             assert!(r.arrival_s >= t_start);
             // The route starts at the source and ends at the target.
             assert_eq!(r.nodes[0], 0);
             assert_eq!(*r.nodes.last().unwrap(), 5);
             // Starting later can never yield an earlier arrival.
-            if let Some(later) = earliest_arrival(&contacts, 6, 0, 5, t_start + 50.0, bundle) {
+            if let Ok(later) = earliest_arrival(&contacts, 6, 0, 5, t_start + 50.0, bundle) {
                 assert!(later.arrival_s + 1e-9 >= r.arrival_s);
             }
         }
