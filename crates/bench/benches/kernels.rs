@@ -10,9 +10,12 @@
 //!
 //! Self-contained harness (no external bench framework): each kernel is
 //! warmed up, then timed over enough iterations to exceed a fixed
-//! measurement window, reporting mean wall-clock per iteration.
+//! measurement window, reporting mean wall-clock per iteration. Set
+//! `OPENSPACE_BENCH_WINDOW_MS` to shrink the window (CI smoke runs use
+//! a few milliseconds just to prove every kernel still executes).
 
 use std::hint::black_box;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use openspace_core::study::{latency_vs_satellites, StudyConfig};
@@ -47,7 +50,19 @@ fn bench(name: &str, window: Duration, mut f: impl FnMut()) {
     println!("{name:<40} {value:>10.3} {unit}/iter  ({iters} iters)");
 }
 
-const WINDOW: Duration = Duration::from_millis(300);
+/// Measurement window per kernel: 300 ms by default, overridable down
+/// to a smoke run via the `OPENSPACE_BENCH_WINDOW_MS` environment
+/// variable.
+fn window() -> Duration {
+    static WINDOW: OnceLock<Duration> = OnceLock::new();
+    *WINDOW.get_or_init(|| {
+        std::env::var("OPENSPACE_BENCH_WINDOW_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_millis(300))
+    })
+}
 
 fn iridium_props() -> Vec<Propagator> {
     walker_star(&iridium_params())
@@ -71,12 +86,12 @@ fn iridium_nodes() -> Vec<SatNode> {
 
 fn bench_propagation() {
     let sats = iridium_props();
-    bench("propagate_66_sats_one_epoch", WINDOW, || {
+    bench("propagate_66_sats_one_epoch", window(), || {
         for s in &sats {
             black_box(s.position_eci(black_box(1234.5)));
         }
     });
-    bench("kepler_solve_e0p1", WINDOW, || {
+    bench("kepler_solve_e0p1", window(), || {
         black_box(openspace_orbit::kepler::solve_kepler(black_box(2.7), 0.1));
     });
 }
@@ -91,7 +106,7 @@ fn bench_snapshot() {
         })
         .collect();
     let params = SnapshotParams::default();
-    bench("build_snapshot_iridium", WINDOW, || {
+    bench("build_snapshot_iridium", window(), || {
         black_box(build_snapshot(black_box(0.0), &nodes, &stations, &params));
     });
 }
@@ -100,7 +115,7 @@ fn bench_routing() {
     let nodes = iridium_nodes();
     let params = SnapshotParams::default();
     let graph = build_snapshot(0.0, &nodes, &[], &params);
-    bench("dijkstra_iridium_crossing", WINDOW, || {
+    bench("dijkstra_iridium_crossing", window(), || {
         black_box(shortest_path(
             &graph,
             black_box(0),
@@ -108,14 +123,14 @@ fn bench_routing() {
             latency_weight,
         ));
     });
-    bench("yen_k4_iridium", WINDOW, || {
+    bench("yen_k4_iridium", window(), || {
         black_box(k_shortest_paths(&graph, 0, 35, 4, latency_weight));
     });
     let req = QosRequirement {
         min_bandwidth_bps: 1e5,
         max_latency_s: f64::INFINITY,
     };
-    bench("qos_route_iridium", WINDOW, || {
+    bench("qos_route_iridium", window(), || {
         black_box(qos_route(&graph, 0, 35, &req, 12_000.0));
     });
 }
@@ -123,10 +138,10 @@ fn bench_routing() {
 fn bench_coverage() {
     let sats = iridium_props();
     let grid = SphereGrid::new(2000);
-    bench("grid_coverage_2000pts_66sats", WINDOW, || {
+    bench("grid_coverage_2000pts_66sats", window(), || {
         black_box(grid_coverage_fraction(&grid, &sats, 0.0, 0.0));
     });
-    bench("worst_case_coverage_66sats", WINDOW, || {
+    bench("worst_case_coverage_66sats", window(), || {
         black_box(worst_case_coverage_fraction(&sats, 0.0, 0.0));
     });
 }
@@ -134,7 +149,7 @@ fn bench_coverage() {
 fn bench_mac() {
     let params = MacParams::s_band_isl();
     for n in [4usize, 16] {
-        bench(&format!("csma_sim_1s/{n}"), WINDOW, || {
+        bench(&format!("csma_sim_1s/{n}"), window(), || {
             black_box(simulate_csma_ca(&params, n, 1.0, 42));
         });
     }
@@ -157,10 +172,10 @@ fn bench_wire() {
         }),
     };
     let bytes = frame.encode();
-    bench("beacon_encode", WINDOW, || {
+    bench("beacon_encode", window(), || {
         black_box(frame.encode());
     });
-    bench("beacon_decode", WINDOW, || {
+    bench("beacon_decode", window(), || {
         black_box(Frame::decode(black_box(&bytes)).unwrap());
     });
 }
@@ -184,12 +199,12 @@ fn bench_economics() {
         ledgers.insert(OperatorId(op), l);
     }
     let prices = PriceBook::new(4.0);
-    bench("settlement_1000_items", WINDOW, || {
+    bench("settlement_1000_items", window(), || {
         black_box(SettlementMatrix::from_ledgers(&ledgers, &prices));
     });
     let la = ledgers.get(&OperatorId(1)).unwrap();
     let lb = ledgers.get(&OperatorId(2)).unwrap();
-    bench("reconcile_pair", WINDOW, || {
+    bench("reconcile_pair", window(), || {
         black_box(reconcile(la, lb, OperatorId(1), OperatorId(2)));
     });
 }
@@ -197,14 +212,14 @@ fn bench_economics() {
 fn bench_extensions() {
     // DAMA MAC simulation.
     let dama = DamaParams::s_band_isl();
-    bench("dama_sim_1s_8nodes", WINDOW, || {
+    bench("dama_sim_1s_8nodes", window(), || {
         black_box(simulate_dama(&dama, 8, 5e5, 1.0, 42));
     });
 
     // TLE parse.
     let el = OrbitalElements::circular(780_000.0, 86.4, 10.0, 20.0).unwrap();
     let (l1, l2) = elements_to_tle(10_001, "26001A", 2026, 185.5, &el);
-    bench("tle_parse", WINDOW, || {
+    bench("tle_parse", window(), || {
         black_box(parse_tle(black_box(&l1), black_box(&l2)).unwrap());
     });
 
@@ -226,7 +241,7 @@ fn bench_extensions() {
         60.0,
         &SnapshotParams::default(),
     );
-    bench("dtn_earliest_arrival_day_plan", WINDOW, || {
+    bench("dtn_earliest_arrival_day_plan", window(), || {
         black_box(openspace_net::dtn::earliest_arrival(
             &contacts, 2, 0, 1, 0.0, 1e6,
         ))
@@ -235,7 +250,7 @@ fn bench_extensions() {
 
     // Shapley over an 8-member game.
     let members: Vec<OperatorId> = (1..=8).map(OperatorId).collect();
-    bench("shapley_8_members", WINDOW, || {
+    bench("shapley_8_members", window(), || {
         black_box(openspace_economics::incentives::shapley_shares(
             &members,
             |mask: u32| (mask.count_ones() as f64).sqrt(),
@@ -257,8 +272,51 @@ fn bench_extensions() {
         duration_s: 1.0,
         ..Default::default()
     };
-    bench("netsim_1s_loaded_link", WINDOW, || {
+    bench("netsim_1s_loaded_link", window(), || {
         black_box(run_netsim(&g, &flows, &cfg)).ok();
+    });
+}
+
+fn bench_telemetry() {
+    use openspace_core::netsim::{run_netsim_recorded, FlowSpec, NetSimConfig, TrafficKind};
+    use openspace_telemetry::{MemoryRecorder, NullRecorder, Recorder};
+
+    // The acceptance-relevant pair: the netsim kernel through the
+    // recorded API with the null recorder must sit within noise of the
+    // plain `netsim_1s_loaded_link` kernel above; the memory recorder
+    // shows what full observability costs.
+    let mut g = Graph::new(2, 0);
+    g.add_bidirectional(0, 1, 0.001, 1e7, 0, 0, LinkTech::Rf);
+    let flows = [FlowSpec {
+        src: 0.into(),
+        dst: 1.into(),
+        rate_bps: 8e6,
+        packet_bytes: 1_500,
+        kind: TrafficKind::Poisson,
+    }];
+    let cfg = NetSimConfig {
+        duration_s: 1.0,
+        ..Default::default()
+    };
+    bench("netsim_1s_recorded_null", window(), || {
+        black_box(run_netsim_recorded(&g, &flows, &cfg, &mut NullRecorder)).ok();
+    });
+    bench("netsim_1s_recorded_memory", window(), || {
+        let mut rec = MemoryRecorder::new();
+        black_box(run_netsim_recorded(&g, &flows, &cfg, &mut rec)).ok();
+        black_box(&rec);
+    });
+
+    // Raw recorder primitives.
+    let mut mem = MemoryRecorder::new();
+    let mut i = 0u64;
+    bench("memory_recorder_observe", window(), || {
+        mem.observe("kernel.sample", (i % 1000) as f64);
+        i += 1;
+    });
+    black_box(&mem);
+    bench("null_recorder_observe", window(), || {
+        NullRecorder.observe(black_box("kernel.sample"), black_box(1.5));
     });
 }
 
@@ -269,7 +327,7 @@ fn bench_study() {
         epochs_per_trial: 2,
         ..Default::default()
     };
-    bench("fig2b_point_n25", WINDOW, || {
+    bench("fig2b_point_n25", window(), || {
         black_box(latency_vs_satellites(&cfg, &[25]));
     });
 }
@@ -285,5 +343,6 @@ fn main() {
     bench_wire();
     bench_economics();
     bench_extensions();
+    bench_telemetry();
     bench_study();
 }

@@ -11,29 +11,39 @@
 //! barrier per firm.
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_baseline`
+//! (add `--json` for a machine-readable run manifest on stdout).
 
-use openspace_bench::{ground_user, print_header, standard_federation};
+use openspace_bench::{ground_user, print_header, standard_federation, ExpRun};
 use openspace_core::prelude::*;
 use openspace_net::contact::coverage_time_fraction;
 use openspace_net::routing::QosRequirement;
 use openspace_phy::hardware::SatelliteClass;
+use openspace_telemetry::{JsonValue, Recorder};
 use std::collections::BTreeMap;
 
 fn main() {
+    let mut run = ExpRun::from_args("exp_baseline", 1);
+    run.digest_config(
+        "sites=[Nairobi,Berlin,Sydney] systems=[monolith:1,federated:4] horizon_s=3600",
+    );
     let sites = [
         ("Nairobi", -1.3, 36.8),
         ("Berlin", 52.5, 13.4),
         ("Sydney", -33.9, 151.2),
     ];
-    println!("E19: monolithic incumbent vs 4-member federation, same 66 satellites");
-    print_header(
-        "Service comparison",
-        &format!(
-            "{:<10} {:<12} {:>10} {:>14} {:>14} {:>12}",
-            "user", "system", "coverage", "assoc (ms)", "deliver (ms)", "roaming"
-        ),
-    );
+    if run.human() {
+        println!("E19: monolithic incumbent vs 4-member federation, same 66 satellites");
+        print_header(
+            "Service comparison",
+            &format!(
+                "{:<10} {:<12} {:>10} {:>14} {:>14} {:>12}",
+                "user", "system", "coverage", "assoc (ms)", "deliver (ms)", "roaming"
+            ),
+        );
+    }
 
+    run.phase("site comparison");
+    let mut comparison = Vec::new();
     for (name, lat, lon) in sites {
         let pos = ground_user(lat, lon, 0.0);
         for (label, members) in [("monolith", 1usize), ("federated", 4)] {
@@ -60,23 +70,46 @@ fn main() {
             )
             .expect("delivery");
 
-            println!(
-                "{:<10} {:<12} {:>9.1}% {:>14.1} {:>14.1} {:>12}",
-                name,
-                label,
-                cov * 100.0,
-                assoc.association_latency_s * 1e3,
-                delivery.latency_s * 1e3,
-                if assoc.roaming { "yes" } else { "no" }
-            );
+            run.rec().add("baseline.deliveries", 1);
+            run.rec().observe("baseline.coverage", cov);
+            run.rec()
+                .observe("baseline.assoc_latency_s", assoc.association_latency_s);
+            run.rec()
+                .observe("baseline.delivery_latency_s", delivery.latency_s);
+            comparison.push(JsonValue::object([
+                ("site", JsonValue::Str(name.into())),
+                ("system", JsonValue::Str(label.into())),
+                ("coverage", JsonValue::Num(cov)),
+                (
+                    "assoc_latency_s",
+                    JsonValue::Num(assoc.association_latency_s),
+                ),
+                ("delivery_latency_s", JsonValue::Num(delivery.latency_s)),
+                ("roaming", JsonValue::Bool(assoc.roaming)),
+            ]));
+            if run.human() {
+                println!(
+                    "{:<10} {:<12} {:>9.1}% {:>14.1} {:>14.1} {:>12}",
+                    name,
+                    label,
+                    cov * 100.0,
+                    assoc.association_latency_s * 1e3,
+                    delivery.latency_s * 1e3,
+                    if assoc.roaming { "yes" } else { "no" }
+                );
+            }
         }
     }
+    run.push_extra("comparison", JsonValue::Array(comparison));
 
-    println!(
-        "\nshape check: coverage and data-plane latency are identical — the \
-         constellation physics does not care who owns which satellite. The \
-         federated column pays only a control-plane tax (association may \
-         route to a farther home-operator ground station) and gains the \
-         1/members entry barrier of exp_federation."
-    );
+    if run.human() {
+        println!(
+            "\nshape check: coverage and data-plane latency are identical — the \
+             constellation physics does not care who owns which satellite. The \
+             federated column pays only a control-plane tax (association may \
+             route to a farther home-operator ground station) and gains the \
+             1/members entry barrier of exp_federation."
+        );
+    }
+    run.finish();
 }

@@ -20,12 +20,14 @@
 //! and asserts the reports are identical.
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_fault`
+//! (add `--json` for a machine-readable run manifest on stdout).
 
-use openspace_bench::{iridium_elements, print_header};
+use openspace_bench::{iridium_elements, print_header, ExpRun};
 use openspace_core::prelude::*;
 use openspace_phy::hardware::SatelliteClass;
 use openspace_sim::exec::{default_threads, parallel_map_seeded};
 use openspace_sim::fault::FaultPlan;
+use openspace_telemetry::{JsonValue, NullRecorder, Recorder};
 
 /// Member counts swept; index 0 is the monolithic baseline. All divide
 /// the six Iridium planes evenly.
@@ -66,7 +68,7 @@ fn flows() -> Vec<FlowSpec> {
     ]
 }
 
-fn run_members(members: usize) -> (usize, NetSimReport) {
+fn run_members(members: usize, rec: &mut dyn Recorder) -> (usize, NetSimReport) {
     let fed = plane_federation(members);
     let withdrawing = fed.operator_ids()[0];
     let plan = FaultPlan::builder()
@@ -83,47 +85,86 @@ fn run_members(members: usize) -> (usize, NetSimReport) {
         .seed(7)
         .build()
         .expect("valid netsim config");
-    let report =
-        run_netsim_faulted(&fed.snapshot(0.0), &flows(), &cfg, &events).expect("valid faulted run");
+    let report = run_netsim_faulted_recorded(&fed.snapshot(0.0), &flows(), &cfg, &events, rec)
+        .expect("valid faulted run");
     (events.len(), report)
 }
 
 fn main() {
-    println!("== Fault injection: operator withdrawal at t=20 s of 60 s, plus");
-    println!("   seeded random satellite outages — identical plan, varying");
-    println!("   federation size (1 member = the monolithic incumbent) ==");
+    let mut run = ExpRun::from_args("exp_fault", 7);
+    run.digest_config("members=[1,2,3,6] fault_seed=42 sim_seed=7 duration_s=60 withdraw_at_s=20");
+    if run.human() {
+        println!("== Fault injection: operator withdrawal at t=20 s of 60 s, plus");
+        println!("   seeded random satellite outages — identical plan, varying");
+        println!("   federation size (1 member = the monolithic incumbent) ==");
 
-    print_header(
-        "Delivery under the same seeded fault plan",
-        &format!(
-            "{:<10} {:>8} {:>10} {:>12} {:>12} {:>10} {:>10}",
-            "members", "events", "delivered", "fault loss", "avail", "mttr (s)", "reassoc"
-        ),
-    );
-    let serial: Vec<(usize, NetSimReport)> = MEMBERS.iter().map(|&m| run_members(m)).collect();
-    for (m, (events, r)) in MEMBERS.iter().zip(&serial) {
-        println!(
-            "{:<10} {:>8} {:>9.1}% {:>12} {:>12.4} {:>10} {:>10}",
-            m,
-            events,
-            r.delivery_ratio * 100.0,
-            r.fault.packets_lost,
-            r.fault.node_availability,
-            r.fault
-                .mttr_s
-                .map(|t| format!("{t:.1}"))
-                .unwrap_or_else(|| "-".into()),
-            r.fault.reassociations,
+        print_header(
+            "Delivery under the same seeded fault plan",
+            &format!(
+                "{:<10} {:>8} {:>10} {:>12} {:>12} {:>10} {:>10}",
+                "members", "events", "delivered", "fault loss", "avail", "mttr (s)", "reassoc"
+            ),
         );
     }
+    run.phase("serial sweep");
+    let serial: Vec<(usize, NetSimReport)> =
+        MEMBERS.iter().map(|&m| run_members(m, run.rec())).collect();
+    for (m, (events, r)) in MEMBERS.iter().zip(&serial) {
+        if run.human() {
+            println!(
+                "{:<10} {:>8} {:>9.1}% {:>12} {:>12.4} {:>10} {:>10}",
+                m,
+                events,
+                r.delivery_ratio * 100.0,
+                r.fault.packets_lost,
+                r.fault.node_availability,
+                r.fault
+                    .mttr_s
+                    .map(|t| format!("{t:.1}"))
+                    .unwrap_or_else(|| "-".into()),
+                r.fault.reassociations,
+            );
+        }
+    }
+    // The acceptance-relevant fault block: availability / MTTR /
+    // re-association per federation size, in the deterministic section.
+    run.push_extra(
+        "fault",
+        JsonValue::Array(
+            MEMBERS
+                .iter()
+                .zip(&serial)
+                .map(|(&m, (events, r))| {
+                    JsonValue::object([
+                        ("members", JsonValue::Uint(m as u64)),
+                        ("events", JsonValue::Uint(*events as u64)),
+                        ("delivery_ratio", JsonValue::Num(r.delivery_ratio)),
+                        ("packets_lost", JsonValue::Uint(r.fault.packets_lost)),
+                        (
+                            "node_availability",
+                            JsonValue::Num(r.fault.node_availability),
+                        ),
+                        (
+                            "mttr_s",
+                            r.fault.mttr_s.map_or(JsonValue::Null, JsonValue::Num),
+                        ),
+                        ("reassociations", JsonValue::Uint(r.fault.reassociations)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
 
     // Determinism: the same sweep on a worker pool must be bitwise equal.
+    run.phase("parallel sweep");
     let parallel: Vec<(usize, NetSimReport)> =
         parallel_map_seeded(&MEMBERS, default_threads().max(2), 42, |&m, _rng| {
-            run_members(m)
+            run_members(m, &mut NullRecorder)
         });
     assert_eq!(serial, parallel, "parallel sweep must match serial bitwise");
-    println!("\ndeterminism: serial and parallel sweeps bitwise-identical ✓");
+    if run.human() {
+        println!("\ndeterminism: serial and parallel sweeps bitwise-identical ✓");
+    }
 
     // The resilience claim, asserted: every federated layout beats the
     // monolith under the identical fault plan.
@@ -136,21 +177,26 @@ fn main() {
             monolith.delivery_ratio
         );
     }
-    println!(
-        "resilience: federation delivery strictly above monolith ({:.1}% vs {:.1}%) ✓",
-        serial
-            .last()
-            .map(|(_, r)| r.delivery_ratio * 100.0)
-            .unwrap_or(0.0),
-        monolith.delivery_ratio * 100.0
-    );
+    if run.human() {
+        println!(
+            "resilience: federation delivery strictly above monolith ({:.1}% vs {:.1}%) ✓",
+            serial
+                .last()
+                .map(|(_, r)| r.delivery_ratio * 100.0)
+                .unwrap_or(0.0),
+            monolith.delivery_ratio * 100.0
+        );
+    }
 
     // Federation-level view of the same withdrawal: subscribers migrate
     // to the survivors; the monolith has nowhere to send them.
-    print_header(
-        "Subscriber migration at the withdrawal",
-        &format!("{:<10} {:>12} {:>40}", "members", "migrated", "outcome"),
-    );
+    run.phase("migration");
+    if run.human() {
+        print_header(
+            "Subscriber migration at the withdrawal",
+            &format!("{:<10} {:>12} {:>40}", "members", "migrated", "outcome"),
+        );
+    }
     for &m in &MEMBERS {
         let mut fed = plane_federation(m);
         let leaver = fed.operator_ids()[0];
@@ -158,20 +204,33 @@ fn main() {
             fed.register_user(leaver).expect("member operator");
         }
         match fed.withdraw_operator(leaver) {
-            Ok(w) => println!(
-                "{:<10} {:>12} {:>40}",
-                m,
-                w.migrated.len(),
-                format!("{} surviving operators", fed.operator_count())
-            ),
-            Err(e) => println!("{:<10} {:>12} {:>40}", m, 0, e.to_string()),
+            Ok(w) => {
+                run.rec()
+                    .add("federation.subscribers_migrated", w.migrated.len() as u64);
+                if run.human() {
+                    println!(
+                        "{:<10} {:>12} {:>40}",
+                        m,
+                        w.migrated.len(),
+                        format!("{} surviving operators", fed.operator_count())
+                    );
+                }
+            }
+            Err(e) => {
+                if run.human() {
+                    println!("{:<10} {:>12} {:>40}", m, 0, e.to_string());
+                }
+            }
         }
     }
-    println!(
-        "\nshape check: the monolith loses every flow the moment its only \
-         operator leaves; federations lose only the departing member's \
-         planes, re-route around the gap, and migrate the stranded \
-         subscribers to the survivors — the more members, the smaller \
-         the hole."
-    );
+    if run.human() {
+        println!(
+            "\nshape check: the monolith loses every flow the moment its only \
+             operator leaves; federations lose only the departing member's \
+             planes, re-route around the gap, and migrate the stranded \
+             subscribers to the survivors — the more members, the smaller \
+             the hole."
+        );
+    }
+    run.finish();
 }

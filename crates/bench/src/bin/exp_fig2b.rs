@@ -14,9 +14,11 @@
 //! out over a worker pool, with output bitwise-identical to a serial run.
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_fig2b`
+//! (add `--json` for a machine-readable run manifest on stdout).
 
-use openspace_bench::{fmt_opt, print_header, study_runner, timed, FIG2B_SIZES};
+use openspace_bench::{fmt_opt, print_header, study_runner, timed, ExpRun, FIG2B_SIZES};
 use openspace_core::prelude::*;
+use openspace_telemetry::{JsonValue, Recorder};
 
 fn print_points(points: &[LatencyPoint]) {
     for p in points {
@@ -30,48 +32,89 @@ fn print_points(points: &[LatencyPoint]) {
     }
 }
 
+fn points_json(points: &[LatencyPoint]) -> JsonValue {
+    JsonValue::Array(
+        points
+            .iter()
+            .map(|p| {
+                JsonValue::object([
+                    ("n_satellites", JsonValue::Uint(p.n_satellites as u64)),
+                    ("reachability", JsonValue::Num(p.reachability)),
+                    (
+                        "mean_latency_ms",
+                        p.mean_latency_ms.map_or(JsonValue::Null, JsonValue::Num),
+                    ),
+                    (
+                        "mean_hops",
+                        p.mean_hops.map_or(JsonValue::Null, JsonValue::Num),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
 fn main() {
+    let mut run = ExpRun::from_args("exp_fig2b", 20);
+    run.digest_config("trials=20 epochs=8 sizes=FIG2B models=[simplified,physical]");
     let runner = study_runner(20, 8);
     let cfg = *runner.config();
+    run.set_threads(runner.threads());
 
-    println!("Figure 2(b): propagation latency vs constellation size");
-    println!(
-        "user {:.1}N {:.1}E -> station {:.1}N {:.1}E, {} trials x {} epochs, {} worker threads",
-        cfg.user.lat_deg(),
-        cfg.user.lon_deg(),
-        cfg.station.lat_deg(),
-        cfg.station.lon_deg(),
-        cfg.trials,
-        cfg.epochs_per_trial,
-        runner.threads()
-    );
+    if run.human() {
+        println!("Figure 2(b): propagation latency vs constellation size");
+        println!(
+            "user {:.1}N {:.1}E -> station {:.1}N {:.1}E, {} trials x {} epochs, {} worker threads",
+            cfg.user.lat_deg(),
+            cfg.user.lon_deg(),
+            cfg.station.lat_deg(),
+            cfg.station.lon_deg(),
+            cfg.trials,
+            cfg.epochs_per_trial,
+            runner.threads()
+        );
 
-    print_header(
-        "Paper's simplified model (nearest pickup, distance-graph ISLs)",
-        &format!(
-            "{:<6} {:>8} {:>14} {:>10}",
-            "n", "reach", "latency (ms)", "mean hops"
-        ),
-    );
+        print_header(
+            "Paper's simplified model (nearest pickup, distance-graph ISLs)",
+            &format!(
+                "{:<6} {:>8} {:>14} {:>10}",
+                "n", "reach", "latency (ms)", "mean hops"
+            ),
+        );
+    }
+    run.phase("simplified sweep");
     let (points, harness_time) = timed(|| runner.latency_vs_satellites(&FIG2B_SIZES));
-    print_points(&points);
+    run.rec().add("fig2b.points", points.len() as u64);
+    run.push_extra("simplified", points_json(&points));
+    if run.human() {
+        print_points(&points);
+    }
 
+    run.phase("physical sweep");
     let phys = ScenarioRunner::parallel(StudyConfig {
         model: StudyModel::Physical,
         ..cfg
     });
-    print_header(
-        "Physical model (horizon-masked pickup, line-of-sight ISLs)",
-        &format!(
-            "{:<6} {:>8} {:>14} {:>10}",
-            "n", "avail", "latency (ms)", "mean hops"
-        ),
-    );
-    print_points(&phys.latency_vs_satellites(&FIG2B_SIZES));
+    if run.human() {
+        print_header(
+            "Physical model (horizon-masked pickup, line-of-sight ISLs)",
+            &format!(
+                "{:<6} {:>8} {:>14} {:>10}",
+                "n", "avail", "latency (ms)", "mean hops"
+            ),
+        );
+    }
+    let phys_points = phys.latency_vs_satellites(&FIG2B_SIZES);
+    run.rec().add("fig2b.points", phys_points.len() as u64);
+    run.push_extra("physical", points_json(&phys_points));
+    if run.human() {
+        print_points(&phys_points);
+    }
 
     // Harness accounting: what memoization + the worker pool buy over the
     // pre-harness loop (a fresh serial propagation per size point), and
     // that they buy it without changing a single output bit.
+    run.phase("legacy serial comparison");
     let (legacy_points, legacy_time) = timed(|| {
         FIG2B_SIZES
             .iter()
@@ -82,18 +125,23 @@ fn main() {
         points, legacy_points,
         "harness output must be bitwise-identical to the per-point serial loop"
     );
-    println!(
-        "\nharness timing (simplified model): per-point serial {:.2}s -> cached parallel {:.2}s ({:.1}x), {} cache hits / {} misses, identical output",
-        legacy_time.as_secs_f64(),
-        harness_time.as_secs_f64(),
-        legacy_time.as_secs_f64() / harness_time.as_secs_f64().max(1e-9),
-        runner.cache().hits(),
-        runner.cache().misses(),
-    );
+    run.rec().add("fig2b.cache_hits", runner.cache().hits());
+    run.rec().add("fig2b.cache_misses", runner.cache().misses());
+    if run.human() {
+        println!(
+            "\nharness timing (simplified model): per-point serial {:.2}s -> cached parallel {:.2}s ({:.1}x), {} cache hits / {} misses, identical output",
+            legacy_time.as_secs_f64(),
+            harness_time.as_secs_f64(),
+            legacy_time.as_secs_f64() / harness_time.as_secs_f64().max(1e-9),
+            runner.cache().hits(),
+            runner.cache().misses(),
+        );
 
-    println!(
-        "\nshape check: latency falls steeply to ~25 satellites, then \
-         plateaus near 30 ms; availability under the physical model is \
-         what small constellations actually lack."
-    );
+        println!(
+            "\nshape check: latency falls steeply to ~25 satellites, then \
+             plateaus near 30 ms; availability under the physical model is \
+             what small constellations actually lack."
+        );
+    }
+    run.finish();
 }

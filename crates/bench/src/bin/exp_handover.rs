@@ -10,25 +10,33 @@
 //!   prediction.
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_handover`
+//! (add `--json` for a machine-readable run manifest on stdout).
 
-use openspace_bench::{fmt_opt, print_header, random_sat_nodes};
+use openspace_bench::{fmt_opt, print_header, random_sat_nodes, ExpRun};
 use openspace_net::contact::contact_plan;
-use openspace_net::handover::{service_schedule, HandoverCost};
+use openspace_net::handover::{service_schedule_with_outages_recorded, HandoverCost};
 use openspace_orbit::prelude::*;
+use openspace_telemetry::JsonValue;
 
 fn main() {
+    let mut run = ExpRun::from_args("exp_handover", 77);
+    run.digest_config("densities=[50,100,200,400,800,1600] seeds=3 horizon_s=14400 mask_deg=25");
     let ground = geodetic_to_ecef(Geodetic::from_degrees(47.0, 8.0, 400.0));
     let horizon_s = 4.0 * 3600.0;
     let mask = 25f64.to_radians(); // a broadband-grade mask shortens passes
 
-    println!("E4: handover cadence vs constellation density (4 h, 25 deg mask)");
-    print_header(
-        "Density sweep (random 550 km constellations, seed-averaged)",
-        &format!(
-            "{:<6} {:>10} {:>16} {:>12}",
-            "n", "handovers", "mean t_bh (s)", "outage (s)"
-        ),
-    );
+    if run.human() {
+        println!("E4: handover cadence vs constellation density (4 h, 25 deg mask)");
+        print_header(
+            "Density sweep (random 550 km constellations, seed-averaged)",
+            &format!(
+                "{:<6} {:>10} {:>16} {:>12}",
+                "n", "handovers", "mean t_bh (s)", "outage (s)"
+            ),
+        );
+    }
+    run.phase("density sweep");
+    let mut sweep = Vec::new();
     for n in [50usize, 100, 200, 400, 800, 1600] {
         let mut handovers = 0usize;
         let mut tbh_sum = 0.0;
@@ -44,7 +52,9 @@ fn main() {
                 PerturbationModel::TwoBody,
             );
             let windows = contact_plan(&sats, ground, 0.0, horizon_s, 2.0, mask);
-            let s = service_schedule(&windows, 0.0, horizon_s).expect("valid service window");
+            let s =
+                service_schedule_with_outages_recorded(&windows, &[], 0.0, horizon_s, run.rec())
+                    .expect("valid service window");
             handovers += s.handovers;
             if let Some(t) = s.mean_time_between_handovers_s() {
                 tbh_sum += t;
@@ -52,28 +62,51 @@ fn main() {
             }
             outage += s.outage_s;
         }
+        sweep.push(JsonValue::object([
+            ("n", JsonValue::Uint(n as u64)),
+            (
+                "handovers_per_seed",
+                JsonValue::Uint((handovers / seeds as usize) as u64),
+            ),
+            (
+                "mean_time_between_handovers_s",
+                if tbh_count > 0 {
+                    JsonValue::Num(tbh_sum / tbh_count as f64)
+                } else {
+                    JsonValue::Null
+                },
+            ),
+            ("mean_outage_s", JsonValue::Num(outage / seeds as f64)),
+        ]));
+        if run.human() {
+            println!(
+                "{:<6} {:>10} {:>16} {:>12.0}",
+                n,
+                handovers / seeds as usize,
+                fmt_opt((tbh_count > 0).then(|| tbh_sum / tbh_count as f64), 0),
+                outage / seeds as f64
+            );
+        }
+    }
+    run.push_extra("density_sweep", JsonValue::Array(sweep));
+    if run.human() {
         println!(
-            "{:<6} {:>10} {:>16} {:>12.0}",
-            n,
-            handovers / seeds as usize,
-            fmt_opt((tbh_count > 0).then(|| tbh_sum / tbh_count as f64), 0),
-            outage / seeds as f64
+            "shape check: mean time between handovers falls toward the tens of \
+             seconds as density approaches Starlink scale."
+        );
+
+        // Interruption: prediction vs re-authentication, across auth-path
+        // lengths (the home AAA can be many ISL hops away in OpenSpace).
+        print_header(
+            "Per-handover interruption: successor prediction vs re-auth",
+            &format!(
+                "{:<22} {:>16} {:>16} {:>8}",
+                "home AAA distance", "predicted (ms)", "re-auth (ms)", "ratio"
+            ),
         );
     }
-    println!(
-        "shape check: mean time between handovers falls toward the tens of \
-         seconds as density approaches Starlink scale."
-    );
-
-    // Interruption: prediction vs re-authentication, across auth-path
-    // lengths (the home AAA can be many ISL hops away in OpenSpace).
-    print_header(
-        "Per-handover interruption: successor prediction vs re-auth",
-        &format!(
-            "{:<22} {:>16} {:>16} {:>8}",
-            "home AAA distance", "predicted (ms)", "re-auth (ms)", "ratio"
-        ),
-    );
+    run.phase("interruption model");
+    let mut interruption = Vec::new();
     for (label, hops) in [("1 ISL hop", 1.0), ("3 ISL hops", 3.0), ("7 ISL hops", 7.0)] {
         let access_rtt = 2.0 * 1_200_000.0 / SPEED_OF_LIGHT_M_PER_S; // 1200 km slant
         let isl_hop = 4_000_000.0 / SPEED_OF_LIGHT_M_PER_S;
@@ -81,16 +114,30 @@ fn main() {
             access_rtt_s: access_rtt,
             home_auth_rtt_s: 2.0 * hops * isl_hop + 0.005, // + AAA processing
         };
+        interruption.push(JsonValue::object([
+            ("home_aaa", JsonValue::Str(label.into())),
+            (
+                "predicted_s",
+                JsonValue::Num(cost.predicted_interruption_s()),
+            ),
+            ("reauth_s", JsonValue::Num(cost.reauth_interruption_s())),
+        ]));
+        if run.human() {
+            println!(
+                "{:<22} {:>16.2} {:>16.2} {:>8.1}",
+                label,
+                cost.predicted_interruption_s() * 1e3,
+                cost.reauth_interruption_s() * 1e3,
+                cost.reauth_interruption_s() / cost.predicted_interruption_s()
+            );
+        }
+    }
+    run.push_extra("interruption", JsonValue::Array(interruption));
+    if run.human() {
         println!(
-            "{:<22} {:>16.2} {:>16.2} {:>8.1}",
-            label,
-            cost.predicted_interruption_s() * 1e3,
-            cost.reauth_interruption_s() * 1e3,
-            cost.reauth_interruption_s() / cost.predicted_interruption_s()
+            "shape check: prediction holds interruption to one access round \
+             trip regardless of how far the home AAA is."
         );
     }
-    println!(
-        "shape check: prediction holds interruption to one access round \
-         trip regardless of how far the home AAA is."
-    );
+    run.finish();
 }

@@ -11,14 +11,24 @@
 //! over the ISL mesh as queues build.
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_netsim`
+//! (add `--json` for a machine-readable run manifest on stdout).
 
-use openspace_bench::{access_satellite, nairobi_user, print_header, standard_federation};
-use openspace_core::netsim::{run_netsim, FlowSpec, NetSimConfig, RoutingMode, TrafficKind};
+use openspace_bench::{access_satellite, nairobi_user, print_header, standard_federation, ExpRun};
+use openspace_core::netsim::{
+    run_netsim_recorded, FlowSpec, NetSimConfig, RoutingMode, TrafficKind,
+};
 use openspace_phy::hardware::SatelliteClass;
+use openspace_telemetry::JsonValue;
 
 fn main() {
+    let mut run = ExpRun::from_args("exp_netsim", 11);
+    run.digest_config(
+        "flows=4 packet=1500 duration_s=20 queue=512KiB seed=11 sweep=[5,10,20,40,60]Mbps",
+    );
+
     // RF-only fleet: S-band ISL capacities (~27 Mbit/s) make congestion
     // real at megabit flow rates.
+    run.phase("setup");
     let fed = standard_federation(4, &[SatelliteClass::CubeSat]);
     let graph = fed.snapshot(0.0);
 
@@ -30,18 +40,22 @@ fn main() {
     let dst = graph.station_node(0);
 
     let n_flows = 4usize;
-    println!(
-        "E11: packet-level proactive vs adaptive routing \
-         ({n_flows} Poisson flows through one access satellite -> {})",
-        fed.stations()[0].id
-    );
-    print_header(
-        "Aggregate offered load sweep (1500 B packets, 20 s runs)",
-        &format!(
-            "{:<12} {:>12} {:>12} {:>14} {:>14} {:>10}",
-            "offered", "pro deliv", "ada deliv", "pro p95 (ms)", "ada p95 (ms)", "pro drops"
-        ),
-    );
+    if run.human() {
+        println!(
+            "E11: packet-level proactive vs adaptive routing \
+             ({n_flows} Poisson flows through one access satellite -> {})",
+            fed.stations()[0].id
+        );
+        print_header(
+            "Aggregate offered load sweep (1500 B packets, 20 s runs)",
+            &format!(
+                "{:<12} {:>12} {:>12} {:>14} {:>14} {:>10}",
+                "offered", "pro deliv", "ada deliv", "pro p95 (ms)", "ada p95 (ms)", "pro drops"
+            ),
+        );
+    }
+    run.phase("load sweep");
+    let mut sweep = Vec::new();
     for aggregate in [5.0e6, 10.0e6, 20.0e6, 40.0e6, 60.0e6] {
         let flows: Vec<FlowSpec> = (0..n_flows)
             .map(|_| FlowSpec {
@@ -58,8 +72,8 @@ fn main() {
             routing: RoutingMode::Proactive,
             seed: 11,
         };
-        let pro = run_netsim(&graph, &flows, &base).expect("valid netsim config");
-        let ada = run_netsim(
+        let pro = run_netsim_recorded(&graph, &flows, &base, run.rec()).expect("valid config");
+        let ada = run_netsim_recorded(
             &graph,
             &flows,
             &NetSimConfig {
@@ -68,21 +82,36 @@ fn main() {
                 },
                 ..base
             },
+            run.rec(),
         )
         .expect("valid netsim config");
+        sweep.push(JsonValue::object([
+            ("offered_bps", JsonValue::Num(aggregate)),
+            ("proactive_delivery", JsonValue::Num(pro.delivery_ratio)),
+            ("adaptive_delivery", JsonValue::Num(ada.delivery_ratio)),
+            ("proactive_p95_s", JsonValue::Num(pro.p95_latency_s)),
+            ("adaptive_p95_s", JsonValue::Num(ada.p95_latency_s)),
+            ("proactive_drops", JsonValue::Uint(pro.dropped)),
+        ]));
+        if run.human() {
+            println!(
+                "{:<12} {:>11.1}% {:>11.1}% {:>14.1} {:>14.1} {:>10}",
+                format!("{:.0} Mb/s", aggregate / 1e6),
+                pro.delivery_ratio * 100.0,
+                ada.delivery_ratio * 100.0,
+                pro.p95_latency_s * 1e3,
+                ada.p95_latency_s * 1e3,
+                pro.dropped,
+            );
+        }
+    }
+    run.push_extra("sweep", JsonValue::Array(sweep));
+    if run.human() {
         println!(
-            "{:<12} {:>11.1}% {:>11.1}% {:>14.1} {:>14.1} {:>10}",
-            format!("{:.0} Mb/s", aggregate / 1e6),
-            pro.delivery_ratio * 100.0,
-            ada.delivery_ratio * 100.0,
-            pro.p95_latency_s * 1e3,
-            ada.p95_latency_s * 1e3,
-            pro.dropped,
+            "\nshape check: identical at light load; once the shared shortest \
+             path saturates, the proactive router drops what the adaptive \
+             router re-routes across the mesh (§5(2))."
         );
     }
-    println!(
-        "\nshape check: identical at light load; once the shared shortest \
-         path saturates, the proactive router drops what the adaptive \
-         router re-routes across the mesh (§5(2))."
-    );
+    run.finish();
 }

@@ -11,31 +11,41 @@
 //! and on meeting a bandwidth floor.
 //!
 //! Run: `cargo run -p openspace-bench --release --bin exp_routing`
+//! (add `--json` for a machine-readable run manifest on stdout).
 
-use openspace_bench::{access_satellite, nairobi_user, print_header, standard_federation};
+use openspace_bench::{access_satellite, nairobi_user, print_header, standard_federation, ExpRun};
 use openspace_net::routing::{
-    congestion_weight, latency_weight, qos_route, shortest_path, QosRequirement,
+    congestion_weight, latency_weight, qos_route_recorded, shortest_path_recorded, QosRequirement,
 };
 use openspace_net::topology::NodeId;
 use openspace_phy::hardware::SatelliteClass;
 use openspace_sim::rng::SimRng;
+use openspace_telemetry::JsonValue;
 
 const PKT_BITS: f64 = 12_000.0;
 
 fn main() {
+    let mut run = ExpRun::from_args("exp_routing", 9);
+    run.digest_config(
+        "loads=[0,0.3,0.5,0.7,0.85,0.95] reps=5 seed=9 pkt_bits=12000 floor_bps=256000",
+    );
     let fed = standard_federation(4, &[SatelliteClass::CubeSat]);
     let user_pos = nairobi_user();
     let (src_sat, _) = access_satellite(&fed, user_pos, 0.0).expect("coverage");
 
-    println!("E9: routing under load (RF-only federation, Nairobi uplink)");
-    print_header(
-        "Background load sweep (mean link utilization)",
-        &format!(
-            "{:<8} {:>18} {:>18} {:>14} {:>14}",
-            "load", "proactive (ms)", "QoS-aware (ms)", "saving", "floor met"
-        ),
-    );
+    if run.human() {
+        println!("E9: routing under load (RF-only federation, Nairobi uplink)");
+        print_header(
+            "Background load sweep (mean link utilization)",
+            &format!(
+                "{:<8} {:>18} {:>18} {:>14} {:>14}",
+                "load", "proactive (ms)", "QoS-aware (ms)", "saving", "floor met"
+            ),
+        );
+    }
 
+    run.phase("load sweep");
+    let mut sweep = Vec::new();
     for mean_load in [0.0, 0.3, 0.5, 0.7, 0.85, 0.95] {
         // Average over several load placements.
         let mut pro_sum = 0.0;
@@ -70,7 +80,8 @@ fn main() {
             let mut best_qos: Option<f64> = None;
             for gi in 0..fed.stations().len() {
                 let dst = graph.station_node(gi);
-                if let Some(p) = shortest_path(&graph, src, dst, latency_weight) {
+                if let Some(p) = shortest_path_recorded(&graph, src, dst, latency_weight, run.rec())
+                {
                     let eff = p
                         .sum_metric(&graph, |e| congestion_weight(e, PKT_BITS))
                         .unwrap_or(f64::INFINITY);
@@ -82,7 +93,7 @@ fn main() {
                     min_bandwidth_bps: 256_000.0,
                     max_latency_s: f64::INFINITY,
                 };
-                if let Some(p) = qos_route(&graph, src, dst, &req, PKT_BITS) {
+                if let Some(p) = qos_route_recorded(&graph, src, dst, &req, PKT_BITS, run.rec()) {
                     if best_qos.is_none_or(|b| p.total_cost < b) {
                         best_qos = Some(p.total_cost);
                     }
@@ -102,20 +113,40 @@ fn main() {
         } else {
             f64::NAN
         };
+        sweep.push(JsonValue::object([
+            ("mean_load", JsonValue::Num(mean_load)),
+            ("proactive_effective_s", JsonValue::Num(pro / 1e3)),
+            (
+                "qos_aware_s",
+                if qos_ok > 0 {
+                    JsonValue::Num(qos / 1e3)
+                } else {
+                    JsonValue::Null
+                },
+            ),
+            ("floor_met", JsonValue::Uint(qos_ok as u64)),
+            ("reps", JsonValue::Uint(reps)),
+        ]));
+        if run.human() {
+            println!(
+                "{:<8.2} {:>18.2} {:>18.2} {:>13.1}% {:>11}/{}",
+                mean_load,
+                pro,
+                qos,
+                (1.0 - qos / pro) * 100.0,
+                qos_ok,
+                reps
+            );
+        }
+    }
+    run.push_extra("sweep", JsonValue::Array(sweep));
+
+    if run.human() {
         println!(
-            "{:<8.2} {:>18.2} {:>18.2} {:>13.1}% {:>11}/{}",
-            mean_load,
-            pro,
-            qos,
-            (1.0 - qos / pro) * 100.0,
-            qos_ok,
-            reps
+            "\nshape check: the two routers agree on an idle network; as load \
+             grows, congestion-aware routing increasingly undercuts the \
+             proactive route's effective latency (§2.2's scaling argument)."
         );
     }
-
-    println!(
-        "\nshape check: the two routers agree on an idle network; as load \
-         grows, congestion-aware routing increasingly undercuts the \
-         proactive route's effective latency (§2.2's scaling argument)."
-    );
+    run.finish();
 }

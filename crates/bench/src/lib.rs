@@ -7,9 +7,14 @@
 //!
 //! The [`scenario`] module is the shared setup harness those binaries
 //! call into instead of repeating federation/user/route boilerplate.
+//! The [`run`] module is the telemetry side of the same idea: one
+//! [`ExpRun`] per binary handles the shared `--json` flag
+//! and emits an [`openspace_telemetry::RunManifest`] on request.
 
+pub mod run;
 pub mod scenario;
 
+pub use run::ExpRun;
 pub use scenario::{
     access_satellite, best_station_route, ground_user, iridium_elements, nairobi_user,
     random_sat_nodes, standard_federation, study_runner, timed, walker_propagators, FIG2B_SIZES,

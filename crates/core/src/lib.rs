@@ -65,7 +65,8 @@ pub mod prelude {
         FederationError, User, Withdrawal,
     };
     pub use crate::netsim::{
-        run_netsim, run_netsim_dynamic, run_netsim_faulted, FaultImpact, FlowSpec, NetSimConfig,
+        run_netsim, run_netsim_dynamic, run_netsim_dynamic_recorded, run_netsim_faulted,
+        run_netsim_faulted_recorded, run_netsim_recorded, FaultImpact, FlowSpec, NetSimConfig,
         NetSimConfigBuilder, NetSimReport, RoutingMode, TrafficKind,
     };
     pub use crate::operator::{make_satellite, GroundStation, Operator, Satellite};

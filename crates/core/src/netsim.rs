@@ -24,13 +24,16 @@
 //! bit for bit.
 
 use openspace_net::outage::OutageTracker;
-use openspace_net::routing::{latency_weight, qos_route, shortest_path, QosRequirement};
+use openspace_net::routing::{
+    latency_weight, qos_route_recorded, shortest_path_recorded, QosRequirement,
+};
 use openspace_net::topology::{Graph, NodeId};
 use openspace_sim::config::{require_positive, ConfigError};
 use openspace_sim::engine::EventQueue;
 use openspace_sim::fault::{TopologyEvent, TopologyEventKind};
 use openspace_sim::rng::SimRng;
 use openspace_sim::stats::Summary;
+use openspace_telemetry::{NullRecorder, Recorder};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
@@ -238,6 +241,8 @@ struct Pkt {
     created_s: f64,
     path: Rc<[NodeId]>,
     hop: usize,
+    /// Index into the flow list, for per-flow latency telemetry.
+    flow: u32,
 }
 
 enum Ev {
@@ -286,7 +291,24 @@ pub fn run_netsim(
     flows: &[FlowSpec],
     cfg: &NetSimConfig,
 ) -> Result<NetSimReport, ConfigError> {
-    run_netsim_inner(graph.clone(), None, flows, cfg, &[])
+    run_netsim_inner(graph.clone(), None, flows, cfg, &[], &mut NullRecorder)
+}
+
+/// [`run_netsim`] with telemetry: packet counters
+/// (`netsim.generated` / `delivered` / `dropped` / `unroutable`),
+/// the end-to-end latency histogram (`netsim.latency_s`, plus a
+/// `netsim.flow.<i>.latency_s` histogram per flow when the recorder is
+/// enabled), re-plan / re-snapshot counters, routing work from the
+/// underlying searches, and the engine's event count and queue-depth
+/// high-water mark. The returned report is bit-identical to
+/// [`run_netsim`]'s — recording never perturbs the simulation.
+pub fn run_netsim_recorded(
+    graph: &Graph,
+    flows: &[FlowSpec],
+    cfg: &NetSimConfig,
+    rec: &mut dyn Recorder,
+) -> Result<NetSimReport, ConfigError> {
+    run_netsim_inner(graph.clone(), None, flows, cfg, &[], rec)
 }
 
 /// Run the simulation with a fault plan: `events` is the time-ordered
@@ -303,7 +325,21 @@ pub fn run_netsim_faulted(
     cfg: &NetSimConfig,
     events: &[TopologyEvent],
 ) -> Result<NetSimReport, ConfigError> {
-    run_netsim_inner(graph.clone(), None, flows, cfg, events)
+    run_netsim_inner(graph.clone(), None, flows, cfg, events, &mut NullRecorder)
+}
+
+/// [`run_netsim_faulted`] with telemetry: everything
+/// [`run_netsim_recorded`] reports, plus the fault block —
+/// `netsim.fault.events_applied` / `packets_lost` / `reassociations`
+/// counters and the `netsim.fault.node_availability` gauge.
+pub fn run_netsim_faulted_recorded(
+    graph: &Graph,
+    flows: &[FlowSpec],
+    cfg: &NetSimConfig,
+    events: &[TopologyEvent],
+    rec: &mut dyn Recorder,
+) -> Result<NetSimReport, ConfigError> {
+    run_netsim_inner(graph.clone(), None, flows, cfg, events, rec)
 }
 
 /// Run the simulation over a *moving* constellation: `topology_at(t)`
@@ -318,6 +354,24 @@ pub fn run_netsim_dynamic(
     flows: &[FlowSpec],
     cfg: &NetSimConfig,
 ) -> Result<NetSimReport, ConfigError> {
+    run_netsim_dynamic_recorded(
+        topology_at,
+        resnapshot_interval_s,
+        flows,
+        cfg,
+        &mut NullRecorder,
+    )
+}
+
+/// [`run_netsim_dynamic`] with telemetry (see [`run_netsim_recorded`]);
+/// each topology refresh additionally bumps `netsim.resnapshots`.
+pub fn run_netsim_dynamic_recorded(
+    topology_at: &dyn Fn(f64) -> Graph,
+    resnapshot_interval_s: f64,
+    flows: &[FlowSpec],
+    cfg: &NetSimConfig,
+    rec: &mut dyn Recorder,
+) -> Result<NetSimReport, ConfigError> {
     require_positive("resnapshot_interval_s", resnapshot_interval_s)?;
     run_netsim_inner(
         topology_at(0.0),
@@ -325,6 +379,7 @@ pub fn run_netsim_dynamic(
         flows,
         cfg,
         &[],
+        rec,
     )
 }
 
@@ -389,9 +444,20 @@ fn run_netsim_inner(
     flows: &[FlowSpec],
     cfg: &NetSimConfig,
     events: &[TopologyEvent],
+    rec: &mut dyn Recorder,
 ) -> Result<NetSimReport, ConfigError> {
     let graph = &graph;
     validate(graph, flows, cfg, events)?;
+
+    // Per-flow histogram keys are only materialized when someone is
+    // listening — a NullRecorder run never formats a string.
+    let flow_latency_keys: Vec<String> = if rec.enabled() {
+        (0..flows.len())
+            .map(|i| format!("netsim.flow.{i}.latency_s"))
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     // Link state keyed by (u, v).
     let mut links: HashMap<(NodeId, NodeId), Link> = HashMap::new();
@@ -401,19 +467,29 @@ fn run_netsim_inner(
         }
     }
 
-    // Initial routes: proactive latency paths for every flow.
-    let route_for = |g: &Graph, f: &FlowSpec, adaptive: bool| -> Option<Rc<[NodeId]>> {
-        let p = if adaptive {
-            qos_route(g, f.src, f.dst, &QosRequirement::best_effort(), 12_000.0)?
-        } else {
-            shortest_path(g, f.src, f.dst, latency_weight)?
+    // Initial routes: proactive latency paths for every flow. The
+    // recorder is threaded through so every route computation counts
+    // toward `routing.recomputes` / `routing.nodes_visited`.
+    let route_for =
+        |g: &Graph, f: &FlowSpec, adaptive: bool, rec: &mut dyn Recorder| -> Option<Rc<[NodeId]>> {
+            let p = if adaptive {
+                qos_route_recorded(
+                    g,
+                    f.src,
+                    f.dst,
+                    &QosRequirement::best_effort(),
+                    12_000.0,
+                    rec,
+                )?
+            } else {
+                shortest_path_recorded(g, f.src, f.dst, latency_weight, rec)?
+            };
+            Some(Rc::from(p.nodes.into_boxed_slice()))
         };
-        Some(Rc::from(p.nodes.into_boxed_slice()))
-    };
     let mut work_graph = graph.clone();
     let mut routes: Vec<Option<Rc<[NodeId]>>> = flows
         .iter()
-        .map(|f| route_for(&work_graph, f, false))
+        .map(|f| route_for(&work_graph, f, false, rec))
         .collect();
 
     // Arrival processes.
@@ -472,6 +548,7 @@ fn run_netsim_inner(
                     created_s: now,
                     path: Rc::clone(path),
                     hop: 0,
+                    flow: i as u32,
                 };
                 forward(
                     q,
@@ -525,7 +602,12 @@ fn run_netsim_inner(
             pkt.hop += 1;
             if Some(&node) == pkt.path.last() {
                 delivered += 1;
-                latency.add(now - pkt.created_s);
+                let lat = now - pkt.created_s;
+                latency.add(lat);
+                if rec.enabled() {
+                    rec.observe("netsim.latency_s", lat);
+                    rec.observe(&flow_latency_keys[pkt.flow as usize], lat);
+                }
             } else {
                 forward(
                     q,
@@ -560,10 +642,11 @@ fn run_netsim_inner(
                 }
             }
             for (i, f) in flows.iter().enumerate() {
-                if let Some(r) = route_for(&work_graph, f, true) {
+                if let Some(r) = route_for(&work_graph, f, true, rec) {
                     routes[i] = Some(r);
                 }
             }
+            rec.add("netsim.replans", 1);
             q.schedule(now + interval, Ev::Replan);
         }
         Ev::Resnapshot => {
@@ -597,8 +680,9 @@ fn run_netsim_inner(
             // Recompute every route on the new topology.
             let adaptive = replan_interval.is_some();
             for (i, f) in flows.iter().enumerate() {
-                routes[i] = route_for(&work_graph, f, adaptive);
+                routes[i] = route_for(&work_graph, f, adaptive, rec);
             }
+            rec.add("netsim.resnapshots", 1);
             q.schedule(now + interval, Ev::Resnapshot);
         }
         Ev::Fault(idx) => {
@@ -656,7 +740,7 @@ fn run_netsim_inner(
                     continue;
                 }
                 let had_route = routes[i].is_some();
-                routes[i] = route_for(&work_graph, f, adaptive);
+                routes[i] = route_for(&work_graph, f, adaptive, rec);
                 match (&routes[i], route_lost_at[i]) {
                     (Some(_), Some(lost_at)) => {
                         fault.reassociations += 1;
@@ -694,6 +778,31 @@ fn run_netsim_inner(
     for link in links.values() {
         let util = link.bits_sent / cfg.duration_s / link.capacity_bps;
         max_util = max_util.max(util);
+    }
+
+    // Run-level telemetry: totals, gauges, and the engine's own load
+    // counters. Recorded after the loop so a run contributes one value
+    // per key regardless of event interleaving.
+    rec.add("netsim.generated", generated);
+    rec.add("netsim.delivered", delivered);
+    rec.add("netsim.dropped", dropped);
+    rec.add("netsim.unroutable", unroutable);
+    rec.gauge(
+        "netsim.delivery_ratio",
+        if generated > 0 {
+            delivered as f64 / generated as f64
+        } else {
+            0.0
+        },
+    );
+    rec.gauge_max("netsim.max_link_utilization", max_util);
+    rec.add("engine.events_processed", q.processed());
+    rec.gauge_max("engine.queue_depth_high_water", q.depth_high_water() as f64);
+    if !events.is_empty() {
+        rec.add("netsim.fault.events_applied", fault.events_applied);
+        rec.add("netsim.fault.packets_lost", fault.packets_lost);
+        rec.add("netsim.fault.reassociations", fault.reassociations);
+        rec.gauge("netsim.fault.node_availability", fault.node_availability);
     }
 
     let mean = latency.mean();
@@ -1017,6 +1126,65 @@ mod tests {
         );
     }
 
+    #[test]
+    fn recorded_run_reproduces_the_plain_report_bit_for_bit() {
+        use openspace_telemetry::MemoryRecorder;
+        let g = diamond(2e6);
+        let flows = [
+            FlowSpec::new(0, 3, 1e6, 1_200, TrafficKind::Poisson),
+            flow(3, 0, 0.5e6),
+        ];
+        let cfg = NetSimConfig {
+            duration_s: 10.0,
+            seed: 11,
+            ..Default::default()
+        };
+        let plain = run_netsim(&g, &flows, &cfg).unwrap();
+        let mut rec = MemoryRecorder::new();
+        let recorded = run_netsim_recorded(&g, &flows, &cfg, &mut rec).unwrap();
+        assert_eq!(plain, recorded, "telemetry must not perturb the sim");
+        assert_eq!(
+            plain.mean_latency_s.to_bits(),
+            recorded.mean_latency_s.to_bits()
+        );
+        // Counters mirror the report.
+        assert_eq!(rec.counter("netsim.generated"), plain.generated);
+        assert_eq!(rec.counter("netsim.delivered"), plain.delivered);
+        assert_eq!(rec.counter("netsim.dropped"), plain.dropped);
+        // One latency sample per delivered packet, split across flows.
+        let overall = rec.histogram("netsim.latency_s").unwrap();
+        assert_eq!(overall.count() as u64, plain.delivered);
+        let f0 = rec.histogram("netsim.flow.0.latency_s").unwrap().count();
+        let f1 = rec.histogram("netsim.flow.1.latency_s").unwrap().count();
+        assert_eq!((f0 + f1) as u64, plain.delivered);
+        // The engine counters made it out.
+        assert!(rec.counter("engine.events_processed") > 0);
+        assert!(rec.maximum("engine.queue_depth_high_water").unwrap() >= 1.0);
+        // Initial routing for two flows.
+        assert!(rec.counter("routing.recomputes") >= 2);
+    }
+
+    #[test]
+    fn recorded_adaptive_run_counts_replans() {
+        use openspace_telemetry::MemoryRecorder;
+        let g = diamond(2e6);
+        let flows = [flow(0, 3, 1.4e6), flow(0, 3, 1.4e6)];
+        let cfg = NetSimConfig {
+            duration_s: 10.0,
+            routing: RoutingMode::Adaptive {
+                replan_interval_s: 1.0,
+            },
+            ..Default::default()
+        };
+        let plain = run_netsim(&g, &flows, &cfg).unwrap();
+        let mut rec = MemoryRecorder::new();
+        let recorded = run_netsim_recorded(&g, &flows, &cfg, &mut rec).unwrap();
+        assert_eq!(plain, recorded);
+        assert!(rec.counter("netsim.replans") >= 9, "one per interval");
+        // Every replan re-routes both flows, plus the initial pass.
+        assert!(rec.counter("routing.recomputes") >= 2 + 9 * 2);
+    }
+
     // ---- fault-injection runs ----
 
     fn compile_plan(plan: &FaultPlan, n_nodes: usize) -> Vec<TopologyEvent> {
@@ -1134,6 +1302,35 @@ mod tests {
         let a = run_netsim_faulted(&g, &flows, &cfg, &events).unwrap();
         let b = run_netsim_faulted(&g, &flows, &cfg, &events).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recorded_faulted_run_reports_the_fault_block() {
+        use openspace_telemetry::MemoryRecorder;
+        let g = diamond(5e6);
+        let plan = FaultPlan::builder()
+            .sat_outage(1usize, 5.0, 10.0)
+            .build()
+            .unwrap();
+        let events = compile_plan(&plan, 4);
+        let flows = [flow(0, 3, 1e6)];
+        let cfg = NetSimConfig {
+            duration_s: 30.0,
+            ..Default::default()
+        };
+        let plain = run_netsim_faulted(&g, &flows, &cfg, &events).unwrap();
+        let mut rec = MemoryRecorder::new();
+        let recorded = run_netsim_faulted_recorded(&g, &flows, &cfg, &events, &mut rec).unwrap();
+        assert_eq!(plain, recorded);
+        assert_eq!(rec.counter("netsim.fault.events_applied"), 2);
+        assert_eq!(
+            rec.gauge_value("netsim.fault.node_availability").unwrap(),
+            plain.fault.node_availability
+        );
+        assert_eq!(
+            rec.counter("netsim.fault.reassociations"),
+            plain.fault.reassociations
+        );
     }
 
     #[test]

@@ -88,6 +88,14 @@ impl TrafficLedger {
     pub fn iter(&self) -> impl Iterator<Item = (&BillingKey, &u64)> {
         self.entries.iter()
     }
+
+    /// Dump this ledger's aggregates into a telemetry recorder:
+    /// `ledger.records` (billable items) and `ledger.bytes` (total bytes
+    /// across all items) counters.
+    pub fn metrics_into(&self, rec: &mut dyn openspace_telemetry::Recorder) {
+        rec.add("ledger.records", self.entries.len() as u64);
+        rec.add("ledger.bytes", self.entries.values().sum());
+    }
 }
 
 /// One disagreement found by reconciliation.

@@ -58,7 +58,21 @@ impl SettlementMatrix {
     /// cross-verification step in [`crate::ledger::reconcile`] is what
     /// makes that trustworthy).
     pub fn from_ledgers(ledgers: &BTreeMap<OperatorId, TrafficLedger>, prices: &PriceBook) -> Self {
+        Self::from_ledgers_recorded(ledgers, prices, &mut openspace_telemetry::NullRecorder)
+    }
+
+    /// [`from_ledgers`](Self::from_ledgers) with telemetry: counts the
+    /// billable ledger items it turned into invoice lines
+    /// (`settlement.records_settled`) and reports the gross invoiced
+    /// volume across all operator pairs (`settlement.gross_usd` gauge).
+    pub fn from_ledgers_recorded(
+        ledgers: &BTreeMap<OperatorId, TrafficLedger>,
+        prices: &PriceBook,
+        rec: &mut dyn openspace_telemetry::Recorder,
+    ) -> Self {
         let mut m = Self::default();
+        let mut settled = 0u64;
+        let mut gross = 0.0f64;
         for (&carrier, ledger) in ledgers {
             for (key, &bytes) in ledger.iter() {
                 // Bill only items where this ledger's owner is the carrier
@@ -66,9 +80,13 @@ impl SettlementMatrix {
                 if key.carrier == carrier && key.origin != carrier {
                     let usd = bytes as f64 / GIB * prices.rate(carrier, key.origin);
                     *m.invoices.entry((key.origin, carrier)).or_insert(0.0) += usd;
+                    settled += 1;
+                    gross += usd;
                 }
             }
         }
+        rec.add("settlement.records_settled", settled);
+        rec.gauge("settlement.gross_usd", gross);
         m
     }
 
@@ -200,5 +218,34 @@ mod tests {
     #[should_panic(expected = "negative rate")]
     fn negative_rate_panics() {
         PriceBook::new(1.0).set_rate(OperatorId(1), OperatorId(2), -1.0);
+    }
+
+    #[test]
+    fn recorded_settlement_counts_items_and_gross() {
+        use openspace_telemetry::MemoryRecorder;
+        let prices = PriceBook::new(10.0);
+        let ledgers = ledgers_two_ops();
+        let plain = SettlementMatrix::from_ledgers(&ledgers, &prices);
+        let mut rec = MemoryRecorder::new();
+        let recorded = SettlementMatrix::from_ledgers_recorded(&ledgers, &prices, &mut rec);
+        assert_eq!(
+            plain.owed(OperatorId(1), OperatorId(2)).to_bits(),
+            recorded.owed(OperatorId(1), OperatorId(2)).to_bits()
+        );
+        assert_eq!(rec.counter("settlement.records_settled"), 2);
+        // 2 GiB @ 10 + 1 GiB @ 10 = 30 USD gross.
+        assert!((rec.gauge_value("settlement.gross_usd").unwrap() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ledger_metrics_report_records_and_bytes() {
+        use openspace_telemetry::MemoryRecorder;
+        let mut l = TrafficLedger::new();
+        l.record_raw(key(1, 1, 2), 100);
+        l.record_raw(key(2, 2, 1), 50);
+        let mut rec = MemoryRecorder::new();
+        l.metrics_into(&mut rec);
+        assert_eq!(rec.counter("ledger.records"), 2);
+        assert_eq!(rec.counter("ledger.bytes"), 150);
     }
 }

@@ -261,6 +261,69 @@ pub fn earliest_arrival_with_retry(
     outages: &[NodeOutageWindow],
     retry: RetryPolicy,
 ) -> Result<DtnRoute, DtnError> {
+    earliest_arrival_with_retry_recorded(
+        contacts,
+        n_nodes,
+        src,
+        dst,
+        t_start_s,
+        bundle_bits,
+        outages,
+        retry,
+        &mut openspace_telemetry::NullRecorder,
+    )
+}
+
+/// [`earliest_arrival_with_retry`] with telemetry: counts routed bundles
+/// (`dtn.bundles_routed`), custody retries spent by delivered bundles
+/// (`dtn.custody_retries`), and routing failures (`dtn.no_route`).
+/// Delivered bundles also contribute a `dtn.delivery_delay_s` histogram
+/// sample (arrival minus injection time).
+#[allow(clippy::too_many_arguments)] // routing problem + fault model + telemetry sink
+pub fn earliest_arrival_with_retry_recorded(
+    contacts: &[Contact],
+    n_nodes: usize,
+    src: impl Into<NodeId>,
+    dst: impl Into<NodeId>,
+    t_start_s: f64,
+    bundle_bits: f64,
+    outages: &[NodeOutageWindow],
+    retry: RetryPolicy,
+    rec: &mut dyn openspace_telemetry::Recorder,
+) -> Result<DtnRoute, DtnError> {
+    let result = earliest_arrival_inner(
+        contacts,
+        n_nodes,
+        src,
+        dst,
+        t_start_s,
+        bundle_bits,
+        outages,
+        retry,
+    );
+    match &result {
+        Ok(route) => {
+            rec.add("dtn.bundles_routed", 1);
+            rec.add("dtn.custody_retries", u64::from(route.retries));
+            rec.observe("dtn.delivery_delay_s", route.arrival_s - t_start_s);
+        }
+        Err(DtnError::NoRoute) => rec.add("dtn.no_route", 1),
+        Err(DtnError::NodeOutOfRange { .. }) => {}
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn earliest_arrival_inner(
+    contacts: &[Contact],
+    n_nodes: usize,
+    src: impl Into<NodeId>,
+    dst: impl Into<NodeId>,
+    t_start_s: f64,
+    bundle_bits: f64,
+    outages: &[NodeOutageWindow],
+    retry: RetryPolicy,
+) -> Result<DtnRoute, DtnError> {
     let (src, dst) = (src.into(), dst.into());
     for node in [src, dst] {
         if node.0 >= n_nodes {
@@ -517,6 +580,56 @@ mod tests {
                 .unwrap();
         assert_eq!(plain, with);
         assert_eq!(with.retries, 0);
+    }
+
+    #[test]
+    fn recorded_route_reports_retries_and_delay() {
+        use openspace_telemetry::MemoryRecorder;
+        let plan = [contact(0, 1, 0.0, 100.0)];
+        let outage = [NodeOutageWindow {
+            node: NodeId(1),
+            start_s: 0.0,
+            end_s: 4.0,
+        }];
+        let mut rec = MemoryRecorder::new();
+        let r = earliest_arrival_with_retry_recorded(
+            &plan,
+            2,
+            0,
+            1,
+            0.0,
+            1e6,
+            &outage,
+            RetryPolicy::default(),
+            &mut rec,
+        )
+        .unwrap();
+        assert_eq!(rec.counter("dtn.bundles_routed"), 1);
+        assert_eq!(rec.counter("dtn.custody_retries"), u64::from(r.retries));
+        let delay = rec.histogram("dtn.delivery_delay_s").unwrap();
+        assert_eq!(delay.count(), 1);
+        assert!((delay.mean() - r.arrival_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recorded_no_route_bumps_the_failure_counter() {
+        use openspace_telemetry::MemoryRecorder;
+        let plan = [contact(0, 1, 0.0, 10.0)];
+        let mut rec = MemoryRecorder::new();
+        let r = earliest_arrival_with_retry_recorded(
+            &plan,
+            3,
+            0,
+            2,
+            0.0,
+            1.0,
+            &[],
+            RetryPolicy::default(),
+            &mut rec,
+        );
+        assert_eq!(r, Err(DtnError::NoRoute));
+        assert_eq!(rec.counter("dtn.no_route"), 1);
+        assert_eq!(rec.counter("dtn.bundles_routed"), 0);
     }
 
     #[test]

@@ -99,6 +99,45 @@ pub fn service_schedule_with_outages(
     t_start_s: f64,
     t_end_s: f64,
 ) -> Result<ServiceSchedule, ConfigError> {
+    service_schedule_with_outages_recorded(
+        windows,
+        outages,
+        t_start_s,
+        t_end_s,
+        &mut openspace_telemetry::NullRecorder,
+    )
+}
+
+/// [`service_schedule_with_outages`] with telemetry: on success, records
+/// the schedule's successor switches (`handover.switches`), the subset
+/// forced by mid-pass failures (`handover.forced_reassociations`), and
+/// the accumulated dead air (`handover.outage_s` gauge, plus the
+/// `handover.outage_s` histogram sample so multi-user experiments get a
+/// distribution).
+pub fn service_schedule_with_outages_recorded(
+    windows: &[ContactWindow],
+    outages: &[SatOutageWindow],
+    t_start_s: f64,
+    t_end_s: f64,
+    rec: &mut dyn openspace_telemetry::Recorder,
+) -> Result<ServiceSchedule, ConfigError> {
+    let schedule = service_schedule_with_outages_inner(windows, outages, t_start_s, t_end_s)?;
+    rec.add("handover.schedules", 1);
+    rec.add("handover.switches", schedule.handovers as u64);
+    rec.add(
+        "handover.forced_reassociations",
+        schedule.forced_reassociations as u64,
+    );
+    rec.observe("handover.outage_s", schedule.outage_s);
+    Ok(schedule)
+}
+
+fn service_schedule_with_outages_inner(
+    windows: &[ContactWindow],
+    outages: &[SatOutageWindow],
+    t_start_s: f64,
+    t_end_s: f64,
+) -> Result<ServiceSchedule, ConfigError> {
     if t_end_s < t_start_s {
         return Err(ConfigError::InvertedInterval {
             field: "service_schedule.interval",
@@ -375,6 +414,23 @@ mod tests {
         let s = service_schedule_with_outages(&windows, &outages, 0.0, 100.0).unwrap();
         assert_eq!(s.intervals.len(), 1);
         assert_eq!(s.intervals[0].sat_index, SatId(0));
+    }
+
+    #[test]
+    fn recorded_schedule_reports_switches_and_outage() {
+        use openspace_telemetry::MemoryRecorder;
+        let windows = [w(0, 0.0, 200.0), w(1, 0.0, 300.0)];
+        let outages = [dead(1, 50.0, f64::INFINITY)];
+        let mut rec = MemoryRecorder::new();
+        let recorded =
+            service_schedule_with_outages_recorded(&windows, &outages, 0.0, 200.0, &mut rec)
+                .unwrap();
+        let plain = service_schedule_with_outages(&windows, &outages, 0.0, 200.0).unwrap();
+        assert_eq!(recorded, plain, "telemetry must not perturb the schedule");
+        assert_eq!(rec.counter("handover.schedules"), 1);
+        assert_eq!(rec.counter("handover.switches"), 1);
+        assert_eq!(rec.counter("handover.forced_reassociations"), 1);
+        assert_eq!(rec.histogram("handover.outage_s").unwrap().mean(), 0.0);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! the QoS-aware costs in [`crate::routing::qos`].
 
 use crate::topology::{Edge, Graph, NodeId};
+use openspace_telemetry::{NullRecorder, Recorder};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -81,6 +82,20 @@ pub fn shortest_path(
     dst: impl Into<NodeId>,
     weight: impl Fn(&Edge) -> f64,
 ) -> Option<Path> {
+    shortest_path_recorded(graph, src, dst, weight, &mut NullRecorder)
+}
+
+/// [`shortest_path`] with telemetry: bumps the `routing.recomputes`
+/// counter once per call and `routing.nodes_visited` by the number of
+/// heap pops the search performed (the work metric that distinguishes a
+/// cheap local route from a constellation-crossing one).
+pub fn shortest_path_recorded(
+    graph: &Graph,
+    src: impl Into<NodeId>,
+    dst: impl Into<NodeId>,
+    weight: impl Fn(&Edge) -> f64,
+    rec: &mut dyn Recorder,
+) -> Option<Path> {
     let (src, dst) = (src.into(), dst.into());
     assert!(src.0 < graph.node_count(), "src out of range");
     assert!(dst.0 < graph.node_count(), "dst out of range");
@@ -94,10 +109,12 @@ pub fn shortest_path(
         node: src,
     });
 
+    let mut visited: u64 = 0;
     while let Some(HeapEntry { cost, node }) = heap.pop() {
         if cost > dist[node.0] {
             continue; // stale entry
         }
+        visited += 1;
         if node == dst {
             break;
         }
@@ -119,6 +136,8 @@ pub fn shortest_path(
         }
     }
 
+    rec.add("routing.recomputes", 1);
+    rec.add("routing.nodes_visited", visited);
     if dist[dst.0].is_infinite() {
         return None;
     }
@@ -224,6 +243,29 @@ mod tests {
         let _ = g.fail_node(1).unwrap();
         assert_eq!(p.sum_metric(&g, |e| e.latency_s), None);
         assert_eq!(p.bottleneck_bps(&g), None);
+    }
+
+    #[test]
+    fn recorded_variant_counts_work_without_changing_the_path() {
+        use openspace_telemetry::MemoryRecorder;
+        let g = diamond();
+        let mut rec = MemoryRecorder::new();
+        let recorded = shortest_path_recorded(&g, 0, 2, latency_weight, &mut rec).unwrap();
+        let plain = shortest_path(&g, 0, 2, latency_weight).unwrap();
+        assert_eq!(recorded, plain);
+        assert_eq!(rec.counter("routing.recomputes"), 1);
+        // src, the intermediate node, and dst all pop from the heap.
+        assert!(rec.counter("routing.nodes_visited") >= 2);
+    }
+
+    #[test]
+    fn unreachable_search_still_counts_a_recompute() {
+        use openspace_telemetry::MemoryRecorder;
+        let mut g = Graph::new(3, 0);
+        g.add_bidirectional(0, 1, 0.001, 1e6, 0u32, 0u32, LinkTech::Rf);
+        let mut rec = MemoryRecorder::new();
+        assert!(shortest_path_recorded(&g, 0, 2, latency_weight, &mut rec).is_none());
+        assert_eq!(rec.counter("routing.recomputes"), 1);
     }
 
     #[test]

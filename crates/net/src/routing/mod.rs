@@ -13,6 +13,8 @@ pub mod dijkstra;
 pub mod qos;
 pub mod yen;
 
-pub use dijkstra::{hop_weight, latency_weight, shortest_path, Path};
-pub use qos::{congestion_weight, qos_route, residual_bps, widest_path, QosRequirement};
+pub use dijkstra::{hop_weight, latency_weight, shortest_path, shortest_path_recorded, Path};
+pub use qos::{
+    congestion_weight, qos_route, qos_route_recorded, residual_bps, widest_path, QosRequirement,
+};
 pub use yen::k_shortest_paths;

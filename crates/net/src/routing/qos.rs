@@ -6,7 +6,7 @@
 //! queueing term and filters links that cannot meet a flow's bandwidth
 //! floor — the two effects the paper names.
 
-use crate::routing::dijkstra::{shortest_path, Path};
+use crate::routing::dijkstra::Path;
 use crate::topology::{Edge, Graph, NodeId};
 
 /// A flow's QoS requirements.
@@ -54,13 +54,40 @@ pub fn qos_route(
     requirement: &QosRequirement,
     packet_bits: f64,
 ) -> Option<Path> {
-    let path = shortest_path(graph, src, dst, |e| {
-        if residual_bps(e) < requirement.min_bandwidth_bps {
-            f64::INFINITY
-        } else {
-            congestion_weight(e, packet_bits)
-        }
-    })?;
+    qos_route_recorded(
+        graph,
+        src,
+        dst,
+        requirement,
+        packet_bits,
+        &mut openspace_telemetry::NullRecorder,
+    )
+}
+
+/// [`qos_route`] with telemetry: the underlying search reports
+/// `routing.recomputes` / `routing.nodes_visited` through `rec` (see
+/// [`shortest_path_recorded`](crate::routing::dijkstra::shortest_path_recorded)).
+pub fn qos_route_recorded(
+    graph: &Graph,
+    src: impl Into<NodeId>,
+    dst: impl Into<NodeId>,
+    requirement: &QosRequirement,
+    packet_bits: f64,
+    rec: &mut dyn openspace_telemetry::Recorder,
+) -> Option<Path> {
+    let path = crate::routing::dijkstra::shortest_path_recorded(
+        graph,
+        src,
+        dst,
+        |e| {
+            if residual_bps(e) < requirement.min_bandwidth_bps {
+                f64::INFINITY
+            } else {
+                congestion_weight(e, packet_bits)
+            }
+        },
+        rec,
+    )?;
     (path.total_cost <= requirement.max_latency_s).then_some(path)
 }
 

@@ -52,6 +52,7 @@ pub struct EventQueue<E> {
     now: SimTime,
     seq: u64,
     processed: u64,
+    depth_high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -68,6 +69,7 @@ impl<E> EventQueue<E> {
             now: 0.0,
             seq: 0,
             processed: 0,
+            depth_high_water: 0,
         }
     }
 
@@ -84,6 +86,12 @@ impl<E> EventQueue<E> {
     /// Events processed so far.
     pub fn processed(&self) -> u64 {
         self.processed
+    }
+
+    /// Highest number of events ever waiting at once — the queue-depth
+    /// high-water mark telemetry reports for capacity planning.
+    pub fn depth_high_water(&self) -> usize {
+        self.depth_high_water
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -104,6 +112,7 @@ impl<E> EventQueue<E> {
             event,
         });
         self.seq += 1;
+        self.depth_high_water = self.depth_high_water.max(self.heap.len());
     }
 
     /// Schedule `event` `delay` seconds from now.
@@ -232,6 +241,18 @@ mod tests {
     fn nan_time_panics() {
         let mut q: EventQueue<()> = EventQueue::new();
         q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn depth_high_water_tracks_peak_not_current() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(i as f64, ());
+        }
+        assert_eq!(q.depth_high_water(), 5);
+        q.run_until(10.0, |_, _, _| {});
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.depth_high_water(), 5, "high water survives the drain");
     }
 
     #[test]

@@ -79,7 +79,31 @@ impl Summary {
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
+    /// Fold another summary into this one.
+    ///
+    /// Implemented by **replaying** `other`'s samples through
+    /// [`add`](Summary::add) in insertion order, so
+    /// `a.merge(&b)` is bit-identical to feeding `a` the concatenated
+    /// sample stream — which makes the merge associative at the bit
+    /// level and lets per-worker summaries fold into exactly what a
+    /// serial run would have produced. (Combining Welford moments with
+    /// Chan's formula would be O(1) but rounds differently than
+    /// sequential accumulation, breaking that contract.)
+    pub fn merge(&mut self, other: &Summary) {
+        self.samples.reserve(other.samples.len());
+        for &x in &other.samples {
+            self.add(x);
+        }
+    }
+
     /// Exact quantile by linear interpolation, `q` in `[0, 1]`.
+    ///
+    /// The sample store sorts lazily: the first quantile query after an
+    /// [`add`](Summary::add) sorts once (unstable, by `total_cmp` —
+    /// NaN is already excluded at `add`) and the sorted state is cached,
+    /// so `median()` + `p95()` + `p99()` on a settled summary cost one
+    /// sort total, not three. The `&mut self` signature exists for this
+    /// cache; results are unaffected.
     ///
     /// # Panics
     /// Panics if empty or `q` out of range.
@@ -87,8 +111,7 @@ impl Summary {
         assert!(!self.samples.is_empty(), "quantile of empty summary");
         assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN stored"));
+            self.samples.sort_unstable_by(f64::total_cmp);
             self.sorted = true;
         }
         let pos = q * (self.samples.len() - 1) as f64;
@@ -196,6 +219,52 @@ mod tests {
         assert_eq!(s.median(), 2.0);
         s.add(100.0);
         assert_eq!(s.median(), 3.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential_feed_bitwise() {
+        let xs = [2.0, 4.0, 4.0, 5.0];
+        let ys = [7.0, 9.0, 1.0];
+        let mut serial = Summary::new();
+        for x in xs.iter().chain(&ys) {
+            serial.add(*x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        xs.iter().for_each(|&x| a.add(x));
+        ys.iter().for_each(|&y| b.add(y));
+        a.merge(&b);
+        assert_eq!(a.count(), serial.count());
+        assert_eq!(a.mean().to_bits(), serial.mean().to_bits());
+        assert_eq!(a.std_dev().to_bits(), serial.std_dev().to_bits());
+        assert_eq!(a.median().to_bits(), serial.median().to_bits());
+    }
+
+    #[test]
+    fn merge_of_empty_is_identity() {
+        let mut a = Summary::new();
+        a.add(3.0);
+        let before = (a.count(), a.mean().to_bits());
+        a.merge(&Summary::new());
+        assert_eq!((a.count(), a.mean().to_bits()), before);
+        let mut empty = Summary::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean().to_bits(), a.mean().to_bits());
+    }
+
+    #[test]
+    fn quantile_sort_is_cached_until_the_next_add() {
+        let mut s = Summary::new();
+        for x in [5.0, 1.0, 3.0] {
+            s.add(x);
+        }
+        // Three queries, one sort: answers must agree and stay exact.
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+        s.add(0.0); // invalidates the cache
+        assert_eq!(s.median(), 2.0);
     }
 
     #[test]

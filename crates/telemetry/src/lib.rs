@@ -1,0 +1,66 @@
+//! # openspace-telemetry
+//!
+//! Deterministic observability for the OpenSpace stack: metric
+//! recorders, spans, and machine-readable run manifests.
+//!
+//! The paper's §3 cost model rests on *cross-verifiable per-party
+//! ledgers* — the architecture assumes first-class, auditable
+//! instrumentation. This crate is that discipline applied to the
+//! reproduction itself: every simulation layer can report what it did
+//! (counters, gauges, histograms, spans) through a [`Recorder`], and
+//! every experiment binary can emit a [`RunManifest`] describing the
+//! run (seed, config digest, metrics, per-phase wall clock).
+//!
+//! ## Determinism contract
+//!
+//! With a fixed seed, the **deterministic section** of a metric dump is
+//! bit-identical between serial and parallel execution and across
+//! worker counts:
+//!
+//! * [`MemoryRecorder`] keeps every key space in `BTreeMap`s, so dump
+//!   order never depends on insertion or hashing order.
+//! * [`MemoryRecorder::merge`] *replays* the other recorder's samples
+//!   in order, so merging per-task recorders in task order produces the
+//!   same bits as one recorder fed sequentially.
+//! * Wall-clock time is quarantined: span wall durations and phase
+//!   timings only ever appear in the manifest's non-deterministic
+//!   `wall` section, never in
+//!   [`deterministic_json`](MemoryRecorder::deterministic_json).
+//!
+//! [`NullRecorder`] is the default everywhere instrumentation is
+//! threaded through hot paths: every method is an empty body behind a
+//! `&mut dyn` call, so uninstrumented runs stay within measurement
+//! noise of the pre-instrumentation baseline (asserted by the
+//! `kernels` bench).
+//!
+//! ## Example
+//!
+//! ```
+//! use openspace_telemetry::prelude::*;
+//!
+//! let mut rec = MemoryRecorder::new();
+//! rec.add("packets.delivered", 3);
+//! rec.observe("latency_s", 0.012);
+//! rec.gauge_max("queue.depth", 17.0);
+//!
+//! let mut manifest = RunManifest::new("example", 42);
+//! manifest.digest_config("flows=1 duration=30");
+//! manifest.metrics.merge(&rec);
+//! let json = manifest.to_json();
+//! assert!(json.contains("\"experiment\": \"example\""));
+//! ```
+
+pub mod json;
+pub mod manifest;
+pub mod recorder;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::json::JsonValue;
+    pub use crate::manifest::{fnv1a_64, RunManifest};
+    pub use crate::recorder::{MemoryRecorder, NullRecorder, Recorder, SpanTimer};
+}
+
+pub use json::JsonValue;
+pub use manifest::RunManifest;
+pub use recorder::{MemoryRecorder, NullRecorder, Recorder, SpanTimer};
