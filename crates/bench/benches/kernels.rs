@@ -133,6 +133,38 @@ fn bench_routing() {
     bench("qos_route_iridium", window(), || {
         black_box(qos_route(&graph, 0, 35, &req, 12_000.0));
     });
+
+    // The replan-heavy shape: 64 flows leaving 4 gateway sources. The
+    // baseline runs one early-exit Dijkstra per flow; the planner grows
+    // one tree per distinct source and answers the rest from cache.
+    let n = graph.node_count();
+    let requests: Vec<(NodeId, NodeId)> = (0..64)
+        .map(|i| (NodeId(i % 4), NodeId(4 + (i * 7) % (n - 4))))
+        .collect();
+    bench("route_64flows_4src_per_flow", window(), || {
+        for &(s, d) in &requests {
+            black_box(shortest_path(&graph, s, d, latency_weight));
+        }
+    });
+    bench("route_64flows_4src_planner", window(), || {
+        let mut planner = RoutePlanner::new();
+        black_box(planner.plan(&graph, &requests, latency_weight));
+    });
+    bench("qos_64flows_4src_per_flow", window(), || {
+        for &(s, d) in &requests {
+            black_box(qos_route(&graph, s, d, &req, 12_000.0));
+        }
+    });
+    bench("qos_64flows_4src_planner", window(), || {
+        let mut planner = RoutePlanner::new();
+        black_box(planner.plan_qos_recorded(
+            &graph,
+            &requests,
+            &req,
+            12_000.0,
+            &mut openspace_telemetry::NullRecorder,
+        ));
+    });
 }
 
 fn bench_coverage() {

@@ -24,9 +24,7 @@
 //! bit for bit.
 
 use openspace_net::outage::OutageTracker;
-use openspace_net::routing::{
-    latency_weight, qos_route_recorded, shortest_path_recorded, QosRequirement,
-};
+use openspace_net::routing::{latency_weight, QosRequirement, RoutePlanner};
 use openspace_net::topology::{Graph, NodeId};
 use openspace_sim::config::{require_positive, ConfigError};
 use openspace_sim::engine::EventQueue;
@@ -229,7 +227,14 @@ pub struct NetSimReport {
     pub mean_latency_s: f64,
     /// 95th-percentile latency (s).
     pub p95_latency_s: f64,
-    /// Highest measured utilization across links (fraction of capacity).
+    /// Highest utilization sample measured across links, as an unclamped
+    /// fraction of capacity (a saturated link reports ~1.0). Each link is
+    /// sampled at every adaptive replan (over the elapsed replan
+    /// interval) and once at the end of the run over its *actual*
+    /// remaining measurement window — the time since its last replan
+    /// reset, or since the link's mid-run creation on dynamic/faulted
+    /// topologies — so short final windows and late-created links are
+    /// not averaged down over time they did not exist.
     pub max_link_utilization: f64,
     /// Fault accounting (default for fault-free runs).
     pub fault: FaultImpact,
@@ -264,11 +269,14 @@ struct Link {
     queue: std::collections::VecDeque<Pkt>,
     occupancy_bytes: u64,
     busy: bool,
-    bits_sent: f64, // since the last replan (for utilization EWMA)
+    bits_sent: f64, // since `measured_since_s` (for utilization samples)
+    /// Start of the current measurement window: link creation or the
+    /// last replan reset — the divisor for utilization samples.
+    measured_since_s: f64,
     util_ewma: f64,
 }
 
-fn fresh_link(capacity_bps: f64, latency_s: f64) -> Link {
+fn fresh_link(capacity_bps: f64, latency_s: f64, now_s: f64) -> Link {
     Link {
         capacity_bps,
         latency_s,
@@ -276,6 +284,7 @@ fn fresh_link(capacity_bps: f64, latency_s: f64) -> Link {
         occupancy_bytes: 0,
         busy: false,
         bits_sent: 0.0,
+        measured_since_s: now_s,
         util_ewma: 0.0,
     }
 }
@@ -463,34 +472,27 @@ fn run_netsim_inner(
     let mut links: HashMap<(NodeId, NodeId), Link> = HashMap::new();
     for u in 0..graph.node_count() {
         for e in graph.edges(u) {
-            links.insert((NodeId(u), e.to), fresh_link(e.capacity_bps, e.latency_s));
+            links.insert(
+                (NodeId(u), e.to),
+                fresh_link(e.capacity_bps, e.latency_s, 0.0),
+            );
         }
     }
 
-    // Initial routes: proactive latency paths for every flow. The
-    // recorder is threaded through so every route computation counts
-    // toward `routing.recomputes` / `routing.nodes_visited`.
-    let route_for =
-        |g: &Graph, f: &FlowSpec, adaptive: bool, rec: &mut dyn Recorder| -> Option<Rc<[NodeId]>> {
-            let p = if adaptive {
-                qos_route_recorded(
-                    g,
-                    f.src,
-                    f.dst,
-                    &QosRequirement::best_effort(),
-                    12_000.0,
-                    rec,
-                )?
-            } else {
-                shortest_path_recorded(g, f.src, f.dst, latency_weight, rec)?
-            };
-            Some(Rc::from(p.nodes.into_boxed_slice()))
-        };
+    // All route computation goes through one batched planner: requests
+    // are grouped by source, flows sharing a source share one
+    // shortest-path tree, and the planner's scratch buffers persist
+    // across replan/resnapshot/fault events. Every recompute site
+    // invalidates the planner's tree cache first (loads or topology
+    // changed); the recorder is threaded through so route work counts
+    // toward `routing.recomputes` / `routing.nodes_visited` and the
+    // `routing.planner.*` counters.
+    let mut planner = RoutePlanner::new();
+    let flow_idxs: Vec<usize> = (0..flows.len()).collect();
+    // Initial routes: proactive latency paths for every flow.
     let mut work_graph = graph.clone();
-    let mut routes: Vec<Option<Rc<[NodeId]>>> = flows
-        .iter()
-        .map(|f| route_for(&work_graph, f, false, rec))
-        .collect();
+    let mut routes: Vec<Option<Rc<[NodeId]>>> =
+        plan_flow_routes(&mut planner, &work_graph, flows, &flow_idxs, false, rec);
 
     // Arrival processes.
     let mut rngs: Vec<SimRng> = (0..flows.len())
@@ -626,23 +628,38 @@ fn run_netsim_inner(
                 return; // replan only ticks in adaptive mode
             };
             // Measure utilization, fold into EWMA, push into the graph.
-            for ((u, v), link) in links.iter_mut() {
-                let util = (link.bits_sent / interval / link.capacity_bps).min(0.98);
-                link.util_ewma = 0.5 * link.util_ewma + 0.5 * util;
+            // The per-link effects are independent today, but iterate in
+            // sorted key order anyway: `links` is a `HashMap` with a
+            // per-instance random hasher, and a future non-commutative
+            // edit inside this loop would otherwise silently break
+            // bit-reproducibility across processes.
+            let mut keys: Vec<(NodeId, NodeId)> = links.keys().copied().collect();
+            keys.sort_unstable();
+            for (u, v) in keys {
+                let Some(link) = links.get_mut(&(u, v)) else {
+                    continue;
+                };
+                let util = link.bits_sent / interval / link.capacity_bps;
+                // The report's max takes the raw sample (matching the
+                // end-of-run sample); only the EWMA feeding
+                // `Graph::set_load` is clamped, since a load fraction
+                // must stay below 1.
                 max_util = max_util.max(util);
+                link.util_ewma = 0.5 * link.util_ewma + 0.5 * util.min(0.98);
                 link.bits_sent = 0.0;
+                link.measured_since_s = now;
                 // A link can leave the topology between replans (contact
                 // expiry on dynamic graphs); skip the stale entry
                 // instead of dying inside the event loop.
-                if work_graph
-                    .set_load(*u, *v, link.util_ewma.min(0.98))
-                    .is_err()
-                {
+                if work_graph.set_load(u, v, link.util_ewma.min(0.98)).is_err() {
                     continue;
                 }
             }
-            for (i, f) in flows.iter().enumerate() {
-                if let Some(r) = route_for(&work_graph, f, true, rec) {
+            // Loads changed under the QoS weight: cached trees are stale.
+            planner.invalidate();
+            let fresh = plan_flow_routes(&mut planner, &work_graph, flows, &flow_idxs, true, rec);
+            for (i, r) in fresh.into_iter().enumerate() {
+                if let Some(r) = r {
                     routes[i] = Some(r);
                 }
             }
@@ -667,7 +684,7 @@ fn run_netsim_inner(
                             old.latency_s = e.latency_s;
                             old
                         }
-                        None => fresh_link(e.capacity_bps, e.latency_s),
+                        None => fresh_link(e.capacity_bps, e.latency_s, now),
                     };
                     new_links.insert((NodeId(u), e.to), link);
                 }
@@ -678,15 +695,23 @@ fn run_netsim_inner(
             }
             links = new_links;
             // Recompute every route on the new topology.
+            planner.invalidate();
             let adaptive = replan_interval.is_some();
-            for (i, f) in flows.iter().enumerate() {
-                routes[i] = route_for(&work_graph, f, adaptive, rec);
-            }
+            routes = plan_flow_routes(&mut planner, &work_graph, flows, &flow_idxs, adaptive, rec);
             rec.add("netsim.resnapshots", 1);
             q.schedule(now + interval, Ev::Resnapshot);
         }
         Ev::Fault(idx) => {
             let event = &events[idx];
+            // Mutate the topology *before* any bookkeeping: events were
+            // range-checked up front so application cannot fail here,
+            // but if it ever did, returning first keeps `down_nodes` /
+            // `down_since` consistent with the graph instead of
+            // corrupting availability/MTTR accounting with a
+            // half-applied event.
+            let Ok(delta) = tracker.apply(&mut work_graph, event) else {
+                return;
+            };
             // Availability / MTTR bookkeeping from the (normalized)
             // event stream: Down/Up alternate per node.
             match event.kind {
@@ -705,11 +730,6 @@ fn run_netsim_inner(
                 }
                 _ => {}
             }
-            // Mutate the topology; events were range-checked up front,
-            // so application cannot fail here.
-            let Ok(delta) = tracker.apply(&mut work_graph, event) else {
-                return;
-            };
             fault.events_applied += 1;
             for &(u, v) in &delta.removed_links {
                 fault_removed.insert((u, v));
@@ -721,7 +741,7 @@ fn run_netsim_inner(
             }
             for (u, e) in &delta.restored_links {
                 fault_removed.remove(&(*u, e.to));
-                links.insert((*u, e.to), fresh_link(e.capacity_bps, e.latency_s));
+                links.insert((*u, e.to), fresh_link(e.capacity_bps, e.latency_s, now));
             }
             if delta.is_empty() {
                 return;
@@ -729,18 +749,28 @@ fn run_netsim_inner(
             // Graceful degradation: flows whose path broke re-route on
             // the degraded topology immediately (failure detection);
             // flows that lost all connectivity re-associate when a
-            // recovery gives them a route again.
+            // recovery gives them a route again. Broken flows are
+            // re-planned in one batch — flows that lost the same access
+            // satellite or gateway share a source, hence a tree.
+            planner.invalidate();
             let adaptive = replan_interval.is_some();
-            for (i, f) in flows.iter().enumerate() {
-                let broken = match &routes[i] {
+            let broken_idxs: Vec<usize> = (0..flows.len())
+                .filter(|&i| match &routes[i] {
                     Some(path) => path.windows(2).any(|w| !links.contains_key(&(w[0], w[1]))),
                     None => true,
-                };
-                if !broken {
-                    continue;
-                }
+                })
+                .collect();
+            let fresh = plan_flow_routes(
+                &mut planner,
+                &work_graph,
+                flows,
+                &broken_idxs,
+                adaptive,
+                rec,
+            );
+            for (&i, r) in broken_idxs.iter().zip(fresh) {
                 let had_route = routes[i].is_some();
-                routes[i] = route_for(&work_graph, f, adaptive, rec);
+                routes[i] = r;
                 match (&routes[i], route_lost_at[i]) {
                     (Some(_), Some(lost_at)) => {
                         fault.reassociations += 1;
@@ -774,10 +804,15 @@ fn run_netsim_inner(
     fault.mean_reassociation_latency_s =
         (fault.reassociations > 0).then(|| reassoc_latency_total / fault.reassociations as f64);
 
-    // Final utilization sample for proactive mode (no replan events).
+    // Final utilization sample: whatever accumulated since each link's
+    // last reset (or its creation), divided by that actual window — not
+    // the full run duration, which would dilute links created mid-run
+    // (fault restores, resnapshots) or already sampled by a replan.
     for link in links.values() {
-        let util = link.bits_sent / cfg.duration_s / link.capacity_bps;
-        max_util = max_util.max(util);
+        let window = cfg.duration_s - link.measured_since_s;
+        if window > 0.0 {
+            max_util = max_util.max(link.bits_sent / window / link.capacity_bps);
+        }
     }
 
     // Run-level telemetry: totals, gauges, and the engine's own load
@@ -826,6 +861,39 @@ fn run_netsim_inner(
         max_link_utilization: max_util,
         fault,
     })
+}
+
+/// Route the flows named by `idxs` through the batched planner in one
+/// call: requests sharing a source share one shortest-path tree.
+/// Proactive mode routes on pure propagation latency; adaptive mode on
+/// the congestion weight with a best-effort QoS floor — both exactly the
+/// per-flow costs this simulator has always used, so the extracted paths
+/// are bit-for-bit those of the old one-search-per-flow code.
+fn plan_flow_routes(
+    planner: &mut RoutePlanner,
+    graph: &Graph,
+    flows: &[FlowSpec],
+    idxs: &[usize],
+    adaptive: bool,
+    rec: &mut dyn Recorder,
+) -> Vec<Option<Rc<[NodeId]>>> {
+    let requests: Vec<(NodeId, NodeId)> =
+        idxs.iter().map(|&i| (flows[i].src, flows[i].dst)).collect();
+    let paths = if adaptive {
+        planner.plan_qos_recorded(
+            graph,
+            &requests,
+            &QosRequirement::best_effort(),
+            12_000.0,
+            rec,
+        )
+    } else {
+        planner.plan_recorded(graph, &requests, latency_weight, rec)
+    };
+    paths
+        .into_iter()
+        .map(|p| p.map(|p| Rc::from(p.nodes.into_boxed_slice())))
+        .collect()
 }
 
 /// Enqueue `pkt` on its next-hop link, starting transmission if idle.

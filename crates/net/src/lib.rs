@@ -8,8 +8,11 @@
 //! * [`isl`] — snapshot construction from orbital state: range,
 //!   line-of-sight, terminal budgets, RF/optical capacity selection.
 //! * [`routing`] — proactive shortest paths ([`routing::dijkstra`]),
-//!   k-shortest alternatives ([`routing::yen`]), and the congestion/QoS
-//!   machinery ([`routing::qos`]) that §2.2 says a scaled system needs.
+//!   k-shortest alternatives ([`routing::yen`]), the congestion/QoS
+//!   machinery ([`routing::qos`]) that §2.2 says a scaled system needs,
+//!   and the batched per-source [`routing::planner`] that serves
+//!   replan-heavy simulations one shortest-path tree per distinct
+//!   source.
 //! * [`contact`] — precomputable contact plans over ground points.
 //! * [`handover`] — successor prediction and handover cost accounting
 //!   (the every-15-seconds problem).
@@ -82,7 +85,7 @@ pub mod prelude {
     };
     pub use crate::routing::{
         congestion_weight, hop_weight, k_shortest_paths, latency_weight, qos_route, residual_bps,
-        shortest_path, widest_path, Path, QosRequirement,
+        shortest_path, widest_path, Path, QosRequirement, RoutePlanner,
     };
     pub use crate::topology::{
         Edge, Graph, GsId, LinkOutage, LinkTech, NoSuchEdge, NodeId, NodeKind, NodeOutage,

@@ -8,7 +8,6 @@
 use crate::topology::{Edge, Graph, NodeId};
 use openspace_telemetry::{NullRecorder, Recorder};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A computed path.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,10 +45,15 @@ impl Path {
     }
 }
 
+/// Frontier entry of the deterministic Dijkstra searches: a min-heap
+/// item ordered by `(cost, node)`. The node tie-break is what makes the
+/// pop sequence — and with it every extracted path — a pure function of
+/// `(graph, source, weight)`, the property the batched
+/// [`RoutePlanner`](crate::routing::RoutePlanner) relies on.
 #[derive(PartialEq)]
-struct HeapEntry {
-    cost: f64,
-    node: NodeId,
+pub(crate) struct HeapEntry {
+    pub(crate) cost: f64,
+    pub(crate) node: NodeId,
 }
 impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
@@ -89,6 +93,11 @@ pub fn shortest_path(
 /// counter once per call and `routing.nodes_visited` by the number of
 /// heap pops the search performed (the work metric that distinguishes a
 /// cheap local route from a constellation-crossing one).
+///
+/// A thin single-request wrapper over the batched
+/// [`RoutePlanner`](crate::routing::RoutePlanner), which stops as soon as
+/// the destination settles — per-request cost and output are unchanged
+/// from the dedicated early-exit search this used to be.
 pub fn shortest_path_recorded(
     graph: &Graph,
     src: impl Into<NodeId>,
@@ -96,63 +105,7 @@ pub fn shortest_path_recorded(
     weight: impl Fn(&Edge) -> f64,
     rec: &mut dyn Recorder,
 ) -> Option<Path> {
-    let (src, dst) = (src.into(), dst.into());
-    assert!(src.0 < graph.node_count(), "src out of range");
-    assert!(dst.0 < graph.node_count(), "dst out of range");
-    let n = graph.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut prev: Vec<Option<NodeId>> = vec![None; n];
-    let mut heap = BinaryHeap::new();
-    dist[src.0] = 0.0;
-    heap.push(HeapEntry {
-        cost: 0.0,
-        node: src,
-    });
-
-    let mut visited: u64 = 0;
-    while let Some(HeapEntry { cost, node }) = heap.pop() {
-        if cost > dist[node.0] {
-            continue; // stale entry
-        }
-        visited += 1;
-        if node == dst {
-            break;
-        }
-        for e in graph.edges(node) {
-            let w = weight(e);
-            if w == f64::INFINITY {
-                continue;
-            }
-            assert!(w >= 0.0 && !w.is_nan(), "edge weight must be non-negative");
-            let next = cost + w;
-            if next < dist[e.to.0] {
-                dist[e.to.0] = next;
-                prev[e.to.0] = Some(node);
-                heap.push(HeapEntry {
-                    cost: next,
-                    node: e.to,
-                });
-            }
-        }
-    }
-
-    rec.add("routing.recomputes", 1);
-    rec.add("routing.nodes_visited", visited);
-    if dist[dst.0].is_infinite() {
-        return None;
-    }
-    let mut nodes = vec![dst];
-    let mut cur = dst;
-    while let Some(p) = prev[cur.0] {
-        nodes.push(p);
-        cur = p;
-    }
-    nodes.reverse();
-    debug_assert_eq!(nodes[0], src);
-    Some(Path {
-        nodes,
-        total_cost: dist[dst.0],
-    })
+    crate::routing::planner::RoutePlanner::new().route_recorded(graph, src, dst, weight, rec)
 }
 
 /// Latency edge weight: pure propagation delay.

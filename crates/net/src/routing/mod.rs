@@ -8,12 +8,19 @@
 //! * [`qos`] — congestion-aware weights, bandwidth floors, and widest
 //!   paths: the end-to-end reactive routing the paper says a scaled
 //!   system needs.
+//! * [`planner`] — the batched per-source [`RoutePlanner`] behind both
+//!   search entry points: one settled-predecessor tree per distinct
+//!   source, scratch-buffer reuse, and within-tick tree caching for
+//!   replan-heavy workloads ([`shortest_path`] and [`qos_route`] are
+//!   thin single-request wrappers over it).
 
 pub mod dijkstra;
+pub mod planner;
 pub mod qos;
 pub mod yen;
 
 pub use dijkstra::{hop_weight, latency_weight, shortest_path, shortest_path_recorded, Path};
+pub use planner::RoutePlanner;
 pub use qos::{
     congestion_weight, qos_route, qos_route_recorded, residual_bps, widest_path, QosRequirement,
 };

@@ -1,0 +1,530 @@
+//! Batched per-source route planning with reusable search state.
+//!
+//! The replan-heavy workloads of §5(2) — adaptive re-routing every tick,
+//! fault re-association, topology refreshes — ask for routes for *many*
+//! flows at once, and real traffic concentrates: thousands of flows share
+//! a handful of gateway or hotspot sources. Running one from-scratch
+//! Dijkstra per flow redoes identical work once per flow. The
+//! [`RoutePlanner`] instead:
+//!
+//! * **groups requests by source** and grows one settled-predecessor
+//!   shortest-path tree per distinct source, answering every destination
+//!   from that tree;
+//! * **reuses scratch buffers** (`dist`/`prev`/settled flags and the
+//!   binary heap) across trees, with generation stamps so resetting a
+//!   buffer set is O(1) instead of O(nodes);
+//! * **caches trees between calls** until [`RoutePlanner::invalidate`]
+//!   declares the topology or the edge weights changed.
+//!
+//! # Bitwise equivalence to per-flow search
+//!
+//! The per-flow search ([`shortest_path`](crate::routing::shortest_path))
+//! is Dijkstra with a globally deterministic heap order — entries compare
+//! by `(cost, node)` with no randomness — that stops as soon as the
+//! destination settles. The pop/relax sequence of such a search is a pure
+//! function of `(graph, source, weight)`; the destination only decides
+//! *when to stop*. A tree grown for destination set `{d₁, …, dₖ}` is
+//! therefore an exact prefix of the per-flow run for each `dᵢ`, and once a
+//! node settles its `dist`/`prev` entries are final (non-negative
+//! weights), so the predecessor chain extracted for any settled
+//! destination — and its total cost — is **bit-for-bit identical** to what
+//! the per-flow search returns. The planner buys its speedup purely by
+//! not repeating pops, never by changing them; a property test over
+//! seeded random graphs (`tests/tests/planner_equivalence.rs`) pins this.
+//!
+//! # Telemetry
+//!
+//! Through a [`Recorder`] the planner reports, alongside the established
+//! `routing.recomputes` (one per route *request*, preserving the metric's
+//! meaning) and `routing.nodes_visited` (heap pops actually performed —
+//! now counted once per tree, not once per flow):
+//!
+//! * `routing.planner.trees` — shortest-path trees grown;
+//! * `routing.planner.path_extractions` — paths read out of a tree;
+//! * `routing.planner.scratch_reuses` — trees that recycled a pooled
+//!   buffer set instead of allocating.
+
+use crate::routing::dijkstra::{HeapEntry, Path};
+use crate::routing::qos::{congestion_weight, residual_bps, QosRequirement};
+use crate::topology::{Edge, Graph, NodeId};
+use openspace_telemetry::{NullRecorder, Recorder};
+use std::collections::BinaryHeap;
+
+/// One shortest-path tree rooted at a source, pausable and resumable:
+/// the heap keeps its frontier so a later request for a deeper
+/// destination continues the same search instead of restarting it.
+struct Tree {
+    src: NodeId,
+    /// Stamp generation: an entry of `touched`/`settled` is valid for
+    /// this tree iff it equals `gen`.
+    gen: u32,
+    /// `touched[i] == gen` ⇒ `dist[i]`/`prev[i]` hold live values.
+    touched: Vec<u32>,
+    /// `settled_stamp[i] == gen` ⇒ node `i` popped with its final cost.
+    settled_stamp: Vec<u32>,
+    dist: Vec<f64>,
+    /// Predecessor of `i` on the tree; valid when touched and `i != src`.
+    prev: Vec<NodeId>,
+    heap: BinaryHeap<HeapEntry>,
+    /// The frontier ran dry: every reachable node is settled.
+    exhausted: bool,
+}
+
+impl Tree {
+    fn start(mut buffers: Tree, n: usize, src: NodeId) -> Tree {
+        buffers.src = src;
+        buffers.heap.clear();
+        buffers.exhausted = false;
+        // Generation bump invalidates every stamp in O(1); on wrap (or a
+        // resize) fall back to a hard clear so stale stamps can't alias.
+        if buffers.gen == u32::MAX || buffers.touched.len() != n {
+            buffers.gen = 1;
+            buffers.touched.clear();
+            buffers.touched.resize(n, 0);
+            buffers.settled_stamp.clear();
+            buffers.settled_stamp.resize(n, 0);
+            buffers.dist.resize(n, f64::INFINITY);
+            buffers.prev.resize(n, NodeId(0));
+        } else {
+            buffers.gen += 1;
+        }
+        buffers.touch(src, 0.0);
+        buffers.heap.push(HeapEntry {
+            cost: 0.0,
+            node: src,
+        });
+        buffers
+    }
+
+    fn empty() -> Tree {
+        Tree {
+            src: NodeId(0),
+            gen: u32::MAX, // force the hard-clear path on first start
+            touched: Vec::new(),
+            settled_stamp: Vec::new(),
+            dist: Vec::new(),
+            prev: Vec::new(),
+            heap: BinaryHeap::new(),
+            exhausted: false,
+        }
+    }
+
+    fn touch(&mut self, node: NodeId, dist: f64) {
+        self.touched[node.0] = self.gen;
+        self.dist[node.0] = dist;
+    }
+
+    fn dist_of(&self, node: NodeId) -> f64 {
+        if self.touched[node.0] == self.gen {
+            self.dist[node.0]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn is_settled(&self, node: NodeId) -> bool {
+        self.settled_stamp[node.0] == self.gen
+    }
+
+    /// Run (or resume) the search until `dst` settles or the frontier is
+    /// exhausted. Returns the number of heap pops performed now — the
+    /// same work metric the per-flow search reports.
+    fn settle(&mut self, graph: &Graph, dst: NodeId, weight: &impl Fn(&Edge) -> f64) -> u64 {
+        if self.is_settled(dst) || self.exhausted {
+            return 0;
+        }
+        let mut visited = 0u64;
+        loop {
+            let Some(HeapEntry { cost, node }) = self.heap.pop() else {
+                self.exhausted = true;
+                break;
+            };
+            if cost > self.dist_of(node) {
+                continue; // stale entry
+            }
+            visited += 1;
+            self.settled_stamp[node.0] = self.gen;
+            for e in graph.edges(node) {
+                let w = weight(e);
+                if w == f64::INFINITY {
+                    continue;
+                }
+                assert!(w >= 0.0 && !w.is_nan(), "edge weight must be non-negative");
+                let next = cost + w;
+                if next < self.dist_of(e.to) {
+                    self.touch(e.to, next);
+                    self.prev[e.to.0] = node;
+                    self.heap.push(HeapEntry {
+                        cost: next,
+                        node: e.to,
+                    });
+                }
+            }
+            if node == dst {
+                break;
+            }
+        }
+        visited
+    }
+
+    /// Read the path to a settled (or unreachable) destination.
+    fn extract(&self, dst: NodeId) -> Option<Path> {
+        if self.dist_of(dst).is_infinite() {
+            return None;
+        }
+        debug_assert!(self.is_settled(dst), "extract() before settle()");
+        let mut nodes = vec![dst];
+        let mut cur = dst;
+        while cur != self.src {
+            cur = self.prev[cur.0];
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        Some(Path {
+            nodes,
+            total_cost: self.dist[dst.0],
+        })
+    }
+}
+
+/// Batched per-source shortest-path planner (see the [module
+/// docs](self) for the equivalence argument and telemetry keys).
+///
+/// # Cache contract
+///
+/// Cached trees are valid for one *topology generation*: after any change
+/// to the graph's structure **or** to anything an edge-weight function
+/// reads (e.g. `load_fraction` before QoS routing), call
+/// [`invalidate`](Self::invalidate) before planning again. Planning with
+/// a different weight function within one generation likewise requires an
+/// `invalidate` in between — the planner cannot see inside the closure.
+pub struct RoutePlanner {
+    /// Trees grown in the current generation, in first-request order.
+    trees: Vec<Tree>,
+    /// Retired buffer sets awaiting reuse.
+    pool: Vec<Tree>,
+    /// Node count the cached trees were built against.
+    n: usize,
+}
+
+impl Default for RoutePlanner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RoutePlanner {
+    /// A planner with no cached state.
+    pub fn new() -> Self {
+        Self {
+            trees: Vec::new(),
+            pool: Vec::new(),
+            n: 0,
+        }
+    }
+
+    /// Drop every cached tree (buffers are retained for reuse). Call
+    /// whenever the topology or the edge weights change.
+    pub fn invalidate(&mut self) {
+        self.pool.append(&mut self.trees);
+    }
+
+    /// Number of trees cached for the current generation.
+    pub fn cached_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Plan a batch of `(src, dst)` route requests under `weight`,
+    /// returning one `Option<Path>` per request in request order (`None`
+    /// when the destination is unreachable). Requests sharing a source
+    /// share one shortest-path tree; each answer is bitwise-identical to
+    /// what [`shortest_path`](crate::routing::shortest_path) returns for
+    /// that request alone.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or a negative/NaN edge weight,
+    /// exactly like the per-flow search.
+    pub fn plan(
+        &mut self,
+        graph: &Graph,
+        requests: &[(NodeId, NodeId)],
+        weight: impl Fn(&Edge) -> f64,
+    ) -> Vec<Option<Path>> {
+        self.plan_recorded(graph, requests, weight, &mut NullRecorder)
+    }
+
+    /// [`plan`](Self::plan) with telemetry (see the [module docs](self)
+    /// for the keys).
+    pub fn plan_recorded(
+        &mut self,
+        graph: &Graph,
+        requests: &[(NodeId, NodeId)],
+        weight: impl Fn(&Edge) -> f64,
+        rec: &mut dyn Recorder,
+    ) -> Vec<Option<Path>> {
+        let n = graph.node_count();
+        if n != self.n {
+            // A different-sized graph can only mean a new topology.
+            self.invalidate();
+            self.n = n;
+        }
+        let mut visited = 0u64;
+        let mut trees_built = 0u64;
+        let mut scratch_reuses = 0u64;
+        let mut extractions = 0u64;
+        let paths: Vec<Option<Path>> = requests
+            .iter()
+            .map(|&(src, dst)| {
+                assert!(src.0 < n, "src out of range");
+                assert!(dst.0 < n, "dst out of range");
+                let idx = match self.trees.iter().position(|t| t.src == src) {
+                    Some(idx) => idx,
+                    None => {
+                        let buffers = match self.pool.pop() {
+                            Some(b) => {
+                                scratch_reuses += 1;
+                                b
+                            }
+                            None => Tree::empty(),
+                        };
+                        trees_built += 1;
+                        self.trees.push(Tree::start(buffers, n, src));
+                        self.trees.len() - 1
+                    }
+                };
+                let tree = &mut self.trees[idx];
+                visited += tree.settle(graph, dst, &weight);
+                let path = tree.extract(dst);
+                if path.is_some() {
+                    extractions += 1;
+                }
+                path
+            })
+            .collect();
+        // `routing.recomputes` keeps its historical meaning — one per
+        // route request — so dashboards and tests stay comparable; the
+        // planner's win shows up in `routing.nodes_visited` shrinking.
+        rec.add("routing.recomputes", requests.len() as u64);
+        rec.add("routing.nodes_visited", visited);
+        rec.add("routing.planner.trees", trees_built);
+        rec.add("routing.planner.path_extractions", extractions);
+        rec.add("routing.planner.scratch_reuses", scratch_reuses);
+        paths
+    }
+
+    /// Single-request convenience over [`plan_recorded`](Self::plan_recorded):
+    /// the form [`shortest_path`](crate::routing::shortest_path) and
+    /// [`qos_route`](crate::routing::qos_route) wrap.
+    pub fn route_recorded(
+        &mut self,
+        graph: &Graph,
+        src: impl Into<NodeId>,
+        dst: impl Into<NodeId>,
+        weight: impl Fn(&Edge) -> f64,
+        rec: &mut dyn Recorder,
+    ) -> Option<Path> {
+        self.plan_recorded(graph, &[(src.into(), dst.into())], weight, rec)
+            .pop()
+            .flatten()
+    }
+
+    /// Batched QoS routing: the planner analogue of
+    /// [`qos_route`](crate::routing::qos_route). Links whose residual
+    /// bandwidth misses the requirement's floor are filtered, paths are
+    /// costed by [`congestion_weight`], and answers that violate the
+    /// latency bound come back as `None`.
+    pub fn plan_qos_recorded(
+        &mut self,
+        graph: &Graph,
+        requests: &[(NodeId, NodeId)],
+        requirement: &QosRequirement,
+        packet_bits: f64,
+        rec: &mut dyn Recorder,
+    ) -> Vec<Option<Path>> {
+        let min_bw = requirement.min_bandwidth_bps;
+        let paths = self.plan_recorded(
+            graph,
+            requests,
+            |e| {
+                if residual_bps(e) < min_bw {
+                    f64::INFINITY
+                } else {
+                    congestion_weight(e, packet_bits)
+                }
+            },
+            rec,
+        );
+        paths
+            .into_iter()
+            .map(|p| p.filter(|p| p.total_cost <= requirement.max_latency_s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{latency_weight, qos_route, shortest_path};
+    use crate::topology::LinkTech;
+    use openspace_telemetry::MemoryRecorder;
+
+    /// 0 —1ms— 1 —1ms— 2  plus a 5 ms direct 0 — 2, and a stub 3.
+    fn diamond() -> Graph {
+        let mut g = Graph::new(4, 0);
+        g.add_bidirectional(0, 1, 0.001, 1e6, 0u32, 0u32, LinkTech::Rf);
+        g.add_bidirectional(1, 2, 0.001, 1e6, 0u32, 0u32, LinkTech::Rf);
+        g.add_bidirectional(0, 2, 0.005, 1e9, 0u32, 0u32, LinkTech::Rf);
+        g
+    }
+
+    #[test]
+    fn batch_matches_per_flow_search_bitwise() {
+        let g = diamond();
+        let reqs = [
+            (NodeId(0), NodeId(2)),
+            (NodeId(0), NodeId(1)),
+            (NodeId(1), NodeId(2)),
+            (NodeId(0), NodeId(2)),
+        ];
+        let mut planner = RoutePlanner::new();
+        let batched = planner.plan(&g, &reqs, latency_weight);
+        for (req, got) in reqs.iter().zip(&batched) {
+            let solo = shortest_path(&g, req.0, req.1, latency_weight);
+            let (got, solo) = (got.as_ref().unwrap(), solo.unwrap());
+            assert_eq!(got.nodes, solo.nodes);
+            assert_eq!(got.total_cost.to_bits(), solo.total_cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn shared_source_grows_one_tree() {
+        let g = diamond();
+        let reqs: Vec<(NodeId, NodeId)> = (1..4).map(|d| (NodeId(0), NodeId(d))).collect();
+        let mut planner = RoutePlanner::new();
+        let mut rec = MemoryRecorder::new();
+        planner.plan_recorded(&g, &reqs, latency_weight, &mut rec);
+        assert_eq!(rec.counter("routing.planner.trees"), 1);
+        assert_eq!(rec.counter("routing.recomputes"), 3);
+        assert_eq!(planner.cached_trees(), 1);
+    }
+
+    #[test]
+    fn unreachable_destination_is_none() {
+        let g = diamond(); // node 3 is isolated
+        let mut planner = RoutePlanner::new();
+        let out = planner.plan(
+            &g,
+            &[(NodeId(0), NodeId(3)), (NodeId(0), NodeId(2))],
+            latency_weight,
+        );
+        assert!(out[0].is_none());
+        // The exhausted tree still answers reachable destinations.
+        assert!(out[1].is_some());
+    }
+
+    #[test]
+    fn source_equals_destination() {
+        let g = diamond();
+        let mut planner = RoutePlanner::new();
+        let p = planner
+            .route_recorded(&g, 1, 1, latency_weight, &mut NullRecorder)
+            .unwrap();
+        assert_eq!(p.nodes, vec![NodeId(1)]);
+        assert_eq!(p.total_cost, 0.0);
+    }
+
+    #[test]
+    fn cache_survives_calls_and_invalidate_resets_it() {
+        let g = diamond();
+        let mut planner = RoutePlanner::new();
+        let mut rec = MemoryRecorder::new();
+        planner.plan_recorded(&g, &[(NodeId(0), NodeId(2))], latency_weight, &mut rec);
+        planner.plan_recorded(&g, &[(NodeId(0), NodeId(1))], latency_weight, &mut rec);
+        assert_eq!(rec.counter("routing.planner.trees"), 1, "cache hit");
+        planner.invalidate();
+        planner.plan_recorded(&g, &[(NodeId(0), NodeId(2))], latency_weight, &mut rec);
+        assert_eq!(rec.counter("routing.planner.trees"), 2);
+        assert_eq!(
+            rec.counter("routing.planner.scratch_reuses"),
+            1,
+            "the invalidated tree's buffers were recycled"
+        );
+    }
+
+    #[test]
+    fn qos_batch_matches_qos_route() {
+        let mut g = diamond();
+        g.set_load(0, 1, 0.9).unwrap();
+        g.set_load(1, 2, 0.9).unwrap();
+        let req = QosRequirement {
+            min_bandwidth_bps: 2e5,
+            max_latency_s: f64::INFINITY,
+        };
+        let mut planner = RoutePlanner::new();
+        let batched = planner.plan_qos_recorded(
+            &g,
+            &[(NodeId(0), NodeId(2))],
+            &req,
+            12_000.0,
+            &mut NullRecorder,
+        );
+        let solo = qos_route(&g, 0, 2, &req, 12_000.0).unwrap();
+        let got = batched[0].as_ref().unwrap();
+        assert_eq!(got.nodes, solo.nodes);
+        assert_eq!(got.total_cost.to_bits(), solo.total_cost.to_bits());
+    }
+
+    #[test]
+    fn qos_latency_bound_filters_answers() {
+        let g = diamond();
+        let req = QosRequirement {
+            min_bandwidth_bps: 0.0,
+            max_latency_s: 1e-9, // unmeetable
+        };
+        let mut planner = RoutePlanner::new();
+        let out = planner.plan_qos_recorded(
+            &g,
+            &[(NodeId(0), NodeId(2))],
+            &req,
+            12_000.0,
+            &mut NullRecorder,
+        );
+        assert!(out[0].is_none());
+    }
+
+    #[test]
+    fn node_count_change_invalidates_automatically() {
+        let small = diamond();
+        let mut planner = RoutePlanner::new();
+        planner.plan(&small, &[(NodeId(0), NodeId(2))], latency_weight);
+        let mut big = Graph::new(6, 0);
+        big.add_bidirectional(0, 5, 0.001, 1e6, 0u32, 0u32, LinkTech::Rf);
+        let out = planner.plan(&big, &[(NodeId(0), NodeId(5))], latency_weight);
+        assert_eq!(out[0].as_ref().unwrap().nodes, vec![NodeId(0), NodeId(5)]);
+    }
+
+    #[test]
+    fn visited_work_shrinks_for_shared_sources() {
+        // A line graph: every per-flow search from node 0 re-walks the
+        // prefix; the tree walks it once.
+        let n = 64;
+        let mut g = Graph::new(n, 0);
+        for i in 0..n - 1 {
+            g.add_bidirectional(i, i + 1, 0.001, 1e6, 0u32, 0u32, LinkTech::Rf);
+        }
+        let reqs: Vec<(NodeId, NodeId)> = (1..n).map(|d| (NodeId(0), NodeId(d))).collect();
+        let mut solo_visited = 0;
+        for &(s, d) in &reqs {
+            let mut rec = MemoryRecorder::new();
+            crate::routing::shortest_path_recorded(&g, s, d, latency_weight, &mut rec);
+            solo_visited += rec.counter("routing.nodes_visited");
+        }
+        let mut rec = MemoryRecorder::new();
+        RoutePlanner::new().plan_recorded(&g, &reqs, latency_weight, &mut rec);
+        let batched_visited = rec.counter("routing.nodes_visited");
+        assert!(
+            batched_visited * 2 <= solo_visited,
+            "batched {batched_visited} vs per-flow {solo_visited}"
+        );
+    }
+}

@@ -67,6 +67,9 @@ pub fn qos_route(
 /// [`qos_route`] with telemetry: the underlying search reports
 /// `routing.recomputes` / `routing.nodes_visited` through `rec` (see
 /// [`shortest_path_recorded`](crate::routing::dijkstra::shortest_path_recorded)).
+///
+/// A thin single-request wrapper over
+/// [`RoutePlanner::plan_qos_recorded`](crate::routing::RoutePlanner::plan_qos_recorded).
 pub fn qos_route_recorded(
     graph: &Graph,
     src: impl Into<NodeId>,
@@ -75,20 +78,16 @@ pub fn qos_route_recorded(
     packet_bits: f64,
     rec: &mut dyn openspace_telemetry::Recorder,
 ) -> Option<Path> {
-    let path = crate::routing::dijkstra::shortest_path_recorded(
-        graph,
-        src,
-        dst,
-        |e| {
-            if residual_bps(e) < requirement.min_bandwidth_bps {
-                f64::INFINITY
-            } else {
-                congestion_weight(e, packet_bits)
-            }
-        },
-        rec,
-    )?;
-    (path.total_cost <= requirement.max_latency_s).then_some(path)
+    crate::routing::planner::RoutePlanner::new()
+        .plan_qos_recorded(
+            graph,
+            &[(src.into(), dst.into())],
+            requirement,
+            packet_bits,
+            rec,
+        )
+        .pop()
+        .flatten()
 }
 
 /// Widest path (maximum bottleneck residual bandwidth) via a modified

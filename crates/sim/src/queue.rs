@@ -123,17 +123,27 @@ pub struct PriorityQueue {
 
 impl PriorityQueue {
     /// Split `capacity_bytes` between classes: natives get
-    /// `native_share` of the buffer, visitors the rest.
+    /// `native_share` of the buffer, visitors the rest. Each class gets
+    /// at least one byte, and the two sub-buffers sum to exactly
+    /// `capacity_bytes` — the split can never manufacture capacity the
+    /// physical buffer does not have.
     ///
     /// # Panics
-    /// Panics unless `native_share` is in `(0, 1)`.
+    /// Panics unless `native_share` is in `(0, 1)` and
+    /// `capacity_bytes >= 2` (one byte per class is the smallest
+    /// meaningful split).
     pub fn new(capacity_bytes: u64, native_share: f64) -> Self {
         assert!(
             native_share > 0.0 && native_share < 1.0,
             "native share must be in (0,1), got {native_share}"
         );
-        let native_cap = ((capacity_bytes as f64 * native_share) as u64).max(1);
-        let visitor_cap = (capacity_bytes - native_cap).max(1);
+        assert!(
+            capacity_bytes >= 2,
+            "priority queue needs at least 2 bytes to split, got {capacity_bytes}"
+        );
+        let native_cap =
+            ((capacity_bytes as f64 * native_share) as u64).clamp(1, capacity_bytes - 1);
+        let visitor_cap = capacity_bytes - native_cap;
         Self {
             native: DropTailQueue::new(native_cap),
             visitor: DropTailQueue::new(visitor_cap),
@@ -271,5 +281,56 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         DropTailQueue::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 bytes")]
+    fn priority_split_of_one_byte_panics() {
+        PriorityQueue::new(1, 0.5);
+    }
+
+    #[test]
+    fn priority_split_never_exceeds_capacity() {
+        // Extreme shares used to round each class up to 1 byte
+        // independently, so a 2-byte buffer could admit 3 bytes. The
+        // split must now be exact.
+        for &(cap, share) in &[
+            (2u64, 0.5),
+            (2, 0.999),
+            (2, 0.001),
+            (3, 0.9),
+            (1_000, 0.8),
+            (100_000, 0.5),
+        ] {
+            let mut q = PriorityQueue::new(cap, share);
+            let mut admitted = 0u64;
+            loop {
+                let before = admitted;
+                if q.enqueue(pkt(1, true)) {
+                    admitted += 1;
+                }
+                if q.enqueue(pkt(1, false)) {
+                    admitted += 1;
+                }
+                if admitted == before {
+                    break;
+                }
+            }
+            assert!(
+                admitted <= cap,
+                "cap {cap} share {share}: admitted {admitted} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn priority_split_preserves_documented_shares() {
+        // The documented example split (1000 bytes, 0.8 share -> 800/200)
+        // must be unchanged by the exact-sum fix.
+        let mut q = PriorityQueue::new(1_000, 0.8);
+        assert!(q.enqueue(pkt(800, true)));
+        assert!(!q.enqueue(pkt(1, true)));
+        assert!(q.enqueue(pkt(200, false)));
+        assert!(!q.enqueue(pkt(1, false)));
     }
 }

@@ -83,6 +83,82 @@ fn utilization_measurement_matches_offered_load() {
 }
 
 #[test]
+fn final_utilization_sample_divides_by_actual_window_after_restore() {
+    use openspace_core::netsim::run_netsim_faulted;
+    use openspace_sim::fault::{FaultPlan, FaultTopology};
+    use openspace_sim::ids::OperatorId;
+
+    // Flap the only link down at t=5 and back up at t=8 of a 10 s run.
+    // The restore creates a fresh link whose measurement window is the
+    // final 2 s; at 1 Mbit/s offered over a 2 Mbit/s link the correct
+    // sample is ~0.5. Dividing by the full duration (the old bug) would
+    // dilute it to ~0.1.
+    let g = single_link(2.0e6);
+    let topo = FaultTopology::new(vec![OperatorId(0); 2], vec![]);
+    let events = FaultPlan::builder()
+        .link_flap(0, 1, 5.0, 3.0, 1.0, 1)
+        .build()
+        .expect("valid plan")
+        .compile(&topo)
+        .expect("plan fits topology");
+    let r = run_netsim_faulted(
+        &g,
+        &[FlowSpec {
+            src: 0.into(),
+            dst: 1.into(),
+            rate_bps: 1.0e6,
+            packet_bytes: 1_500,
+            kind: TrafficKind::Cbr,
+        }],
+        &NetSimConfig {
+            duration_s: 10.0,
+            ..Default::default()
+        },
+        &events,
+    )
+    .expect("valid netsim config");
+    assert!(
+        (r.max_link_utilization - 0.5).abs() < 0.1,
+        "restored link must be sampled over its own window, got {}",
+        r.max_link_utilization
+    );
+}
+
+#[test]
+fn max_link_utilization_reports_saturation_unclamped() {
+    // A 3 Mbit/s flow over a 1 Mbit/s link saturates it: per-replan
+    // samples sit at ~1.0. The report must surface that raw measurement;
+    // only the load fed back into the routing graph is clamped below
+    // 1.0 (the congestion weight's domain). The old code folded the
+    // clamped value into the report, capping it at 0.98.
+    let g = single_link(1.0e6);
+    let r = run_netsim(
+        &g,
+        &[FlowSpec {
+            src: 0.into(),
+            dst: 1.into(),
+            rate_bps: 3.0e6,
+            packet_bytes: 1_500,
+            kind: TrafficKind::Cbr,
+        }],
+        &NetSimConfig {
+            duration_s: 5.0,
+            routing: RoutingMode::Adaptive {
+                replan_interval_s: 1.0,
+            },
+            ..Default::default()
+        },
+    )
+    .expect("valid netsim config");
+    assert!(
+        r.max_link_utilization > 0.98,
+        "saturated link must report >0.98, got {}",
+        r.max_link_utilization
+    );
+    assert!(r.max_link_utilization < 1.1);
+}
+
+#[test]
 fn netsim_on_real_iridium_snapshot_delivers() {
     let fed = iridium_federation(4, &[SatelliteClass::SmallSat], &default_station_sites());
     let graph = fed.snapshot(0.0);

@@ -1,0 +1,158 @@
+//! Property test pinning the batched [`RoutePlanner`]'s contract: every
+//! answer is **bitwise-identical** to the per-flow search it replaces.
+//!
+//! The planner's whole correctness argument (see
+//! `crates/net/src/routing/planner.rs`) is that a shortest-path tree
+//! grown for many destinations is an exact prefix of each per-flow
+//! Dijkstra run, so paths and costs cannot drift — not even in the last
+//! ulp. These cases exercise that claim over seeded random topologies
+//! with random loads, for both the latency and the congestion/QoS cost
+//! functions, including unreachable destinations and repeated sources.
+
+use openspace_net::prelude::*;
+use openspace_net::routing::RoutePlanner;
+use openspace_net::topology::LinkTech;
+use openspace_sim::prelude::SimRng;
+
+const CASES: u64 = 128;
+
+/// A random connected-ish graph: a scrambled spine plus random chords,
+/// with random per-direction loads. Some cases leave isolated nodes so
+/// unreachable destinations are exercised too.
+fn random_graph(rng: &mut SimRng) -> Graph {
+    let n = 2 + rng.index(38);
+    let mut g = Graph::new(n, 0);
+    // Spine over a prefix of the nodes (the rest stay isolated).
+    let spine = 1 + rng.index(n - 1);
+    for i in 0..spine {
+        let latency = rng.uniform_range(1e-4, 2e-2);
+        let cap = rng.uniform_range(1e6, 1e9);
+        g.add_bidirectional(i, i + 1, latency, cap, 0u32, 0u32, LinkTech::Rf);
+    }
+    // Random chords.
+    for _ in 0..rng.index(2 * n) {
+        let u = rng.index(n);
+        let v = rng.index(n);
+        if u == v || g.find_edge(u, v).is_some() {
+            continue;
+        }
+        let latency = rng.uniform_range(1e-4, 2e-2);
+        let cap = rng.uniform_range(1e6, 1e9);
+        g.add_bidirectional(u, v, latency, cap, 0u32, 0u32, LinkTech::Rf);
+    }
+    // Random loads (strictly below 1.0: the congestion weight's domain).
+    for u in 0..n {
+        let targets: Vec<NodeId> = g.edges(u).iter().map(|e| e.to).collect();
+        for v in targets {
+            if rng.uniform() < 0.5 {
+                let load = rng.uniform_range(0.0, 0.99);
+                g.set_load(u, v, load).unwrap();
+            }
+        }
+    }
+    g
+}
+
+#[test]
+fn planner_batch_is_bitwise_equal_to_per_flow_shortest_path() {
+    for case in 0..CASES {
+        let mut rng = SimRng::substream(0x9E37, case);
+        let g = random_graph(&mut rng);
+        let n = g.node_count();
+        let requests: Vec<(NodeId, NodeId)> = (0..1 + rng.index(12))
+            .map(|_| (NodeId(rng.index(n)), NodeId(rng.index(n))))
+            .collect();
+        let mut planner = RoutePlanner::new();
+        let batched = planner.plan(&g, &requests, latency_weight);
+        for (&(s, d), got) in requests.iter().zip(&batched) {
+            let solo = shortest_path(&g, s, d, latency_weight);
+            match (got, solo) {
+                (None, None) => {}
+                (Some(got), Some(solo)) => {
+                    assert_eq!(got.nodes, solo.nodes, "case {case}: path for {s:?}->{d:?}");
+                    assert_eq!(
+                        got.total_cost.to_bits(),
+                        solo.total_cost.to_bits(),
+                        "case {case}: cost bits for {s:?}->{d:?}"
+                    );
+                }
+                (got, solo) => {
+                    panic!("case {case}: reachability disagrees for {s:?}->{d:?}: batched {got:?} vs solo {solo:?}")
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn planner_qos_batch_is_bitwise_equal_to_qos_route() {
+    use openspace_telemetry::NullRecorder;
+    const PKT_BITS: f64 = 12_000.0;
+    for case in 0..CASES {
+        let mut rng = SimRng::substream(0x9E38, case);
+        let g = random_graph(&mut rng);
+        let n = g.node_count();
+        // Random requirement: sometimes filtering, sometimes best-effort.
+        let req = QosRequirement {
+            min_bandwidth_bps: if rng.uniform() < 0.5 {
+                rng.uniform_range(0.0, 5e8)
+            } else {
+                0.0
+            },
+            max_latency_s: if rng.uniform() < 0.3 {
+                rng.uniform_range(1e-3, 5e-2)
+            } else {
+                f64::INFINITY
+            },
+        };
+        let requests: Vec<(NodeId, NodeId)> = (0..1 + rng.index(12))
+            .map(|_| (NodeId(rng.index(n)), NodeId(rng.index(n))))
+            .collect();
+        let mut planner = RoutePlanner::new();
+        let batched = planner.plan_qos_recorded(&g, &requests, &req, PKT_BITS, &mut NullRecorder);
+        for (&(s, d), got) in requests.iter().zip(&batched) {
+            let solo = qos_route(&g, s, d, &req, PKT_BITS);
+            match (got, solo) {
+                (None, None) => {}
+                (Some(got), Some(solo)) => {
+                    assert_eq!(got.nodes, solo.nodes, "case {case}: path for {s:?}->{d:?}");
+                    assert_eq!(
+                        got.total_cost.to_bits(),
+                        solo.total_cost.to_bits(),
+                        "case {case}: cost bits for {s:?}->{d:?}"
+                    );
+                }
+                (got, solo) => {
+                    panic!("case {case}: QoS answers disagree for {s:?}->{d:?}: batched {got:?} vs solo {solo:?}")
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_trees_stay_correct_across_repeated_batches() {
+    // Replan-style usage: the same planner answers several batches over
+    // one topology generation; every batch must still match solo search.
+    for case in 0..32 {
+        let mut rng = SimRng::substream(0x9E39, case);
+        let g = random_graph(&mut rng);
+        let n = g.node_count();
+        let mut planner = RoutePlanner::new();
+        for _batch in 0..3 {
+            let requests: Vec<(NodeId, NodeId)> = (0..1 + rng.index(8))
+                .map(|_| (NodeId(rng.index(n)), NodeId(rng.index(n))))
+                .collect();
+            let batched = planner.plan(&g, &requests, latency_weight);
+            for (&(s, d), got) in requests.iter().zip(&batched) {
+                let solo = shortest_path(&g, s, d, latency_weight);
+                assert_eq!(
+                    got.as_ref()
+                        .map(|p| (p.nodes.clone(), p.total_cost.to_bits())),
+                    solo.map(|p| (p.nodes, p.total_cost.to_bits())),
+                    "case {case}: {s:?}->{d:?}"
+                );
+            }
+        }
+    }
+}

@@ -117,6 +117,49 @@ fn priority_queue_never_serves_visitor_before_native() {
 }
 
 #[test]
+fn priority_queue_split_never_exceeds_physical_capacity() {
+    // The class split must partition the buffer exactly: filling both
+    // classes with 1-byte packets until drop can never admit more bytes
+    // than the physical capacity, whatever the share. (The old rounding
+    // gave each class an independent 1-byte floor, so tiny buffers and
+    // extreme shares could oversubscribe.)
+    for_cases(0xB6, |rng| {
+        let capacity = 2 + rng.below(9_998);
+        let share = rng.uniform_range(0.01, 0.99);
+        let mut q = PriorityQueue::new(capacity, share);
+        let mut admitted = 0u64;
+        loop {
+            let before = admitted;
+            if q.enqueue(Packet {
+                flow_id: 0,
+                size_bytes: 1,
+                created_at_s: 0.0,
+                is_native: true,
+            }) {
+                admitted += 1;
+            }
+            if q.enqueue(Packet {
+                flow_id: 1,
+                size_bytes: 1,
+                created_at_s: 0.0,
+                is_native: false,
+            }) {
+                admitted += 1;
+            }
+            if admitted == before {
+                break;
+            }
+        }
+        assert!(
+            admitted <= capacity,
+            "capacity {capacity} share {share}: admitted {admitted}"
+        );
+        // Both classes must still be usable: at least one byte each.
+        assert!(admitted >= 2);
+    });
+}
+
+#[test]
 fn summary_quantiles_are_monotone_and_bounded() {
     for_cases(0xB5, |rng| {
         let n = 2 + rng.index(498);
