@@ -109,6 +109,81 @@ fn bench_snapshot() {
     bench("build_snapshot_iridium", window(), || {
         black_box(build_snapshot(black_box(0.0), &nodes, &stations, &params));
     });
+
+    // Dense vs grid-gated candidate enumeration at a Starlink-shell
+    // scale, where the O(n²) pair sweep matters, and an S-band-grade
+    // 2000 km ISL range (the default 5000 km yields only ~3 grid cells
+    // per axis over a 550 km shell, so adjacency barely discriminates).
+    // Both kernels get the same params and the same precomputed
+    // ephemeris, so the pair enumeration — the part the spatial grid
+    // replaces — is the only difference; the property suite
+    // (`snapshot_equivalence`) proves the graphs bitwise equal. The
+    // grid tests ~8% of the 1.1M pairs; the gap understates that
+    // because per-candidate LoS and capacity work is shared.
+    let big_params = SnapshotParams {
+        max_isl_range_m: 2_000_000.0,
+        ..SnapshotParams::default()
+    };
+    let big =
+        openspace_bench::random_sat_nodes(1500, 550_000.0, 53.0, 7, PerturbationModel::TwoBody);
+    let t_s = 1_234.0;
+    let samples: Vec<openspace_orbit::ephemeris::EphemerisSample> = big
+        .iter()
+        .map(|s| {
+            let eci = s.propagator.position_eci(t_s);
+            openspace_orbit::ephemeris::EphemerisSample {
+                eci,
+                ecef: eci_to_ecef(eci, t_s),
+            }
+        })
+        .collect();
+    bench("snapshot_dense_1500sats", window(), || {
+        black_box(build_snapshot_from_samples_dense(
+            &big,
+            &samples,
+            &stations,
+            &big_params,
+        ));
+    });
+    bench("snapshot_gated_1500sats", window(), || {
+        black_box(build_snapshot_from_samples(
+            &big,
+            &samples,
+            &stations,
+            &big_params,
+        ));
+    });
+}
+
+fn bench_contact_scan() {
+    // Dense vs horizon-skip contact scanning: the Iridium shell against
+    // one mid-latitude site at a broadband-grade mask, where almost all
+    // grid samples sit far below the horizon. The windows are bitwise
+    // identical (see the `contact_equivalence` property suite); only the
+    // number of propagations differs.
+    let sats = iridium_nodes();
+    let ground = geodetic_to_ecef(Geodetic::from_degrees(47.0, 8.0, 400.0));
+    let mask = 25f64.to_radians();
+    bench("contact_scan_dense_iridium_2h", window(), || {
+        black_box(contact_plan_dense(
+            &sats,
+            black_box(ground),
+            0.0,
+            7_200.0,
+            5.0,
+            mask,
+        ));
+    });
+    bench("contact_scan_gated_iridium_2h", window(), || {
+        black_box(contact_plan(
+            &sats,
+            black_box(ground),
+            0.0,
+            7_200.0,
+            5.0,
+            mask,
+        ));
+    });
 }
 
 fn bench_routing() {
@@ -369,6 +444,7 @@ fn main() {
     println!("{}", "-".repeat(72));
     bench_propagation();
     bench_snapshot();
+    bench_contact_scan();
     bench_routing();
     bench_coverage();
     bench_mac();

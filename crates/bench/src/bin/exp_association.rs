@@ -64,6 +64,8 @@ fn main() {
         let pos = ground_user(*lat, *lon, 0.0);
         let t0 = k as f64 * day / 3.0;
         let t1 = (k + 1) as f64 * day / 3.0;
+        // Day-scale plans are where the horizon-skip scanner pays off:
+        // identical windows, most below-mask samples never propagated.
         let windows = fed.contact_plan(pos, t0, t1, 10.0);
         let sched = service_schedule(&windows, t0, t1).expect("valid service window");
         handovers += sched.handovers;

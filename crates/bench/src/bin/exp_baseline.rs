@@ -51,11 +51,15 @@ fn main() {
             let home = fed.operator_ids()[0];
             let user = fed.register_user(home).expect("member operator");
 
-            let windows = fed.contact_plan(pos, 0.0, 3_600.0, 10.0);
+            // Recorded variants surface the horizon-skip scanner's and
+            // the range-gated snapshot builder's counters in the
+            // manifest; outputs are bitwise-identical to the plain
+            // calls.
+            let windows = fed.contact_plan_recorded(pos, 0.0, 3_600.0, 10.0, run.rec());
             let cov = coverage_time_fraction(&windows, 0.0, 3_600.0);
 
             let assoc = associate(&mut fed, &user, pos, 0.0, 1).expect("association");
-            let graph = fed.snapshot(0.0);
+            let graph = fed.snapshot_recorded(0.0, run.rec());
             let mut ledgers = BTreeMap::new();
             let delivery = deliver(
                 &fed,

@@ -36,6 +36,9 @@ fn main() {
         let mut solo_cov = 0.0;
         let mut solo_out = 0.0f64;
         for op in fed.operator_ids() {
+            // contact_plan{,_of} run the horizon-skip scanner (see
+            // net::contact): bitwise-identical windows, ~10x fewer
+            // propagations at this mask.
             let w = fed.contact_plan_of(op, ground, 0.0, horizon_s, step_s);
             solo_cov += coverage_time_fraction(&w, 0.0, horizon_s);
             solo_out = solo_out.max(longest_outage_s(&w, 0.0, horizon_s));

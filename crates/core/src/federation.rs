@@ -9,8 +9,10 @@
 //! solo operators get patchwork coverage).
 
 use crate::operator::{make_satellite, GroundStation, Operator, Satellite};
-use openspace_net::contact::{contact_plan, ContactWindow};
-use openspace_net::isl::{build_snapshot, GroundNode, SatNode, SnapshotParams};
+use openspace_net::contact::{contact_plan, contact_plan_recorded, ContactWindow};
+use openspace_net::isl::{
+    build_snapshot, build_snapshot_recorded, GroundNode, SatNode, SnapshotParams,
+};
 use openspace_net::topology::Graph;
 use openspace_orbit::frames::{Geodetic, Vec3};
 use openspace_orbit::kepler::OrbitalElements;
@@ -312,6 +314,23 @@ impl Federation {
         )
     }
 
+    /// [`Self::snapshot`] with telemetry: surfaces the range-gated
+    /// builder's `snapshot.pairs_tested` / `snapshot.pairs_pruned` (and
+    /// ground-prune) counters on `rec`.
+    pub fn snapshot_recorded(
+        &self,
+        t_s: f64,
+        rec: &mut dyn openspace_telemetry::Recorder,
+    ) -> Graph {
+        build_snapshot_recorded(
+            t_s,
+            &self.sat_nodes(),
+            &self.ground_nodes(),
+            &self.snapshot_params,
+            rec,
+        )
+    }
+
     /// A solo snapshot: only `op`'s own satellites and stations — the
     /// no-collaboration counterfactual of §2.
     pub fn solo_snapshot(&self, op: OperatorId, t_s: f64) -> Graph {
@@ -338,6 +357,28 @@ impl Federation {
             t_end_s,
             step_s,
             self.snapshot_params.min_elevation_rad,
+        )
+    }
+
+    /// [`Self::contact_plan`] with telemetry: surfaces the horizon-skip
+    /// scanner's `contact.samples_evaluated` / `contact.samples_skipped`
+    /// counters on `rec`.
+    pub fn contact_plan_recorded(
+        &self,
+        ground_ecef: Vec3,
+        t_start_s: f64,
+        t_end_s: f64,
+        step_s: f64,
+        rec: &mut dyn openspace_telemetry::Recorder,
+    ) -> Vec<ContactWindow> {
+        contact_plan_recorded(
+            &self.sat_nodes(),
+            ground_ecef,
+            t_start_s,
+            t_end_s,
+            step_s,
+            self.snapshot_params.min_elevation_rad,
+            rec,
         )
     }
 

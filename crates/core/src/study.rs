@@ -34,6 +34,16 @@
 //! The free functions [`latency_vs_satellites`] /
 //! [`coverage_vs_satellites`] remain as serial single-call conveniences
 //! and delegate to a serial runner.
+//!
+//! The geometry kernels underneath inherit the range-gated fast paths
+//! of `openspace-net` transparently: [`build_snapshot_from_samples`]
+//! buckets satellites into a coarse grid when `max_isl_range_m` is
+//! finite (the *Physical* study regime), and falls back to the
+//! exhaustive pair sweep for the paper's simplified regime, which sets
+//! the range to `f64::INFINITY`; [`best_access_from_ecef`] costs one
+//! vector norm per candidate. Both are bitwise-identical to the dense
+//! reference kernels (see `crates/net/src/isl.rs`), so study outputs
+//! are unchanged to the last bit.
 
 use openspace_net::isl::{
     best_access_from_ecef, build_snapshot_from_samples, SatNode, SnapshotParams,

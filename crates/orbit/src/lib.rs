@@ -82,7 +82,7 @@ pub mod prelude {
     pub use crate::visibility::{
         cap_fraction, coverage_half_angle_rad, elevation_angle_rad, is_visible, line_of_sight,
         line_of_sight_with_clearance, look_angles_rad, max_isl_range_m, max_slant_range_m,
-        slant_range_m,
+        slant_range_at_elevation_m, slant_range_m, visible_slant_range_m,
     };
     pub use crate::walker::{
         cbo_params, iridium_params, random_constellation, walker_delta, walker_star, WalkerParams,

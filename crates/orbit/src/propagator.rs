@@ -8,7 +8,7 @@
 //! routing and are deliberately out of scope (documented substitution in
 //! DESIGN.md).
 
-use crate::constants::{EARTH_J2, EARTH_RADIUS_M};
+use crate::constants::{EARTH_J2, EARTH_MU_M3_PER_S2, EARTH_RADIUS_M};
 use crate::frames::Vec3;
 use crate::kepler::{elements_to_state, OrbitalElements};
 
@@ -79,6 +79,57 @@ impl Propagator {
     /// Secular RAAN drift rate (rad/s); zero for the two-body model.
     pub fn raan_rate_rad_per_s(&self) -> f64 {
         self.raan_rate
+    }
+
+    /// Secular argument-of-perigee drift rate (rad/s); zero for the
+    /// two-body model.
+    pub fn argp_rate_rad_per_s(&self) -> f64 {
+        self.argp_rate
+    }
+
+    /// Effective mean-anomaly advance rate (rad/s): the Keplerian mean
+    /// motion plus the secular J2 correction.
+    pub fn mean_anomaly_rate_rad_per_s(&self) -> f64 {
+        self.mean_anomaly_rate
+    }
+
+    /// Tight geocentric radius bounds `(r_min, r_max)` in metres over the
+    /// whole trajectory.
+    ///
+    /// Exact, not approximate: both propagation models keep the shape
+    /// elements (`a`, `e`) fixed and only advance angles, so the radius
+    /// always lies in `[a(1−e), a(1+e)]` — the perigee and apogee radii —
+    /// and attains both endpoints each revolution.
+    pub fn radius_bounds_m(&self) -> (f64, f64) {
+        (
+            self.elements.perigee_radius_m(),
+            self.elements.apogee_radius_m(),
+        )
+    }
+
+    /// A sound upper bound (m/s) on the inertial (ECI) speed of this
+    /// satellite, valid for all times.
+    ///
+    /// Decompose the motion of [`Self::position_eci`]: the in-plane part
+    /// is the Kepler ellipse traversed with the mean anomaly advancing at
+    /// `ṁ` instead of `n`, i.e. the two-body trajectory with time scaled
+    /// by `ṁ/n`, so its speed is at most `v_perigee · max(ṁ/n, 1)` with
+    /// `v_perigee = sqrt(μ·(2/r_min − 1/a))` (vis-viva at the ellipse's
+    /// fastest point; the `max` with 1 only ever loosens the bound).
+    /// The secular drifts rotate that ellipse about fixed axes at rates
+    /// `Ω̇` and `ω̇`; a rotation at rate `w` moves a point at radius `r`
+    /// at speed at most `w·r`, adding at most `(|Ω̇| + |ω̇|)·r_max`.
+    ///
+    /// The horizon-skip contact scanner divides this (plus the Earth-
+    /// rotation term for the ECEF frame) by a minimum slant range to
+    /// bound the elevation-angle rate — see `openspace-net::contact`.
+    pub fn max_speed_m_per_s(&self) -> f64 {
+        let a = self.elements.semi_major_axis_m;
+        let (r_min, r_max) = self.radius_bounds_m();
+        let n = self.elements.mean_motion_rad_per_s();
+        let v_perigee = (EARTH_MU_M3_PER_S2 * (2.0 / r_min - 1.0 / a)).sqrt();
+        let time_scale = (self.mean_anomaly_rate.abs() / n).max(1.0);
+        v_perigee * time_scale + (self.raan_rate.abs() + self.argp_rate.abs()) * r_max
     }
 
     /// Osculating elements at time `t_s` after epoch.
@@ -176,6 +227,61 @@ mod tests {
         let a = prop.position_eci(12_345.6);
         let b = prop.position_eci(12_345.6);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn radius_bounds_contain_sampled_radii() {
+        let el = OrbitalElements::new(7.2e6, 0.02, 1.2, 0.5, 0.3, 0.1).unwrap();
+        for model in [PerturbationModel::TwoBody, PerturbationModel::SecularJ2] {
+            let prop = Propagator::new(el, model);
+            let (r_min, r_max) = prop.radius_bounds_m();
+            assert!(r_min <= r_max);
+            for k in 0..500 {
+                let r = prop.position_eci(k as f64 * 37.0).norm();
+                assert!(
+                    (r_min * (1.0 - 1e-9)..=r_max * (1.0 + 1e-9)).contains(&r),
+                    "t={} r={r} outside [{r_min}, {r_max}]",
+                    k as f64 * 37.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_speed_bounds_finite_difference_speed() {
+        // Sample the trajectory densely (including an eccentric orbit so
+        // the perigee term binds) and check that no chord speed exceeds
+        // the bound. Chord speed <= true max speed, so this is a valid
+        // one-sided check of soundness.
+        let els = [
+            leo(86.4),
+            OrbitalElements::new(7.2e6, 0.05, 1.7, 0.5, 0.3, 0.1).unwrap(),
+        ];
+        for el in els {
+            for model in [PerturbationModel::TwoBody, PerturbationModel::SecularJ2] {
+                let prop = Propagator::new(el, model);
+                let v_max = prop.max_speed_m_per_s();
+                assert!(v_max.is_finite() && v_max > 0.0);
+                let h = 0.25;
+                for k in 0..4000 {
+                    let t = k as f64 * 1.7;
+                    let v = prop.position_eci(t).distance(prop.position_eci(t + h)) / h;
+                    assert!(v <= v_max, "t={t}: chord speed {v} > bound {v_max}");
+                }
+                // And the bound is tight-ish: within 25% of the fastest
+                // observed chord speed (it is a bound, not an estimate).
+                let fastest = (0..4000)
+                    .map(|k| {
+                        let t = k as f64 * 1.7;
+                        prop.position_eci(t).distance(prop.position_eci(t + h)) / h
+                    })
+                    .fold(0.0, f64::max);
+                assert!(
+                    v_max < fastest * 1.25,
+                    "bound {v_max} vs observed {fastest}"
+                );
+            }
+        }
     }
 
     #[test]

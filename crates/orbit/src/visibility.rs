@@ -3,6 +3,31 @@
 //!
 //! These are the geometric primitives behind user association, ISL
 //! feasibility, and the coverage study.
+//!
+//! # Earth-radius conventions
+//!
+//! Two radii coexist in this module, deliberately:
+//!
+//! * [`line_of_sight`]/[`line_of_sight_with_clearance`] (and therefore
+//!   every ISL feasibility test) treat the Earth as a sphere of
+//!   [`EARTH_RADIUS_M`] — the *equatorial* radius. A grazing ray is
+//!   blocked by the widest part of the planet, so the equatorial radius
+//!   is the conservative occluder.
+//! * Footprint math ([`coverage_half_angle_rad`], [`cap_area_m2`],
+//!   [`cap_fraction`], [`max_slant_range_m`]) uses
+//!   [`EARTH_MEAN_RADIUS_M`]: coverage fractions integrate over the whole
+//!   globe, where the mean radius minimizes area error.
+//!
+//! The two constants differ by ~7.1 km. Code that *prunes* candidates by
+//! range (the gated snapshot builder and horizon-skip contact scanner in
+//! `openspace-net`) must not silently assume either convention: those
+//! paths derive their gates from [`slant_range_at_elevation_m`] using the
+//! **actual** geocentric radii of the ground point and satellite
+//! (`|ground|`, `|sat|`), so the convention split cannot make a gate
+//! optimistic. A regression test below
+//! (`slant_range_pivot_is_convention_independent`) pins that the pivot
+//! formula evaluated at the true site radius bounds the true slant range
+//! no matter which constant the site position was generated from.
 
 use crate::constants::{EARTH_MEAN_RADIUS_M, EARTH_RADIUS_M};
 use crate::frames::Vec3;
@@ -88,12 +113,63 @@ pub fn cap_fraction(half_angle_rad: f64) -> f64 {
 /// `altitude_m` appearing exactly at elevation `min_elevation_rad`.
 pub fn max_slant_range_m(altitude_m: f64, min_elevation_rad: f64) -> f64 {
     let r = EARTH_MEAN_RADIUS_M;
-    let (se, ce) = min_elevation_rad.sin_cos();
-    let _ = ce;
-    // Law of cosines in the Earth-center/ground/satellite triangle:
-    // range = sqrt((R+h)^2 - R^2 cos^2 e) - R sin e
-    let rh = r + altitude_m;
-    (rh * rh - (r * min_elevation_rad.cos()).powi(2)).sqrt() - r * se
+    slant_range_at_elevation_m(r, r + altitude_m, min_elevation_rad)
+}
+
+/// Slant range (m) from a ground point at geocentric radius
+/// `site_radius_m` to a satellite at geocentric radius `sat_radius_m`
+/// seen at exactly `elevation_rad` above the local (geocentric) horizon.
+///
+/// Law of cosines in the Earth-center/ground/satellite triangle: the
+/// angle at the ground vertex between the local up direction and the
+/// line of sight is `π/2 − e`, so
+/// `r² = R² + d² + 2·R·d·sin e`, giving
+/// `d = sqrt(r² − R²·cos²e) − R·sin e`.
+///
+/// The slant range is **strictly decreasing in elevation** and
+/// **increasing in satellite radius**, which makes this single formula
+/// the pivot for both geometric gates used by the fast kernels in
+/// `openspace-net`:
+///
+/// * a satellite at elevation **≥** `e` is at distance **≤**
+///   `slant_range_at_elevation_m(R, r_max, e)` — the ground-link range
+///   prune in the snapshot builder;
+/// * a satellite at elevation **≤** `e` is at distance **≥**
+///   `slant_range_at_elevation_m(R, r_min, e)` — the minimum-distance
+///   denominator in the horizon-skip elevation-rate bound.
+///
+/// Returns `NaN` when `sat_radius_m < site_radius_m·|cos e|` (no such
+/// triangle exists); callers gate on finiteness.
+pub fn slant_range_at_elevation_m(
+    site_radius_m: f64,
+    sat_radius_m: f64,
+    elevation_rad: f64,
+) -> f64 {
+    let (se, ce) = elevation_rad.sin_cos();
+    (sat_radius_m * sat_radius_m - (site_radius_m * ce).powi(2)).sqrt() - site_radius_m * se
+}
+
+/// Combined visibility test and slant range: `Some(range_m)` when `sat`
+/// is at elevation of at least `min_elevation_rad` above `ground`'s
+/// horizon, `None` otherwise.
+///
+/// Costs a single vector norm per call, where calling [`is_visible`]
+/// followed by [`slant_range_m`] costs two. The visibility decision and
+/// the returned range are **bitwise identical** to that two-call
+/// sequence: the elevation expression is the same as
+/// [`elevation_angle_rad`]'s, and `|sat − ground|` equals
+/// `|ground − sat|` exactly in IEEE arithmetic (negation is exact, and
+/// squaring erases the sign before the sum).
+///
+/// # Panics
+/// Panics if the two positions coincide.
+pub fn visible_slant_range_m(ground: Vec3, sat: Vec3, min_elevation_rad: f64) -> Option<f64> {
+    let up = ground.normalized();
+    let to_sat = sat - ground;
+    let n = to_sat.norm();
+    assert!(n > 0.0, "satellite coincides with ground point");
+    let elevation = (up.dot(to_sat) / n).clamp(-1.0, 1.0).asin();
+    (elevation >= min_elevation_rad).then_some(n)
 }
 
 /// Look angles from a ground site to a satellite: azimuth (rad, clockwise
@@ -252,6 +328,99 @@ mod tests {
         assert!((r90 - H780).abs() < 1.0);
         // At 0°, roughly sqrt(2Rh + h^2) ≈ 3300 km for 780 km altitude.
         assert!((r0 / 1000.0 - 3_290.0).abs() < 60.0, "{}", r0 / 1000.0);
+    }
+
+    #[test]
+    fn slant_range_pivot_matches_max_slant_range() {
+        // max_slant_range_m is the pivot formula specialized to the mean
+        // radius — the refactor must not have changed a single bit.
+        for &(h, e) in &[(H780, 0.0), (H780, 0.4), (550_000.0, 25f64.to_radians())] {
+            let r = EARTH_MEAN_RADIUS_M;
+            assert_eq!(
+                max_slant_range_m(h, e).to_bits(),
+                slant_range_at_elevation_m(r, r + h, e).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn slant_range_pivot_monotone_in_elevation_and_radius() {
+        let r_site = EARTH_RADIUS_M;
+        let r_sat = EARTH_RADIUS_M + H780;
+        let mut prev = f64::INFINITY;
+        for k in 0..=20 {
+            let e = -FRAC_PI_2 + k as f64 * (std::f64::consts::PI / 20.0);
+            let d = slant_range_at_elevation_m(r_site, r_sat, e);
+            assert!(d <= prev, "slant range must not increase with elevation");
+            prev = d;
+        }
+        // Increasing in satellite radius at fixed elevation.
+        let lo = slant_range_at_elevation_m(r_site, r_sat, 0.2);
+        let hi = slant_range_at_elevation_m(r_site, r_sat + 100_000.0, 0.2);
+        assert!(hi > lo);
+        // Endpoint identities: overhead = radius difference, nadir = sum.
+        let over = slant_range_at_elevation_m(r_site, r_sat, FRAC_PI_2);
+        assert!((over - H780).abs() < 1e-6 * H780);
+    }
+
+    #[test]
+    fn slant_range_pivot_is_convention_independent() {
+        // The gated paths in openspace-net compute their range gates from
+        // the *actual* geocentric radii, not from either Earth-radius
+        // constant. Pin that this makes the gate sound regardless of
+        // which convention generated the site: for sites on both the
+        // equatorial and the mean-radius sphere, every satellite at or
+        // above the mask elevation sits within the gate computed from
+        // |ground| and |sat| — while a gate computed from the *wrong*
+        // constant could be short by up to the ~7.1 km convention split,
+        // which is exactly why the pruned paths never take that shortcut.
+        let mask = 10f64.to_radians();
+        let r_sat = EARTH_RADIUS_M + H780;
+        for &r_site in &[EARTH_RADIUS_M, EARTH_MEAN_RADIUS_M] {
+            let gate = slant_range_at_elevation_m(r_site, r_sat, mask);
+            let g = Vec3::new(r_site, 0.0, 0.0);
+            // Sweep satellites across the sky; every one at el >= mask
+            // must fall inside the gate (with the fast paths' relative
+            // margin of 1e-9, which dwarfs rounding).
+            for k in 0..=180 {
+                let th = k as f64 * std::f64::consts::PI / 180.0;
+                let s = Vec3::new(r_sat * th.cos(), r_sat * th.sin(), 0.0);
+                if elevation_angle_rad(g, s) >= mask {
+                    assert!(
+                        g.distance(s) <= gate * (1.0 + 1e-9),
+                        "visible satellite outside gate at theta={th}"
+                    );
+                }
+            }
+        }
+        // The convention split itself: ~7.1 km of gate difference — large
+        // enough that a fixed-constant gate would be unsound, and far
+        // beyond the fp margin the pruned paths actually rely on.
+        let split = slant_range_at_elevation_m(EARTH_RADIUS_M, r_sat, mask)
+            - slant_range_at_elevation_m(EARTH_MEAN_RADIUS_M, r_sat, mask);
+        assert!(
+            split.abs() > 1_000.0 && split.abs() < 20_000.0,
+            "convention split {split} m"
+        );
+    }
+
+    #[test]
+    fn visible_slant_range_matches_two_call_sequence_bitwise() {
+        use crate::frames::{geodetic_to_ecef, Geodetic};
+        let g = geodetic_to_ecef(Geodetic::from_degrees(12.0, 34.0, 0.0));
+        for k in 0..50 {
+            let lat = -60.0 + 2.5 * k as f64;
+            let lon = 30.0 + 3.0 * k as f64;
+            let s = geodetic_to_ecef(Geodetic::from_degrees(lat, lon, 780_000.0));
+            let mask = 10f64.to_radians();
+            match visible_slant_range_m(g, s, mask) {
+                Some(d) => {
+                    assert!(is_visible(g, s, mask));
+                    assert_eq!(d.to_bits(), slant_range_m(g, s).to_bits());
+                }
+                None => assert!(!is_visible(g, s, mask)),
+            }
+        }
     }
 
     #[test]
