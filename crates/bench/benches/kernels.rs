@@ -365,7 +365,7 @@ fn bench_extensions() {
     });
 
     // Packet simulation, one second of a loaded link.
-    use openspace_core::netsim::{run_netsim, FlowSpec, NetSimConfig, TrafficKind};
+    use openspace_core::netsim::{FlowSpec, NetSim, NetSimConfig, TrafficKind};
     let mut g = Graph::new(2, 0);
     g.add_bidirectional(0, 1, 0.001, 1e7, 0, 0, LinkTech::Rf);
     let flows = [FlowSpec {
@@ -380,12 +380,52 @@ fn bench_extensions() {
         ..Default::default()
     };
     bench("netsim_1s_loaded_link", window(), || {
-        black_box(run_netsim(&g, &flows, &cfg)).ok();
+        black_box(NetSim::new(cfg).with_snapshot(&g).run(&flows)).ok();
+    });
+
+    // The resnapshot-heavy dynamic pair: 30 s over the moving Iridium
+    // constellation, topology refreshed every second. The rebuild
+    // kernel re-propagates orbits and re-tests every pair at each
+    // refresh; the delta kernel replays the timeline precomputed once
+    // outside the loop. Same packets bit for bit — the delta path is
+    // the optimization the timeline subsystem exists for.
+    let sats = iridium_nodes();
+    let stations: Vec<GroundNode> = Vec::new();
+    let params = SnapshotParams::default();
+    let dyn_provider = |t: f64| build_snapshot(t, &sats, &stations, &params);
+    let g0 = dyn_provider(0.0);
+    let dyn_flows = [FlowSpec {
+        src: 0.into(),
+        dst: g0.sat_node(33),
+        rate_bps: 2e5,
+        packet_bytes: 1_500,
+        kind: TrafficKind::Poisson,
+    }];
+    let dyn_cfg = NetSimConfig {
+        duration_s: 30.0,
+        ..Default::default()
+    };
+    bench("netsim_dynamic_rebuild", window(), || {
+        black_box(
+            NetSim::new(dyn_cfg)
+                .with_provider(&dyn_provider, 1.0)
+                .run(&dyn_flows),
+        )
+        .ok();
+    });
+    let tl =
+        TopologyTimeline::build(&dyn_provider, 0.0, 1.0, 30.0, 1).expect("valid timeline horizon");
+    bench("netsim_dynamic_delta", window(), || {
+        black_box(NetSim::new(dyn_cfg).with_timeline(&tl).run(&dyn_flows)).ok();
+    });
+    // Building the timeline itself (amortized once per horizon).
+    bench("timeline_build_30ticks_serial", window(), || {
+        black_box(TopologyTimeline::build(&dyn_provider, 0.0, 1.0, 30.0, 1)).ok();
     });
 }
 
 fn bench_telemetry() {
-    use openspace_core::netsim::{run_netsim_recorded, FlowSpec, NetSimConfig, TrafficKind};
+    use openspace_core::netsim::{FlowSpec, NetSim, NetSimConfig, TrafficKind};
     use openspace_telemetry::{MemoryRecorder, NullRecorder, Recorder};
 
     // The acceptance-relevant pair: the netsim kernel through the
@@ -406,11 +446,21 @@ fn bench_telemetry() {
         ..Default::default()
     };
     bench("netsim_1s_recorded_null", window(), || {
-        black_box(run_netsim_recorded(&g, &flows, &cfg, &mut NullRecorder)).ok();
+        black_box(
+            NetSim::new(cfg)
+                .with_snapshot(&g)
+                .run_recorded(&flows, &mut NullRecorder),
+        )
+        .ok();
     });
     bench("netsim_1s_recorded_memory", window(), || {
         let mut rec = MemoryRecorder::new();
-        black_box(run_netsim_recorded(&g, &flows, &cfg, &mut rec)).ok();
+        black_box(
+            NetSim::new(cfg)
+                .with_snapshot(&g)
+                .run_recorded(&flows, &mut rec),
+        )
+        .ok();
         black_box(&rec);
     });
 

@@ -85,7 +85,11 @@ fn run_members(members: usize, rec: &mut dyn Recorder) -> (usize, NetSimReport) 
         .seed(7)
         .build()
         .expect("valid netsim config");
-    let report = run_netsim_faulted_recorded(&fed.snapshot(0.0), &flows(), &cfg, &events, rec)
+    let g0 = fed.snapshot(0.0);
+    let report = NetSim::new(cfg)
+        .with_snapshot(&g0)
+        .with_faults(&events)
+        .run_recorded(&flows(), rec)
         .expect("valid faulted run");
     (events.len(), report)
 }

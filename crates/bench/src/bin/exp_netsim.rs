@@ -14,9 +14,7 @@
 //! (add `--json` for a machine-readable run manifest on stdout).
 
 use openspace_bench::{access_satellite, nairobi_user, print_header, standard_federation, ExpRun};
-use openspace_core::netsim::{
-    run_netsim_recorded, FlowSpec, NetSimConfig, RoutingMode, TrafficKind,
-};
+use openspace_core::netsim::{FlowSpec, NetSim, NetSimConfig, RoutingMode, TrafficKind};
 use openspace_phy::hardware::SatelliteClass;
 use openspace_telemetry::JsonValue;
 
@@ -72,18 +70,18 @@ fn main() {
             routing: RoutingMode::Proactive,
             seed: 11,
         };
-        let pro = run_netsim_recorded(&graph, &flows, &base, run.rec()).expect("valid config");
-        let ada = run_netsim_recorded(
-            &graph,
-            &flows,
-            &NetSimConfig {
-                routing: RoutingMode::Adaptive {
-                    replan_interval_s: 1.0,
-                },
-                ..base
+        let pro = NetSim::new(base)
+            .with_snapshot(&graph)
+            .run_recorded(&flows, run.rec())
+            .expect("valid config");
+        let ada = NetSim::new(NetSimConfig {
+            routing: RoutingMode::Adaptive {
+                replan_interval_s: 1.0,
             },
-            run.rec(),
-        )
+            ..base
+        })
+        .with_snapshot(&graph)
+        .run_recorded(&flows, run.rec())
         .expect("valid netsim config");
         sweep.push(JsonValue::object([
             ("offered_bps", JsonValue::Num(aggregate)),
@@ -158,19 +156,16 @@ fn main() {
                 kind: TrafficKind::Poisson,
             })
             .collect();
-        run_netsim_recorded(
-            &graph,
-            &flows,
-            &NetSimConfig {
-                duration_s: 10.0,
-                queue_capacity_bytes: 512 * 1024,
-                routing: RoutingMode::Adaptive {
-                    replan_interval_s: 1.0,
-                },
-                seed: 11,
+        NetSim::new(NetSimConfig {
+            duration_s: 10.0,
+            queue_capacity_bytes: 512 * 1024,
+            routing: RoutingMode::Adaptive {
+                replan_interval_s: 1.0,
             },
-            &mut netsim_rec,
-        )
+            seed: 11,
+        })
+        .with_snapshot(&graph)
+        .run_recorded(&flows, &mut netsim_rec)
         .expect("valid netsim config");
 
         run.push_extra(

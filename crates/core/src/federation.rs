@@ -13,6 +13,7 @@ use openspace_net::contact::{contact_plan, contact_plan_recorded, ContactWindow}
 use openspace_net::isl::{
     build_snapshot, build_snapshot_recorded, GroundNode, SatNode, SnapshotParams,
 };
+use openspace_net::timeline::{TimelineError, TopologyProvider, TopologyTimeline};
 use openspace_net::topology::Graph;
 use openspace_orbit::frames::{Geodetic, Vec3};
 use openspace_orbit::kepler::OrbitalElements;
@@ -331,6 +332,25 @@ impl Federation {
         )
     }
 
+    /// Precompute the federation's topology as a delta-driven
+    /// [`TopologyTimeline`]: snapshots every `step_s` seconds over
+    /// `[0, horizon_s]`, built on `threads` workers (serial and parallel
+    /// builds are bitwise-identical), stored as a base graph plus compact
+    /// per-tick deltas.
+    ///
+    /// The result plugs straight into the network driver via
+    /// [`NetSim::with_timeline`](crate::netsim::NetSim::with_timeline),
+    /// which then refreshes topology by applying the precomputed deltas
+    /// instead of rebuilding every snapshot from orbit propagation.
+    pub fn timeline(
+        &self,
+        step_s: f64,
+        horizon_s: f64,
+        threads: usize,
+    ) -> Result<TopologyTimeline, TimelineError> {
+        TopologyTimeline::build(self, 0.0, step_s, horizon_s, threads)
+    }
+
     /// A solo snapshot: only `op`'s own satellites and stations — the
     /// no-collaboration counterfactual of §2.
     pub fn solo_snapshot(&self, op: OperatorId, t_s: f64) -> Graph {
@@ -409,6 +429,17 @@ impl Federation {
     /// Satellite array index by id (the index used in topology graphs).
     pub fn satellite_index(&self, id: SatelliteId) -> Option<usize> {
         self.satellites.iter().position(|s| s.id == id)
+    }
+}
+
+/// A federation *is* a topology source: `topology_at` is
+/// [`Federation::snapshot`]. This lets a federation drive
+/// [`NetSim::with_provider`](crate::netsim::NetSim::with_provider)
+/// directly and lets [`TopologyTimeline::build`] precompute its
+/// snapshot sequence.
+impl TopologyProvider for Federation {
+    fn topology_at(&self, t_s: f64) -> Graph {
+        self.snapshot(t_s)
     }
 }
 
@@ -646,6 +677,30 @@ mod tests {
         assert_eq!(
             fed.withdraw_operator(OperatorId(77)).unwrap_err(),
             FederationError::UnknownOperator(OperatorId(77))
+        );
+    }
+
+    #[test]
+    fn timeline_reproduces_snapshots_bitwise() {
+        let fed = small_fed();
+        let tl = fed.timeline(60.0, 300.0, 4).unwrap();
+        assert_eq!(tl.delta_count(), 5);
+        for &t in tl.tick_times() {
+            let fresh = fed.snapshot(t);
+            let replayed = tl.graph_at(t);
+            assert!(
+                openspace_net::topology::GraphDelta::between(&fresh, &replayed)
+                    .unwrap()
+                    .is_empty(),
+                "timeline diverged from fresh snapshot at t={t}"
+            );
+        }
+        // Thread count cannot change the result.
+        let serial = fed.timeline(60.0, 300.0, 1).unwrap();
+        assert!(
+            openspace_net::topology::GraphDelta::between(serial.base(), tl.base())
+                .unwrap()
+                .is_empty()
         );
     }
 

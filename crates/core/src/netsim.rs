@@ -14,17 +14,35 @@
 //! re-planned against measured link utilization — the end-to-end
 //! approach the paper calls for). Deterministic under a seed.
 //!
-//! [`run_netsim_faulted`] additionally consumes the [`TopologyEvent`]
-//! stream a compiled [`FaultPlan`](openspace_sim::fault::FaultPlan)
-//! produces: packets queued on or in flight toward failed elements are
-//! lost, surviving flows re-route around the outage (failure detection
-//! is link-layer and happens in both routing modes), and the report's
-//! [`FaultImpact`] section accounts for availability, repair time, and
-//! flow re-association. An empty event stream reproduces [`run_netsim`]
-//! bit for bit.
+//! All capabilities compose through one driver, [`NetSim`]: a validated
+//! [`NetSimConfig`], an optional fault plan ([`NetSim::with_faults`] —
+//! packets queued on or in flight toward failed elements are lost,
+//! surviving flows re-route, and the report's [`FaultImpact`] section
+//! accounts for availability, repair time, and flow re-association),
+//! and one topology source — a static snapshot
+//! ([`NetSim::with_snapshot`]), an on-demand
+//! [`TopologyProvider`] ([`NetSim::with_provider`]), or a precomputed
+//! [`TopologyTimeline`] ([`NetSim::with_timeline`]).
+//!
+//! The timeline path replays compact
+//! [`GraphDelta`](openspace_net::topology::GraphDelta)s at every
+//! `Ev::Resnapshot` instead of rebuilding the snapshot from orbital
+//! state: the patched graph is bitwise-identical to a fresh provider
+//! call (the timeline extracts its deltas *from* fresh builds), link
+//! state is reused for untouched links, and the route planner is
+//! invalidated selectively where a conservative soundness argument
+//! allows (see [`RoutePlanner::retain_for_changed_rows`]) — so the
+//! resulting [`NetSimReport`] is bit-for-bit the one the full-rebuild
+//! path produces, pinned by `tests/tests/netsim_delta_equivalence.rs`.
+//!
+//! The historical free functions ([`run_netsim`],
+//! [`run_netsim_faulted`], [`run_netsim_dynamic`], and their
+//! `_recorded` forms) remain as thin deprecated wrappers over the
+//! driver.
 
 use openspace_net::outage::OutageTracker;
 use openspace_net::routing::{latency_weight, QosRequirement, RoutePlanner};
+use openspace_net::timeline::{TopologyProvider, TopologyTimeline};
 use openspace_net::topology::{Graph, NodeId};
 use openspace_sim::config::{require_positive, ConfigError};
 use openspace_sim::engine::EventQueue;
@@ -289,58 +307,224 @@ fn fresh_link(capacity_bps: f64, latency_s: f64, now_s: f64) -> Link {
     }
 }
 
-/// Run the simulation on a static topology snapshot. The input graph
-/// supplies topology, capacities and latencies; queues and measured
-/// loads live inside the simulator.
+/// Where the simulation gets its topology from.
+#[derive(Clone, Copy)]
+enum TopologySource<'a> {
+    /// One frozen snapshot for the whole run.
+    Static(&'a Graph),
+    /// Fresh snapshots on demand, every `interval_s` seconds.
+    Provider {
+        provider: &'a dyn TopologyProvider,
+        interval_s: f64,
+    },
+    /// A precomputed timeline replayed by delta application.
+    Timeline(&'a TopologyTimeline),
+}
+
+/// The packet-level simulation driver: one builder for every
+/// combination of routing mode, fault plan, and topology source that
+/// used to be a separate `run_netsim*` entry point.
 ///
-/// Fails with [`ConfigError`] on empty flows, out-of-range nodes, or
-/// non-positive durations/rates/intervals.
+/// ```
+/// use openspace_core::netsim::{FlowSpec, NetSim, NetSimConfig, TrafficKind};
+/// use openspace_net::topology::{Graph, LinkTech};
+///
+/// let mut g = Graph::new(2, 0);
+/// g.add_bidirectional(0, 1, 0.002, 1e6, 0, 0, LinkTech::Rf);
+/// let flows = [FlowSpec::new(0, 1, 1e5, 1_500, TrafficKind::Cbr)];
+/// let report = NetSim::new(NetSimConfig::default())
+///     .with_snapshot(&g)
+///     .run(&flows)
+///     .unwrap();
+/// assert!(report.delivery_ratio > 0.99);
+/// ```
+///
+/// Exactly one topology source must be set before
+/// [`run`](Self::run) — [`with_snapshot`](Self::with_snapshot),
+/// [`with_provider`](Self::with_provider), or
+/// [`with_timeline`](Self::with_timeline); setting another replaces the
+/// previous one. Faults ([`with_faults`](Self::with_faults)) compose
+/// with any source.
+#[derive(Clone, Copy)]
+pub struct NetSim<'a> {
+    cfg: NetSimConfig,
+    topology: Option<TopologySource<'a>>,
+    events: &'a [TopologyEvent],
+}
+
+impl<'a> NetSim<'a> {
+    /// A driver with the given config and no topology source yet.
+    pub fn new(cfg: NetSimConfig) -> Self {
+        Self {
+            cfg,
+            topology: None,
+            events: &[],
+        }
+    }
+
+    /// Simulate on one static topology snapshot. The graph supplies
+    /// topology, capacities and latencies; queues and measured loads
+    /// live inside the simulator.
+    pub fn with_snapshot(mut self, graph: &'a Graph) -> Self {
+        self.topology = Some(TopologySource::Static(graph));
+        self
+    }
+
+    /// Simulate over a *moving* constellation: `provider` supplies
+    /// fresh snapshots every `resnapshot_interval_s`, modeling the
+    /// "rapidly changing network topology" of the paper's Figure 1.
+    /// Links that persist across a refresh keep their queues; packets
+    /// queued on a vanished link are dropped (the handover cost of ISL
+    /// churn, counted under `netsim.resnapshot.packets_dropped`), and
+    /// all routes are recomputed on the new snapshot.
+    pub fn with_provider(
+        mut self,
+        provider: &'a dyn TopologyProvider,
+        resnapshot_interval_s: f64,
+    ) -> Self {
+        self.topology = Some(TopologySource::Provider {
+            provider,
+            interval_s: resnapshot_interval_s,
+        });
+        self
+    }
+
+    /// Simulate over a precomputed [`TopologyTimeline`]: behaves
+    /// exactly like [`with_provider`](Self::with_provider) at the
+    /// timeline's step, but each refresh *applies the precomputed
+    /// delta* instead of rebuilding the snapshot — bit-identical
+    /// reports, a fraction of the work. The timeline must start at
+    /// `t = 0` and cover the configured duration.
+    pub fn with_timeline(mut self, timeline: &'a TopologyTimeline) -> Self {
+        self.topology = Some(TopologySource::Timeline(timeline));
+        self
+    }
+
+    /// Consume a fault plan during the run: `events` is the
+    /// time-ordered output of
+    /// [`FaultPlan::compile`](openspace_sim::fault::FaultPlan::compile).
+    /// Failed links lose their queued packets; packets in flight toward
+    /// a dead node are lost on arrival; flows whose path broke are
+    /// re-routed on the degraded topology (in both routing modes —
+    /// failure detection is not congestion adaptation). Recoveries
+    /// restore links with empty queues. An empty stream changes
+    /// nothing, bit for bit.
+    pub fn with_faults(mut self, events: &'a [TopologyEvent]) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Run the simulation.
+    ///
+    /// Fails with [`ConfigError`] on a missing topology source, empty
+    /// flows, out-of-range nodes, non-positive
+    /// durations/rates/intervals, or a timeline that starts after
+    /// `t = 0` or ends before the configured duration.
+    pub fn run(&self, flows: &[FlowSpec]) -> Result<NetSimReport, ConfigError> {
+        self.run_recorded(flows, &mut NullRecorder)
+    }
+
+    /// [`run`](Self::run) with telemetry: packet counters
+    /// (`netsim.generated` / `delivered` / `dropped` / `unroutable`),
+    /// the end-to-end latency histogram (`netsim.latency_s`, plus a
+    /// `netsim.flow.<i>.latency_s` histogram per flow when the recorder
+    /// is enabled), re-plan / re-snapshot counters
+    /// (`netsim.resnapshot.links_kept` / `links_churned` /
+    /// `packets_dropped`, and `netsim.timeline.deltas_applied` on the
+    /// timeline path), the fault block when faults are present
+    /// (`netsim.fault.*`), routing work from the underlying searches,
+    /// and the engine's event count and queue-depth high-water mark.
+    /// The returned report is bit-identical to [`run`](Self::run)'s —
+    /// recording never perturbs the simulation.
+    pub fn run_recorded(
+        &self,
+        flows: &[FlowSpec],
+        rec: &mut dyn Recorder,
+    ) -> Result<NetSimReport, ConfigError> {
+        let source = self.topology.ok_or(ConfigError::Empty {
+            field: "netsim.topology",
+        })?;
+        match source {
+            TopologySource::Static(_) => {}
+            TopologySource::Provider { interval_s, .. } => {
+                require_positive("resnapshot_interval_s", interval_s)?;
+            }
+            TopologySource::Timeline(tl) => {
+                if tl.start_s() != 0.0 {
+                    return Err(ConfigError::OutOfRange {
+                        field: "timeline.start_s",
+                        value: tl.start_s(),
+                        min: 0.0,
+                        max: 0.0,
+                    });
+                }
+                // Replay the event-schedule accumulation to count the
+                // resnapshots this run will fire; the timeline must
+                // hold a delta for each.
+                let mut needed = 0usize;
+                let mut t = tl.step_s();
+                while t <= self.cfg.duration_s {
+                    needed += 1;
+                    let next = t + tl.step_s();
+                    if next == t {
+                        break; // fp-stalled accumulation cannot fire more events
+                    }
+                    t = next;
+                }
+                if tl.delta_count() < needed {
+                    return Err(ConfigError::IndexOutOfRange {
+                        field: "timeline.delta_count",
+                        index: needed,
+                        len: tl.delta_count(),
+                    });
+                }
+            }
+        }
+        run_netsim_inner(source, flows, &self.cfg, self.events, rec)
+    }
+}
+
+/// Run the simulation on a static topology snapshot.
+#[deprecated(note = "use `NetSim::new(cfg).with_snapshot(graph).run(flows)`")]
 pub fn run_netsim(
     graph: &Graph,
     flows: &[FlowSpec],
     cfg: &NetSimConfig,
 ) -> Result<NetSimReport, ConfigError> {
-    run_netsim_inner(graph.clone(), None, flows, cfg, &[], &mut NullRecorder)
+    NetSim::new(*cfg).with_snapshot(graph).run(flows)
 }
 
-/// [`run_netsim`] with telemetry: packet counters
-/// (`netsim.generated` / `delivered` / `dropped` / `unroutable`),
-/// the end-to-end latency histogram (`netsim.latency_s`, plus a
-/// `netsim.flow.<i>.latency_s` histogram per flow when the recorder is
-/// enabled), re-plan / re-snapshot counters, routing work from the
-/// underlying searches, and the engine's event count and queue-depth
-/// high-water mark. The returned report is bit-identical to
-/// [`run_netsim`]'s — recording never perturbs the simulation.
+/// [`run_netsim`] with telemetry.
+#[deprecated(note = "use `NetSim::new(cfg).with_snapshot(graph).run_recorded(flows, rec)`")]
 pub fn run_netsim_recorded(
     graph: &Graph,
     flows: &[FlowSpec],
     cfg: &NetSimConfig,
     rec: &mut dyn Recorder,
 ) -> Result<NetSimReport, ConfigError> {
-    run_netsim_inner(graph.clone(), None, flows, cfg, &[], rec)
+    NetSim::new(*cfg)
+        .with_snapshot(graph)
+        .run_recorded(flows, rec)
 }
 
-/// Run the simulation with a fault plan: `events` is the time-ordered
-/// output of [`FaultPlan::compile`](openspace_sim::fault::FaultPlan::compile).
-/// Failed links lose their queued packets; packets in flight toward a
-/// dead node are lost on arrival; flows whose path broke are re-routed
-/// on the degraded topology (in both routing modes — failure detection
-/// is not congestion adaptation). Recoveries restore links with empty
-/// queues. With an empty `events` the result is bit-for-bit identical
-/// to [`run_netsim`].
+/// Run the simulation with a fault plan.
+#[deprecated(note = "use `NetSim::new(cfg).with_snapshot(graph).with_faults(events).run(flows)`")]
 pub fn run_netsim_faulted(
     graph: &Graph,
     flows: &[FlowSpec],
     cfg: &NetSimConfig,
     events: &[TopologyEvent],
 ) -> Result<NetSimReport, ConfigError> {
-    run_netsim_inner(graph.clone(), None, flows, cfg, events, &mut NullRecorder)
+    NetSim::new(*cfg)
+        .with_snapshot(graph)
+        .with_faults(events)
+        .run(flows)
 }
 
-/// [`run_netsim_faulted`] with telemetry: everything
-/// [`run_netsim_recorded`] reports, plus the fault block —
-/// `netsim.fault.events_applied` / `packets_lost` / `reassociations`
-/// counters and the `netsim.fault.node_availability` gauge.
+/// [`run_netsim_faulted`] with telemetry.
+#[deprecated(
+    note = "use `NetSim::new(cfg).with_snapshot(graph).with_faults(events).run_recorded(flows, rec)`"
+)]
 pub fn run_netsim_faulted_recorded(
     graph: &Graph,
     flows: &[FlowSpec],
@@ -348,32 +532,33 @@ pub fn run_netsim_faulted_recorded(
     events: &[TopologyEvent],
     rec: &mut dyn Recorder,
 ) -> Result<NetSimReport, ConfigError> {
-    run_netsim_inner(graph.clone(), None, flows, cfg, events, rec)
+    NetSim::new(*cfg)
+        .with_snapshot(graph)
+        .with_faults(events)
+        .run_recorded(flows, rec)
 }
 
-/// Run the simulation over a *moving* constellation: `topology_at(t)`
-/// supplies fresh snapshots every `resnapshot_interval_s`, modeling the
-/// "rapidly changing network topology" of the paper's Figure 1. Links
-/// that persist across a refresh keep their queues; packets queued on a
-/// vanished link are dropped (the handover cost of ISL churn), and all
-/// routes are recomputed on the new snapshot.
+/// Run the simulation over a moving constellation.
+#[deprecated(
+    note = "use `NetSim::new(cfg).with_provider(&provider, interval).run(flows)` \
+            (or `with_timeline` for precomputed dynamics)"
+)]
 pub fn run_netsim_dynamic(
     topology_at: &dyn Fn(f64) -> Graph,
     resnapshot_interval_s: f64,
     flows: &[FlowSpec],
     cfg: &NetSimConfig,
 ) -> Result<NetSimReport, ConfigError> {
-    run_netsim_dynamic_recorded(
-        topology_at,
-        resnapshot_interval_s,
-        flows,
-        cfg,
-        &mut NullRecorder,
-    )
+    NetSim::new(*cfg)
+        .with_provider(&topology_at, resnapshot_interval_s)
+        .run(flows)
 }
 
-/// [`run_netsim_dynamic`] with telemetry (see [`run_netsim_recorded`]);
-/// each topology refresh additionally bumps `netsim.resnapshots`.
+/// [`run_netsim_dynamic`] with telemetry.
+#[deprecated(
+    note = "use `NetSim::new(cfg).with_provider(&provider, interval).run_recorded(flows, rec)` \
+            (or `with_timeline` for precomputed dynamics)"
+)]
 pub fn run_netsim_dynamic_recorded(
     topology_at: &dyn Fn(f64) -> Graph,
     resnapshot_interval_s: f64,
@@ -381,15 +566,9 @@ pub fn run_netsim_dynamic_recorded(
     cfg: &NetSimConfig,
     rec: &mut dyn Recorder,
 ) -> Result<NetSimReport, ConfigError> {
-    require_positive("resnapshot_interval_s", resnapshot_interval_s)?;
-    run_netsim_inner(
-        topology_at(0.0),
-        Some((topology_at, resnapshot_interval_s)),
-        flows,
-        cfg,
-        &[],
-        rec,
-    )
+    NetSim::new(*cfg)
+        .with_provider(&topology_at, resnapshot_interval_s)
+        .run_recorded(flows, rec)
 }
 
 fn validate(
@@ -448,15 +627,35 @@ fn validate(
 }
 
 fn run_netsim_inner(
-    graph: Graph,
-    dynamics: Option<(&dyn Fn(f64) -> Graph, f64)>,
+    source: TopologySource<'_>,
     flows: &[FlowSpec],
     cfg: &NetSimConfig,
     events: &[TopologyEvent],
     rec: &mut dyn Recorder,
 ) -> Result<NetSimReport, ConfigError> {
+    let graph = match source {
+        TopologySource::Static(g) => g.clone(),
+        TopologySource::Provider { provider, .. } => provider.topology_at(0.0),
+        TopologySource::Timeline(tl) => tl.base().clone(),
+    };
     let graph = &graph;
     validate(graph, flows, cfg, events)?;
+    let resnapshot_interval = match source {
+        TopologySource::Static(_) => None,
+        TopologySource::Provider { interval_s, .. } => Some(interval_s),
+        TopologySource::Timeline(tl) => Some(tl.step_s()),
+    };
+    // The timeline path patches a *pristine* mirror of the provider's
+    // snapshots — never touched by load writes or fault surgery — so
+    // `pristine.clone()` at a resnapshot reproduces, bit for bit, the
+    // `provider.topology_at(now)` assignment of the rebuild path.
+    let mut pristine: Option<Graph> = match source {
+        TopologySource::Timeline(tl) => Some(tl.base().clone()),
+        _ => None,
+    };
+    // Cursor into the timeline's delta sequence: the k-th resnapshot
+    // event applies delta k (coverage validated by the driver).
+    let mut tick: usize = 0;
 
     // Per-flow histogram keys are only materialized when someone is
     // listening — a NullRecorder run never formats a string.
@@ -512,7 +711,7 @@ fn run_netsim_inner(
         }
         RoutingMode::Proactive => None,
     };
-    if let Some((_, interval)) = dynamics {
+    if let Some(interval) = resnapshot_interval {
         q.schedule(interval, Ev::Resnapshot);
     }
     for (idx, ev) in events.iter().enumerate() {
@@ -667,36 +866,93 @@ fn run_netsim_inner(
             q.schedule(now + interval, Ev::Replan);
         }
         Ev::Resnapshot => {
-            let Some((provider, interval)) = dynamics else {
+            let Some(interval) = resnapshot_interval else {
                 return; // resnapshot only ticks in dynamic mode
             };
-            let fresh = provider(now);
-            work_graph = fresh;
-            // Rebuild link state: persistent links keep queues and EWMA;
-            // vanished links drop their queued packets; new links start
-            // empty.
-            let mut new_links: HashMap<(NodeId, NodeId), Link> = HashMap::new();
-            for u in 0..work_graph.node_count() {
-                for e in work_graph.edges(u) {
-                    let link = match links.remove(&(NodeId(u), e.to)) {
-                        Some(mut old) => {
-                            old.capacity_bps = e.capacity_bps;
-                            old.latency_s = e.latency_s;
-                            old
+            let adaptive = replan_interval.is_some();
+            match source {
+                TopologySource::Static(_) => return, // unscheduled; unreachable
+                TopologySource::Provider { provider, .. } => {
+                    // Full rebuild: fresh snapshot, link state carried
+                    // over by key.
+                    work_graph = provider.topology_at(now);
+                    let (kept, churned, lost) = rebuild_links(&work_graph, &mut links, now);
+                    dropped += lost;
+                    rec.add("netsim.resnapshot.links_kept", kept);
+                    rec.add("netsim.resnapshot.links_churned", churned);
+                    rec.add("netsim.resnapshot.packets_dropped", lost);
+                    // Recompute every route on the new topology.
+                    planner.invalidate();
+                }
+                TopologySource::Timeline(tl) => {
+                    let delta = tl
+                        .delta(tick)
+                        .expect("delta coverage validated before the run");
+                    tick += 1;
+                    let mirror = pristine
+                        .as_mut()
+                        .expect("timeline runs keep a pristine mirror");
+                    mirror
+                        .apply_delta(delta)
+                        .expect("consecutive timeline deltas always chain");
+                    rec.add("netsim.timeline.deltas_applied", 1);
+                    if events.is_empty() {
+                        // No fault surgery has touched the link map, so
+                        // its keys mirror the previous snapshot's edges
+                        // exactly and the delta's edge views are a
+                        // complete description of the churn: patch the
+                        // map in place instead of rebuilding it.
+                        let removed = delta.edges_removed();
+                        let added = delta.edges_added();
+                        let kept = (links.len() - removed.len()) as u64;
+                        let mut lost = 0u64;
+                        for &(u, v) in &removed {
+                            if let Some(link) = links.remove(&(u, v)) {
+                                lost += link.queue.len() as u64;
+                            }
                         }
-                        None => fresh_link(e.capacity_bps, e.latency_s, now),
-                    };
-                    new_links.insert((NodeId(u), e.to), link);
+                        dropped += lost;
+                        for (u, e) in &added {
+                            links.insert((*u, e.to), fresh_link(e.capacity_bps, e.latency_s, now));
+                        }
+                        for (u, e) in delta.edges_changed() {
+                            if let Some(link) = links.get_mut(&(u, e.to)) {
+                                link.capacity_bps = e.capacity_bps;
+                                link.latency_s = e.latency_s;
+                            }
+                        }
+                        rec.add("netsim.resnapshot.links_kept", kept);
+                        rec.add(
+                            "netsim.resnapshot.links_churned",
+                            (removed.len() + added.len()) as u64,
+                        );
+                        rec.add("netsim.resnapshot.packets_dropped", lost);
+                        work_graph = mirror.clone();
+                        if adaptive {
+                            // Loads were reset by the fresh work graph
+                            // and cached trees were grown under the old
+                            // loads: nothing can be kept.
+                            planner.invalidate();
+                        } else if !delta.is_empty() {
+                            planner.retain_for_changed_rows(&delta.changed_nodes(), rec);
+                        }
+                        // Empty delta in proactive mode: the graph is
+                        // bit-identical, every cached tree stays valid.
+                    } else {
+                        // Fault surgery may have removed links the
+                        // fresh snapshot resurrects; fall back to the
+                        // full key-carrying rebuild (still skipping the
+                        // from-orbital-state snapshot build).
+                        work_graph = mirror.clone();
+                        let (kept, churned, lost) = rebuild_links(&work_graph, &mut links, now);
+                        dropped += lost;
+                        rec.add("netsim.resnapshot.links_kept", kept);
+                        rec.add("netsim.resnapshot.links_churned", churned);
+                        rec.add("netsim.resnapshot.packets_dropped", lost);
+                        planner.invalidate();
+                    }
                 }
             }
-            // Anything left in `links` vanished: its queue is lost.
-            for (_, link) in links.drain() {
-                dropped += link.queue.len() as u64;
-            }
-            links = new_links;
-            // Recompute every route on the new topology.
-            planner.invalidate();
-            let adaptive = replan_interval.is_some();
             routes = plan_flow_routes(&mut planner, &work_graph, flows, &flow_idxs, adaptive, rec);
             rec.add("netsim.resnapshots", 1);
             q.schedule(now + interval, Ev::Resnapshot);
@@ -896,6 +1152,46 @@ fn plan_flow_routes(
         .collect()
 }
 
+/// Rebuild the link map against a fresh snapshot: persistent links keep
+/// their queues and EWMA (capacity/latency refreshed from the new
+/// edge), vanished links lose their queued packets, new links start
+/// empty. Returns `(links_kept, links_churned, packets_dropped)` —
+/// churn counts both created and vanished directed links.
+fn rebuild_links(
+    work_graph: &Graph,
+    links: &mut HashMap<(NodeId, NodeId), Link>,
+    now: f64,
+) -> (u64, u64, u64) {
+    let mut new_links: HashMap<(NodeId, NodeId), Link> = HashMap::new();
+    let mut kept = 0u64;
+    let mut churned = 0u64;
+    for u in 0..work_graph.node_count() {
+        for e in work_graph.edges(u) {
+            let link = match links.remove(&(NodeId(u), e.to)) {
+                Some(mut old) => {
+                    kept += 1;
+                    old.capacity_bps = e.capacity_bps;
+                    old.latency_s = e.latency_s;
+                    old
+                }
+                None => {
+                    churned += 1;
+                    fresh_link(e.capacity_bps, e.latency_s, now)
+                }
+            };
+            new_links.insert((NodeId(u), e.to), link);
+        }
+    }
+    // Anything left in `links` vanished: its queue is lost.
+    let mut lost = 0u64;
+    for (_, link) in links.drain() {
+        churned += 1;
+        lost += link.queue.len() as u64;
+    }
+    *links = new_links;
+    (kept, churned, lost)
+}
+
 /// Enqueue `pkt` on its next-hop link, starting transmission if idle.
 #[allow(clippy::too_many_arguments)] // internal hot path, all state threaded
 fn forward(
@@ -956,7 +1252,10 @@ mod tests {
     #[test]
     fn light_load_delivers_everything_at_propagation_latency() {
         let g = diamond(10e6);
-        let r = run_netsim(&g, &[flow(0, 3, 1e5)], &NetSimConfig::default()).unwrap();
+        let r = NetSim::new(NetSimConfig::default())
+            .with_snapshot(&g)
+            .run(&[flow(0, 3, 1e5)])
+            .unwrap();
         assert!(r.delivery_ratio > 0.99, "ratio {}", r.delivery_ratio);
         assert_eq!(r.dropped, 0);
         // 2 hops x 2 ms + 2 serializations of 12 kbit at 10 Mbit/s.
@@ -973,7 +1272,10 @@ mod tests {
     fn overload_drops_packets() {
         let g = diamond(1e6);
         // 3 Mbit/s offered into a 1 Mbit/s path.
-        let r = run_netsim(&g, &[flow(0, 3, 3e6)], &NetSimConfig::default()).unwrap();
+        let r = NetSim::new(NetSimConfig::default())
+            .with_snapshot(&g)
+            .run(&[flow(0, 3, 3e6)])
+            .unwrap();
         assert!(r.dropped > 0);
         assert!(r.delivery_ratio < 0.5, "ratio {}", r.delivery_ratio);
         assert!(r.max_link_utilization > 0.9);
@@ -982,15 +1284,14 @@ mod tests {
     #[test]
     fn conservation_holds() {
         let g = diamond(2e6);
-        let r = run_netsim(
-            &g,
-            &[flow(0, 3, 1.5e6), flow(3, 0, 0.5e6)],
-            &NetSimConfig {
-                duration_s: 10.0,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let cfg = NetSimConfig {
+            duration_s: 10.0,
+            ..Default::default()
+        };
+        let r = NetSim::new(cfg)
+            .with_snapshot(&g)
+            .run(&[flow(0, 3, 1.5e6), flow(3, 0, 0.5e6)])
+            .unwrap();
         // Everything generated is delivered, dropped, unroutable, or
         // still in flight (bounded by queue depth + links).
         let in_flight = r.generated - r.delivered - r.dropped - r.unroutable;
@@ -1003,26 +1304,22 @@ mod tests {
         // overload it; adaptive re-planning moves one to the bypass.
         let g = diamond(2e6);
         let flows = [flow(0, 3, 1.4e6), flow(0, 3, 1.4e6)];
-        let pro = run_netsim(
-            &g,
-            &flows,
-            &NetSimConfig {
-                duration_s: 20.0,
-                ..Default::default()
-            },
-        )
+        let pro = NetSim::new(NetSimConfig {
+            duration_s: 20.0,
+            ..Default::default()
+        })
+        .with_snapshot(&g)
+        .run(&flows)
         .unwrap();
-        let ada = run_netsim(
-            &g,
-            &flows,
-            &NetSimConfig {
-                duration_s: 20.0,
-                routing: RoutingMode::Adaptive {
-                    replan_interval_s: 1.0,
-                },
-                ..Default::default()
+        let ada = NetSim::new(NetSimConfig {
+            duration_s: 20.0,
+            routing: RoutingMode::Adaptive {
+                replan_interval_s: 1.0,
             },
-        )
+            ..Default::default()
+        })
+        .with_snapshot(&g)
+        .run(&flows)
         .unwrap();
         assert!(
             ada.delivery_ratio > pro.delivery_ratio + 0.1,
@@ -1040,8 +1337,9 @@ mod tests {
             duration_s: 30.0,
             ..Default::default()
         };
-        let cbr = run_netsim(&g, &[mk(TrafficKind::Cbr)], &cfg).unwrap();
-        let poi = run_netsim(&g, &[mk(TrafficKind::Poisson)], &cfg).unwrap();
+        let sim = NetSim::new(cfg).with_snapshot(&g);
+        let cbr = sim.run(&[mk(TrafficKind::Cbr)]).unwrap();
+        let poi = sim.run(&[mk(TrafficKind::Poisson)]).unwrap();
         let ratio = poi.generated as f64 / cbr.generated as f64;
         assert!((ratio - 1.0).abs() < 0.1, "ratio {ratio}");
         // Poisson burstiness raises p95 latency.
@@ -1052,14 +1350,12 @@ mod tests {
     fn unroutable_flow_is_counted_not_crashed() {
         let mut g = Graph::new(3, 0);
         g.add_bidirectional(0, 1, 0.001, 1e6, 0, 0, LinkTech::Rf);
-        let r = run_netsim(
-            &g,
-            &[flow(0, 2, 1e5)],
-            &NetSimConfig {
-                duration_s: 5.0,
-                ..Default::default()
-            },
-        )
+        let r = NetSim::new(NetSimConfig {
+            duration_s: 5.0,
+            ..Default::default()
+        })
+        .with_snapshot(&g)
+        .run(&[flow(0, 2, 1e5)])
         .unwrap();
         assert_eq!(r.delivered, 0);
         assert!(r.unroutable > 0);
@@ -1070,26 +1366,47 @@ mod tests {
     fn deterministic_under_seed() {
         let g = diamond(2e6);
         let flows = [FlowSpec::new(0, 3, 1e6, 1_200, TrafficKind::Poisson)];
-        let cfg = NetSimConfig {
+        let sim = NetSim::new(NetSimConfig {
             duration_s: 10.0,
             seed: 7,
             ..Default::default()
-        };
-        let a = run_netsim(&g, &flows, &cfg).unwrap();
-        let b = run_netsim(&g, &flows, &cfg).unwrap();
+        })
+        .with_snapshot(&g);
+        let a = sim.run(&flows).unwrap();
+        let b = sim.run(&flows).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn empty_flows_is_a_config_error() {
-        let err = run_netsim(&diamond(1e6), &[], &NetSimConfig::default()).unwrap_err();
+        let g = diamond(1e6);
+        let err = NetSim::new(NetSimConfig::default())
+            .with_snapshot(&g)
+            .run(&[])
+            .unwrap_err();
         assert_eq!(err, ConfigError::Empty { field: "flows" });
     }
 
     #[test]
+    fn missing_topology_is_a_config_error() {
+        let err = NetSim::new(NetSimConfig::default())
+            .run(&[flow(0, 1, 1e5)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::Empty {
+                field: "netsim.topology"
+            }
+        );
+    }
+
+    #[test]
     fn out_of_range_flow_is_a_config_error() {
-        let err =
-            run_netsim(&diamond(1e6), &[flow(0, 9, 1e5)], &NetSimConfig::default()).unwrap_err();
+        let g = diamond(1e6);
+        let err = NetSim::new(NetSimConfig::default())
+            .with_snapshot(&g)
+            .run(&[flow(0, 9, 1e5)])
+            .unwrap_err();
         assert!(matches!(err, ConfigError::IndexOutOfRange { .. }));
     }
 
@@ -1119,8 +1436,12 @@ mod tests {
             duration_s: 10.0,
             ..Default::default()
         };
-        let stat = run_netsim(&g, &flows, &cfg).unwrap();
-        let dynamic = run_netsim_dynamic(&|_t| g.clone(), 2.0, &flows, &cfg).unwrap();
+        let stat = NetSim::new(cfg).with_snapshot(&g).run(&flows).unwrap();
+        let provider = |_t: f64| g.clone();
+        let dynamic = NetSim::new(cfg)
+            .with_provider(&provider, 2.0)
+            .run(&flows)
+            .unwrap();
         assert_eq!(stat.generated, dynamic.generated);
         assert_eq!(stat.delivered, dynamic.delivered);
         assert_eq!(stat.dropped, dynamic.dropped);
@@ -1148,7 +1469,10 @@ mod tests {
             duration_s: 20.0,
             ..Default::default()
         };
-        let r = run_netsim_dynamic(&provider, 1.0, &flows, &cfg).unwrap();
+        let r = NetSim::new(cfg)
+            .with_provider(&provider, 1.0)
+            .run(&flows)
+            .unwrap();
         // The flow keeps delivering after the handover to the slow path.
         assert!(
             r.delivery_ratio > 0.95,
@@ -1170,7 +1494,10 @@ mod tests {
             duration_s: 10.0,
             ..Default::default()
         };
-        let r = run_netsim_dynamic(&provider, 1.0, &flows, &cfg).unwrap();
+        let r = NetSim::new(cfg)
+            .with_provider(&provider, 1.0)
+            .run(&flows)
+            .unwrap();
         assert!(r.unroutable > 0, "post-blackout packets are unroutable");
         assert!(r.delivered > 0, "pre-blackout packets were delivered");
     }
@@ -1178,13 +1505,11 @@ mod tests {
     #[test]
     fn zero_resnapshot_interval_is_a_config_error() {
         let g = diamond(1e6);
-        let err = run_netsim_dynamic(
-            &|_| g.clone(),
-            0.0,
-            &[flow(0, 3, 1e5)],
-            &NetSimConfig::default(),
-        )
-        .unwrap_err();
+        let provider = |_t: f64| g.clone();
+        let err = NetSim::new(NetSimConfig::default())
+            .with_provider(&provider, 0.0)
+            .run(&[flow(0, 3, 1e5)])
+            .unwrap_err();
         assert_eq!(
             err,
             ConfigError::NonPositive {
@@ -1202,14 +1527,15 @@ mod tests {
             FlowSpec::new(0, 3, 1e6, 1_200, TrafficKind::Poisson),
             flow(3, 0, 0.5e6),
         ];
-        let cfg = NetSimConfig {
+        let sim = NetSim::new(NetSimConfig {
             duration_s: 10.0,
             seed: 11,
             ..Default::default()
-        };
-        let plain = run_netsim(&g, &flows, &cfg).unwrap();
+        })
+        .with_snapshot(&g);
+        let plain = sim.run(&flows).unwrap();
         let mut rec = MemoryRecorder::new();
-        let recorded = run_netsim_recorded(&g, &flows, &cfg, &mut rec).unwrap();
+        let recorded = sim.run_recorded(&flows, &mut rec).unwrap();
         assert_eq!(plain, recorded, "telemetry must not perturb the sim");
         assert_eq!(
             plain.mean_latency_s.to_bits(),
@@ -1237,20 +1563,228 @@ mod tests {
         use openspace_telemetry::MemoryRecorder;
         let g = diamond(2e6);
         let flows = [flow(0, 3, 1.4e6), flow(0, 3, 1.4e6)];
-        let cfg = NetSimConfig {
+        let sim = NetSim::new(NetSimConfig {
             duration_s: 10.0,
             routing: RoutingMode::Adaptive {
                 replan_interval_s: 1.0,
             },
             ..Default::default()
-        };
-        let plain = run_netsim(&g, &flows, &cfg).unwrap();
+        })
+        .with_snapshot(&g);
+        let plain = sim.run(&flows).unwrap();
         let mut rec = MemoryRecorder::new();
-        let recorded = run_netsim_recorded(&g, &flows, &cfg, &mut rec).unwrap();
+        let recorded = sim.run_recorded(&flows, &mut rec).unwrap();
         assert_eq!(plain, recorded);
         assert!(rec.counter("netsim.replans") >= 9, "one per interval");
         // Every replan re-routes both flows, plus the initial pass.
         assert!(rec.counter("routing.recomputes") >= 2 + 9 * 2);
+    }
+
+    // ---- timeline-driven runs ----
+
+    /// A provider whose fast path flips between snapshots, plus a
+    /// latency drift, so consecutive snapshots have non-empty deltas.
+    fn churning_provider(t: f64) -> Graph {
+        let mut g = Graph::new(4, 0);
+        g.add_bidirectional(0, 2, 0.006, 5e6, 0, 0, LinkTech::Rf);
+        g.add_bidirectional(2, 3, 0.006 + t * 1e-7, 5e6, 0, 0, LinkTech::Rf);
+        if (t / 4.0).floor() as i64 % 2 == 0 {
+            g.add_bidirectional(0, 1, 0.002, 5e6, 0, 0, LinkTech::Rf);
+            g.add_bidirectional(1, 3, 0.002, 5e6, 0, 0, LinkTech::Rf);
+        }
+        g
+    }
+
+    #[test]
+    fn timeline_run_matches_provider_run_bit_for_bit() {
+        let flows = [flow(0, 3, 1e6), flow(3, 0, 0.5e6)];
+        for routing in [
+            RoutingMode::Proactive,
+            RoutingMode::Adaptive {
+                replan_interval_s: 2.5,
+            },
+        ] {
+            let cfg = NetSimConfig {
+                duration_s: 20.0,
+                routing,
+                ..Default::default()
+            };
+            let via_provider = NetSim::new(cfg)
+                .with_provider(&churning_provider, 1.0)
+                .run(&flows)
+                .unwrap();
+            let tl = TopologyTimeline::build(&churning_provider, 0.0, 1.0, 20.0, 2).unwrap();
+            let via_timeline = NetSim::new(cfg).with_timeline(&tl).run(&flows).unwrap();
+            assert_eq!(via_provider, via_timeline, "routing {routing:?}");
+            assert_eq!(
+                via_provider.mean_latency_s.to_bits(),
+                via_timeline.mean_latency_s.to_bits()
+            );
+            assert_eq!(
+                via_provider.p95_latency_s.to_bits(),
+                via_timeline.p95_latency_s.to_bits()
+            );
+            assert_eq!(
+                via_provider.max_link_utilization.to_bits(),
+                via_timeline.max_link_utilization.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn timeline_run_with_faults_matches_provider_run() {
+        let plan = FaultPlan::builder()
+            .sat_outage(1usize, 3.0, 6.0)
+            .build()
+            .unwrap();
+        let events = compile_plan(&plan, 4);
+        let flows = [flow(0, 3, 1e6)];
+        let cfg = NetSimConfig {
+            duration_s: 15.0,
+            ..Default::default()
+        };
+        let via_provider = NetSim::new(cfg)
+            .with_provider(&churning_provider, 1.0)
+            .with_faults(&events)
+            .run(&flows)
+            .unwrap();
+        let tl = TopologyTimeline::build(&churning_provider, 0.0, 1.0, 15.0, 1).unwrap();
+        let via_timeline = NetSim::new(cfg)
+            .with_timeline(&tl)
+            .with_faults(&events)
+            .run(&flows)
+            .unwrap();
+        assert_eq!(via_provider, via_timeline);
+    }
+
+    #[test]
+    fn timeline_run_reports_delta_counters() {
+        use openspace_telemetry::MemoryRecorder;
+        let flows = [flow(0, 3, 1e6)];
+        let cfg = NetSimConfig {
+            duration_s: 10.0,
+            ..Default::default()
+        };
+        let tl = TopologyTimeline::build(&churning_provider, 0.0, 1.0, 10.0, 1).unwrap();
+        let mut rec = MemoryRecorder::new();
+        NetSim::new(cfg)
+            .with_timeline(&tl)
+            .run_recorded(&flows, &mut rec)
+            .unwrap();
+        let resnapshots = rec.counter("netsim.resnapshots");
+        assert_eq!(resnapshots, 10);
+        assert_eq!(rec.counter("netsim.timeline.deltas_applied"), resnapshots);
+        assert!(
+            rec.counter("netsim.resnapshot.links_kept") > 0,
+            "the slow path persists across every refresh"
+        );
+        assert!(
+            rec.counter("netsim.resnapshot.links_churned") > 0,
+            "the fast path flips every 4 s"
+        );
+    }
+
+    #[test]
+    fn resnapshot_packet_drops_are_counted_dedicated() {
+        use openspace_telemetry::MemoryRecorder;
+        // A saturated link that vanishes at the first resnapshot: its
+        // queue dies with it and must show up under the dedicated
+        // counter on both dynamic paths.
+        let full = diamond(1e6);
+        let empty = Graph::new(4, 0);
+        let provider = move |t: f64| if t < 1.0 { full.clone() } else { empty.clone() };
+        let flows = [flow(0, 3, 3e6)];
+        let cfg = NetSimConfig {
+            duration_s: 4.0,
+            ..Default::default()
+        };
+        let mut rec_p = MemoryRecorder::new();
+        let via_provider = NetSim::new(cfg)
+            .with_provider(&provider, 1.0)
+            .run_recorded(&flows, &mut rec_p)
+            .unwrap();
+        assert!(
+            rec_p.counter("netsim.resnapshot.packets_dropped") > 0,
+            "the saturated queue died at the refresh"
+        );
+        let tl = TopologyTimeline::build(&provider, 0.0, 1.0, 4.0, 1).unwrap();
+        let mut rec_t = MemoryRecorder::new();
+        let via_timeline = NetSim::new(cfg)
+            .with_timeline(&tl)
+            .run_recorded(&flows, &mut rec_t)
+            .unwrap();
+        assert_eq!(via_provider, via_timeline);
+        assert_eq!(
+            rec_p.counter("netsim.resnapshot.packets_dropped"),
+            rec_t.counter("netsim.resnapshot.packets_dropped"),
+            "both dynamic paths account the same churn losses"
+        );
+    }
+
+    #[test]
+    fn short_timeline_is_a_config_error() {
+        let flows = [flow(0, 3, 1e6)];
+        let cfg = NetSimConfig {
+            duration_s: 20.0,
+            ..Default::default()
+        };
+        // Covers only 5 s of a 20 s run.
+        let tl = TopologyTimeline::build(&churning_provider, 0.0, 1.0, 5.0, 1).unwrap();
+        let err = NetSim::new(cfg).with_timeline(&tl).run(&flows).unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::IndexOutOfRange {
+                field: "timeline.delta_count",
+                index: 20,
+                len: 5
+            }
+        );
+    }
+
+    #[test]
+    fn offset_timeline_is_a_config_error() {
+        let flows = [flow(0, 3, 1e6)];
+        let tl = TopologyTimeline::build(&churning_provider, 5.0, 1.0, 40.0, 1).unwrap();
+        let err = NetSim::new(NetSimConfig::default())
+            .with_timeline(&tl)
+            .run(&flows)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::OutOfRange {
+                field: "timeline.start_s",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_driver() {
+        let g = diamond(2e6);
+        let flows = [FlowSpec::new(0, 3, 1e6, 1_200, TrafficKind::Poisson)];
+        let cfg = NetSimConfig {
+            duration_s: 5.0,
+            seed: 13,
+            ..Default::default()
+        };
+        let driver = NetSim::new(cfg).with_snapshot(&g);
+        assert_eq!(
+            run_netsim(&g, &flows, &cfg).unwrap(),
+            driver.run(&flows).unwrap()
+        );
+        assert_eq!(
+            run_netsim_faulted(&g, &flows, &cfg, &[]).unwrap(),
+            driver.with_faults(&[]).run(&flows).unwrap()
+        );
+        let provider = |_t: f64| g.clone();
+        assert_eq!(
+            run_netsim_dynamic(&provider, 1.0, &flows, &cfg).unwrap(),
+            NetSim::new(cfg)
+                .with_provider(&provider, 1.0)
+                .run(&flows)
+                .unwrap()
+        );
     }
 
     // ---- fault-injection runs ----
@@ -1264,13 +1798,14 @@ mod tests {
     fn empty_fault_plan_reproduces_the_report_bit_for_bit() {
         let g = diamond(2e6);
         let flows = [FlowSpec::new(0, 3, 1e6, 1_200, TrafficKind::Poisson)];
-        let cfg = NetSimConfig {
+        let sim = NetSim::new(NetSimConfig {
             duration_s: 10.0,
             seed: 5,
             ..Default::default()
-        };
-        let plain = run_netsim(&g, &flows, &cfg).unwrap();
-        let faulted = run_netsim_faulted(&g, &flows, &cfg, &[]).unwrap();
+        })
+        .with_snapshot(&g);
+        let plain = sim.run(&flows).unwrap();
+        let faulted = sim.with_faults(&[]).run(&flows).unwrap();
         assert_eq!(plain, faulted);
         assert_eq!(
             plain.mean_latency_s.to_bits(),
@@ -1289,11 +1824,14 @@ mod tests {
             .unwrap();
         let events = compile_plan(&plan, 4);
         let flows = [flow(0, 3, 1e6)];
-        let cfg = NetSimConfig {
+        let r = NetSim::new(NetSimConfig {
             duration_s: 30.0,
             ..Default::default()
-        };
-        let r = run_netsim_faulted(&g, &flows, &cfg, &events).unwrap();
+        })
+        .with_snapshot(&g)
+        .with_faults(&events)
+        .run(&flows)
+        .unwrap();
         assert_eq!(r.fault.events_applied, 2);
         assert!(r.fault.reassociations >= 1, "flow re-routed around node 1");
         assert!(
@@ -1319,11 +1857,14 @@ mod tests {
             .unwrap();
         let events = compile_plan(&plan, 3);
         let flows = [flow(0, 2, 1e6)];
-        let cfg = NetSimConfig {
+        let r = NetSim::new(NetSimConfig {
             duration_s: 20.0,
             ..Default::default()
-        };
-        let r = run_netsim_faulted(&g, &flows, &cfg, &events).unwrap();
+        })
+        .with_snapshot(&g)
+        .with_faults(&events)
+        .run(&flows)
+        .unwrap();
         assert!(r.unroutable > 0, "post-fault packets have no route");
         assert!(r.delivered > 0, "pre-fault packets were delivered");
         assert!(r.delivery_ratio < 0.5);
@@ -1341,11 +1882,14 @@ mod tests {
             .unwrap();
         let events = compile_plan(&plan, 4);
         let flows = [flow(0, 3, 1e6)];
-        let cfg = NetSimConfig {
+        let r = NetSim::new(NetSimConfig {
             duration_s: 30.0,
             ..Default::default()
-        };
-        let r = run_netsim_faulted(&g, &flows, &cfg, &events).unwrap();
+        })
+        .with_snapshot(&g)
+        .with_faults(&events)
+        .run(&flows)
+        .unwrap();
         assert!(r.delivery_ratio > 0.9, "ratio {}", r.delivery_ratio);
         assert!(r.fault.reassociations >= 1);
         // Links, not nodes, failed: availability is untouched.
@@ -1362,13 +1906,15 @@ mod tests {
             .unwrap();
         let events = compile_plan(&plan, 4);
         let flows = [FlowSpec::new(0, 3, 1e6, 1_200, TrafficKind::Poisson)];
-        let cfg = NetSimConfig {
+        let sim = NetSim::new(NetSimConfig {
             duration_s: 20.0,
             seed: 3,
             ..Default::default()
-        };
-        let a = run_netsim_faulted(&g, &flows, &cfg, &events).unwrap();
-        let b = run_netsim_faulted(&g, &flows, &cfg, &events).unwrap();
+        })
+        .with_snapshot(&g)
+        .with_faults(&events);
+        let a = sim.run(&flows).unwrap();
+        let b = sim.run(&flows).unwrap();
         assert_eq!(a, b);
     }
 
@@ -1382,13 +1928,15 @@ mod tests {
             .unwrap();
         let events = compile_plan(&plan, 4);
         let flows = [flow(0, 3, 1e6)];
-        let cfg = NetSimConfig {
+        let sim = NetSim::new(NetSimConfig {
             duration_s: 30.0,
             ..Default::default()
-        };
-        let plain = run_netsim_faulted(&g, &flows, &cfg, &events).unwrap();
+        })
+        .with_snapshot(&g)
+        .with_faults(&events);
+        let plain = sim.run(&flows).unwrap();
         let mut rec = MemoryRecorder::new();
-        let recorded = run_netsim_faulted_recorded(&g, &flows, &cfg, &events, &mut rec).unwrap();
+        let recorded = sim.run_recorded(&flows, &mut rec).unwrap();
         assert_eq!(plain, recorded);
         assert_eq!(rec.counter("netsim.fault.events_applied"), 2);
         assert_eq!(
@@ -1409,7 +1957,10 @@ mod tests {
             seq: 0,
             kind: TopologyEventKind::NodeDown(NodeId(77)),
         }];
-        let err = run_netsim_faulted(&g, &[flow(0, 3, 1e5)], &NetSimConfig::default(), &events)
+        let err = NetSim::new(NetSimConfig::default())
+            .with_snapshot(&g)
+            .with_faults(&events)
+            .run(&[flow(0, 3, 1e5)])
             .unwrap_err();
         assert!(matches!(err, ConfigError::IndexOutOfRange { .. }));
     }

@@ -24,6 +24,10 @@
 //! * [`outage`] — applies compiled fault-plan events
 //!   ([`openspace_sim::fault`]) to a live [`topology::Graph`] and
 //!   reverts them exactly, with idempotent bookkeeping.
+//! * [`timeline`] — precomputed snapshot sequences: a base graph plus
+//!   per-tick [`topology::GraphDelta`]s, replayable bit-identically to
+//!   on-demand snapshot builds (§2.2's known-and-public topology as a
+//!   first-class [`timeline::TopologyProvider`] capability).
 //!
 //! Public node/operator identities are typed ([`topology::NodeId`],
 //! [`topology::SatId`], [`topology::GsId`], [`topology::OperatorId`] —
@@ -59,6 +63,7 @@ pub mod isl;
 pub mod outage;
 pub mod policy;
 pub mod routing;
+pub mod timeline;
 pub mod topology;
 
 /// Convenient glob-import surface.
@@ -78,7 +83,8 @@ pub mod prelude {
     pub use crate::isl::{
         best_access_from_ecef, best_access_satellite, build_snapshot, build_snapshot_from_samples,
         build_snapshot_from_samples_dense, build_snapshot_from_samples_recorded,
-        build_snapshot_recorded, isl_capacity_bps, GroundNode, SatNode, SnapshotParams,
+        build_snapshot_recorded, isl_capacity_bps, snapshot_delta, snapshot_delta_recorded,
+        GroundNode, SatNode, SnapshotParams,
     };
     pub use crate::outage::{OutageTracker, TopologyDelta};
     pub use crate::policy::{
@@ -89,8 +95,9 @@ pub mod prelude {
         congestion_weight, hop_weight, k_shortest_paths, latency_weight, qos_route, residual_bps,
         shortest_path, widest_path, Path, QosRequirement, RoutePlanner,
     };
+    pub use crate::timeline::{TimelineError, TopologyProvider, TopologyTimeline};
     pub use crate::topology::{
-        Edge, Graph, GsId, LinkOutage, LinkTech, NoSuchEdge, NodeId, NodeKind, NodeOutage,
-        OperatorId, SatId, TopologyError,
+        Edge, Graph, GraphDelta, GsId, LinkOutage, LinkTech, NoSuchEdge, NodeId, NodeKind,
+        NodeOutage, OperatorId, SatId, TopologyError,
     };
 }

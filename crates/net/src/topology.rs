@@ -51,6 +51,21 @@ pub enum TopologyError {
     },
     /// The addressed link does not exist (in either direction).
     NoSuchEdge(NoSuchEdge),
+    /// Two graphs with different node rosters cannot be diffed or
+    /// patched against each other.
+    ShapeMismatch {
+        /// `(satellites, stations)` of the graph the delta was built for.
+        expected: (usize, usize),
+        /// `(satellites, stations)` actually found.
+        found: (usize, usize),
+    },
+    /// [`Graph::apply_delta`] found an adjacency row that is not
+    /// bit-identical to the state the delta was extracted from — the
+    /// delta belongs to a different point of the topology's evolution.
+    DeltaMismatch {
+        /// First node whose current row disagrees with the delta.
+        node: NodeId,
+    },
 }
 
 impl std::fmt::Display for TopologyError {
@@ -60,6 +75,14 @@ impl std::fmt::Display for TopologyError {
                 write!(f, "node {node} out of range (graph has {len} nodes)")
             }
             TopologyError::NoSuchEdge(e) => write!(f, "{e}"),
+            TopologyError::ShapeMismatch { expected, found } => write!(
+                f,
+                "graph shape mismatch: delta built for {}+{} nodes, found {}+{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            TopologyError::DeltaMismatch { node } => {
+                write!(f, "delta does not match the graph at node {node}")
+            }
         }
     }
 }
@@ -175,6 +198,216 @@ impl LinkOutage {
             .iter()
             .map(|(owner, _, e)| (*owner, *e))
             .collect()
+    }
+}
+
+/// Bit-exact equality of two edges (`f64` fields compared by bit
+/// pattern, so `-0.0 != 0.0` and a NaN equals itself — the right notion
+/// for reproducibility arguments, unlike IEEE `==`).
+fn edge_bits_eq(a: &Edge, b: &Edge) -> bool {
+    a.to == b.to
+        && a.latency_s.to_bits() == b.latency_s.to_bits()
+        && a.capacity_bps.to_bits() == b.capacity_bps.to_bits()
+        && a.operator == b.operator
+        && a.technology == b.technology
+        && a.load_fraction.to_bits() == b.load_fraction.to_bits()
+}
+
+fn row_bits_eq(a: &[Edge], b: &[Edge]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| edge_bits_eq(x, y))
+}
+
+/// One node's adjacency row before and after a delta. Rows are replaced
+/// wholesale — adjacency order is part of the graph's bit pattern (the
+/// snapshot builder's push order is not reconstructible from an edge
+/// set), so row replacement is the only patch primitive that can honor
+/// a bitwise-equality contract.
+#[derive(Debug, Clone, PartialEq)]
+struct RowChange {
+    node: NodeId,
+    before: Vec<Edge>,
+    after: Vec<Edge>,
+}
+
+/// The difference between two topology snapshots of the *same* node
+/// roster, replayable by [`Graph::apply_delta`].
+///
+/// §2.2's predictability argument — satellite topology is known and
+/// public — means consecutive snapshots of a moving constellation
+/// differ by a handful of contacts. A delta stores exactly the
+/// adjacency rows that changed (with their before *and* after states,
+/// so application is checked, composition is associative, and inversion
+/// is free) and derives the edge-level story
+/// ([`edges_added`](Self::edges_added) /
+/// [`edges_removed`](Self::edges_removed) /
+/// [`edges_changed`](Self::edges_changed)) on demand.
+///
+/// **Bitwise contract:** for snapshots `a`, `b` with equal rosters,
+/// `a.apply_delta(&GraphDelta::between(&a, &b)?)` leaves `a`
+/// bit-identical to `b` — every `f64` field compared by bit pattern,
+/// pinned by the `timeline_equivalence` property suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphDelta {
+    n_sats: usize,
+    n_stations: usize,
+    /// Changed rows in ascending node order.
+    rows: Vec<RowChange>,
+}
+
+impl GraphDelta {
+    /// Extract the delta from `before` to `after`. Fails with
+    /// [`TopologyError::ShapeMismatch`] when the node rosters differ —
+    /// a timeline's roster is fixed over its horizon.
+    pub fn between(before: &Graph, after: &Graph) -> Result<GraphDelta, TopologyError> {
+        if (before.n_sats, before.n_stations) != (after.n_sats, after.n_stations) {
+            return Err(TopologyError::ShapeMismatch {
+                expected: (before.n_sats, before.n_stations),
+                found: (after.n_sats, after.n_stations),
+            });
+        }
+        let rows = (0..before.node_count())
+            .filter(|&u| !row_bits_eq(&before.adj[u], &after.adj[u]))
+            .map(|u| RowChange {
+                node: NodeId(u),
+                before: before.adj[u].clone(),
+                after: after.adj[u].clone(),
+            })
+            .collect();
+        Ok(GraphDelta {
+            n_sats: before.n_sats,
+            n_stations: before.n_stations,
+            rows,
+        })
+    }
+
+    /// An empty delta for the given roster (the identity patch).
+    pub fn empty(n_sats: usize, n_stations: usize) -> GraphDelta {
+        GraphDelta {
+            n_sats,
+            n_stations,
+            rows: Vec::new(),
+        }
+    }
+
+    /// `true` when applying this delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of adjacency rows this delta replaces.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The nodes whose adjacency rows change, ascending. This is the
+    /// set a cached shortest-path tree must be screened against (only
+    /// these nodes' out-edges differ between the two snapshots).
+    pub fn changed_nodes(&self) -> Vec<NodeId> {
+        self.rows.iter().map(|r| r.node).collect()
+    }
+
+    /// Directed edges present after but not before, with their edge
+    /// data, as `(from, edge)` pairs in ascending `(from, to)` order.
+    pub fn edges_added(&self) -> Vec<(NodeId, Edge)> {
+        let mut out = Vec::new();
+        for r in &self.rows {
+            for e in &r.after {
+                if !r.before.iter().any(|b| b.to == e.to) {
+                    out.push((r.node, *e));
+                }
+            }
+        }
+        out.sort_by_key(|(u, e)| (*u, e.to));
+        out
+    }
+
+    /// Directed edges present before but not after, as `(from, to)`
+    /// pairs in ascending order.
+    pub fn edges_removed(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for r in &self.rows {
+            for e in &r.before {
+                if !r.after.iter().any(|a| a.to == e.to) {
+                    out.push((r.node, e.to));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Directed edges present on both sides whose data (latency,
+    /// capacity, operator, …) changed bits, with their *new* edge data,
+    /// in ascending `(from, to)` order.
+    pub fn edges_changed(&self) -> Vec<(NodeId, Edge)> {
+        let mut out = Vec::new();
+        for r in &self.rows {
+            for e in &r.after {
+                if let Some(b) = r.before.iter().find(|b| b.to == e.to) {
+                    if !edge_bits_eq(b, e) {
+                        out.push((r.node, *e));
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|(u, e)| (*u, e.to));
+        out
+    }
+
+    /// The inverse delta: applying `self` then `self.inverted()`
+    /// restores the original graph bit-for-bit.
+    pub fn inverted(&self) -> GraphDelta {
+        GraphDelta {
+            n_sats: self.n_sats,
+            n_stations: self.n_stations,
+            rows: self
+                .rows
+                .iter()
+                .map(|r| RowChange {
+                    node: r.node,
+                    before: r.after.clone(),
+                    after: r.before.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Compose with a delta that applies *after* this one, producing a
+    /// single delta with the combined effect. Fails with
+    /// [`TopologyError::ShapeMismatch`] on roster disagreement and
+    /// [`TopologyError::DeltaMismatch`] when `later`'s before-state
+    /// contradicts this delta's after-state (the deltas are not
+    /// consecutive).
+    pub fn then(&self, later: &GraphDelta) -> Result<GraphDelta, TopologyError> {
+        if (self.n_sats, self.n_stations) != (later.n_sats, later.n_stations) {
+            return Err(TopologyError::ShapeMismatch {
+                expected: (self.n_sats, self.n_stations),
+                found: (later.n_sats, later.n_stations),
+            });
+        }
+        let mut merged: std::collections::BTreeMap<NodeId, RowChange> =
+            self.rows.iter().map(|r| (r.node, r.clone())).collect();
+        for r in &later.rows {
+            match merged.get_mut(&r.node) {
+                Some(m) => {
+                    if !row_bits_eq(&m.after, &r.before) {
+                        return Err(TopologyError::DeltaMismatch { node: r.node });
+                    }
+                    m.after = r.after.clone();
+                }
+                None => {
+                    merged.insert(r.node, r.clone());
+                }
+            }
+        }
+        Ok(GraphDelta {
+            n_sats: self.n_sats,
+            n_stations: self.n_stations,
+            rows: merged
+                .into_values()
+                .filter(|r| !row_bits_eq(&r.before, &r.after))
+                .collect(),
+        })
     }
 }
 
@@ -315,6 +548,33 @@ impl Graph {
     /// Total directed edge count.
     pub fn edge_count(&self) -> usize {
         self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Patch this graph in place with a delta extracted by
+    /// [`GraphDelta::between`]. Application is *checked*: every row the
+    /// delta replaces must currently be bit-identical to the delta's
+    /// recorded before-state, otherwise the graph is left untouched and
+    /// [`TopologyError::DeltaMismatch`] names the first disagreeing
+    /// node. On success the graph is bit-identical to the snapshot the
+    /// delta was extracted *to*.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> Result<(), TopologyError> {
+        if (self.n_sats, self.n_stations) != (delta.n_sats, delta.n_stations) {
+            return Err(TopologyError::ShapeMismatch {
+                expected: (delta.n_sats, delta.n_stations),
+                found: (self.n_sats, self.n_stations),
+            });
+        }
+        // Validate everything before mutating anything, so a failed
+        // application never leaves a half-patched graph.
+        for r in &delta.rows {
+            if !row_bits_eq(&self.adj[r.node.0], &r.before) {
+                return Err(TopologyError::DeltaMismatch { node: r.node });
+            }
+        }
+        for r in &delta.rows {
+            self.adj[r.node.0].clone_from(&r.after);
+        }
+        Ok(())
     }
 
     /// Out-degree of `node`.
@@ -625,5 +885,120 @@ mod tests {
         assert!(outage.removed_links().is_empty());
         g.restore_node(outage);
         assert_eq!(g, Graph::new(2, 0));
+    }
+
+    /// `line_graph` with the 0-1 link dropped, a new 0-2 link added, and
+    /// the 1-2 latency changed.
+    fn shifted_graph() -> Graph {
+        let mut g = Graph::new(2, 1);
+        g.add_bidirectional(0usize, 2usize, 0.004, 1e6, 1u32, 9u32, LinkTech::Optical);
+        g.add_bidirectional(1usize, 2usize, 0.002, 1e7, 2u32, 9u32, LinkTech::Rf);
+        g
+    }
+
+    #[test]
+    fn delta_roundtrip_is_bitwise() {
+        let a = line_graph();
+        let b = shifted_graph();
+        let d = GraphDelta::between(&a, &b).unwrap();
+        assert!(!d.is_empty());
+        assert_eq!(d.row_count(), 3, "all three nodes' rows changed");
+        let mut patched = a.clone();
+        patched.apply_delta(&d).unwrap();
+        assert_eq!(patched, b);
+        patched.apply_delta(&d.inverted()).unwrap();
+        assert_eq!(patched, a);
+    }
+
+    #[test]
+    fn delta_edge_views() {
+        let a = line_graph();
+        let b = shifted_graph();
+        let d = GraphDelta::between(&a, &b).unwrap();
+        assert_eq!(
+            d.edges_removed(),
+            vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(0))]
+        );
+        let added: Vec<_> = d.edges_added().iter().map(|(u, e)| (*u, e.to)).collect();
+        assert_eq!(added, vec![(NodeId(0), NodeId(2)), (NodeId(2), NodeId(0))]);
+        let changed: Vec<_> = d.edges_changed().iter().map(|(u, e)| (*u, e.to)).collect();
+        assert_eq!(
+            changed,
+            vec![(NodeId(1), NodeId(2)), (NodeId(2), NodeId(1))]
+        );
+        assert_eq!(d.changed_nodes(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn empty_delta_between_identical_graphs() {
+        let a = line_graph();
+        let d = GraphDelta::between(&a, &a.clone()).unwrap();
+        assert!(d.is_empty());
+        let mut g = a.clone();
+        g.apply_delta(&d).unwrap();
+        assert_eq!(g, a);
+    }
+
+    #[test]
+    fn delta_detects_negative_zero_and_nan_are_distinct_bits() {
+        let a = line_graph();
+        let mut b = a.clone();
+        b.edges_mut(0usize)[0].load_fraction = -0.0;
+        let d = GraphDelta::between(&a, &b).unwrap();
+        assert_eq!(d.row_count(), 1, "-0.0 differs from 0.0 bitwise");
+    }
+
+    #[test]
+    fn apply_delta_rejects_wrong_base() {
+        let a = line_graph();
+        let b = shifted_graph();
+        let d = GraphDelta::between(&a, &b).unwrap();
+        let mut wrong = a.clone();
+        wrong.set_load(0usize, 1usize, 0.5).unwrap();
+        let before = wrong.clone();
+        let err = wrong.apply_delta(&d).unwrap_err();
+        assert_eq!(err, TopologyError::DeltaMismatch { node: NodeId(0) });
+        assert_eq!(wrong, before, "failed application leaves graph untouched");
+        assert_eq!(err.to_string(), "delta does not match the graph at node 0");
+    }
+
+    #[test]
+    fn delta_rejects_shape_mismatch() {
+        let a = line_graph();
+        let small = Graph::new(1, 1);
+        let err = GraphDelta::between(&a, &small).unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::ShapeMismatch {
+                expected: (2, 1),
+                found: (1, 1)
+            }
+        );
+        let d = GraphDelta::empty(1, 1);
+        assert!(matches!(
+            a.clone().apply_delta(&d),
+            Err(TopologyError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_composition_matches_sequential_application() {
+        let a = line_graph();
+        let b = shifted_graph();
+        let mut c = b.clone();
+        c.set_load(1usize, 2usize, 0.25).unwrap();
+        let ab = GraphDelta::between(&a, &b).unwrap();
+        let bc = GraphDelta::between(&b, &c).unwrap();
+        let ac = ab.then(&bc).unwrap();
+        let mut g = a.clone();
+        g.apply_delta(&ac).unwrap();
+        assert_eq!(g, c);
+        // Composing with a non-consecutive delta is rejected.
+        assert!(matches!(
+            bc.then(&bc),
+            Err(TopologyError::DeltaMismatch { .. })
+        ));
+        // Composition that cancels out collapses to the empty delta.
+        assert!(ab.then(&ab.inverted()).unwrap().is_empty());
     }
 }

@@ -7,9 +7,7 @@
 //! Cases are drawn from a seeded [`SimRng`] stream — deterministic,
 //! dependency-free property testing.
 
-use openspace_core::netsim::{
-    run_netsim, run_netsim_faulted, FlowSpec, NetSimConfig, NetSimReport, TrafficKind,
-};
+use openspace_core::netsim::{FlowSpec, NetSim, NetSimConfig, NetSimReport, TrafficKind};
 use openspace_core::prelude::*;
 use openspace_net::outage::OutageTracker;
 use openspace_net::topology::{Graph, LinkTech};
@@ -136,12 +134,13 @@ fn empty_fault_plan_is_invisible_on_a_real_snapshot() {
         duration_s: 20.0,
         ..Default::default()
     };
-    let plain = run_netsim(&graph, &flows, &cfg).expect("valid config");
+    let sim = NetSim::new(cfg).with_snapshot(&graph);
+    let plain = sim.run(&flows).expect("valid config");
     let events = FaultPlan::empty()
         .compile(&fed.fault_topology())
         .expect("empty plan compiles");
     assert!(events.is_empty());
-    let faulted = run_netsim_faulted(&graph, &flows, &cfg, &events).expect("valid config");
+    let faulted = sim.with_faults(&events).run(&flows).expect("valid config");
     // Bit-for-bit: same floats, same counters, untouched fault block.
     assert_eq!(plain, faulted);
     assert_eq!(faulted.fault.node_availability.to_bits(), 1.0f64.to_bits());
@@ -178,7 +177,11 @@ fn faulted_sweep_is_bitwise_deterministic_across_thread_counts() {
             1_500,
             TrafficKind::Poisson,
         )];
-        run_netsim_faulted(&graph, &flows, &cfg, &events).expect("valid config")
+        NetSim::new(cfg)
+            .with_snapshot(&graph)
+            .with_faults(&events)
+            .run(&flows)
+            .expect("valid config")
     };
     let serial: Vec<NetSimReport> = seeds.iter().map(run_seed).collect();
     for threads in [2usize, 5] {
@@ -235,7 +238,11 @@ fn federation_degrades_more_gracefully_than_the_monolith() {
             seed: 4,
             ..Default::default()
         };
-        run_netsim_faulted(&graph, &flows, &cfg, &events).expect("valid config")
+        NetSim::new(cfg)
+            .with_snapshot(&graph)
+            .with_faults(&events)
+            .run(&flows)
+            .expect("valid config")
     };
     let monolith = run(1);
     let federated = run(3);

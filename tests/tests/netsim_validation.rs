@@ -1,7 +1,7 @@
 //! Validation of the packet-level simulator against queueing theory and
 //! cross-crate scenarios on real constellation snapshots.
 
-use openspace_core::netsim::{run_netsim, FlowSpec, NetSimConfig, RoutingMode, TrafficKind};
+use openspace_core::netsim::{FlowSpec, NetSim, NetSimConfig, RoutingMode, TrafficKind};
 use openspace_core::prelude::*;
 use openspace_net::topology::{Graph, LinkTech};
 use openspace_orbit::frames::{geodetic_to_ecef, Geodetic};
@@ -26,22 +26,20 @@ fn mm1_mean_delay_matches_theory() {
     let service_s = packet_bytes as f64 * 8.0 / capacity;
     for rho in [0.3, 0.6, 0.8] {
         let g = single_link(capacity);
-        let r = run_netsim(
-            &g,
-            &[FlowSpec {
-                src: 0.into(),
-                dst: 1.into(),
-                rate_bps: rho * capacity,
-                packet_bytes,
-                kind: TrafficKind::Poisson,
-            }],
-            &NetSimConfig {
-                duration_s: 400.0,
-                queue_capacity_bytes: 64 * 1024 * 1024, // effectively infinite
-                routing: RoutingMode::Proactive,
-                seed: 3,
-            },
-        )
+        let r = NetSim::new(NetSimConfig {
+            duration_s: 400.0,
+            queue_capacity_bytes: 64 * 1024 * 1024, // effectively infinite
+            routing: RoutingMode::Proactive,
+            seed: 3,
+        })
+        .with_snapshot(&g)
+        .run(&[FlowSpec {
+            src: 0.into(),
+            dst: 1.into(),
+            rate_bps: rho * capacity,
+            packet_bytes,
+            kind: TrafficKind::Poisson,
+        }])
         .expect("valid netsim config");
         assert!(r.dropped == 0, "rho={rho}: drops {}", r.dropped);
         let wait_theory = rho * service_s / (2.0 * (1.0 - rho));
@@ -60,20 +58,18 @@ fn mm1_mean_delay_matches_theory() {
 #[test]
 fn utilization_measurement_matches_offered_load() {
     let g = single_link(2.0e6);
-    let r = run_netsim(
-        &g,
-        &[FlowSpec {
-            src: 0.into(),
-            dst: 1.into(),
-            rate_bps: 1.0e6,
-            packet_bytes: 1_500,
-            kind: TrafficKind::Cbr,
-        }],
-        &NetSimConfig {
-            duration_s: 60.0,
-            ..Default::default()
-        },
-    )
+    let r = NetSim::new(NetSimConfig {
+        duration_s: 60.0,
+        ..Default::default()
+    })
+    .with_snapshot(&g)
+    .run(&[FlowSpec {
+        src: 0.into(),
+        dst: 1.into(),
+        rate_bps: 1.0e6,
+        packet_bytes: 1_500,
+        kind: TrafficKind::Cbr,
+    }])
     .expect("valid netsim config");
     assert!(
         (r.max_link_utilization - 0.5).abs() < 0.05,
@@ -84,7 +80,6 @@ fn utilization_measurement_matches_offered_load() {
 
 #[test]
 fn final_utilization_sample_divides_by_actual_window_after_restore() {
-    use openspace_core::netsim::run_netsim_faulted;
     use openspace_sim::fault::{FaultPlan, FaultTopology};
     use openspace_sim::ids::OperatorId;
 
@@ -101,21 +96,19 @@ fn final_utilization_sample_divides_by_actual_window_after_restore() {
         .expect("valid plan")
         .compile(&topo)
         .expect("plan fits topology");
-    let r = run_netsim_faulted(
-        &g,
-        &[FlowSpec {
-            src: 0.into(),
-            dst: 1.into(),
-            rate_bps: 1.0e6,
-            packet_bytes: 1_500,
-            kind: TrafficKind::Cbr,
-        }],
-        &NetSimConfig {
-            duration_s: 10.0,
-            ..Default::default()
-        },
-        &events,
-    )
+    let r = NetSim::new(NetSimConfig {
+        duration_s: 10.0,
+        ..Default::default()
+    })
+    .with_snapshot(&g)
+    .with_faults(&events)
+    .run(&[FlowSpec {
+        src: 0.into(),
+        dst: 1.into(),
+        rate_bps: 1.0e6,
+        packet_bytes: 1_500,
+        kind: TrafficKind::Cbr,
+    }])
     .expect("valid netsim config");
     assert!(
         (r.max_link_utilization - 0.5).abs() < 0.1,
@@ -132,23 +125,21 @@ fn max_link_utilization_reports_saturation_unclamped() {
     // 1.0 (the congestion weight's domain). The old code folded the
     // clamped value into the report, capping it at 0.98.
     let g = single_link(1.0e6);
-    let r = run_netsim(
-        &g,
-        &[FlowSpec {
-            src: 0.into(),
-            dst: 1.into(),
-            rate_bps: 3.0e6,
-            packet_bytes: 1_500,
-            kind: TrafficKind::Cbr,
-        }],
-        &NetSimConfig {
-            duration_s: 5.0,
-            routing: RoutingMode::Adaptive {
-                replan_interval_s: 1.0,
-            },
-            ..Default::default()
+    let r = NetSim::new(NetSimConfig {
+        duration_s: 5.0,
+        routing: RoutingMode::Adaptive {
+            replan_interval_s: 1.0,
         },
-    )
+        ..Default::default()
+    })
+    .with_snapshot(&g)
+    .run(&[FlowSpec {
+        src: 0.into(),
+        dst: 1.into(),
+        rate_bps: 3.0e6,
+        packet_bytes: 1_500,
+        kind: TrafficKind::Cbr,
+    }])
     .expect("valid netsim config");
     assert!(
         r.max_link_utilization > 0.98,
@@ -170,20 +161,18 @@ fn netsim_on_real_iridium_snapshot_delivers() {
         fed.snapshot_params.min_elevation_rad,
     )
     .unwrap();
-    let r = run_netsim(
-        &graph,
-        &[FlowSpec {
-            src: graph.sat_node(sat),
-            dst: graph.station_node(0),
-            rate_bps: 2.0e6,
-            packet_bytes: 1_500,
-            kind: TrafficKind::Poisson,
-        }],
-        &NetSimConfig {
-            duration_s: 10.0,
-            ..Default::default()
-        },
-    )
+    let r = NetSim::new(NetSimConfig {
+        duration_s: 10.0,
+        ..Default::default()
+    })
+    .with_snapshot(&graph)
+    .run(&[FlowSpec {
+        src: graph.sat_node(sat),
+        dst: graph.station_node(0),
+        rate_bps: 2.0e6,
+        packet_bytes: 1_500,
+        kind: TrafficKind::Poisson,
+    }])
     .expect("valid netsim config");
     assert!(r.delivery_ratio > 0.99, "ratio {}", r.delivery_ratio);
     // Latency is propagation-dominated on an optical Iridium mesh.
@@ -223,17 +212,18 @@ fn adaptive_routing_beats_proactive_under_hotspot_on_iridium() {
         routing: RoutingMode::Proactive,
         seed: 11,
     };
-    let pro = run_netsim(&graph, &flows, &base).expect("valid netsim config");
-    let ada = run_netsim(
-        &graph,
-        &flows,
-        &NetSimConfig {
-            routing: RoutingMode::Adaptive {
-                replan_interval_s: 1.0,
-            },
-            ..base
+    let pro = NetSim::new(base)
+        .with_snapshot(&graph)
+        .run(&flows)
+        .expect("valid netsim config");
+    let ada = NetSim::new(NetSimConfig {
+        routing: RoutingMode::Adaptive {
+            replan_interval_s: 1.0,
         },
-    )
+        ..base
+    })
+    .with_snapshot(&graph)
+    .run(&flows)
     .expect("valid netsim config");
     assert!(
         pro.delivery_ratio < 0.95,

@@ -3,9 +3,7 @@
 //! merged in item order reproduce the serial metric dump bit for bit —
 //! regardless of worker-pool size.
 
-use openspace_core::netsim::{
-    run_netsim, run_netsim_recorded, FlowSpec, NetSimConfig, RoutingMode, TrafficKind,
-};
+use openspace_core::netsim::{FlowSpec, NetSim, NetSimConfig, RoutingMode, TrafficKind};
 use openspace_net::topology::{Graph, LinkTech};
 use openspace_sim::exec::parallel_map_seeded;
 use openspace_telemetry::json::parse;
@@ -56,16 +54,22 @@ fn scenario(seed: u64) -> (Graph, Vec<FlowSpec>, NetSimConfig) {
 fn run_one(seed: u64) -> MemoryRecorder {
     let (g, flows, cfg) = scenario(seed);
     let mut rec = MemoryRecorder::new();
-    run_netsim_recorded(&g, &flows, &cfg, &mut rec).expect("valid netsim config");
+    NetSim::new(cfg)
+        .with_snapshot(&g)
+        .run_recorded(&flows, &mut rec)
+        .expect("valid netsim config");
     rec
 }
 
 #[test]
 fn recording_does_not_perturb_the_simulation() {
     let (g, flows, cfg) = scenario(7);
-    let plain = run_netsim(&g, &flows, &cfg).expect("valid netsim config");
+    let sim = NetSim::new(cfg).with_snapshot(&g);
+    let plain = sim.run(&flows).expect("valid netsim config");
     let mut rec = MemoryRecorder::new();
-    let recorded = run_netsim_recorded(&g, &flows, &cfg, &mut rec).expect("valid netsim config");
+    let recorded = sim
+        .run_recorded(&flows, &mut rec)
+        .expect("valid netsim config");
     assert_eq!(plain, recorded, "recording must be a pure observer");
     assert_eq!(rec.counter("netsim.delivered"), recorded.delivered);
     assert_eq!(rec.counter("netsim.generated"), recorded.generated);
@@ -91,7 +95,10 @@ fn merged_metric_dump_is_bit_identical_across_thread_counts() {
     let mut serial = MemoryRecorder::new();
     for &s in &seeds {
         let (g, flows, cfg) = scenario(s);
-        run_netsim_recorded(&g, &flows, &cfg, &mut serial).expect("valid netsim config");
+        NetSim::new(cfg)
+            .with_snapshot(&g)
+            .run_recorded(&flows, &mut serial)
+            .expect("valid netsim config");
     }
     let reference = serial.deterministic_json().to_string();
     assert!(!reference.is_empty());
