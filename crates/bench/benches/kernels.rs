@@ -477,6 +477,27 @@ fn bench_telemetry() {
     });
 }
 
+fn bench_demand() {
+    use openspace_demand::prelude::*;
+
+    // The demand hot loop: one full-planet snapshot of per-cell,
+    // per-class offered load for a million-user grid. `flows_at` is
+    // pure in `t`, so a whole diurnal timeline is N of these.
+    let grid = PopulationGrid::build(&PopulationConfig {
+        total_users: 1_000_000,
+        ..Default::default()
+    })
+    .expect("valid population config");
+    let model = DemandModel::new(grid, AppMix::broadband(), DemandConfig::default())
+        .expect("valid demand config");
+    let mut hour = 0u64;
+    bench("demand_flows_1m_users", window(), || {
+        let t = (hour % 24) as f64 * 3_600.0;
+        hour += 1;
+        black_box(model.flows_at(t));
+    });
+}
+
 fn bench_study() {
     // One small figure-2(b) point end to end — the unit of experiment work.
     let cfg = StudyConfig {
@@ -502,5 +523,6 @@ fn main() {
     bench_economics();
     bench_extensions();
     bench_telemetry();
+    bench_demand();
     bench_study();
 }

@@ -16,6 +16,9 @@
 //!   successor-predicted handover with no re-authentication.
 //! * [`delivery`] — end-to-end packet delivery across operator
 //!   boundaries, emitting the §3 cross-verifiable accounting records.
+//! * [`demand`] — §5(1)'s user base: attaches `openspace-demand`
+//!   population cells to covering operators, maps demand ticks onto
+//!   simulator flows, and turns demand-weighted traffic into ledgers.
 //! * [`study`] — the §4 simulation study (Figure 2): latency and coverage
 //!   versus constellation size under the paper's exact methodology.
 //! * [`security`] — §5(6)'s open problem: ledger-dispute-driven bad-actor
@@ -50,6 +53,7 @@
 //! ```
 
 pub mod delivery;
+pub mod demand;
 pub mod federation;
 pub mod netsim;
 pub mod operator;
@@ -60,13 +64,16 @@ pub mod study;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::delivery::{carrier_ledger_secret, deliver, Delivery, DeliveryError};
+    pub use crate::demand::{
+        attach_cells, demand_flows_for, demand_ledgers, BridgeStats, CellAttachment, CellCoverage,
+    };
     pub use crate::federation::{
         default_station_sites, iridium_federation, monolithic_federation, Federation,
         FederationError, User, Withdrawal,
     };
     pub use crate::netsim::{
-        FaultImpact, FlowSpec, NetSim, NetSimConfig, NetSimConfigBuilder, NetSimReport,
-        RoutingMode, TrafficKind,
+        DemandWorkload, FaultImpact, FlowSpec, NetSim, NetSimConfig, NetSimConfigBuilder,
+        NetSimReport, RoutingMode, TrafficKind,
     };
     // The deprecated free-function entry points stay importable through
     // the prelude so downstream code keeps compiling (with its own

@@ -60,6 +60,16 @@ pub enum TrafficKind {
     Cbr,
     /// Poisson arrivals at the same mean rate.
     Poisson,
+    /// Exponential on/off bursts: during an ON period packets leave
+    /// back-to-back at `rate_bps` (the *peak* rate); OFF periods are
+    /// silent. The first packet of every ON period goes out the
+    /// instant the period opens, matching `sim::traffic::OnOffSource`.
+    OnOff {
+        /// Mean ON-period duration (s).
+        mean_on_s: f64,
+        /// Mean OFF-period duration (s).
+        mean_off_s: f64,
+    },
 }
 
 /// One simulated flow.
@@ -93,6 +103,62 @@ impl FlowSpec {
             packet_bytes,
             kind,
         }
+    }
+}
+
+/// A time-varying workload: batches of flows activated at demand-tick
+/// boundaries. Each entry is `(t_s, flows)` — at `t_s` the previous
+/// batch retires (its flows stop injecting; packets already in flight
+/// still drain) and the new batch activates with fresh arrival phases.
+/// Tick times must be finite, non-negative and strictly increasing.
+/// Build one from demand-model output (one batch per `DemandTick`) and
+/// attach it with [`NetSim::with_demand`].
+#[derive(Debug, Clone, Default)]
+pub struct DemandWorkload {
+    ticks: Vec<(f64, Vec<FlowSpec>)>,
+}
+
+impl DemandWorkload {
+    /// Validate and wrap tick batches.
+    pub fn new(ticks: Vec<(f64, Vec<FlowSpec>)>) -> Result<Self, ConfigError> {
+        for (t, _) in &ticks {
+            if !t.is_finite() {
+                return Err(ConfigError::NotFinite {
+                    field: "demand.tick_s",
+                });
+            }
+            if *t < 0.0 {
+                return Err(ConfigError::Negative {
+                    field: "demand.tick_s",
+                    value: *t,
+                });
+            }
+        }
+        for w in ticks.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(ConfigError::InvertedInterval {
+                    field: "demand.ticks",
+                    start: w[0].0,
+                    end: w[1].0,
+                });
+            }
+        }
+        Ok(Self { ticks })
+    }
+
+    /// The tick batches, time-ascending.
+    pub fn ticks(&self) -> &[(f64, Vec<FlowSpec>)] {
+        &self.ticks
+    }
+
+    /// Total flows across all batches.
+    pub fn flow_count(&self) -> usize {
+        self.ticks.iter().map(|(_, f)| f.len()).sum()
+    }
+
+    /// Whether the workload carries no flows at all.
+    pub fn is_empty(&self) -> bool {
+        self.flow_count() == 0
     }
 }
 
@@ -270,6 +336,8 @@ struct Pkt {
 
 enum Ev {
     Inject(usize),
+    /// Demand-tick boundary `k`: retire batch `k-1`, activate batch `k`.
+    DemandTick(usize),
     /// Transmission of the head-of-queue packet on (u → v) completed.
     Depart(NodeId, NodeId),
     /// Packet finished propagating to `node`.
@@ -350,6 +418,7 @@ pub struct NetSim<'a> {
     cfg: NetSimConfig,
     topology: Option<TopologySource<'a>>,
     events: &'a [TopologyEvent],
+    demand: Option<&'a DemandWorkload>,
 }
 
 impl<'a> NetSim<'a> {
@@ -359,6 +428,7 @@ impl<'a> NetSim<'a> {
             cfg,
             topology: None,
             events: &[],
+            demand: None,
         }
     }
 
@@ -414,10 +484,23 @@ impl<'a> NetSim<'a> {
         self
     }
 
+    /// Attach a time-varying demand workload: each batch in `demand`
+    /// activates at its tick boundary (retiring the previous batch)
+    /// with fresh arrival phases, on top of whatever base `flows` the
+    /// run was given. With a demand workload attached, the base flow
+    /// list may be empty. Demand flows draw their arrival RNG from the
+    /// same per-flow substream family as base flows (stable global
+    /// indices), so runs are bit-reproducible for any tick content.
+    pub fn with_demand(mut self, demand: &'a DemandWorkload) -> Self {
+        self.demand = Some(demand);
+        self
+    }
+
     /// Run the simulation.
     ///
     /// Fails with [`ConfigError`] on a missing topology source, empty
-    /// flows, out-of-range nodes, non-positive
+    /// flows (unless a non-empty demand workload is attached),
+    /// out-of-range nodes, non-positive
     /// durations/rates/intervals, or a timeline that starts after
     /// `t = 0` or ends before the configured duration.
     pub fn run(&self, flows: &[FlowSpec]) -> Result<NetSimReport, ConfigError> {
@@ -480,7 +563,7 @@ impl<'a> NetSim<'a> {
                 }
             }
         }
-        run_netsim_inner(source, flows, &self.cfg, self.events, rec)
+        run_netsim_inner(source, flows, &self.cfg, self.events, self.demand, rec)
     }
 }
 
@@ -599,6 +682,14 @@ fn validate(
                 value: 0.0,
             });
         }
+        if let TrafficKind::OnOff {
+            mean_on_s,
+            mean_off_s,
+        } = f.kind
+        {
+            require_positive("flow.mean_on_s", mean_on_s)?;
+            require_positive("flow.mean_off_s", mean_off_s)?;
+        }
     }
     if let RoutingMode::Adaptive { replan_interval_s } = cfg.routing {
         require_positive("replan_interval_s", replan_interval_s)?;
@@ -631,6 +722,7 @@ fn run_netsim_inner(
     flows: &[FlowSpec],
     cfg: &NetSimConfig,
     events: &[TopologyEvent],
+    demand: Option<&DemandWorkload>,
     rec: &mut dyn Recorder,
 ) -> Result<NetSimReport, ConfigError> {
     let graph = match source {
@@ -639,6 +731,21 @@ fn run_netsim_inner(
         TopologySource::Timeline(tl) => tl.base().clone(),
     };
     let graph = &graph;
+    // Base flows plus demand batches, concatenated with stable global
+    // indices: flow `i` always draws `SimRng::substream(cfg.seed, i)`
+    // no matter when (or whether) its batch activates, so reports are
+    // bit-reproducible for any demand content.
+    let base_count = flows.len();
+    let mut all_flows: Vec<FlowSpec> = flows.to_vec();
+    let mut demand_ranges: Vec<(f64, std::ops::Range<usize>)> = Vec::new();
+    if let Some(demand) = demand {
+        for (t, batch) in demand.ticks() {
+            let start = all_flows.len();
+            all_flows.extend_from_slice(batch);
+            demand_ranges.push((*t, start..all_flows.len()));
+        }
+    }
+    let flows: &[FlowSpec] = &all_flows;
     validate(graph, flows, cfg, events)?;
     let resnapshot_interval = match source {
         TopologySource::Static(_) => None,
@@ -698,11 +805,16 @@ fn run_netsim_inner(
         .map(|i| SimRng::substream(cfg.seed, i as u64))
         .collect();
 
+    // Activation flags and per-flow ON-period horizons (on/off flows
+    // only). Base flows start active at t = 0; demand-batch flows
+    // activate at their tick boundary and retire at the next one.
+    let mut active: Vec<bool> = (0..flows.len()).map(|i| i < base_count).collect();
+    let mut on_until: Vec<f64> = vec![0.0; flows.len()];
+
     let mut q: EventQueue<Ev> = EventQueue::new();
-    for (i, f) in flows.iter().enumerate() {
-        // Desynchronize CBR flows with a random phase.
-        let phase = rngs[i].uniform() * f.packet_bytes as f64 * 8.0 / f.rate_bps;
-        q.schedule(phase, Ev::Inject(i));
+    for i in 0..base_count {
+        let at = start_flow(&flows[i], &mut rngs[i], 0.0, &mut on_until[i]);
+        q.schedule(at, Ev::Inject(i));
     }
     let replan_interval = match cfg.routing {
         RoutingMode::Adaptive { replan_interval_s } => {
@@ -717,6 +829,11 @@ fn run_netsim_inner(
     for (idx, ev) in events.iter().enumerate() {
         if ev.at_s < cfg.duration_s {
             q.schedule(ev.at_s.max(0.0), Ev::Fault(idx));
+        }
+    }
+    for (k, (t, _)) in demand_ranges.iter().enumerate() {
+        if *t < cfg.duration_s {
+            q.schedule(*t, Ev::DemandTick(k));
         }
     }
 
@@ -741,6 +858,9 @@ fn run_netsim_inner(
 
     q.run_until(cfg.duration_s, |q, now, ev| match ev {
         Ev::Inject(i) => {
+            if !active[i] {
+                return; // flow retired at a demand tick: stop injecting
+            }
             let f = &flows[i];
             generated += 1;
             if let Some(path) = &routes[i] {
@@ -769,8 +889,49 @@ fn run_netsim_inner(
             let gap = match f.kind {
                 TrafficKind::Cbr => mean_gap,
                 TrafficKind::Poisson => rngs[i].exponential(1.0 / mean_gap),
+                TrafficKind::OnOff {
+                    mean_on_s,
+                    mean_off_s,
+                } => {
+                    // Next slot one peak-interval on; if that falls past
+                    // the ON horizon, jump OFF gaps until a slot lands
+                    // inside an ON period — the first packet of each ON
+                    // period goes out the instant the period opens
+                    // (mirroring `sim::traffic::OnOffSource`).
+                    let mut at = now + mean_gap;
+                    while at > on_until[i] {
+                        let off = rngs[i].exponential(1.0 / mean_off_s);
+                        let on = rngs[i].exponential(1.0 / mean_on_s);
+                        at = on_until[i] + off;
+                        on_until[i] = at + on;
+                    }
+                    at - now
+                }
             };
             q.schedule(now + gap, Ev::Inject(i));
+        }
+        Ev::DemandTick(k) => {
+            // Retire the previous batch (its in-flight packets still
+            // drain), then activate this one with fresh phases.
+            if k > 0 {
+                let (_, prev) = &demand_ranges[k - 1];
+                let mut retired = 0u64;
+                for i in prev.clone() {
+                    if active[i] {
+                        active[i] = false;
+                        retired += 1;
+                    }
+                }
+                rec.add("netsim.demand.flows_retired", retired);
+            }
+            let (_, range) = &demand_ranges[k];
+            for i in range.clone() {
+                active[i] = true;
+                let at = start_flow(&flows[i], &mut rngs[i], now, &mut on_until[i]);
+                q.schedule(at, Ev::Inject(i));
+            }
+            rec.add("netsim.demand.ticks", 1);
+            rec.add("netsim.demand.flows_activated", range.len() as u64);
         }
         Ev::Depart(u, v) => {
             // The link can vanish (fault, resnapshot) between the Depart
@@ -1117,6 +1278,19 @@ fn run_netsim_inner(
         max_link_utilization: max_util,
         fault,
     })
+}
+
+/// Draw a flow's arrival phase (desynchronizing same-rate flows, as
+/// the driver has always done for CBR) and, for on/off flows, the
+/// first ON-period horizon. Returns the absolute time of the first
+/// injection.
+fn start_flow(f: &FlowSpec, rng: &mut SimRng, now: f64, on_until: &mut f64) -> f64 {
+    let phase = rng.uniform() * f.packet_bytes as f64 * 8.0 / f.rate_bps;
+    let at = now + phase;
+    if let TrafficKind::OnOff { mean_on_s, .. } = f.kind {
+        *on_until = at + rng.exponential(1.0 / mean_on_s);
+    }
+    at
 }
 
 /// Route the flows named by `idxs` through the batched planner in one
@@ -1963,5 +2137,187 @@ mod tests {
             .run(&[flow(0, 3, 1e5)])
             .unwrap_err();
         assert!(matches!(err, ConfigError::IndexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn onoff_flow_preserves_long_run_mean_rate() {
+        let g = diamond(10e6);
+        // Peak 2 Mbit/s with 1:3 on/off duty → 500 kbit/s mean.
+        let f = FlowSpec::new(
+            0,
+            3,
+            2e6,
+            1_500,
+            TrafficKind::OnOff {
+                mean_on_s: 1.0,
+                mean_off_s: 3.0,
+            },
+        );
+        let cfg = NetSimConfig {
+            duration_s: 400.0,
+            ..Default::default()
+        };
+        let r = NetSim::new(cfg).with_snapshot(&g).run(&[f]).unwrap();
+        assert!(r.delivery_ratio > 0.99, "ratio {}", r.delivery_ratio);
+        let measured = r.generated as f64 * 1_500.0 * 8.0 / 400.0;
+        assert!(
+            (measured - 5e5).abs() / 5e5 < 0.2,
+            "mean rate {measured} vs 500k"
+        );
+        // A pure-CBR flow at the same peak would generate ~4x as much.
+        let cbr = NetSim::new(cfg)
+            .with_snapshot(&g)
+            .run(&[flow(0, 3, 2e6)])
+            .unwrap();
+        assert!(cbr.generated as f64 > 2.5 * r.generated as f64);
+    }
+
+    #[test]
+    fn onoff_flow_rejects_nonpositive_periods() {
+        let g = diamond(1e6);
+        let f = FlowSpec::new(
+            0,
+            3,
+            1e6,
+            1_500,
+            TrafficKind::OnOff {
+                mean_on_s: 0.0,
+                mean_off_s: 1.0,
+            },
+        );
+        let err = NetSim::new(NetSimConfig::default())
+            .with_snapshot(&g)
+            .run(&[f])
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::NonPositive { .. }));
+    }
+
+    #[test]
+    fn demand_workload_validates_tick_times() {
+        assert!(DemandWorkload::new(vec![(0.0, vec![]), (5.0, vec![])]).is_ok());
+        assert!(DemandWorkload::new(vec![(5.0, vec![]), (5.0, vec![])]).is_err());
+        assert!(DemandWorkload::new(vec![(-1.0, vec![])]).is_err());
+        assert!(DemandWorkload::new(vec![(f64::NAN, vec![])]).is_err());
+    }
+
+    #[test]
+    fn empty_flows_need_a_demand_workload() {
+        let g = diamond(1e6);
+        let err = NetSim::new(NetSimConfig::default())
+            .with_snapshot(&g)
+            .run(&[])
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Empty { field: "flows" }));
+        let demand = DemandWorkload::new(vec![(0.0, vec![flow(0, 3, 1e5)])]).unwrap();
+        let r = NetSim::new(NetSimConfig::default())
+            .with_snapshot(&g)
+            .with_demand(&demand)
+            .run(&[])
+            .unwrap();
+        assert!(r.delivered > 0);
+    }
+
+    #[test]
+    fn demand_batches_activate_and_retire() {
+        use openspace_telemetry::MemoryRecorder;
+        let g = diamond(10e6);
+        // Batch 0 runs [0, 8), batch 1 runs [8, 20): rates differ 4x,
+        // so per-phase generation rates must differ accordingly.
+        let demand = DemandWorkload::new(vec![
+            (0.0, vec![flow(0, 3, 4e5)]),
+            (8.0, vec![flow(0, 3, 1e5)]),
+        ])
+        .unwrap();
+        let cfg = NetSimConfig {
+            duration_s: 20.0,
+            ..Default::default()
+        };
+        let mut rec = MemoryRecorder::new();
+        let r = NetSim::new(cfg)
+            .with_snapshot(&g)
+            .with_demand(&demand)
+            .run_recorded(&[], &mut rec)
+            .unwrap();
+        assert_eq!(rec.counter("netsim.demand.ticks"), 2);
+        assert_eq!(rec.counter("netsim.demand.flows_activated"), 2);
+        assert_eq!(rec.counter("netsim.demand.flows_retired"), 1);
+        // Phase 0: 8 s at 400 kbit/s ≈ 267 pkts; phase 1: 12 s at
+        // 100 kbit/s ≈ 100 pkts. A run that never retired batch 0
+        // would generate ~660.
+        let expect = (8.0 * 4e5 + 12.0 * 1e5) / (1_500.0 * 8.0);
+        assert!(
+            (r.generated as f64 - expect).abs() < 0.1 * expect,
+            "generated {} vs {expect}",
+            r.generated
+        );
+        assert!(r.delivery_ratio > 0.99);
+    }
+
+    #[test]
+    fn demand_ticks_past_duration_never_activate() {
+        let g = diamond(1e6);
+        let demand = DemandWorkload::new(vec![
+            (0.0, vec![flow(0, 3, 1e5)]),
+            (100.0, vec![flow(0, 3, 9e6)]),
+        ])
+        .unwrap();
+        let cfg = NetSimConfig {
+            duration_s: 10.0,
+            ..Default::default()
+        };
+        let r = NetSim::new(cfg)
+            .with_snapshot(&g)
+            .with_demand(&demand)
+            .run(&[])
+            .unwrap();
+        // Only the first batch ever injects: ~83 packets, not
+        // thousands from the 9 Mbit/s late batch.
+        assert!(r.generated < 120, "generated {}", r.generated);
+        assert_eq!(r.dropped, 0);
+    }
+
+    #[test]
+    fn demand_runs_are_seed_deterministic() {
+        let g = diamond(10e6);
+        let demand = DemandWorkload::new(vec![
+            (
+                0.0,
+                vec![
+                    flow(0, 3, 3e5),
+                    FlowSpec::new(
+                        1,
+                        2,
+                        8e5,
+                        1_200,
+                        TrafficKind::OnOff {
+                            mean_on_s: 0.5,
+                            mean_off_s: 1.5,
+                        },
+                    ),
+                ],
+            ),
+            (
+                6.0,
+                vec![FlowSpec::new(2, 0, 2e5, 900, TrafficKind::Poisson)],
+            ),
+        ])
+        .unwrap();
+        let cfg = NetSimConfig {
+            duration_s: 15.0,
+            seed: 77,
+            ..Default::default()
+        };
+        let base = [flow(3, 1, 1e5)];
+        let run = || {
+            NetSim::new(cfg)
+                .with_snapshot(&g)
+                .with_demand(&demand)
+                .run(&base)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.generated > 0 && a.delivered > 0);
     }
 }

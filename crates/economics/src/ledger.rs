@@ -30,6 +30,23 @@ pub struct BillingKey {
 }
 
 impl BillingKey {
+    /// Build a key from raw parts — for callers (demand-weighted
+    /// ledgers, synthetic workloads) that bill traffic which never
+    /// passed through a signed [`AccountingRecord`].
+    pub fn new(
+        flow_id: u64,
+        origin: OperatorId,
+        carrier: OperatorId,
+        interval_start_ms: u64,
+    ) -> Self {
+        Self {
+            flow_id,
+            origin,
+            carrier,
+            interval_start_ms,
+        }
+    }
+
     /// Extract the key from a record.
     pub fn of(rec: &AccountingRecord) -> Self {
         Self {

@@ -115,7 +115,7 @@ pub struct OnOffSource {
     mean_on_s: f64,
     mean_off_s: f64,
     peak_bps: f64,
-    clock_s: f64,
+    next_at_s: f64,
     on_until_s: f64,
     rng: SimRng,
 }
@@ -141,7 +141,7 @@ impl OnOffSource {
             mean_on_s,
             mean_off_s,
             peak_bps,
-            clock_s: start_s,
+            next_at_s: start_s,
             on_until_s: start_s + first_on,
             rng,
         }
@@ -150,16 +150,20 @@ impl OnOffSource {
 
 impl TrafficSource for OnOffSource {
     fn next_arrival(&mut self) -> Option<Arrival> {
-        self.clock_s += self.packet_interval_s;
-        while self.clock_s > self.on_until_s {
+        // Emit at the pending slot; like CbrSource, the first packet of
+        // every ON period (including the first) goes out the instant
+        // the period opens, not one packet interval later.
+        let mut at = self.next_at_s;
+        while at > self.on_until_s {
             // Jump across the OFF gap into the next ON period.
             let off = self.rng.exponential(1.0 / self.mean_off_s);
             let on = self.rng.exponential(1.0 / self.mean_on_s);
-            self.clock_s = self.on_until_s + off;
-            self.on_until_s = self.clock_s + on;
+            at = self.on_until_s + off;
+            self.on_until_s = at + on;
         }
+        self.next_at_s = at + self.packet_interval_s;
         Some(Arrival {
-            at_s: self.clock_s,
+            at_s: at,
             size_bytes: self.packet_bytes,
         })
     }
@@ -241,6 +245,44 @@ mod tests {
         // With mean OFF of 2 s, gaps far beyond the 10 ms packet spacing
         // must appear.
         assert!(max_gap > 1.0, "max gap {max_gap}");
+    }
+
+    #[test]
+    fn onoff_first_packet_is_at_on_period_start() {
+        // Regression: the first packet used to go out one
+        // packet_interval_s after the ON period opened, while CbrSource
+        // emits at start_s. Both must emit the instant the source (or
+        // ON period) starts.
+        for seed in 0..16 {
+            let start = 2.5;
+            let mut s = OnOffSource::new(1e6, 1250, 1.0, 3.0, start, seed);
+            let first = s.next_arrival().unwrap();
+            assert_eq!(
+                first.at_s.to_bits(),
+                start.to_bits(),
+                "seed {seed}: first arrival {} != start {start}",
+                first.at_s
+            );
+        }
+        let mut cbr = CbrSource::new(1e6, 1250, 2.5);
+        assert_eq!(cbr.next_arrival().unwrap().at_s.to_bits(), 2.5f64.to_bits());
+    }
+
+    #[test]
+    fn onoff_packets_within_a_burst_stay_evenly_spaced() {
+        let mut s = OnOffSource::new(1e6, 1250, 5.0, 1.0, 0.0, 11);
+        let interval = 1250.0 * 8.0 / 1e6;
+        let arr = arrivals_until(&mut s, 50.0);
+        // Consecutive packets are either one interval apart (same
+        // burst) or separated by an OFF gap that lands on a fresh ON
+        // start; nothing in between.
+        for w in arr.windows(2) {
+            let gap = w[1].at_s - w[0].at_s;
+            assert!(
+                (gap - interval).abs() < 1e-12 || gap > interval,
+                "gap {gap}"
+            );
+        }
     }
 
     #[test]
