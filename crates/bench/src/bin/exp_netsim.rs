@@ -14,15 +14,21 @@
 //! (add `--json` for a machine-readable run manifest on stdout).
 
 use openspace_bench::{access_satellite, nairobi_user, print_header, standard_federation, ExpRun};
-use openspace_core::netsim::{FlowSpec, NetSim, NetSimConfig, RoutingMode, TrafficKind};
+use openspace_core::netsim::{
+    EngineKind, FlowSpec, NetSim, NetSimConfig, RoutingMode, TrafficKind,
+};
 use openspace_phy::hardware::SatelliteClass;
-use openspace_telemetry::JsonValue;
+use openspace_telemetry::{JsonValue, MemoryRecorder};
 
 fn main() {
     let mut run = ExpRun::from_args("exp_netsim", 11);
-    run.digest_config(
-        "flows=4 packet=1500 duration_s=20 queue=512KiB seed=11 sweep=[5,10,20,40,60]Mbps",
-    );
+    // `OPENSPACE_NETSIM_ENGINE=heap|calendar` selects the event engine
+    // (default calendar); either choice yields the same report bits.
+    let engine = EngineKind::from_env();
+    run.digest_config(&format!(
+        "flows=4 packet=1500 duration_s=20 queue=512KiB seed=11 sweep=[5,10,20,40,60]Mbps engine={}",
+        engine.name()
+    ));
 
     // RF-only fleet: S-band ISL capacities (~27 Mbit/s) make congestion
     // real at megabit flow rates.
@@ -69,6 +75,7 @@ fn main() {
             queue_capacity_bytes: 512 * 1024,
             routing: RoutingMode::Proactive,
             seed: 11,
+            engine,
         };
         let pro = NetSim::new(base)
             .with_snapshot(&graph)
@@ -112,6 +119,76 @@ fn main() {
         );
     }
 
+    // Engine cross-check (manifest only): the calendar queue is a
+    // drop-in for the reference heap. Re-run the mid-sweep point on both
+    // engines and require bit-identical reports — the same guarantee the
+    // `engine_equivalence` property suite pins, asserted here on the
+    // exact workload this experiment publishes.
+    run.phase("engine cross-check");
+    {
+        let flows: Vec<FlowSpec> = (0..n_flows)
+            .map(|_| FlowSpec {
+                src,
+                dst,
+                rate_bps: 20.0e6 / n_flows as f64,
+                packet_bytes: 1_500,
+                kind: TrafficKind::Poisson,
+            })
+            .collect();
+        let base = NetSimConfig {
+            duration_s: 20.0,
+            queue_capacity_bytes: 512 * 1024,
+            routing: RoutingMode::Proactive,
+            seed: 11,
+            engine: EngineKind::Heap,
+        };
+        let mut heap_rec = MemoryRecorder::new();
+        let heap = NetSim::new(base)
+            .with_snapshot(&graph)
+            .run_recorded(&flows, &mut heap_rec)
+            .expect("valid netsim config");
+        let mut cal_rec = MemoryRecorder::new();
+        let cal = NetSim::new(NetSimConfig {
+            engine: EngineKind::Calendar,
+            ..base
+        })
+        .with_snapshot(&graph)
+        .run_recorded(&flows, &mut cal_rec)
+        .expect("valid netsim config");
+        assert_eq!(
+            heap, cal,
+            "heap and calendar engines must produce bit-identical reports"
+        );
+        // Load counters from the run on the engine this invocation uses.
+        let rec = match engine {
+            EngineKind::Heap => &heap_rec,
+            EngineKind::Calendar => &cal_rec,
+        };
+        run.push_extra(
+            "engine",
+            JsonValue::object([
+                ("kind", JsonValue::Str(engine.name().to_string())),
+                (
+                    "events_processed",
+                    JsonValue::Uint(rec.counter("engine.events_processed")),
+                ),
+                (
+                    "queue_depth_high_water",
+                    JsonValue::Num(rec.maximum("engine.queue_depth_high_water").unwrap_or(0.0)),
+                ),
+                (
+                    "slab_high_water",
+                    JsonValue::Num(rec.maximum("netsim.engine.slab_high_water").unwrap_or(0.0)),
+                ),
+                (
+                    "bucket_resizes",
+                    JsonValue::Uint(rec.counter("netsim.engine.bucket_resizes")),
+                ),
+                ("cross_check_delivered", JsonValue::Uint(cal.delivered)),
+            ]),
+        );
+    }
+
     // Planner batching demo (manifest only): the replan-heavy shape —
     // many flows, few sources — that the batched RoutePlanner exists
     // for. 96 flows from 3 access satellites; the per-flow baseline
@@ -122,7 +199,6 @@ fn main() {
     {
         use openspace_net::routing::{latency_weight, shortest_path_recorded, RoutePlanner};
         use openspace_net::topology::NodeId;
-        use openspace_telemetry::MemoryRecorder;
 
         let n = graph.node_count();
         let n_sats = graph.satellite_count();
@@ -163,6 +239,7 @@ fn main() {
                 replan_interval_s: 1.0,
             },
             seed: 11,
+            engine,
         })
         .with_snapshot(&graph)
         .run_recorded(&flows, &mut netsim_rec)

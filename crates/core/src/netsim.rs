@@ -45,13 +45,15 @@ use openspace_net::routing::{latency_weight, QosRequirement, RoutePlanner};
 use openspace_net::timeline::{TopologyProvider, TopologyTimeline};
 use openspace_net::topology::{Graph, NodeId};
 use openspace_sim::config::{require_positive, ConfigError};
-use openspace_sim::engine::EventQueue;
+use openspace_sim::engine::{CalendarQueue, EventQueue, Scheduler};
 use openspace_sim::fault::{TopologyEvent, TopologyEventKind};
 use openspace_sim::rng::SimRng;
 use openspace_sim::stats::Summary;
 use openspace_telemetry::{NullRecorder, Recorder};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
+
+pub use openspace_sim::engine::EngineKind;
 
 /// Traffic model of one flow.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -188,6 +190,10 @@ pub struct NetSimConfig {
     pub routing: RoutingMode,
     /// Seed for all arrival processes.
     pub seed: u64,
+    /// Event-queue implementation. Both produce bit-identical reports
+    /// (pinned by `tests/tests/engine_equivalence.rs`); the calendar
+    /// queue is faster and the default, the heap is the reference.
+    pub engine: EngineKind,
 }
 
 impl Default for NetSimConfig {
@@ -197,6 +203,7 @@ impl Default for NetSimConfig {
             queue_capacity_bytes: 256 * 1024,
             routing: RoutingMode::Proactive,
             seed: 1,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -238,6 +245,12 @@ impl NetSimConfigBuilder {
     /// Arrival-process seed.
     pub fn seed(mut self, v: u64) -> Self {
         self.cfg.seed = v;
+        self
+    }
+
+    /// Event-queue implementation.
+    pub fn engine(mut self, v: EngineKind) -> Self {
+        self.cfg.engine = v;
         self
     }
 
@@ -324,35 +337,65 @@ pub struct NetSimReport {
     pub fault: FaultImpact,
 }
 
-#[derive(Clone)]
+/// Dense index of a directed link in the run's [`LinkTable`]. Within
+/// one run a `LinkId` names one `(u, v)` pair *forever* — slots are
+/// never recycled for a different pair (see [`LinkTable`]), so compiled
+/// routes and in-flight `Depart` events can never be misdirected by
+/// churn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct LinkId(u32);
+
+/// Slab index of an in-flight packet (see [`PktSlab`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PktId(u32);
+
+/// An in-flight packet, slab-resident. Events reference it by [`PktId`]
+/// so the event queue moves 8-byte payloads, not fat packet structs.
 struct Pkt {
     bytes: u32,
     created_s: f64,
-    path: Rc<[NodeId]>,
-    hop: usize,
+    /// The node sequence of the compiled route (for arrival-node and
+    /// delivery checks).
+    nodes: Rc<[NodeId]>,
+    /// The per-hop link indices of the compiled route: hop `h` forwards
+    /// on `links[h]`, by array index instead of hashing a node pair.
+    links: Rc<[LinkId]>,
+    hop: u32,
     /// Index into the flow list, for per-flow latency telemetry.
     flow: u32,
 }
 
+/// A route compiled against the run's [`LinkTable`]: the planner's node
+/// path plus the [`LinkId`] of every hop. Compiled once per (re)plan;
+/// packets carry `Rc` clones of both arrays.
+#[derive(Clone)]
+struct CompiledRoute {
+    nodes: Rc<[NodeId]>,
+    links: Rc<[LinkId]>,
+}
+
+/// Simulation events. Every variant is ≤ 8 bytes of payload — packet
+/// state lives in the [`PktSlab`] — so the schedulers move 24-byte
+/// `(time, seq, event)` entries through the hot loop.
 enum Ev {
-    Inject(usize),
+    Inject(u32),
     /// Demand-tick boundary `k`: retire batch `k-1`, activate batch `k`.
-    DemandTick(usize),
-    /// Transmission of the head-of-queue packet on (u → v) completed.
-    Depart(NodeId, NodeId),
-    /// Packet finished propagating to `node`.
-    HopArrive(Pkt, NodeId),
+    DemandTick(u32),
+    /// Transmission of the head-of-queue packet on a link completed.
+    Depart(LinkId),
+    /// Packet finished propagating to its next hop.
+    HopArrive(PktId),
     Replan,
     /// Topology refresh (dynamic mode): satellites have moved.
     Resnapshot,
     /// A fault-plan event (index into the event list) takes effect.
-    Fault(usize),
+    Fault(u32),
 }
 
 struct Link {
     capacity_bps: f64,
     latency_s: f64,
-    queue: std::collections::VecDeque<Pkt>,
+    queue: VecDeque<PktId>,
     occupancy_bytes: u64,
     busy: bool,
     bits_sent: f64, // since `measured_since_s` (for utilization samples)
@@ -360,18 +403,257 @@ struct Link {
     /// last replan reset — the divisor for utilization samples.
     measured_since_s: f64,
     util_ewma: f64,
+    /// Whether the link currently exists in the topology. A dead slot
+    /// is what a missing `(u, v)` key was in the old hash-map design:
+    /// forwards onto it drop, pending `Depart`s fizzle.
+    alive: bool,
+    /// Mirror of the old `fault_removed` set membership: set when fault
+    /// surgery removes the pair, cleared only by a fault *restore*
+    /// (resnapshot revival intentionally leaves it, exactly like the
+    /// set used to).
+    fault_removed: bool,
 }
 
-fn fresh_link(capacity_bps: f64, latency_s: f64, now_s: f64) -> Link {
-    Link {
-        capacity_bps,
-        latency_s,
-        queue: Default::default(),
-        occupancy_bytes: 0,
-        busy: false,
-        bits_sent: 0.0,
-        measured_since_s: now_s,
-        util_ewma: 0.0,
+/// Slab of in-flight packets with a freelist. A packet is referenced by
+/// exactly one owner at a time — one link queue entry or one `HopArrive`
+/// event — so `free` after delivery/drop cannot double-release.
+#[derive(Default)]
+struct PktSlab {
+    pkts: Vec<Pkt>,
+    free: Vec<u32>,
+    /// Most packets ever in flight at once (`netsim.engine.slab_high_water`).
+    high_water: usize,
+}
+
+impl PktSlab {
+    fn alloc(&mut self, pkt: Pkt) -> PktId {
+        let id = match self.free.pop() {
+            Some(i) => {
+                self.pkts[i as usize] = pkt;
+                PktId(i)
+            }
+            None => {
+                self.pkts.push(pkt);
+                PktId((self.pkts.len() - 1) as u32)
+            }
+        };
+        self.high_water = self.high_water.max(self.pkts.len() - self.free.len());
+        id
+    }
+
+    #[inline]
+    fn get(&self, id: PktId) -> &Pkt {
+        &self.pkts[id.0 as usize]
+    }
+
+    #[inline]
+    fn get_mut(&mut self, id: PktId) -> &mut Pkt {
+        &mut self.pkts[id.0 as usize]
+    }
+
+    /// Return a slot to the freelist. The stale `Pkt` (and its route
+    /// `Rc`s) stays in place until the slot is reused — a deliberate
+    /// trade: no drop work on the hot path.
+    #[inline]
+    fn free(&mut self, id: PktId) {
+        self.free.push(id.0);
+    }
+}
+
+/// The dense link table: every directed link the run has *ever* seen
+/// occupies one slot, addressed by [`LinkId`]. The `(u, v) → LinkId`
+/// index is **append-only**: a pair maps to the same slot for the whole
+/// run, and topology churn flips the slot's `alive` flag (re-created
+/// links *revive* their old slot with fresh state) instead of ever
+/// reusing a slot for a different pair.
+///
+/// # Why pair-stable slots preserve hash-map semantics bit for bit
+///
+/// The old design keyed links by `(u, v)` in a `HashMap`; events and
+/// routes named links by pair. Its observable semantics at every
+/// lookup site were: *the pair is present* (act on its current state) or
+/// *absent* (drop / fizzle). With pair-stable slots, `alive` is
+/// exactly pair-presence — including the corner where a link vanishes
+/// and the same pair is re-created while a stale `Depart` is still in
+/// flight: the old code would find the *new* link under the old key and
+/// pop its queue early, and the revived slot reproduces precisely that.
+/// A freelist design would instead let the stale `Depart` act on an
+/// unrelated pair's link — a silent divergence this design makes
+/// impossible by construction.
+struct LinkTable {
+    slots: Vec<Link>,
+    /// Pair of each slot (parallel to `slots`).
+    pairs: Vec<(NodeId, NodeId)>,
+    /// Append-only pair index; values are stable for the whole run.
+    index: HashMap<(NodeId, NodeId), LinkId>,
+    /// Number of alive slots — the old `links.len()`.
+    alive_count: usize,
+}
+
+impl LinkTable {
+    fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            pairs: Vec::new(),
+            index: HashMap::new(),
+            alive_count: 0,
+        }
+    }
+
+    #[inline]
+    fn link(&self, id: LinkId) -> &Link {
+        &self.slots[id.0 as usize]
+    }
+
+    #[inline]
+    fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.slots[id.0 as usize]
+    }
+
+    /// The slot for `pair`, allocating a dead one on first sight.
+    /// (Compilation of a freshly planned route only ever sees alive
+    /// pairs — the table is synced to the graph before planning — but a
+    /// dead allocation is still semantically exact: it is the "absent
+    /// key", and forwards onto it drop.)
+    fn id_for(&mut self, pair: (NodeId, NodeId)) -> LinkId {
+        if let Some(&id) = self.index.get(&pair) {
+            return id;
+        }
+        let id = LinkId(self.slots.len() as u32);
+        self.slots.push(Link {
+            capacity_bps: 0.0,
+            latency_s: 0.0,
+            queue: VecDeque::new(),
+            occupancy_bytes: 0,
+            busy: false,
+            bits_sent: 0.0,
+            measured_since_s: 0.0,
+            util_ewma: 0.0,
+            alive: false,
+            fault_removed: false,
+        });
+        self.pairs.push(pair);
+        self.index.insert(pair, id);
+        id
+    }
+
+    /// Bring `pair` alive with fresh-link state (the old
+    /// `insert(fresh_link(..))`): empty queue, EWMA reset, measurement
+    /// window starting now. Like the map insert it replaces, this also
+    /// covers overwriting a still-alive link (a fault restore can race a
+    /// resnapshot revival): the old queue's packets are discarded
+    /// uncounted, exactly as the dropped map entry's were. Preserves
+    /// `fault_removed` — the old design's fault set was independent of
+    /// the link map.
+    fn revive(
+        &mut self,
+        pair: (NodeId, NodeId),
+        capacity_bps: f64,
+        latency_s: f64,
+        now_s: f64,
+        slab: &mut PktSlab,
+    ) {
+        let id = self.id_for(pair);
+        if !self.slots[id.0 as usize].alive {
+            self.alive_count += 1;
+        }
+        let link = &mut self.slots[id.0 as usize];
+        for pid in link.queue.drain(..) {
+            slab.free.push(pid.0);
+        }
+        link.capacity_bps = capacity_bps;
+        link.latency_s = latency_s;
+        link.occupancy_bytes = 0;
+        link.busy = false;
+        link.bits_sent = 0.0;
+        link.measured_since_s = now_s;
+        link.util_ewma = 0.0;
+        link.alive = true;
+    }
+
+    /// Kill `pair`'s slot if alive (the old `remove(&pair)`), freeing
+    /// its queued packets into `slab`. Returns how many packets died
+    /// with the queue, or `None` if the pair was not alive.
+    fn kill(&mut self, pair: (NodeId, NodeId), slab: &mut PktSlab) -> Option<u64> {
+        let &id = self.index.get(&pair)?;
+        let link = &mut self.slots[id.0 as usize];
+        if !link.alive {
+            return None;
+        }
+        let queued = link.queue.len() as u64;
+        for pid in link.queue.drain(..) {
+            slab.free.push(pid.0);
+        }
+        link.occupancy_bytes = 0;
+        link.busy = false;
+        link.alive = false;
+        self.alive_count -= 1;
+        Some(queued)
+    }
+
+    /// Alive `(pair, id)` entries in sorted pair order — the
+    /// deterministic iteration the replan path needs (the old code
+    /// sorted the hash map's keys for the same reason).
+    fn sorted_alive(&self) -> Vec<((NodeId, NodeId), LinkId)> {
+        let mut out: Vec<((NodeId, NodeId), LinkId)> = self
+            .index
+            .iter()
+            .filter(|(_, &id)| self.slots[id.0 as usize].alive)
+            .map(|(&pair, &id)| (pair, id))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Sync the table to a fresh snapshot — the old `rebuild_links`:
+    /// links present in both keep queue/EWMA (capacity and latency
+    /// refreshed), links only in the graph come up fresh, links only in
+    /// the table die and lose their queues. Returns
+    /// `(links_kept, links_churned, packets_dropped)`.
+    fn rebuild_sync(&mut self, graph: &Graph, now: f64, slab: &mut PktSlab) -> (u64, u64, u64) {
+        let preexisting = self.slots.len();
+        let mut seen = vec![false; preexisting];
+        let mut kept = 0u64;
+        let mut churned = 0u64;
+        for u in 0..graph.node_count() {
+            for e in graph.edges(u) {
+                let id = self.id_for((NodeId(u), e.to));
+                if (id.0 as usize) < preexisting {
+                    seen[id.0 as usize] = true;
+                }
+                if self.slots[id.0 as usize].alive {
+                    kept += 1;
+                    let link = &mut self.slots[id.0 as usize];
+                    link.capacity_bps = e.capacity_bps;
+                    link.latency_s = e.latency_s;
+                } else {
+                    churned += 1;
+                    self.revive((NodeId(u), e.to), e.capacity_bps, e.latency_s, now, slab);
+                }
+            }
+        }
+        let mut lost = 0u64;
+        for (idx, &was_seen) in seen.iter().enumerate() {
+            if self.slots[idx].alive && !was_seen {
+                churned += 1;
+                lost += self
+                    .kill(self.pairs[idx], slab)
+                    .expect("alive slot kills cleanly");
+            }
+        }
+        (kept, churned, lost)
+    }
+
+    /// Compile a planner path into per-hop [`LinkId`]s.
+    fn compile(&mut self, nodes: Vec<NodeId>) -> CompiledRoute {
+        let links: Vec<LinkId> = nodes
+            .windows(2)
+            .map(|w| self.id_for((w[0], w[1])))
+            .collect();
+        CompiledRoute {
+            nodes: Rc::from(nodes.into_boxed_slice()),
+            links: Rc::from(links.into_boxed_slice()),
+        }
     }
 }
 
@@ -725,6 +1007,29 @@ fn run_netsim_inner(
     demand: Option<&DemandWorkload>,
     rec: &mut dyn Recorder,
 ) -> Result<NetSimReport, ConfigError> {
+    // One monomorphized simulation core per engine: the scheduler is a
+    // generic parameter (not a trait object) so the hot loop's
+    // schedule/pop calls inline. Both instantiations run the same code
+    // over the same total event order, so their reports are
+    // bit-identical (pinned by `tests/tests/engine_equivalence.rs`).
+    match cfg.engine {
+        EngineKind::Heap => {
+            run_netsim_core::<EventQueue<Ev>>(source, flows, cfg, events, demand, rec)
+        }
+        EngineKind::Calendar => {
+            run_netsim_core::<CalendarQueue<Ev>>(source, flows, cfg, events, demand, rec)
+        }
+    }
+}
+
+fn run_netsim_core<S: Scheduler<Ev> + Default>(
+    source: TopologySource<'_>,
+    flows: &[FlowSpec],
+    cfg: &NetSimConfig,
+    events: &[TopologyEvent],
+    demand: Option<&DemandWorkload>,
+    rec: &mut dyn Recorder,
+) -> Result<NetSimReport, ConfigError> {
     let graph = match source {
         TopologySource::Static(g) => g.clone(),
         TopologySource::Provider { provider, .. } => provider.topology_at(0.0),
@@ -765,22 +1070,27 @@ fn run_netsim_inner(
     let mut tick: usize = 0;
 
     // Per-flow histogram keys are only materialized when someone is
-    // listening — a NullRecorder run never formats a string.
-    let flow_latency_keys: Vec<String> = if rec.enabled() {
-        (0..flows.len())
-            .map(|i| format!("netsim.flow.{i}.latency_s"))
-            .collect()
+    // listening — a NullRecorder run never formats a string — and even
+    // then lazily, on a flow's first delivery: a million-flow demand
+    // run allocates strings only for flows that actually deliver.
+    let mut flow_latency_keys: Vec<Option<String>> = if rec.enabled() {
+        vec![None; flows.len()]
     } else {
         Vec::new()
     };
 
-    // Link state keyed by (u, v).
-    let mut links: HashMap<(NodeId, NodeId), Link> = HashMap::new();
+    // Packet slab and the dense link table (see their docs for the
+    // equivalence argument vs the old `HashMap<(NodeId, NodeId), Link>`).
+    let mut slab = PktSlab::default();
+    let mut table = LinkTable::new();
     for u in 0..graph.node_count() {
         for e in graph.edges(u) {
-            links.insert(
+            table.revive(
                 (NodeId(u), e.to),
-                fresh_link(e.capacity_bps, e.latency_s, 0.0),
+                e.capacity_bps,
+                e.latency_s,
+                0.0,
+                &mut slab,
             );
         }
     }
@@ -795,10 +1105,18 @@ fn run_netsim_inner(
     // `routing.planner.*` counters.
     let mut planner = RoutePlanner::new();
     let flow_idxs: Vec<usize> = (0..flows.len()).collect();
-    // Initial routes: proactive latency paths for every flow.
+    // Initial routes: proactive latency paths for every flow, compiled
+    // to LinkId form against the table.
     let mut work_graph = graph.clone();
-    let mut routes: Vec<Option<Rc<[NodeId]>>> =
-        plan_flow_routes(&mut planner, &work_graph, flows, &flow_idxs, false, rec);
+    let mut routes: Vec<Option<CompiledRoute>> = plan_flow_routes(
+        &mut planner,
+        &work_graph,
+        &mut table,
+        flows,
+        &flow_idxs,
+        false,
+        rec,
+    );
 
     // Arrival processes.
     let mut rngs: Vec<SimRng> = (0..flows.len())
@@ -811,10 +1129,10 @@ fn run_netsim_inner(
     let mut active: Vec<bool> = (0..flows.len()).map(|i| i < base_count).collect();
     let mut on_until: Vec<f64> = vec![0.0; flows.len()];
 
-    let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut q: S = S::default();
     for i in 0..base_count {
         let at = start_flow(&flows[i], &mut rngs[i], 0.0, &mut on_until[i]);
-        q.schedule(at, Ev::Inject(i));
+        q.schedule(at, Ev::Inject(i as u32));
     }
     let replan_interval = match cfg.routing {
         RoutingMode::Adaptive { replan_interval_s } => {
@@ -828,12 +1146,12 @@ fn run_netsim_inner(
     }
     for (idx, ev) in events.iter().enumerate() {
         if ev.at_s < cfg.duration_s {
-            q.schedule(ev.at_s.max(0.0), Ev::Fault(idx));
+            q.schedule(ev.at_s.max(0.0), Ev::Fault(idx as u32));
         }
     }
     for (k, (t, _)) in demand_ranges.iter().enumerate() {
         if *t < cfg.duration_s {
-            q.schedule(*t, Ev::DemandTick(k));
+            q.schedule(*t, Ev::DemandTick(k as u32));
         }
     }
 
@@ -848,7 +1166,6 @@ fn run_netsim_inner(
     let mut tracker = OutageTracker::new();
     let mut fault = FaultImpact::default();
     let mut down_nodes: HashSet<NodeId> = HashSet::new();
-    let mut fault_removed: HashSet<(NodeId, NodeId)> = HashSet::new();
     let mut down_since: HashMap<NodeId, f64> = HashMap::new();
     let mut downtime_total = 0.0f64;
     let mut repairs = 0u64;
@@ -858,27 +1175,29 @@ fn run_netsim_inner(
 
     q.run_until(cfg.duration_s, |q, now, ev| match ev {
         Ev::Inject(i) => {
+            let i = i as usize;
             if !active[i] {
                 return; // flow retired at a demand tick: stop injecting
             }
             let f = &flows[i];
             generated += 1;
-            if let Some(path) = &routes[i] {
-                let pkt = Pkt {
+            if let Some(route) = &routes[i] {
+                let pid = slab.alloc(Pkt {
                     bytes: f.packet_bytes,
                     created_s: now,
-                    path: Rc::clone(path),
+                    nodes: Rc::clone(&route.nodes),
+                    links: Rc::clone(&route.links),
                     hop: 0,
                     flow: i as u32,
-                };
+                });
                 forward(
                     q,
-                    &mut links,
-                    pkt,
+                    &mut table,
+                    &mut slab,
+                    pid,
                     now,
                     cfg.queue_capacity_bytes,
                     &mut dropped,
-                    &fault_removed,
                     &mut fault.packets_lost,
                 );
             } else {
@@ -908,9 +1227,10 @@ fn run_netsim_inner(
                     at - now
                 }
             };
-            q.schedule(now + gap, Ev::Inject(i));
+            q.schedule(now + gap, Ev::Inject(i as u32));
         }
         Ev::DemandTick(k) => {
+            let k = k as usize;
             // Retire the previous batch (its in-flight packets still
             // drain), then activate this one with fresh phases.
             if k > 0 {
@@ -928,57 +1248,84 @@ fn run_netsim_inner(
             for i in range.clone() {
                 active[i] = true;
                 let at = start_flow(&flows[i], &mut rngs[i], now, &mut on_until[i]);
-                q.schedule(at, Ev::Inject(i));
+                q.schedule(at, Ev::Inject(i as u32));
             }
             rec.add("netsim.demand.ticks", 1);
             rec.add("netsim.demand.flows_activated", range.len() as u64);
         }
-        Ev::Depart(u, v) => {
+        Ev::Depart(lid) => {
             // The link can vanish (fault, resnapshot) between the Depart
-            // being scheduled and firing; its queue died with it.
-            let Some(link) = links.get_mut(&(u, v)) else {
+            // being scheduled and firing; its queue died with it. A dead
+            // slot is the old map's missing key.
+            let link = table.link_mut(lid);
+            if !link.alive {
+                return;
+            }
+            let Some(pid) = link.queue.pop_front() else {
                 return;
             };
-            let Some(pkt) = link.queue.pop_front() else {
-                return;
-            };
-            link.occupancy_bytes = link.occupancy_bytes.saturating_sub(pkt.bytes as u64);
-            link.bits_sent += pkt.bytes as f64 * 8.0;
+            let bytes = slab.get(pid).bytes;
+            // Exact subtraction: occupancy is the byte-sum of the queue
+            // by construction; a shortfall is an accounting bug that
+            // must surface, not saturate away.
+            debug_assert!(
+                link.occupancy_bytes >= bytes as u64,
+                "link occupancy {} under departing packet size {}",
+                link.occupancy_bytes,
+                bytes
+            );
+            link.occupancy_bytes -= bytes as u64;
+            link.bits_sent += bytes as f64 * 8.0;
             let arrive_at = now + link.latency_s;
-            // Start the next transmission if any.
-            if let Some(next) = link.queue.front() {
-                let tx = next.bytes as f64 * 8.0 / link.capacity_bps;
-                q.schedule(now + tx, Ev::Depart(u, v));
+            // Start the next transmission if any. Scheduled *before* the
+            // HopArrive: the relative seq numbers decide tie order when
+            // serialization equals propagation time.
+            if let Some(&next) = link.queue.front() {
+                let tx = slab.get(next).bytes as f64 * 8.0 / link.capacity_bps;
+                q.schedule(now + tx, Ev::Depart(lid));
             } else {
                 link.busy = false;
             }
-            q.schedule(arrive_at, Ev::HopArrive(pkt, v));
+            q.schedule(arrive_at, Ev::HopArrive(pid));
         }
-        Ev::HopArrive(mut pkt, node) => {
+        Ev::HopArrive(pid) => {
+            // The arrival node is the hop's endpoint, `nodes[hop + 1]` —
+            // identical to the node the old fat event carried, since
+            // planner paths are simple (each node appears once).
+            let (hop, node) = {
+                let p = slab.get(pid);
+                (p.hop, p.nodes[p.hop as usize + 1])
+            };
             if down_nodes.contains(&node) {
                 // The receiver died while the packet was in flight.
                 dropped += 1;
                 fault.packets_lost += 1;
+                slab.free(pid);
                 return;
             }
-            pkt.hop += 1;
-            if Some(&node) == pkt.path.last() {
+            let p = slab.get_mut(pid);
+            p.hop = hop + 1;
+            if p.hop as usize + 1 == p.nodes.len() {
+                let lat = now - p.created_s;
+                let flow = p.flow as usize;
+                slab.free(pid);
                 delivered += 1;
-                let lat = now - pkt.created_s;
                 latency.add(lat);
                 if rec.enabled() {
                     rec.observe("netsim.latency_s", lat);
-                    rec.observe(&flow_latency_keys[pkt.flow as usize], lat);
+                    let key = flow_latency_keys[flow]
+                        .get_or_insert_with(|| format!("netsim.flow.{flow}.latency_s"));
+                    rec.observe(key, lat);
                 }
             } else {
                 forward(
                     q,
-                    &mut links,
-                    pkt,
+                    &mut table,
+                    &mut slab,
+                    pid,
                     now,
                     cfg.queue_capacity_bytes,
                     &mut dropped,
-                    &fault_removed,
                     &mut fault.packets_lost,
                 );
             }
@@ -989,16 +1336,12 @@ fn run_netsim_inner(
             };
             // Measure utilization, fold into EWMA, push into the graph.
             // The per-link effects are independent today, but iterate in
-            // sorted key order anyway: `links` is a `HashMap` with a
-            // per-instance random hasher, and a future non-commutative
-            // edit inside this loop would otherwise silently break
-            // bit-reproducibility across processes.
-            let mut keys: Vec<(NodeId, NodeId)> = links.keys().copied().collect();
-            keys.sort_unstable();
-            for (u, v) in keys {
-                let Some(link) = links.get_mut(&(u, v)) else {
-                    continue;
-                };
+            // sorted pair order anyway (the table's pair index is a
+            // `HashMap` with a per-instance random hasher), so a future
+            // non-commutative edit inside this loop cannot silently
+            // break bit-reproducibility across processes.
+            for ((u, v), lid) in table.sorted_alive() {
+                let link = table.link_mut(lid);
                 let util = link.bits_sent / interval / link.capacity_bps;
                 // The report's max takes the raw sample (matching the
                 // end-of-run sample); only the EWMA feeding
@@ -1017,7 +1360,15 @@ fn run_netsim_inner(
             }
             // Loads changed under the QoS weight: cached trees are stale.
             planner.invalidate();
-            let fresh = plan_flow_routes(&mut planner, &work_graph, flows, &flow_idxs, true, rec);
+            let fresh = plan_flow_routes(
+                &mut planner,
+                &work_graph,
+                &mut table,
+                flows,
+                &flow_idxs,
+                true,
+                rec,
+            );
             for (i, r) in fresh.into_iter().enumerate() {
                 if let Some(r) = r {
                     routes[i] = Some(r);
@@ -1035,9 +1386,9 @@ fn run_netsim_inner(
                 TopologySource::Static(_) => return, // unscheduled; unreachable
                 TopologySource::Provider { provider, .. } => {
                     // Full rebuild: fresh snapshot, link state carried
-                    // over by key.
+                    // over by pair.
                     work_graph = provider.topology_at(now);
-                    let (kept, churned, lost) = rebuild_links(&work_graph, &mut links, now);
+                    let (kept, churned, lost) = table.rebuild_sync(&work_graph, now, &mut slab);
                     dropped += lost;
                     rec.add("netsim.resnapshot.links_kept", kept);
                     rec.add("netsim.resnapshot.links_churned", churned);
@@ -1058,28 +1409,31 @@ fn run_netsim_inner(
                         .expect("consecutive timeline deltas always chain");
                     rec.add("netsim.timeline.deltas_applied", 1);
                     if events.is_empty() {
-                        // No fault surgery has touched the link map, so
-                        // its keys mirror the previous snapshot's edges
-                        // exactly and the delta's edge views are a
-                        // complete description of the churn: patch the
-                        // map in place instead of rebuilding it.
+                        // No fault surgery has touched the link table,
+                        // so its alive pairs mirror the previous
+                        // snapshot's edges exactly and the delta's edge
+                        // views are a complete description of the churn:
+                        // patch the table in place instead of rebuilding.
                         let removed = delta.edges_removed();
                         let added = delta.edges_added();
-                        let kept = (links.len() - removed.len()) as u64;
+                        let kept = (table.alive_count - removed.len()) as u64;
                         let mut lost = 0u64;
                         for &(u, v) in &removed {
-                            if let Some(link) = links.remove(&(u, v)) {
-                                lost += link.queue.len() as u64;
+                            if let Some(queued) = table.kill((u, v), &mut slab) {
+                                lost += queued;
                             }
                         }
                         dropped += lost;
                         for (u, e) in &added {
-                            links.insert((*u, e.to), fresh_link(e.capacity_bps, e.latency_s, now));
+                            table.revive((*u, e.to), e.capacity_bps, e.latency_s, now, &mut slab);
                         }
                         for (u, e) in delta.edges_changed() {
-                            if let Some(link) = links.get_mut(&(u, e.to)) {
-                                link.capacity_bps = e.capacity_bps;
-                                link.latency_s = e.latency_s;
+                            if let Some(&id) = table.index.get(&(u, e.to)) {
+                                let link = table.link_mut(id);
+                                if link.alive {
+                                    link.capacity_bps = e.capacity_bps;
+                                    link.latency_s = e.latency_s;
+                                }
                             }
                         }
                         rec.add("netsim.resnapshot.links_kept", kept);
@@ -1102,10 +1456,10 @@ fn run_netsim_inner(
                     } else {
                         // Fault surgery may have removed links the
                         // fresh snapshot resurrects; fall back to the
-                        // full key-carrying rebuild (still skipping the
+                        // full pair-carrying rebuild (still skipping the
                         // from-orbital-state snapshot build).
                         work_graph = mirror.clone();
-                        let (kept, churned, lost) = rebuild_links(&work_graph, &mut links, now);
+                        let (kept, churned, lost) = table.rebuild_sync(&work_graph, now, &mut slab);
                         dropped += lost;
                         rec.add("netsim.resnapshot.links_kept", kept);
                         rec.add("netsim.resnapshot.links_churned", churned);
@@ -1114,12 +1468,20 @@ fn run_netsim_inner(
                     }
                 }
             }
-            routes = plan_flow_routes(&mut planner, &work_graph, flows, &flow_idxs, adaptive, rec);
+            routes = plan_flow_routes(
+                &mut planner,
+                &work_graph,
+                &mut table,
+                flows,
+                &flow_idxs,
+                adaptive,
+                rec,
+            );
             rec.add("netsim.resnapshots", 1);
             q.schedule(now + interval, Ev::Resnapshot);
         }
         Ev::Fault(idx) => {
-            let event = &events[idx];
+            let event = &events[idx as usize];
             // Mutate the topology *before* any bookkeeping: events were
             // range-checked up front so application cannot fail here,
             // but if it ever did, returning first keeps `down_nodes` /
@@ -1149,16 +1511,20 @@ fn run_netsim_inner(
             }
             fault.events_applied += 1;
             for &(u, v) in &delta.removed_links {
-                fault_removed.insert((u, v));
-                if let Some(link) = links.remove(&(u, v)) {
-                    let queued = link.queue.len() as u64;
+                // Mark first (the old `fault_removed.insert`), then kill:
+                // the mark outlives the slot's death, so a later forward
+                // onto the dead slot counts as a fault loss.
+                let id = table.id_for((u, v));
+                table.link_mut(id).fault_removed = true;
+                if let Some(queued) = table.kill((u, v), &mut slab) {
                     dropped += queued;
                     fault.packets_lost += queued;
                 }
             }
             for (u, e) in &delta.restored_links {
-                fault_removed.remove(&(*u, e.to));
-                links.insert((*u, e.to), fresh_link(e.capacity_bps, e.latency_s, now));
+                let id = table.id_for((*u, e.to));
+                table.link_mut(id).fault_removed = false;
+                table.revive((*u, e.to), e.capacity_bps, e.latency_s, now, &mut slab);
             }
             if delta.is_empty() {
                 return;
@@ -1173,13 +1539,14 @@ fn run_netsim_inner(
             let adaptive = replan_interval.is_some();
             let broken_idxs: Vec<usize> = (0..flows.len())
                 .filter(|&i| match &routes[i] {
-                    Some(path) => path.windows(2).any(|w| !links.contains_key(&(w[0], w[1]))),
+                    Some(route) => route.links.iter().any(|&lid| !table.link(lid).alive),
                     None => true,
                 })
                 .collect();
             let fresh = plan_flow_routes(
                 &mut planner,
                 &work_graph,
+                &mut table,
                 flows,
                 &broken_idxs,
                 adaptive,
@@ -1225,7 +1592,7 @@ fn run_netsim_inner(
     // last reset (or its creation), divided by that actual window — not
     // the full run duration, which would dilute links created mid-run
     // (fault restores, resnapshots) or already sampled by a replan.
-    for link in links.values() {
+    for link in table.slots.iter().filter(|l| l.alive) {
         let window = cfg.duration_s - link.measured_since_s;
         if window > 0.0 {
             max_util = max_util.max(link.bits_sent / window / link.capacity_bps);
@@ -1250,6 +1617,11 @@ fn run_netsim_inner(
     rec.gauge_max("netsim.max_link_utilization", max_util);
     rec.add("engine.events_processed", q.processed());
     rec.gauge_max("engine.queue_depth_high_water", q.depth_high_water() as f64);
+    // Engine internals: peak in-flight packets, and (calendar only)
+    // wheel rebuilds. `bucket_resizes` is the one key that legitimately
+    // differs between engines — equivalence suites filter it.
+    rec.gauge_max("netsim.engine.slab_high_water", slab.high_water as f64);
+    rec.add("netsim.engine.bucket_resizes", q.bucket_resizes());
     if !events.is_empty() {
         rec.add("netsim.fault.events_applied", fault.events_applied);
         rec.add("netsim.fault.packets_lost", fault.packets_lost);
@@ -1298,107 +1670,79 @@ fn start_flow(f: &FlowSpec, rng: &mut SimRng, now: f64, on_until: &mut f64) -> f
 /// Proactive mode routes on pure propagation latency; adaptive mode on
 /// the congestion weight with a best-effort QoS floor — both exactly the
 /// per-flow costs this simulator has always used, so the extracted paths
-/// are bit-for-bit those of the old one-search-per-flow code.
+/// are bit-for-bit those of the old one-search-per-flow code. Each path
+/// is compiled into [`LinkId`] form against `table` as it is extracted —
+/// no intermediate `Vec<Path>` is materialized.
 fn plan_flow_routes(
     planner: &mut RoutePlanner,
     graph: &Graph,
+    table: &mut LinkTable,
     flows: &[FlowSpec],
     idxs: &[usize],
     adaptive: bool,
     rec: &mut dyn Recorder,
-) -> Vec<Option<Rc<[NodeId]>>> {
+) -> Vec<Option<CompiledRoute>> {
     let requests: Vec<(NodeId, NodeId)> =
         idxs.iter().map(|&i| (flows[i].src, flows[i].dst)).collect();
-    let paths = if adaptive {
-        planner.plan_qos_recorded(
+    if adaptive {
+        planner.plan_qos_mapped_recorded(
             graph,
             &requests,
             &QosRequirement::best_effort(),
             12_000.0,
+            |p| Some(table.compile(p.nodes)),
             rec,
         )
     } else {
-        planner.plan_recorded(graph, &requests, latency_weight, rec)
-    };
-    paths
-        .into_iter()
-        .map(|p| p.map(|p| Rc::from(p.nodes.into_boxed_slice())))
-        .collect()
+        planner.plan_mapped_recorded(
+            graph,
+            &requests,
+            latency_weight,
+            |p| Some(table.compile(p.nodes)),
+            rec,
+        )
+    }
 }
 
-/// Rebuild the link map against a fresh snapshot: persistent links keep
-/// their queues and EWMA (capacity/latency refreshed from the new
-/// edge), vanished links lose their queued packets, new links start
-/// empty. Returns `(links_kept, links_churned, packets_dropped)` —
-/// churn counts both created and vanished directed links.
-fn rebuild_links(
-    work_graph: &Graph,
-    links: &mut HashMap<(NodeId, NodeId), Link>,
-    now: f64,
-) -> (u64, u64, u64) {
-    let mut new_links: HashMap<(NodeId, NodeId), Link> = HashMap::new();
-    let mut kept = 0u64;
-    let mut churned = 0u64;
-    for u in 0..work_graph.node_count() {
-        for e in work_graph.edges(u) {
-            let link = match links.remove(&(NodeId(u), e.to)) {
-                Some(mut old) => {
-                    kept += 1;
-                    old.capacity_bps = e.capacity_bps;
-                    old.latency_s = e.latency_s;
-                    old
-                }
-                None => {
-                    churned += 1;
-                    fresh_link(e.capacity_bps, e.latency_s, now)
-                }
-            };
-            new_links.insert((NodeId(u), e.to), link);
-        }
-    }
-    // Anything left in `links` vanished: its queue is lost.
-    let mut lost = 0u64;
-    for (_, link) in links.drain() {
-        churned += 1;
-        lost += link.queue.len() as u64;
-    }
-    *links = new_links;
-    (kept, churned, lost)
-}
-
-/// Enqueue `pkt` on its next-hop link, starting transmission if idle.
-#[allow(clippy::too_many_arguments)] // internal hot path, all state threaded
-fn forward(
-    q: &mut EventQueue<Ev>,
-    links: &mut HashMap<(NodeId, NodeId), Link>,
-    pkt: Pkt,
+/// Enqueue the packet on its next-hop link, starting transmission if
+/// idle. One array index replaces the old per-hop pair hash.
+#[allow(clippy::too_many_arguments)] // engine + link/packet state + loss counters, all load-bearing
+fn forward<S: Scheduler<Ev>>(
+    q: &mut S,
+    table: &mut LinkTable,
+    slab: &mut PktSlab,
+    pid: PktId,
     now: f64,
     queue_capacity_bytes: u64,
     dropped: &mut u64,
-    fault_removed: &HashSet<(NodeId, NodeId)>,
     lost_to_faults: &mut u64,
 ) {
-    let u = pkt.path[pkt.hop];
-    let v = pkt.path[pkt.hop + 1];
-    let Some(link) = links.get_mut(&(u, v)) else {
+    let (bytes, lid) = {
+        let p = slab.get(pid);
+        (p.bytes, p.links[p.hop as usize])
+    };
+    let link = table.link_mut(lid);
+    if !link.alive {
         // Route references a vanished link (possible after replans on a
         // changed snapshot, or right after a fault); count as a drop.
         *dropped += 1;
-        if fault_removed.contains(&(u, v)) {
+        if link.fault_removed {
             *lost_to_faults += 1;
         }
-        return;
-    };
-    if link.occupancy_bytes + pkt.bytes as u64 > queue_capacity_bytes {
-        *dropped += 1;
+        slab.free(pid);
         return;
     }
-    link.occupancy_bytes += pkt.bytes as u64;
-    let tx = pkt.bytes as f64 * 8.0 / link.capacity_bps;
-    link.queue.push_back(pkt);
+    if link.occupancy_bytes + bytes as u64 > queue_capacity_bytes {
+        *dropped += 1;
+        slab.free(pid);
+        return;
+    }
+    link.occupancy_bytes += bytes as u64;
+    let tx = bytes as f64 * 8.0 / link.capacity_bps;
+    link.queue.push_back(pid);
     if !link.busy {
         link.busy = true;
-        q.schedule(now + tx, Ev::Depart(u, v));
+        q.schedule(now + tx, Ev::Depart(lid));
     }
 }
 

@@ -310,6 +310,28 @@ impl RoutePlanner {
         weight: impl Fn(&Edge) -> f64,
         rec: &mut dyn Recorder,
     ) -> Vec<Option<Path>> {
+        self.plan_mapped_recorded(graph, requests, weight, Some, rec)
+    }
+
+    /// [`plan_recorded`](Self::plan_recorded) with a caller-supplied
+    /// extraction map: each found [`Path`] is passed to `map` *as it is
+    /// extracted*, and the mapped value is returned in its place.
+    ///
+    /// This lets a caller compile paths straight into its own route
+    /// representation (e.g. the packet simulator's link-index form)
+    /// without materializing an intermediate `Vec<Path>`. `map`
+    /// returning `None` demotes the request to unroutable (used by the
+    /// QoS latency bound); the `routing.planner.path_extractions`
+    /// counter still counts the raw extraction, so telemetry is
+    /// identical whether or not a map filters.
+    pub fn plan_mapped_recorded<T>(
+        &mut self,
+        graph: &Graph,
+        requests: &[(NodeId, NodeId)],
+        weight: impl Fn(&Edge) -> f64,
+        mut map: impl FnMut(Path) -> Option<T>,
+        rec: &mut dyn Recorder,
+    ) -> Vec<Option<T>> {
         let n = graph.node_count();
         if n != self.n {
             // A different-sized graph can only mean a new topology.
@@ -320,7 +342,7 @@ impl RoutePlanner {
         let mut trees_built = 0u64;
         let mut scratch_reuses = 0u64;
         let mut extractions = 0u64;
-        let paths: Vec<Option<Path>> = requests
+        let paths: Vec<Option<T>> = requests
             .iter()
             .map(|&(src, dst)| {
                 assert!(src.0 < n, "src out of range");
@@ -346,7 +368,7 @@ impl RoutePlanner {
                 if path.is_some() {
                     extractions += 1;
                 }
-                path
+                path.and_then(&mut map)
             })
             .collect();
         // `routing.recomputes` keeps its historical meaning — one per
@@ -389,8 +411,26 @@ impl RoutePlanner {
         packet_bits: f64,
         rec: &mut dyn Recorder,
     ) -> Vec<Option<Path>> {
+        self.plan_qos_mapped_recorded(graph, requests, requirement, packet_bits, Some, rec)
+    }
+
+    /// [`plan_qos_recorded`](Self::plan_qos_recorded) with a
+    /// caller-supplied extraction map (see
+    /// [`plan_mapped_recorded`](Self::plan_mapped_recorded)). The QoS
+    /// latency bound is applied *before* `map`, so `map` only ever sees
+    /// admissible paths.
+    pub fn plan_qos_mapped_recorded<T>(
+        &mut self,
+        graph: &Graph,
+        requests: &[(NodeId, NodeId)],
+        requirement: &QosRequirement,
+        packet_bits: f64,
+        mut map: impl FnMut(Path) -> Option<T>,
+        rec: &mut dyn Recorder,
+    ) -> Vec<Option<T>> {
         let min_bw = requirement.min_bandwidth_bps;
-        let paths = self.plan_recorded(
+        let max_latency = requirement.max_latency_s;
+        self.plan_mapped_recorded(
             graph,
             requests,
             |e| {
@@ -400,12 +440,15 @@ impl RoutePlanner {
                     congestion_weight(e, packet_bits)
                 }
             },
+            |p| {
+                if p.total_cost <= max_latency {
+                    map(p)
+                } else {
+                    None
+                }
+            },
             rec,
-        );
-        paths
-            .into_iter()
-            .map(|p| p.filter(|p| p.total_cost <= requirement.max_latency_s))
-            .collect()
+        )
     }
 }
 

@@ -75,6 +75,15 @@ impl DropTailQueue {
     /// Take the head-of-line packet.
     pub fn dequeue(&mut self) -> Option<Packet> {
         let p = self.packets.pop_front()?;
+        // Exact subtraction: occupancy is the sum of queued packet sizes
+        // by construction, so a shortfall here is an accounting bug that
+        // must surface, not saturate away.
+        debug_assert!(
+            self.occupancy_bytes >= p.size_bytes as u64,
+            "occupancy {} under head packet size {}",
+            self.occupancy_bytes,
+            p.size_bytes
+        );
         self.occupancy_bytes -= p.size_bytes as u64;
         self.stats.dequeued += 1;
         Some(p)

@@ -1,0 +1,403 @@
+//! Property suite pinning the engine-equivalence contract: the
+//! [`CalendarQueue`] is **bitwise-identical** in behaviour to the
+//! reference binary-heap [`EventQueue`] — same pop order to the last
+//! tie, same accounting — and therefore a [`NetSim`] run is a pure
+//! function of the scenario, not of the engine executing it.
+//!
+//! Two layers:
+//!
+//! 1. **Queue-level**: adversarial seeded schedules (same-timestamp
+//!    bursts, microsecond-vs-day time spans, interleaved schedule/pop,
+//!    handlers that schedule offspring mid-run) must drain from both
+//!    engines as the identical `(time-bits, payload)` sequence with
+//!    identical `processed` / `depth_high_water` / final clock.
+//! 2. **Simulation-level**: seeded netsim scenarios (static snapshot,
+//!    evolving timeline, fault injection, demand workload) run once per
+//!    [`EngineKind`] must produce bit-equal [`NetSimReport`]s *and*
+//!    bit-equal recorded telemetry — every counter, gauge and histogram
+//!    except `netsim.engine.bucket_resizes`, the one key that
+//!    legitimately describes the engine rather than the simulation.
+//!
+//! This is the acceptance property for the calendar engine: it may only
+//! ever be an *optimization*, never a behavioral change (see DESIGN.md).
+
+use openspace_core::netsim::{
+    DemandWorkload, EngineKind, FlowSpec, NetSim, NetSimConfig, NetSimReport, RoutingMode,
+    TrafficKind,
+};
+use openspace_net::prelude::*;
+use openspace_net::topology::LinkTech;
+use openspace_sim::fault::{FaultPlan, FaultTopology};
+use openspace_sim::ids::OperatorId;
+use openspace_sim::prelude::{CalendarQueue, EventQueue, Scheduler, SimRng};
+use openspace_telemetry::MemoryRecorder;
+
+// ---------------------------------------------------------------------
+// Layer 1: the two engines drain adversarial schedules identically.
+// ---------------------------------------------------------------------
+
+/// Drive a seeded mix of schedule bursts and pops against `q`,
+/// returning the popped `(time-bits, payload)` sequence. The op stream
+/// depends only on the seed and on state both engines must agree on
+/// (`now`, pop results), so a divergence surfaces as a sequence
+/// mismatch rather than silently forking the schedule.
+fn drive<S: Scheduler<u32>>(q: &mut S, seed: u64, spans: &[f64]) -> Vec<(u64, u32)> {
+    let mut rng = SimRng::substream(0xE9E9, seed);
+    let mut out = Vec::new();
+    let mut next_id = 0u32;
+    for _ in 0..600 {
+        if rng.uniform() < 0.55 {
+            // A burst of 1-4 events; every event in the burst lands on
+            // the *same* timestamp, so ties must break by schedule
+            // order in both engines.
+            let at = q.now() + spans[rng.index(spans.len())] * rng.uniform();
+            for _ in 0..1 + rng.index(4) {
+                q.schedule(at, next_id);
+                next_id += 1;
+            }
+        } else if let Some((t, e)) = q.pop() {
+            out.push((t.to_bits(), e));
+        }
+    }
+    while let Some((t, e)) = q.pop() {
+        out.push((t.to_bits(), e));
+    }
+    out
+}
+
+fn assert_queues_agree(seed: u64, spans: &[f64], ctx: &str) {
+    let mut heap = EventQueue::new();
+    let mut cal = CalendarQueue::new();
+    let a = drive(&mut heap, seed, spans);
+    let b = drive(&mut cal, seed, spans);
+    assert_eq!(a, b, "{ctx} seed {seed}: pop sequences diverge");
+    assert_eq!(
+        Scheduler::<u32>::processed(&heap),
+        Scheduler::<u32>::processed(&cal),
+        "{ctx} seed {seed}: processed"
+    );
+    assert_eq!(
+        Scheduler::<u32>::depth_high_water(&heap),
+        Scheduler::<u32>::depth_high_water(&cal),
+        "{ctx} seed {seed}: depth high-water"
+    );
+    assert_eq!(
+        Scheduler::<u32>::now(&heap).to_bits(),
+        Scheduler::<u32>::now(&cal).to_bits(),
+        "{ctx} seed {seed}: final clock"
+    );
+}
+
+#[test]
+fn adversarial_schedules_pop_identically() {
+    // Dense sub-second offsets: many same-bucket collisions.
+    for seed in 0..20 {
+        assert_queues_agree(seed, &[1e-4, 2e-3, 0.5], "dense");
+    }
+    // Mixed microsecond-vs-day spans: the bucket width is a terrible
+    // fit for at least one population, forcing cursor laps and the
+    // direct-search fallback.
+    for seed in 0..20 {
+        assert_queues_agree(seed, &[1e-6, 3e-5, 1.0, 86_400.0], "mixed-span");
+    }
+    // Degenerate: every event at one of two timestamps — ordering is
+    // decided almost entirely by the seq tie-break.
+    for seed in 0..10 {
+        assert_queues_agree(seed, &[0.0, 1.0], "two-timestamp");
+    }
+}
+
+/// A cascade where the handler schedules offspring mid-run — the shape
+/// the packet engine produces (each `Depart` schedules the next) — at
+/// deliberately mixed time scales.
+fn run_cascade<S: Scheduler<u32> + Default>() -> (Vec<(u64, u32)>, u64, usize) {
+    let mut q = S::default();
+    for i in 0..32u32 {
+        q.schedule(i as f64 * 0.125, i);
+    }
+    let mut out: Vec<(u64, u32)> = Vec::new();
+    q.run_until(2.0e6, |q, t, e| {
+        out.push((t.to_bits(), e));
+        // Gate offspring on the pop count (identical across engines by
+        // construction) so the cascade stays bounded: ≤2 children per
+        // pop for the first 6000 pops, then drain.
+        let n = out.len();
+        if n < 6_000 {
+            q.schedule(t + 1e-6 * (e as f64 + 1.0), e.wrapping_add(32));
+            if n.is_multiple_of(3) {
+                q.schedule(t + 86_400.0 / (e as f64 + 1.0), e.wrapping_add(33));
+            }
+        }
+    });
+    (out, q.processed(), q.depth_high_water())
+}
+
+#[test]
+fn handler_cascades_pop_identically() {
+    let (seq_h, proc_h, hw_h) = run_cascade::<EventQueue<u32>>();
+    let (seq_c, proc_c, hw_c) = run_cascade::<CalendarQueue<u32>>();
+    assert!(seq_h.len() > 5_000, "cascade must actually cascade");
+    assert_eq!(seq_h, seq_c, "cascade pop sequences diverge");
+    assert_eq!(proc_h, proc_c, "cascade processed");
+    assert_eq!(hw_h, hw_c, "cascade depth high-water");
+}
+
+// ---------------------------------------------------------------------
+// Layer 2: whole simulations are engine-invariant, bit for bit.
+// ---------------------------------------------------------------------
+
+/// Seeded evolving mesh (twin of the generator in
+/// `netsim_delta_equivalence.rs`): fixed roster, chords that flip on
+/// random periods, latencies that drift with time.
+struct EvolvingMesh {
+    n: usize,
+    spine: Vec<(usize, usize, f64, f64)>,
+    chords: Vec<(usize, usize, f64, f64, f64)>,
+}
+
+impl EvolvingMesh {
+    fn random(rng: &mut SimRng) -> Self {
+        let n = 4 + rng.index(12);
+        let mut taken: Vec<(usize, usize)> = Vec::new();
+        let spine: Vec<(usize, usize, f64, f64)> = (0..n - 1)
+            .map(|i| {
+                taken.push((i, i + 1));
+                (
+                    i,
+                    i + 1,
+                    rng.uniform_range(1e-3, 1e-2),
+                    rng.uniform_range(1e6, 1e7),
+                )
+            })
+            .collect();
+        let mut chords = Vec::new();
+        for _ in 0..rng.index(n) {
+            let u = rng.index(n);
+            let v = rng.index(n);
+            if u == v || taken.contains(&(u, v)) || taken.contains(&(v, u)) {
+                continue;
+            }
+            taken.push((u, v));
+            chords.push((
+                u,
+                v,
+                rng.uniform_range(1e-3, 1e-2),
+                rng.uniform_range(1e6, 1e7),
+                rng.uniform_range(3.0, 40.0),
+            ));
+        }
+        Self { n, spine, chords }
+    }
+
+    fn at(&self, t: f64) -> Graph {
+        let mut g = Graph::new(self.n, 0);
+        for &(u, v, lat, cap) in &self.spine {
+            g.add_bidirectional(u, v, lat + t * 1e-7, cap, 0u32, 0u32, LinkTech::Rf);
+        }
+        for &(u, v, lat, cap, period) in &self.chords {
+            if (t / period).floor() as i64 % 2 == 0 {
+                g.add_bidirectional(u, v, lat + t * 1e-7, cap, 0u32, 0u32, LinkTech::Optical);
+            }
+        }
+        g
+    }
+}
+
+fn random_flows(rng: &mut SimRng, n: usize) -> Vec<FlowSpec> {
+    (0..1 + rng.index(4))
+        .map(|_| {
+            let src = rng.index(n);
+            let dst = (src + 1 + rng.index(n - 1)) % n;
+            FlowSpec::new(
+                src,
+                dst,
+                rng.uniform_range(1e5, 3e6),
+                1_500,
+                if rng.uniform() < 0.5 {
+                    TrafficKind::Poisson
+                } else {
+                    TrafficKind::Cbr
+                },
+            )
+        })
+        .collect()
+}
+
+fn assert_reports_bitwise(a: &NetSimReport, b: &NetSimReport, ctx: &str) {
+    assert_eq!(a, b, "{ctx}: reports differ");
+    for (name, x, y) in [
+        ("delivery_ratio", a.delivery_ratio, b.delivery_ratio),
+        ("mean_latency_s", a.mean_latency_s, b.mean_latency_s),
+        ("p95_latency_s", a.p95_latency_s, b.p95_latency_s),
+        (
+            "max_link_utilization",
+            a.max_link_utilization,
+            b.max_link_utilization,
+        ),
+    ] {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: {name} bits");
+    }
+}
+
+/// The recorded-telemetry dump with the single engine-describing key
+/// (`netsim.engine.bucket_resizes`) filtered out; everything else —
+/// including `engine.events_processed`, the queue-depth high-water and
+/// the packet-slab high-water — must match bit for bit.
+fn engine_neutral_dump(rec: &mut MemoryRecorder) -> String {
+    rec.deterministic_json()
+        .to_string()
+        .split(',')
+        .filter(|frag| !frag.contains("bucket_resizes"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Run the scenario once per engine and require bit-equal reports and
+/// bit-equal engine-neutral telemetry.
+fn assert_engine_invariant<'a>(
+    cfg: NetSimConfig,
+    build: impl Fn(NetSim<'a>) -> NetSim<'a>,
+    flows: &[FlowSpec],
+    ctx: &str,
+) {
+    let run = |engine| {
+        let mut rec = MemoryRecorder::new();
+        let report = build(NetSim::new(NetSimConfig { engine, ..cfg }))
+            .run_recorded(flows, &mut rec)
+            .expect("valid netsim config");
+        (report, engine_neutral_dump(&mut rec))
+    };
+    let (heap_report, heap_dump) = run(EngineKind::Heap);
+    let (cal_report, cal_dump) = run(EngineKind::Calendar);
+    assert_reports_bitwise(&heap_report, &cal_report, ctx);
+    assert_eq!(heap_dump, cal_dump, "{ctx}: recorded telemetry diverges");
+}
+
+#[test]
+fn static_snapshot_runs_are_engine_invariant() {
+    for case in 0..24u64 {
+        let mut rng = SimRng::substream(0xE9E0, case);
+        let mesh = EvolvingMesh::random(&mut rng);
+        let graph = mesh.at(0.0);
+        let flows = random_flows(&mut rng, mesh.n);
+        let routing = if case % 2 == 0 {
+            RoutingMode::Proactive
+        } else {
+            RoutingMode::Adaptive {
+                replan_interval_s: rng.uniform_range(0.5, 3.0),
+            }
+        };
+        let cfg = NetSimConfig {
+            duration_s: rng.uniform_range(5.0, 20.0),
+            queue_capacity_bytes: 128 * 1024,
+            routing,
+            seed: case,
+            ..Default::default()
+        };
+        assert_engine_invariant(
+            cfg,
+            |sim| sim.with_snapshot(&graph),
+            &flows,
+            &format!("static case {case} ({routing:?})"),
+        );
+    }
+}
+
+#[test]
+fn timeline_runs_are_engine_invariant() {
+    for case in 0..12u64 {
+        let mut rng = SimRng::substream(0xE9E1, case);
+        let mesh = EvolvingMesh::random(&mut rng);
+        let flows = random_flows(&mut rng, mesh.n);
+        let step = rng.uniform_range(0.5, 4.0);
+        let duration = step * (2 + rng.index(10)) as f64;
+        let cfg = NetSimConfig {
+            duration_s: duration,
+            queue_capacity_bytes: 128 * 1024,
+            routing: if case % 2 == 0 {
+                RoutingMode::Proactive
+            } else {
+                RoutingMode::Adaptive {
+                    replan_interval_s: 1.0,
+                }
+            },
+            seed: case,
+            ..Default::default()
+        };
+        let provider = |t: f64| mesh.at(t);
+        let tl = TopologyTimeline::build(&provider, 0.0, step, duration, 4)
+            .expect("valid timeline build");
+        assert_engine_invariant(
+            cfg,
+            |sim| sim.with_timeline(&tl),
+            &flows,
+            &format!("timeline case {case}"),
+        );
+        assert_engine_invariant(
+            cfg,
+            |sim| sim.with_provider(&provider, step),
+            &flows,
+            &format!("provider case {case}"),
+        );
+    }
+}
+
+#[test]
+fn faulted_runs_are_engine_invariant() {
+    for case in 0..12u64 {
+        let mut rng = SimRng::substream(0xE9E2, case);
+        let mesh = EvolvingMesh::random(&mut rng);
+        let flows = random_flows(&mut rng, mesh.n);
+        let victim = rng.index(mesh.n);
+        let (lu, lv, ..) = mesh.spine[rng.index(mesh.spine.len())];
+        let plan = FaultPlan::builder()
+            .seed(case)
+            .sat_outage(victim, rng.uniform_range(1.0, 5.0), 4.0)
+            .link_flap(lu, lv, rng.uniform_range(1.0, 6.0), 1.5, 1.5, 2)
+            .build()
+            .expect("valid fault plan");
+        let events = plan
+            .compile(&FaultTopology::homogeneous(mesh.n, 0, OperatorId(0)))
+            .expect("plan fits topology");
+        let cfg = NetSimConfig {
+            duration_s: 12.0,
+            queue_capacity_bytes: 128 * 1024,
+            routing: RoutingMode::Proactive,
+            seed: case,
+            ..Default::default()
+        };
+        let provider = |t: f64| mesh.at(t);
+        assert_engine_invariant(
+            cfg,
+            |sim| sim.with_provider(&provider, 1.0).with_faults(&events),
+            &flows,
+            &format!("faulted case {case}"),
+        );
+    }
+}
+
+#[test]
+fn demand_runs_are_engine_invariant() {
+    for case in 0..8u64 {
+        let mut rng = SimRng::substream(0xE9E3, case);
+        let mesh = EvolvingMesh::random(&mut rng);
+        let graph = mesh.at(0.0);
+        let batches: Vec<(f64, Vec<FlowSpec>)> = (0..4)
+            .map(|k| (k as f64 * 3.0, random_flows(&mut rng, mesh.n)))
+            .collect();
+        let demand = DemandWorkload::new(batches).expect("ticks strictly increasing");
+        let cfg = NetSimConfig {
+            duration_s: 15.0,
+            queue_capacity_bytes: 128 * 1024,
+            routing: RoutingMode::Proactive,
+            seed: case,
+            ..Default::default()
+        };
+        assert_engine_invariant(
+            cfg,
+            |sim| sim.with_snapshot(&graph).with_demand(&demand),
+            &[],
+            &format!("demand case {case}"),
+        );
+    }
+}
